@@ -1,0 +1,51 @@
+// Ablation: sensitivity of the conclusions to the fault model.
+//
+// The paper's model is a single random bit flip per trial. This bench
+// re-runs the Fig-10-style campaign on the LAMMPS stand-in under four
+// fault models (single bit, double bit, stuck-at-zero, random byte) and
+// compares the response distributions: the taxonomy shares should shift
+// in the expected directions (heavier corruption -> less SUCCESS) without
+// changing who-wins orderings.
+
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "support/format.hpp"
+
+using namespace fastfit;
+
+int main() {
+  bench::banner(
+      "Ablation — fault-model comparison",
+      "Sec II fixes the fault model to one bit flip; how robust are the "
+      "response distributions to that choice?",
+      "miniMD, buffer faults, all four fault models");
+
+  std::vector<std::pair<std::string,
+                        std::array<double, inject::kNumOutcomes>>>
+      rows;
+  for (std::size_t m = 0; m < inject::kNumFaultModels; ++m) {
+    const auto model = static_cast<inject::FaultModel>(m);
+    const auto workload = apps::make_workload("miniMD");
+    auto options = bench::bench_campaign_options();
+    options.fault_model = model;
+    core::Campaign campaign(*workload, options);
+    campaign.profile();
+    std::vector<core::PointResult> results;
+    for (const auto& point : campaign.enumeration().points) {
+      if (point.param != mpi::Param::SendBuf) continue;
+      results.push_back(campaign.measure(point));
+    }
+    rows.emplace_back(to_string(model), core::outcome_distribution(results));
+  }
+
+  std::printf("%s\n", core::render_outcome_table(rows).c_str());
+  std::printf(
+      "expected shape: single and double bit flips behave alike (double "
+      "slightly harsher); stuck-at-zero is mildest (half its faults are "
+      "no-ops on clear bits); random-byte is harshest. SUCCESS stays the "
+      "most common response under every model — the paper's conclusions do "
+      "not hinge on the single-bit choice\n");
+  return 0;
+}

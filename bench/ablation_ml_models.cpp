@@ -1,0 +1,80 @@
+// Ablation: is FastFIT tied to the random forest?
+//
+// The paper claims it is not ("It can be replaced by other machine
+// learning algorithms, if required", Sec IV-D). This bench swaps the
+// model on the Fig-13-style error-rate-level prediction task and compares
+// accuracy across random forest, k-NN, Gaussian naive Bayes, and the
+// majority baseline.
+
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "core/enumerate.hpp"
+#include "core/ml_loop.hpp"
+#include "ml/classifier.hpp"
+#include "stats/levels.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+
+using namespace fastfit;
+
+int main() {
+  bench::banner(
+      "Ablation — prediction model comparison",
+      "Sec IV-D: FastFIT is not tied to the random forest algorithm",
+      "error-rate-level prediction (4 even levels) on pooled buffer-fault "
+      "campaign data; 5 random train/test splits per model");
+
+  // Same dataset recipe as the Figs 12/13 bench.
+  const std::uint32_t trials =
+      std::max<std::uint32_t>(bench::bench_trials(), 16);
+  const std::size_t per_workload = 50;
+  const auto thresholds = stats::even_thresholds(4);
+  ml::Dataset data(4);
+  for (const std::string name : {"miniMD", "IS", "FT", "MG", "LU"}) {
+    const auto workload = apps::make_workload(name);
+    core::Campaign campaign(*workload, bench::bench_campaign_options());
+    campaign.profile();
+    auto dense = core::enumerate_points_semantic_only(campaign.profiler());
+    std::vector<core::InjectionPoint> points;
+    for (const auto& p : dense.points) {
+      if (p.param == mpi::Param::SendBuf) points.push_back(p);
+    }
+    RngStream rng(bench::bench_seed(), "ablation-sample", fnv1a(name));
+    rng.shuffle(points);
+    if (points.size() > per_workload) points.resize(per_workload);
+    for (const auto& p : points) {
+      const auto r = campaign.measure(p, trials);
+      data.add(p.features(),
+               core::label_of(r, core::LabelMode::ErrorRateLevel,
+                              thresholds));
+    }
+  }
+  std::printf("dataset: %zu labelled points\n\n", data.size());
+
+  std::printf("%s%s%s\n", pad("model", 16).c_str(),
+              pad("accuracy", 12).c_str(), "per-round accuracies");
+  for (const auto& name : ml::classifier_names()) {
+    ml::ClassifierConfig config;
+    config.seed = bench::bench_seed();
+    const auto rounds =
+        ml::repeated_random_split_eval(name, config, data, 5);
+    double mean = 0.0;
+    std::string detail;
+    for (const auto& matrix : rounds) {
+      mean += matrix.accuracy();
+      detail += percent(matrix.accuracy(), 0) + " ";
+    }
+    std::printf("%s%s%s\n", pad(name, 16).c_str(),
+                pad(percent(mean / 5.0), 12).c_str(), detail.c_str());
+  }
+  std::printf(
+      "\nexpected shape: the discriminative models (forest, k-NN) clearly "
+      "beat the majority baseline and track each other — the architecture "
+      "is model-agnostic. Naive Bayes may land at baseline level: its "
+      "feature-independence assumption is a poor fit for the correlated "
+      "application features, which is itself a finding about why the "
+      "paper's forest choice is sensible\n");
+  return 0;
+}

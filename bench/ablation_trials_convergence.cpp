@@ -1,0 +1,74 @@
+// Ablation: how many trials per injection point are enough?
+//
+// Sec III-A claims "100 random fault injection tests are sufficient to
+// cover as many cases as it might appear". This bench sweeps the trial
+// count on a mid-sensitivity injection point and reports the error-rate
+// estimate with its 95% Wilson interval: the interval should tighten with
+// sqrt(T) and stabilize around the asymptotic rate well before T = 100.
+
+#include <cstdio>
+
+#include "apps/minimd.hpp"
+#include "bench_common.hpp"
+#include "stats/interval.hpp"
+#include "support/format.hpp"
+
+using namespace fastfit;
+
+int main() {
+  bench::banner(
+      "Ablation — trials-per-point convergence",
+      "Sec III-A: 100 fault injection tests per point are sufficient",
+      "miniMD thermostat allreduce, data-buffer faults, 95% Wilson "
+      "intervals");
+
+  apps::MdConfig config;
+  config.steps = 16;
+  apps::MiniMD workload(config);
+  core::Campaign campaign(workload, bench::bench_campaign_options());
+  campaign.profile();
+
+  // A mid-sensitivity sendbuf point (probe a few, pick the most mid-range).
+  const core::InjectionPoint* chosen = nullptr;
+  double best_spread = -1.0;
+  for (const auto& point : campaign.enumeration().points) {
+    if (point.param != mpi::Param::SendBuf) continue;
+    if (point.kind != mpi::CollectiveKind::Allreduce) continue;
+    const double rate = campaign.measure(point, 16).error_rate();
+    const double spread = rate * (1.0 - rate);
+    if (spread > best_spread) {
+      best_spread = spread;
+      chosen = &point;
+    }
+  }
+  if (chosen == nullptr) {
+    std::printf("no allreduce sendbuf point found\n");
+    return 1;
+  }
+  std::printf("point: %s %s at %s\n\n", mpi::to_string(chosen->kind),
+              to_string(chosen->param), chosen->site_location.c_str());
+
+  std::printf("%s%s%s%s\n", pad("trials", 10).c_str(),
+              pad("error rate", 14).c_str(), pad("95% CI", 22).c_str(),
+              "CI width");
+  const std::uint32_t max_trials =
+      static_cast<std::uint32_t>(bench::env_u64("FASTFIT_BENCH_MAX_TRIALS",
+                                                160));
+  for (std::uint32_t trials = 5; trials <= max_trials; trials *= 2) {
+    const auto result = campaign.measure(*chosen, trials);
+    const std::size_t errors =
+        result.trials -
+        result.counts[static_cast<std::size_t>(inject::Outcome::Success)];
+    const auto ci = stats::wilson_interval(errors, result.trials);
+    std::printf("%s%s%s%.3f\n", pad(std::to_string(trials), 10).c_str(),
+                pad(percent(result.error_rate()), 14).c_str(),
+                pad("[" + percent(ci.lo) + ", " + percent(ci.hi) + "]", 22)
+                    .c_str(),
+                ci.width());
+  }
+  std::printf(
+      "\nexpected shape: the interval shrinks ~1/sqrt(T); by T≈100 the "
+      "estimate is stable to within one of the paper's sensitivity levels, "
+      "supporting the 100-trials-per-point choice\n");
+  return 0;
+}

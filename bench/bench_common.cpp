@@ -1,0 +1,36 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "apps/registry.hpp"
+
+namespace fastfit::bench {
+
+void banner(const std::string& id, const std::string& paper_caption,
+            const std::string& substitution_note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("paper: %s\n", paper_caption.c_str());
+  if (!substitution_note.empty()) {
+    std::printf("note:  %s\n", substitution_note.c_str());
+  }
+  std::printf("scale: %d ranks, %u trials/point, seed 0x%llx\n",
+              bench_ranks(), bench_trials(),
+              static_cast<unsigned long long>(bench_seed()));
+  std::printf("==============================================================\n");
+}
+
+std::vector<core::PointResult> measure_all_points(
+    const std::string& workload_name, std::optional<mpi::Param> only_param) {
+  const auto workload = apps::make_workload(workload_name);
+  core::Campaign campaign(*workload, bench_campaign_options());
+  campaign.profile();
+  std::vector<core::PointResult> results;
+  for (const auto& point : campaign.enumeration().points) {
+    if (only_param && point.param != *only_param) continue;
+    results.push_back(campaign.measure(point));
+  }
+  return results;
+}
+
+}  // namespace fastfit::bench

@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper on the
+// simulated substrate. Scale knobs come from the environment so a single
+// core can finish the default sweep in minutes while larger machines can
+// crank them up:
+//
+//   FASTFIT_BENCH_RANKS   simulated MPI ranks        (default 16)
+//   FASTFIT_BENCH_TRIALS  trials per injection point (default 12;
+//                         the paper uses 100)
+//   FASTFIT_BENCH_SEED    campaign master seed       (default 0xF457F17)
+
+#include <cstdlib>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/fastfit.hpp"
+#include "core/report.hpp"
+
+namespace fastfit::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    return std::strtoull(value, nullptr, 10);
+  }
+  return fallback;
+}
+
+inline int bench_ranks() {
+  return static_cast<int>(env_u64("FASTFIT_BENCH_RANKS", 16));
+}
+inline std::uint32_t bench_trials() {
+  return static_cast<std::uint32_t>(env_u64("FASTFIT_BENCH_TRIALS", 12));
+}
+inline std::uint64_t bench_seed() {
+  return env_u64("FASTFIT_BENCH_SEED", 0xF457F17ULL);
+}
+
+inline core::CampaignOptions bench_campaign_options() {
+  core::CampaignOptions opts;
+  opts.nranks = bench_ranks();
+  opts.trials_per_point = bench_trials();
+  opts.seed = bench_seed();
+  return opts;
+}
+
+/// Prints the standard experiment banner.
+void banner(const std::string& id, const std::string& paper_caption,
+            const std::string& substitution_note);
+
+/// Measures every enumerated point of a workload (traditional mode) and
+/// returns the per-point results; shared by the Figs 7-11 binaries.
+std::vector<core::PointResult> measure_all_points(
+    const std::string& workload_name,
+    std::optional<mpi::Param> only_param = std::nullopt);
+
+}  // namespace fastfit::bench

@@ -1,0 +1,92 @@
+// Extension: point-to-point sensitivity (the paper's future work).
+//
+// Sec VIII: "Even though these techniques were tested only on the
+// collective operations in this paper, it can be applied to other
+// programming elements of an HPC application, which is a part of our
+// future work." This bench runs that study: the same pruning and fault
+// model applied to the halo-exchange sends/receives of MG and LU, with
+// the collective results alongside for comparison.
+
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "core/p2p_study.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+
+using namespace fastfit;
+
+int main() {
+  bench::banner(
+      "Extension — point-to-point fault injection (paper future work)",
+      "Sec VIII: applying FastFIT to other programming elements",
+      "MG and LU halo exchanges vs their collectives, single-bit faults");
+
+  for (const std::string name : {"MG", "LU"}) {
+    const auto workload = apps::make_workload(name);
+    core::Campaign campaign(*workload, bench::bench_campaign_options());
+    campaign.profile();
+
+    // Collective baseline (buffer faults).
+    std::vector<core::PointResult> coll;
+    for (const auto& point : campaign.enumeration().points) {
+      if (point.param == mpi::Param::SendBuf) {
+        coll.push_back(campaign.measure(point));
+      }
+    }
+
+    // Point-to-point study.
+    const auto e = core::enumerate_p2p_points(campaign.profiler());
+    std::printf("%s: p2p exploration space %llu -> %llu (semantic) -> %llu "
+                "(context); %zu equivalence classes\n",
+                name.c_str(),
+                static_cast<unsigned long long>(e.stats.total_points),
+                static_cast<unsigned long long>(e.stats.after_semantic),
+                static_cast<unsigned long long>(e.stats.after_context),
+                e.stats.equivalence_classes);
+    // Subsample the surviving points to bound wall clock (hung-trial cost
+    // is one watchdog each; tag/peer faults hang often by design).
+    auto points = e.points;
+    RngStream rng(bench::bench_seed(), "p2p-sample", fnv1a(name));
+    rng.shuffle(points);
+    const std::size_t cap =
+        static_cast<std::size_t>(bench::env_u64("FASTFIT_BENCH_P2P_POINTS",
+                                                80));
+    if (points.size() > cap) points.resize(cap);
+    std::vector<core::P2pPointResult> p2p;
+    for (const auto& point : points) {
+      p2p.push_back(
+          core::measure_p2p(campaign, point, bench::bench_trials()));
+    }
+
+    std::vector<std::pair<std::string,
+                          std::array<double, inject::kNumOutcomes>>>
+        rows;
+    rows.emplace_back("collective buf", core::outcome_distribution(coll));
+    rows.emplace_back("p2p buffer",
+                      core::p2p_outcome_distribution(
+                          p2p, std::nullopt, mpi::P2pParam::Buffer));
+    rows.emplace_back("p2p count",
+                      core::p2p_outcome_distribution(
+                          p2p, std::nullopt, mpi::P2pParam::Count));
+    rows.emplace_back("p2p datatype",
+                      core::p2p_outcome_distribution(
+                          p2p, std::nullopt, mpi::P2pParam::Datatype));
+    rows.emplace_back("p2p peer",
+                      core::p2p_outcome_distribution(
+                          p2p, std::nullopt, mpi::P2pParam::Peer));
+    rows.emplace_back("p2p tag",
+                      core::p2p_outcome_distribution(
+                          p2p, std::nullopt, mpi::P2pParam::Tag));
+    std::printf("%s\n", core::render_outcome_table(rows).c_str());
+  }
+
+  std::printf(
+      "expected shape: p2p buffer faults are even milder than collective "
+      "buffer faults (one halo cell vs a reduced quantity); p2p "
+      "peer/tag/count faults are severe (starved receives -> INF_LOOP, "
+      "invalid arguments -> MPI_ERR) — the pruning machinery transfers "
+      "unchanged, supporting the paper's generality claim\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 1: injecting faults into two "equivalent" MPI processes of an
+// MPI_Allreduce collective in LU.
+//
+// The paper picks two random processes of LU (all allreduce participants
+// are equivalent), injects one bit flip per trial into each input
+// parameter, and shows that the response distributions of the two
+// processes match — the justification for semantic-driven pruning of
+// non-rooted collectives. Here the two ranks are drawn from the same
+// profiled equivalence class.
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "support/format.hpp"
+
+using namespace fastfit;
+
+int main() {
+  bench::banner(
+      "Figure 1 — LU: two equivalent ranks, MPI_Allreduce",
+      "Results of injecting faults into two \"equivalent\" MPI processes "
+      "of an MPI_Allreduce collective in LU",
+      "mini-LU on MiniMPI; ranks drawn from one equivalence class");
+
+  const auto workload = apps::make_workload("LU");
+  core::Campaign campaign(*workload, bench::bench_campaign_options());
+  campaign.profile();
+
+  // The bulk (non-root-role) equivalence class holds the interchangeable
+  // ranks; take its first two members as the paper's rand1 / rand2.
+  const auto& classes = campaign.enumeration().classes;
+  const trace::EquivalenceClass* bulk = nullptr;
+  for (const auto& cls : classes) {
+    if (cls.ranks.size() >= 2) bulk = &cls;
+  }
+  if (bulk == nullptr) {
+    std::printf("no equivalence class with two members; nothing to compare\n");
+    return 1;
+  }
+  const int rand1 = bulk->ranks[0];
+  const int rand2 = bulk->ranks[1];
+  std::printf("equivalence classes: %zu; comparing ranks %d and %d\n\n",
+              classes.size(), rand1, rand2);
+
+  // Find an MPI_Allreduce point set of the representative; re-target each
+  // parameter's point at both ranks.
+  std::vector<std::pair<std::string,
+                        std::array<double, inject::kNumOutcomes>>>
+      rows;
+  double worst_gap = 0.0;
+  for (const auto& point : campaign.enumeration().points) {
+    if (point.kind != mpi::CollectiveKind::Allreduce) continue;
+    if (point.rank != bulk->representative()) continue;
+    std::array<core::PointResult, 2> results;
+    int idx = 0;
+    for (int rank : {rand1, rand2}) {
+      auto p = point;
+      p.rank = rank;
+      results[static_cast<std::size_t>(idx++)] = campaign.measure(p);
+    }
+    for (int i = 0; i < 2; ++i) {
+      std::array<double, inject::kNumOutcomes> dist{};
+      for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+        dist[o] = results[static_cast<std::size_t>(i)].fraction(
+            static_cast<inject::Outcome>(o));
+      }
+      rows.emplace_back(std::string(to_string(point.param)) +
+                            (i == 0 ? " rand1" : " rand2"),
+                        dist);
+    }
+    // Total-variation distance between the two ranks' distributions.
+    double tv = 0.0;
+    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      tv += std::abs(results[0].fraction(static_cast<inject::Outcome>(o)) -
+                     results[1].fraction(static_cast<inject::Outcome>(o)));
+    }
+    worst_gap = std::max(worst_gap, tv / 2.0);
+    // One allreduce site suffices for the figure (the paper uses one).
+    if (point.param == mpi::injectable_params(point.kind).back()) break;
+  }
+
+  std::printf("%s\n", core::render_outcome_table(rows).c_str());
+  std::printf("max total-variation distance between rand1 and rand2: %s\n",
+              percent(worst_gap).c_str());
+  std::printf("expected shape: the two ranks respond alike (small distance), "
+              "as in the paper's Fig 1\n");
+  return 0;
+}

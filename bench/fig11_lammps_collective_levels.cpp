@@ -1,0 +1,46 @@
+// Figure 11: LAMMPS' response in error-rate levels per collective kind
+// (skewed low/med/high scheme).
+//
+// Paper findings to compare against: faulty MPI_Barrier is lethal (large
+// med/high shares); MPI_Allreduce — despite being >84% of LAMMPS'
+// collective traffic — shows a low error rate; other collectives are not
+// skewed toward one direction.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "profile/queries.hpp"
+#include "stats/levels.hpp"
+#include "support/format.hpp"
+
+using namespace fastfit;
+
+int main() {
+  bench::banner(
+      "Figure 11 — LAMMPS response in error-rate levels per collective",
+      "LAMMPS benchmark's response in error rate levels, when faults are "
+      "injected into LAMMPS' MPI collectives",
+      "miniMD; levels: low < 15%, med 15-85%, high > 85%");
+
+  // Campaign mix as in Fig 8: buffer faults for data collectives, the
+  // communicator parameter for MPI_Barrier.
+  std::vector<core::PointResult> results;
+  for (auto& r : bench::measure_all_points("miniMD")) {
+    const bool buffer_fault = r.point.param == mpi::Param::SendBuf;
+    const bool barrier_fault = r.point.kind == mpi::CollectiveKind::Barrier &&
+                               r.point.param == mpi::Param::Comm;
+    if (buffer_fault || barrier_fault) results.push_back(std::move(r));
+  }
+  const auto thresholds = stats::skewed_low_med_high();
+  std::vector<std::pair<std::string, std::vector<double>>> rows;
+  for (mpi::CollectiveKind kind : core::kinds_present(results)) {
+    rows.emplace_back(mpi::to_string(kind),
+                      core::level_distribution(results, kind, thresholds));
+  }
+  std::printf("%s\n",
+              core::render_level_table(rows, {"low", "med", "high"}).c_str());
+  std::printf(
+      "expected shape: MPI_Barrier skews to med/high (lethal); "
+      "MPI_Allreduce has a large low share despite dominating the traffic\n");
+  return 0;
+}

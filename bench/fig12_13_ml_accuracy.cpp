@@ -1,0 +1,162 @@
+// Figures 12 and 13 (and Fig 4): accuracy of the ML-based sensitivity
+// prediction.
+//
+// Following Sec V-D, the training set (measured injection points with
+// their features and responses) is randomly divided into train/test
+// halves five times; we report the averaged per-class prediction accuracy
+// for error types (Fig 12: paper reports SUCCESS 86%, APP_DETECTED 80%,
+// SEG_FAULT 47%, WRONG_ANS 75%) and the overall accuracy for 2- and
+// 3-level error-rate prediction (Fig 13: >80% for 2 levels; 76% low /
+// 66% high for 3 levels). One learned decision tree is printed as the
+// paper's Fig 4 example.
+
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "core/enumerate.hpp"
+#include "core/ml_loop.hpp"
+#include "support/rng.hpp"
+#include "ml/random_forest.hpp"
+#include "stats/levels.hpp"
+#include "support/format.hpp"
+
+using namespace fastfit;
+
+int main() {
+  bench::banner(
+      "Figures 12 & 13 (+ Fig 4) — ML prediction accuracy",
+      "Error type prediction accuracy; error rate level prediction "
+      "accuracy (2 and 3 levels); an example of a decision tree",
+      "forest trained on a pooled miniMD + NPB campaign dataset; 5 random "
+      "train/test divisions");
+
+  // Build the labelled dataset following the paper's campaign protocol
+  // (Sec V-C: faults go into the data buffer): one injection point per
+  // surviving (site, stack) with the fault in the send data buffer. The
+  // six application features identify such points uniquely; mixing
+  // parameter-handle faults in would force identical feature vectors to
+  // carry conflicting labels. Extra trials per point de-noise the labels.
+  // The accuracy study trains on campaign data, so context pruning is NOT
+  // applied here: every invocation of the representative ranks is a
+  // labelled sample. A per-workload subsample bounds the wall clock.
+  const std::uint32_t trials =
+      std::max<std::uint32_t>(bench::bench_trials(), 16);
+  const std::size_t per_workload =
+      static_cast<std::size_t>(bench::env_u64("FASTFIT_BENCH_ML_POINTS", 60));
+  std::vector<core::PointResult> measured;
+  for (const std::string name : {"miniMD", "IS", "FT", "MG", "LU"}) {
+    const auto workload = apps::make_workload(name);
+    core::Campaign campaign(*workload, bench::bench_campaign_options());
+    campaign.profile();
+    auto dense = core::enumerate_points_semantic_only(campaign.profiler());
+    std::vector<core::InjectionPoint> buffer_points;
+    for (const auto& point : dense.points) {
+      if (point.param == mpi::Param::SendBuf) buffer_points.push_back(point);
+    }
+    RngStream rng(bench::bench_seed(), "ml-sample", fnv1a(name));
+    rng.shuffle(buffer_points);
+    if (buffer_points.size() > per_workload) {
+      buffer_points.resize(per_workload);
+    }
+    for (const auto& point : buffer_points) {
+      measured.push_back(campaign.measure(point, trials));
+    }
+  }
+  std::printf("dataset: %zu measured injection points, %u trials each\n\n",
+              measured.size(), trials);
+
+  // --- Fig 12: error-type prediction -----------------------------------
+  {
+    ml::Dataset data(inject::kNumOutcomes);
+    for (const auto& r : measured) {
+      data.add(r.point.features(),
+               core::label_of(r, core::LabelMode::ErrorType, {}));
+    }
+    ml::ForestConfig config;
+    config.n_trees = 48;
+    config.seed = bench::bench_seed();
+    const auto rounds = ml::repeated_random_split_eval(data, config, 5);
+    std::vector<double> recall(inject::kNumOutcomes, 0.0);
+    std::vector<double> support(inject::kNumOutcomes, 0.0);
+    double accuracy = 0.0;
+    for (const auto& matrix : rounds) {
+      accuracy += matrix.accuracy();
+      for (std::size_t c = 0; c < inject::kNumOutcomes; ++c) {
+        recall[c] += matrix.recall(c);
+        support[c] += static_cast<double>(matrix.support(c));
+      }
+    }
+    std::printf("Fig 12 — per-error-type prediction accuracy (recall, mean "
+                "of 5 splits):\n");
+    for (std::size_t c = 0; c < inject::kNumOutcomes; ++c) {
+      if (support[c] == 0.0) continue;
+      std::printf("  %s%s (test support %.0f)\n",
+                  pad(inject::outcome_names()[c], 14).c_str(),
+                  percent(recall[c] / 5.0).c_str(), support[c] / 5.0);
+    }
+    std::printf("  overall accuracy: %s  (paper: SUCCESS 86%%, "
+                "APP_DETECTED 80%%, SEG_FAULT 47%%, WRONG_ANS 75%%)\n\n",
+                percent(accuracy / 5.0).c_str());
+    std::printf("confusion matrix of split 0:\n%s\n",
+                rounds.front().render(inject::outcome_names()).c_str());
+  }
+
+  // --- Fig 13: error-rate-level prediction (2 and 3 levels) -------------
+  for (std::size_t levels : {2u, 3u}) {
+    const auto thresholds = stats::even_thresholds(levels);
+    ml::Dataset data(levels);
+    for (const auto& r : measured) {
+      data.add(r.point.features(),
+               core::label_of(r, core::LabelMode::ErrorRateLevel,
+                              thresholds));
+    }
+    ml::ForestConfig config;
+    config.n_trees = 48;
+    config.seed = bench::bench_seed() + levels;
+    const auto rounds = ml::repeated_random_split_eval(data, config, 5);
+    double accuracy = 0.0;
+    std::vector<double> recall(levels, 0.0);
+    for (const auto& matrix : rounds) {
+      accuracy += matrix.accuracy();
+      for (std::size_t c = 0; c < levels; ++c) recall[c] += matrix.recall(c);
+    }
+    const auto names = stats::level_names(levels);
+    std::printf("Fig 13 — %zu-level error-rate prediction accuracy:\n",
+                levels);
+    std::printf("  overall: %s", percent(accuracy / 5.0).c_str());
+    for (std::size_t c = 0; c < levels; ++c) {
+      std::printf("  %s: %s", names[c].c_str(),
+                  percent(recall[c] / 5.0).c_str());
+    }
+    std::printf("\n  (paper: 2 levels > 80%% overall; 3 levels: low > 76%%, "
+                "high > 66%%)\n\n");
+  }
+
+  // --- Fig 4: an example decision tree ----------------------------------
+  {
+    const auto thresholds = stats::even_thresholds(4);
+    ml::Dataset data(4);
+    for (const auto& r : measured) {
+      data.add(r.point.features(),
+               core::label_of(r, core::LabelMode::ErrorRateLevel,
+                              thresholds));
+    }
+    ml::ForestConfig config;
+    config.n_trees = 8;
+    config.max_depth = 4;  // keep the printed example legible, like Fig 4
+    config.seed = bench::bench_seed();
+    const auto forest = ml::RandomForest::train(data, config);
+    std::printf("Fig 4 — an example learned decision tree (4 sensitivity "
+                "levels):\n%s\n",
+                forest.render_tree(0, stats::level_names(4)).c_str());
+    const auto importance = forest.feature_importance();
+    std::printf("feature importance (impurity decrease):\n");
+    for (std::size_t f = 0; f < ml::kNumFeatures; ++f) {
+      std::printf("  %s%s\n",
+                  pad(to_string(static_cast<ml::Feature>(f)), 12).c_str(),
+                  percent(importance[f]).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,188 @@
+#include "apps/cg.hpp"
+
+#include <cmath>
+
+#include "apps/common.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::apps {
+namespace {
+
+using mpi::RegisteredBuffer;
+
+/// Symmetric coupling strength for the (i, j) pair, identical no matter
+/// which side computes it.
+double coupling(std::uint64_t seed, int i, int j) {
+  const auto lo = static_cast<std::uint64_t>(std::min(i, j));
+  const auto hi = static_cast<std::uint64_t>(std::max(i, j));
+  std::uint64_t state = seed ^ (lo * 0x9E3779B97F4A7C15ULL) ^ (hi << 21);
+  const std::uint64_t bits = splitmix64(state);
+  // Strength in [-0.5, 0.5).
+  return (static_cast<double>(bits >> 11) /
+              static_cast<double>(1ULL << 53) -
+          0.5);
+}
+
+}  // namespace
+
+std::uint64_t MiniCG::run_rank(AppContext& ctx) const {
+  auto& mpi = ctx.mpi;
+  auto& tr = ctx.trace;
+  const int n = mpi.size();
+  const int me = mpi.rank();
+
+  if (config_.unknowns % n != 0) {
+    throw ConfigError("MiniCG: rank count must divide the unknown count");
+  }
+  const int N = config_.unknowns;
+  const int nloc = N / n;
+  const int row_lo = me * nloc;
+
+  // ---- init phase ---------------------------------------------------------
+  tr.set_phase(trace::ExecPhase::Init);
+  int iterations = 0;
+  int couplings = 0;
+  {
+    trace::FunctionScope scope(tr, "cg_setup");
+    RegisteredBuffer<std::int32_t> params(mpi.registry(), 2);
+    if (me == 0) {
+      params[0] = config_.iterations;
+      params[1] = config_.couplings;
+    }
+    mpi.bcast(params.data(), 2, mpi::kInt32, 0);
+    iterations = params[0];
+    couplings = params[1];
+    trace::ErrorHandlingScope errhal(tr);
+    app_check(iterations > 0 && iterations <= 256,
+              "CG: implausible iteration count");
+    app_check(couplings > 0 && couplings <= N / 2,
+              "CG: implausible coupling count");
+  }
+
+  // ---- input phase: matrix rows and right-hand side -----------------------
+  tr.set_phase(trace::ExecPhase::Input);
+  // Row i couples to columns (i ± k*stride) mod N; the ± symmetry makes
+  // the global matrix symmetric, and the dominant diagonal makes it SPD.
+  const int stride = 3;
+  struct Entry {
+    int column;
+    double value;
+  };
+  std::vector<std::vector<Entry>> rows(static_cast<std::size_t>(nloc));
+  std::vector<double> b(static_cast<std::size_t>(nloc));
+  {
+    trace::FunctionScope scope(tr, "makea");
+    RngStream rng(ctx.input_seed, "cg-rhs", static_cast<std::uint64_t>(me));
+    for (int r = 0; r < nloc; ++r) {
+      const int i = row_lo + r;
+      double offdiag_mass = 0.0;
+      auto& row = rows[static_cast<std::size_t>(r)];
+      for (int k = 1; k <= couplings; ++k) {
+        for (int sign : {+1, -1}) {
+          const int j = ((i + sign * k * stride) % N + N) % N;
+          if (j == i) continue;
+          const double v = coupling(ctx.input_seed, i, j);
+          row.push_back(Entry{j, v});
+          offdiag_mass += std::abs(v);
+        }
+      }
+      row.push_back(Entry{i, offdiag_mass + 1.5});
+      b[static_cast<std::size_t>(r)] = rng.uniform() - 0.5;
+    }
+  }
+
+  // ---- compute phase: CG iterations ---------------------------------------
+  tr.set_phase(trace::ExecPhase::Compute);
+  std::vector<double> x(static_cast<std::size_t>(nloc), 0.0);
+  std::vector<double> r_vec(b);
+  std::vector<double> p(b);
+  RegisteredBuffer<double> p_local(mpi.registry(),
+                                   static_cast<std::size_t>(nloc));
+  RegisteredBuffer<double> p_full(mpi.registry(),
+                                  static_cast<std::size_t>(N));
+
+  const auto matvec = [&](std::vector<double>& out) {
+    // q = A p using the gathered full vector.
+    trace::FunctionScope scope(tr, "matvec");
+    for (int i = 0; i < nloc; ++i) {
+      p_local[static_cast<std::size_t>(i)] =
+          p[static_cast<std::size_t>(i)];
+    }
+    mpi.allgather(p_local.data(), nloc, mpi::kDouble, p_full.data(), nloc,
+                  mpi::kDouble);
+    out.assign(static_cast<std::size_t>(nloc), 0.0);
+    for (int i = 0; i < nloc; ++i) {
+      for (const auto& entry : rows[static_cast<std::size_t>(i)]) {
+        out[static_cast<std::size_t>(i)] +=
+            entry.value * p_full[static_cast<std::size_t>(entry.column)];
+      }
+    }
+  };
+  const auto dot = [&](const std::vector<double>& a,
+                       const std::vector<double>& c) {
+    trace::FunctionScope scope(tr, "dot_product");
+    double local = 0.0;
+    for (int i = 0; i < nloc; ++i) {
+      local += a[static_cast<std::size_t>(i)] *
+               c[static_cast<std::size_t>(i)];
+    }
+    return mpi.allreduce_value(local, mpi::kSum);
+  };
+
+  std::vector<double> rho_history;
+  double rho = dot(r_vec, r_vec);
+  const double rho0 = rho;
+  std::vector<double> q;
+  for (int iter = 0; iter < iterations; ++iter) {
+    trace::FunctionScope scope(tr, "cg_iteration");
+    mpi.check_deadline();
+    matvec(q);
+    const double p_dot_q = dot(p, q);
+    {
+      // SPD invariants: the workload's error handling.
+      trace::ErrorHandlingScope errhal(tr);
+      app_check_finite(p_dot_q, "CG: pAp");
+      app_check(p_dot_q > 0.0, "CG: matrix lost positive definiteness");
+    }
+    const double alpha = rho / p_dot_q;
+    for (int i = 0; i < nloc; ++i) {
+      x[static_cast<std::size_t>(i)] += alpha * p[static_cast<std::size_t>(i)];
+      r_vec[static_cast<std::size_t>(i)] -=
+          alpha * q[static_cast<std::size_t>(i)];
+    }
+    const double rho_next = dot(r_vec, r_vec);
+    {
+      trace::ErrorHandlingScope errhal(tr);
+      app_check_finite(rho_next, "CG: residual norm");
+      app_check(rho_next >= 0.0, "CG: negative residual norm");
+      app_check(rho_next <= 100.0 * rho0 + 1e-30,
+                "CG: residual exploded");
+    }
+    const double beta = rho_next / rho;
+    for (int i = 0; i < nloc; ++i) {
+      p[static_cast<std::size_t>(i)] =
+          r_vec[static_cast<std::size_t>(i)] +
+          beta * p[static_cast<std::size_t>(i)];
+    }
+    rho = rho_next;
+    rho_history.push_back(rho);
+  }
+
+  // ---- end phase: verification --------------------------------------------
+  tr.set_phase(trace::ExecPhase::End);
+  std::uint64_t digest;
+  {
+    trace::FunctionScope scope(tr, "cg_verify");
+    RegisteredBuffer<double> local(mpi.registry(), 1, rho);
+    RegisteredBuffer<double> final_rho(mpi.registry(), 1, 0.0);
+    mpi.reduce(local.data(), final_rho.data(), 1, mpi::kDouble, mpi::kMax, 0);
+    std::vector<double> observables(x.begin(), x.end());
+    observables.insert(observables.end(), rho_history.begin(),
+                       rho_history.end());
+    if (me == 0) observables.push_back(final_rho[0]);
+    digest = digest_doubles(observables, 8);
+  }
+  return digest;
+}
+
+}  // namespace fastfit::apps

@@ -1,0 +1,26 @@
+#pragma once
+
+// Shared helpers for the mini-app workloads.
+
+#include <cmath>
+#include <string>
+
+#include "apps/workload.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::apps {
+
+/// Application-level sanity check: throws AppError (-> APP_DETECTED) with
+/// the workload's own error message when the condition fails. This is the
+/// analogue of an application's `if (...) MPI_Abort(...)` error handling.
+inline void app_check(bool ok, const std::string& message) {
+  if (!ok) throw AppError(message);
+}
+
+/// Numeric sanity: NaN or Inf in a state variable is something mature
+/// applications detect and abort on.
+inline void app_check_finite(double value, const std::string& what) {
+  app_check(std::isfinite(value), what + " is not finite");
+}
+
+}  // namespace fastfit::apps

@@ -1,0 +1,39 @@
+#include "apps/fft.hpp"
+
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace fastfit::apps {
+
+void fft1d(std::vector<std::complex<double>>& a, int sign) {
+  const std::size_t n = a.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw InternalError("fft1d: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        static_cast<double>(sign) * 2.0 * std::numbers::pi /
+        static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace fastfit::apps

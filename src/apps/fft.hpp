@@ -1,0 +1,17 @@
+#pragma once
+
+// Minimal power-of-two complex FFT used by mini-FT. Not performance-tuned;
+// correctness and determinism are what the fault-injection substrate
+// needs.
+
+#include <complex>
+#include <vector>
+
+namespace fastfit::apps {
+
+/// In-place iterative radix-2 Cooley-Tukey transform. `sign` = -1 for the
+/// forward transform, +1 for the inverse (unscaled: the caller divides by
+/// N once per full round trip). Size must be a power of two.
+void fft1d(std::vector<std::complex<double>>& a, int sign);
+
+}  // namespace fastfit::apps

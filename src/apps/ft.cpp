@@ -1,0 +1,278 @@
+#include "apps/ft.hpp"
+
+#include <complex>
+#include <numbers>
+
+#include "apps/common.hpp"
+#include "apps/fft.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::apps {
+namespace {
+
+using mpi::RegisteredBuffer;
+using Complexd = std::complex<double>;
+
+/// Signed frequency index for an unsigned grid index.
+double freq(int i, int n) { return i <= n / 2 ? i : i - n; }
+
+}  // namespace
+
+std::uint64_t MiniFT::run_rank(AppContext& ctx) const {
+  auto& mpi = ctx.mpi;
+  auto& tr = ctx.trace;
+  const int n = mpi.size();
+  const int me = mpi.rank();
+
+  const int nx = config_.nx;
+  const int ny = config_.ny;
+  const int nz = config_.nz;
+  if (nz % n != 0 || (nx * ny) % n != 0) {
+    throw ConfigError("MiniFT: rank count must divide nz and nx*ny");
+  }
+  const int zloc = nz / n;          // z-planes per rank (slab layout)
+  const int cols = nx * ny;         // total z-pencils
+  const int cpr = cols / n;         // pencils per rank (pencil layout)
+
+  // ---- init phase: broadcast the problem parameters ---------------------
+  tr.set_phase(trace::ExecPhase::Init);
+  double alpha = 0.0;
+  int iterations = 0;
+  {
+    trace::FunctionScope scope(tr, "ft_setup");
+    RegisteredBuffer<double> params(mpi.registry(), 2);
+    if (me == 0) {
+      params[0] = config_.alpha;
+      params[1] = static_cast<double>(config_.iterations);
+    }
+    mpi.bcast(params.data(), 2, mpi::kDouble, 0);
+    alpha = params[0];
+    iterations = static_cast<int>(params[1]);
+    app_check_finite(alpha, "FT: diffusion coefficient");
+    app_check(iterations > 0 && iterations <= 64,
+              "FT: implausible iteration count");
+  }
+
+  // ---- input phase: initial field + forward 3-D FFT ---------------------
+  tr.set_phase(trace::ExecPhase::Input);
+  // Slab field: [z_local][y][x] interleaved complex.
+  const auto slab_len = static_cast<std::size_t>(2 * zloc * ny * nx);
+  RegisteredBuffer<double> slab(mpi.registry(), slab_len, 0.0);
+  {
+    trace::FunctionScope scope(tr, "compute_initial_conditions");
+    RngStream rng(ctx.input_seed, "ft-field", static_cast<std::uint64_t>(me));
+    for (std::size_t i = 0; i < slab_len; ++i) slab[i] = rng.uniform();
+  }
+
+  const auto slab_at = [&](int z, int y, int x) {
+    return static_cast<std::size_t>(2 * ((z * ny + y) * nx + x));
+  };
+
+  // Local x- and y-direction FFTs over the slab.
+  const auto fft_xy = [&](RegisteredBuffer<double>& field, int sign) {
+    std::vector<Complexd> line;
+    for (int z = 0; z < zloc; ++z) {
+      for (int y = 0; y < ny; ++y) {
+        line.resize(static_cast<std::size_t>(nx));
+        for (int x = 0; x < nx; ++x) {
+          const auto i = slab_at(z, y, x);
+          line[static_cast<std::size_t>(x)] = {field[i], field[i + 1]};
+        }
+        fft1d(line, sign);
+        for (int x = 0; x < nx; ++x) {
+          const auto i = slab_at(z, y, x);
+          field[i] = line[static_cast<std::size_t>(x)].real();
+          field[i + 1] = line[static_cast<std::size_t>(x)].imag();
+        }
+      }
+      for (int x = 0; x < nx; ++x) {
+        line.resize(static_cast<std::size_t>(ny));
+        for (int y = 0; y < ny; ++y) {
+          const auto i = slab_at(z, y, x);
+          line[static_cast<std::size_t>(y)] = {field[i], field[i + 1]};
+        }
+        fft1d(line, sign);
+        for (int y = 0; y < ny; ++y) {
+          const auto i = slab_at(z, y, x);
+          field[i] = line[static_cast<std::size_t>(y)].real();
+          field[i + 1] = line[static_cast<std::size_t>(y)].imag();
+        }
+      }
+    }
+  };
+
+  // Transpose slab <-> pencil with MPI_Alltoall. Send block for rank r =
+  // my zloc planes of r's column chunk; the pencil layout is
+  // [local column][global z] interleaved complex.
+  const auto block_doubles = 2 * zloc * cpr;
+  const auto transpose_to_pencil = [&](RegisteredBuffer<double>& from_slab,
+                                       RegisteredBuffer<double>& to_pencil) {
+    RegisteredBuffer<double> sendbuf(
+        mpi.registry(), static_cast<std::size_t>(block_doubles * n));
+    for (int r = 0; r < n; ++r) {
+      std::size_t o = static_cast<std::size_t>(r * block_doubles);
+      for (int z = 0; z < zloc; ++z) {
+        for (int c = 0; c < cpr; ++c) {
+          const int col = r * cpr + c;
+          const auto i = slab_at(z, col / nx, col % nx);
+          sendbuf[o++] = from_slab[i];
+          sendbuf[o++] = from_slab[i + 1];
+        }
+      }
+    }
+    RegisteredBuffer<double> recvbuf(
+        mpi.registry(), static_cast<std::size_t>(block_doubles * n));
+    mpi.alltoall(sendbuf.data(), block_doubles, mpi::kDouble, recvbuf.data(),
+                 block_doubles, mpi::kDouble);
+    for (int s = 0; s < n; ++s) {
+      std::size_t o = static_cast<std::size_t>(s * block_doubles);
+      for (int dz = 0; dz < zloc; ++dz) {
+        const int z = s * zloc + dz;
+        for (int c = 0; c < cpr; ++c) {
+          const auto i = static_cast<std::size_t>(2 * (c * nz + z));
+          to_pencil[i] = recvbuf[o++];
+          to_pencil[i + 1] = recvbuf[o++];
+        }
+      }
+    }
+  };
+  const auto transpose_to_slab = [&](RegisteredBuffer<double>& from_pencil,
+                                     RegisteredBuffer<double>& to_slab) {
+    RegisteredBuffer<double> sendbuf(
+        mpi.registry(), static_cast<std::size_t>(block_doubles * n));
+    for (int r = 0; r < n; ++r) {
+      std::size_t o = static_cast<std::size_t>(r * block_doubles);
+      for (int dz = 0; dz < zloc; ++dz) {
+        const int z = r * zloc + dz;
+        for (int c = 0; c < cpr; ++c) {
+          const auto i = static_cast<std::size_t>(2 * (c * nz + z));
+          sendbuf[o++] = from_pencil[i];
+          sendbuf[o++] = from_pencil[i + 1];
+        }
+      }
+    }
+    RegisteredBuffer<double> recvbuf(
+        mpi.registry(), static_cast<std::size_t>(block_doubles * n));
+    mpi.alltoall(sendbuf.data(), block_doubles, mpi::kDouble, recvbuf.data(),
+                 block_doubles, mpi::kDouble);
+    for (int s = 0; s < n; ++s) {
+      std::size_t o = static_cast<std::size_t>(s * block_doubles);
+      for (int z = 0; z < zloc; ++z) {
+        for (int c = 0; c < cpr; ++c) {
+          const int col = s * cpr + c;
+          const auto i = slab_at(z, col / nx, col % nx);
+          to_slab[i] = recvbuf[o++];
+          to_slab[i + 1] = recvbuf[o++];
+        }
+      }
+    }
+  };
+
+  // Forward transform of the initial field into pencil spectral space.
+  const auto pencil_len = static_cast<std::size_t>(2 * cpr * nz);
+  RegisteredBuffer<double> u0hat(mpi.registry(), pencil_len, 0.0);
+  {
+    trace::FunctionScope scope(tr, "forward_fft");
+    fft_xy(slab, -1);
+    transpose_to_pencil(slab, u0hat);
+    std::vector<Complexd> line(static_cast<std::size_t>(nz));
+    for (int c = 0; c < cpr; ++c) {
+      for (int z = 0; z < nz; ++z) {
+        const auto i = static_cast<std::size_t>(2 * (c * nz + z));
+        line[static_cast<std::size_t>(z)] = {u0hat[i], u0hat[i + 1]};
+      }
+      fft1d(line, -1);
+      for (int z = 0; z < nz; ++z) {
+        const auto i = static_cast<std::size_t>(2 * (c * nz + z));
+        u0hat[i] = line[static_cast<std::size_t>(z)].real();
+        u0hat[i + 1] = line[static_cast<std::size_t>(z)].imag();
+      }
+    }
+  }
+
+  // ---- compute phase: evolve + inverse transform + checksum -------------
+  tr.set_phase(trace::ExecPhase::Compute);
+  RegisteredBuffer<double> work_pencil(mpi.registry(), pencil_len, 0.0);
+  RegisteredBuffer<double> out_slab(mpi.registry(), slab_len, 0.0);
+  std::vector<double> checksums;
+  const double norm = 1.0 / static_cast<double>(nx * ny * nz);
+  for (int iter = 1; iter <= iterations; ++iter) {
+    trace::FunctionScope scope(tr, "evolve_step");
+    mpi.check_deadline();
+    {
+      trace::FunctionScope evolve(tr, "evolve");
+      const double t = static_cast<double>(iter);
+      for (int c = 0; c < cpr; ++c) {
+        const int col = me * cpr + c;
+        const double ky = freq(col / nx, ny);
+        const double kx = freq(col % nx, nx);
+        for (int z = 0; z < nz; ++z) {
+          const double kz = freq(z, nz);
+          const double k2 = kx * kx + ky * ky + kz * kz;
+          const double factor = std::exp(
+              -4.0 * std::numbers::pi * std::numbers::pi * alpha * t * k2);
+          const auto i = static_cast<std::size_t>(2 * (c * nz + z));
+          work_pencil[i] = u0hat[i] * factor;
+          work_pencil[i + 1] = u0hat[i + 1] * factor;
+        }
+      }
+    }
+    {
+      trace::FunctionScope inverse(tr, "inverse_fft");
+      std::vector<Complexd> line(static_cast<std::size_t>(nz));
+      for (int c = 0; c < cpr; ++c) {
+        for (int z = 0; z < nz; ++z) {
+          const auto i = static_cast<std::size_t>(2 * (c * nz + z));
+          line[static_cast<std::size_t>(z)] = {work_pencil[i],
+                                               work_pencil[i + 1]};
+        }
+        fft1d(line, +1);
+        for (int z = 0; z < nz; ++z) {
+          const auto i = static_cast<std::size_t>(2 * (c * nz + z));
+          work_pencil[i] = line[static_cast<std::size_t>(z)].real();
+          work_pencil[i + 1] = line[static_cast<std::size_t>(z)].imag();
+        }
+      }
+      transpose_to_slab(work_pencil, out_slab);
+      fft_xy(out_slab, +1);
+      for (std::size_t i = 0; i < slab_len; ++i) out_slab[i] *= norm;
+    }
+    {
+      // NPB FT checksums strided samples of u(t) and reduces the complex
+      // sum to rank 0 (the paper's Fig 2 collective).
+      trace::FunctionScope checksum(tr, "checksum");
+      RegisteredBuffer<double> local(mpi.registry(), 2, 0.0);
+      for (int j = 1; j <= 128; ++j) {
+        const int x = j % nx;
+        const int y = (3 * j) % ny;
+        const int z = (5 * j) % nz;
+        if (z / zloc == me) {
+          const auto i = slab_at(z % zloc, y, x);
+          local[0] += out_slab[i];
+          local[1] += out_slab[i + 1];
+        }
+      }
+      RegisteredBuffer<double> global(mpi.registry(), 2, 0.0);
+      mpi.reduce(local.data(), global.data(), 2, mpi::kDouble, mpi::kSum, 0);
+      if (me == 0) {
+        app_check_finite(global[0], "FT: checksum (real part)");
+        app_check_finite(global[1], "FT: checksum (imaginary part)");
+        checksums.push_back(global[0]);
+        checksums.push_back(global[1]);
+      }
+    }
+  }
+
+  // ---- end phase: digest -------------------------------------------------
+  tr.set_phase(trace::ExecPhase::End);
+  std::uint64_t digest;
+  {
+    trace::FunctionScope scope(tr, "ft_report");
+    std::vector<double> observables(out_slab.begin(), out_slab.end());
+    observables.insert(observables.end(), checksums.begin(), checksums.end());
+    digest = digest_doubles(observables, 6);
+  }
+  return digest;
+}
+
+}  // namespace fastfit::apps

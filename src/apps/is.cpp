@@ -1,0 +1,286 @@
+#include "apps/is.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/common.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::apps {
+namespace {
+
+using mpi::RegisteredBuffer;
+
+struct IsState {
+  std::int32_t max_key = 0;
+  std::int32_t iterations = 0;
+};
+
+}  // namespace
+
+std::uint64_t MiniIS::run_rank(AppContext& ctx) const {
+  auto& mpi = ctx.mpi;
+  auto& tr = ctx.trace;
+  const int n = mpi.size();
+  const int me = mpi.rank();
+
+  // ---- init phase: rank 0 owns the problem parameters and broadcasts ----
+  tr.set_phase(trace::ExecPhase::Init);
+  IsState state;
+  {
+    trace::FunctionScope scope(tr, "is_setup");
+    RegisteredBuffer<std::int32_t> params(mpi.registry(), 2);
+    if (me == 0) {
+      params[0] = config_.max_key;
+      params[1] = config_.iterations;
+    }
+    mpi.bcast(params.data(), 2, mpi::kInt32, 0);
+    state.max_key = params[0];
+    state.iterations = params[1];
+    app_check(state.max_key > 0, "IS: non-positive max key");
+    app_check(state.iterations > 0 && state.iterations <= 64,
+              "IS: implausible iteration count");
+  }
+
+  // ---- input phase: generate this rank's keys --------------------------
+  tr.set_phase(trace::ExecPhase::Input);
+  std::vector<std::int32_t> keys;
+  {
+    trace::FunctionScope scope(tr, "create_seq");
+    RngStream rng(ctx.input_seed, "is-keys",
+                  static_cast<std::uint64_t>(me));
+    keys.resize(static_cast<std::size_t>(config_.keys_per_rank));
+    for (auto& k : keys) {
+      k = static_cast<std::int32_t>(
+          rng.uniform_u64(0, static_cast<std::uint64_t>(state.max_key) - 1));
+    }
+  }
+
+  // Bucket b owns keys in [b*width, (b+1)*width).
+  const std::int32_t width = (state.max_key + n - 1) / n;
+  std::vector<std::int32_t> sorted_keys;
+
+  // ---- compute phase: rank the keys, NPB-style -------------------------
+  tr.set_phase(trace::ExecPhase::Compute);
+  for (int iter = 0; iter < state.iterations; ++iter) {
+    trace::FunctionScope scope(tr, "rank_keys");
+    mpi.check_deadline();
+
+    // Local bucket histogram.
+    RegisteredBuffer<std::int32_t> bucket_size(mpi.registry(),
+                                               static_cast<std::size_t>(n), 0);
+    {
+      trace::FunctionScope hist(tr, "bucket_histogram");
+      for (std::int32_t k : keys) {
+        const int b = std::min<std::int32_t>(k / width, n - 1);
+        ++bucket_size[static_cast<std::size_t>(b)];
+      }
+    }
+
+    // Global bucket sizes (NPB IS: MPI_Allreduce on bucket_size).
+    RegisteredBuffer<std::int32_t> global_bucket(mpi.registry(),
+                                                 static_cast<std::size_t>(n));
+    {
+      trace::FunctionScope combine(tr, "combine_buckets");
+      mpi.allreduce(bucket_size.data(), global_bucket.data(), n, mpi::kInt32,
+                    mpi::kSum);
+      std::int64_t total = 0;
+      for (int b = 0; b < n; ++b) {
+        total += global_bucket[static_cast<std::size_t>(b)];
+      }
+      app_check(total == static_cast<std::int64_t>(config_.keys_per_rank) * n,
+                "IS: global bucket population mismatch");
+    }
+
+    // How many keys I send to each bucket owner (MPI_Alltoall).
+    RegisteredBuffer<std::int32_t> send_count(mpi.registry(),
+                                              static_cast<std::size_t>(n));
+    RegisteredBuffer<std::int32_t> recv_count(mpi.registry(),
+                                              static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) {
+      send_count[static_cast<std::size_t>(b)] =
+          bucket_size[static_cast<std::size_t>(b)];
+    }
+    {
+      trace::FunctionScope exchange(tr, "exchange_counts");
+      mpi.alltoall(send_count.data(), 1, mpi::kInt32, recv_count.data(), 1,
+                   mpi::kInt32);
+    }
+
+    // Redistribute the keys (MPI_Alltoallv).
+    std::vector<std::int32_t> scounts(static_cast<std::size_t>(n));
+    std::vector<std::int32_t> sdispls(static_cast<std::size_t>(n));
+    std::vector<std::int32_t> rcounts(static_cast<std::size_t>(n));
+    std::vector<std::int32_t> rdispls(static_cast<std::size_t>(n));
+    std::int32_t soff = 0;
+    std::int32_t roff = 0;
+    for (int r = 0; r < n; ++r) {
+      scounts[static_cast<std::size_t>(r)] =
+          send_count[static_cast<std::size_t>(r)];
+      sdispls[static_cast<std::size_t>(r)] = soff;
+      soff += scounts[static_cast<std::size_t>(r)];
+      rcounts[static_cast<std::size_t>(r)] =
+          recv_count[static_cast<std::size_t>(r)];
+      rdispls[static_cast<std::size_t>(r)] = roff;
+      roff += rcounts[static_cast<std::size_t>(r)];
+    }
+    // Outgoing accounting must match the keys this rank actually holds;
+    // corruption of the count exchange would otherwise misdrive the
+    // packing below.
+    {
+      trace::ErrorHandlingScope errhal(tr);
+      for (int r = 0; r < n; ++r) {
+        app_check(scounts[static_cast<std::size_t>(r)] >= 0,
+                  "IS: negative send bucket count");
+      }
+      app_check(soff == config_.keys_per_rank,
+                "IS: send bucket accounting corrupted");
+      app_check(roff >= 0 && roff <= config_.keys_per_rank * n,
+                "IS: implausible incoming key volume");
+    }
+
+    RegisteredBuffer<std::int32_t> send_keys(
+        mpi.registry(), std::max<std::size_t>(1, static_cast<std::size_t>(soff)));
+    {
+      // Pack keys by destination bucket.
+      std::vector<std::int32_t> cursor(sdispls.begin(), sdispls.end());
+      for (std::int32_t k : keys) {
+        const int b = std::min<std::int32_t>(k / width, n - 1);
+        send_keys[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(b)]++)] = k;
+      }
+    }
+    RegisteredBuffer<std::int32_t> recv_keys(
+        mpi.registry(), std::max<std::size_t>(1, static_cast<std::size_t>(roff)),
+        -1);
+    {
+      trace::FunctionScope move(tr, "exchange_keys");
+      mpi.alltoallv(send_keys.data(), scounts, sdispls, mpi::kInt32,
+                    recv_keys.data(), rcounts, rdispls, mpi::kInt32);
+    }
+
+    // Partial verification (NPB IS verifies inside the loop): every
+    // received key must belong to my bucket's range.
+    {
+      trace::FunctionScope verify(tr, "partial_verify");
+      const std::int32_t lo = me * width;
+      const std::int32_t hi = std::min(state.max_key,
+                                       (me + 1) * width);
+      for (std::int32_t i = 0; i < roff; ++i) {
+        const std::int32_t k = recv_keys[static_cast<std::size_t>(i)];
+        app_check(k >= lo && k < hi,
+                  "IS: partial verification failed (key outside bucket)");
+      }
+    }
+
+    sorted_keys.assign(recv_keys.begin(),
+                       recv_keys.begin() + static_cast<std::ptrdiff_t>(roff));
+    std::sort(sorted_keys.begin(), sorted_keys.end());
+  }
+
+  // ---- end phase: full verification + result digest --------------------
+  tr.set_phase(trace::ExecPhase::End);
+  std::uint64_t digest = 0;
+  {
+    trace::FunctionScope scope(tr, "full_verify");
+    // Boundary exchange: (min, max) of every rank's bucket, then check the
+    // global ordering (MPI_Allgather).
+    RegisteredBuffer<std::int32_t> bounds(mpi.registry(), 2);
+    bounds[0] = sorted_keys.empty() ? me * width : sorted_keys.front();
+    bounds[1] = sorted_keys.empty() ? me * width : sorted_keys.back();
+    RegisteredBuffer<std::int32_t> all_bounds(mpi.registry(),
+                                              static_cast<std::size_t>(2 * n));
+    mpi.allgather(bounds.data(), 2, mpi::kInt32, all_bounds.data(), 2,
+                  mpi::kInt32);
+    for (int r = 0; r + 1 < n; ++r) {
+      app_check(all_bounds[static_cast<std::size_t>(2 * r + 1)] <=
+                    all_bounds[static_cast<std::size_t>(2 * (r + 1))],
+                "IS: full verification failed (buckets out of order)");
+    }
+
+    // Each rank's global ranking offset is the prefix sum of bucket
+    // populations (MPI_Scan) — the quantity IS actually ranks with.
+    RegisteredBuffer<std::int64_t> my_count(
+        mpi.registry(), 1, static_cast<std::int64_t>(sorted_keys.size()));
+    RegisteredBuffer<std::int64_t> prefix(mpi.registry(), 1, 0);
+    mpi.scan(my_count.data(), prefix.data(), 1, mpi::kInt64, mpi::kSum);
+    {
+      trace::ErrorHandlingScope errhal(tr);
+      app_check(prefix[0] >= my_count[0] &&
+                    prefix[0] <= static_cast<std::int64_t>(
+                                     config_.keys_per_rank) *
+                                     n,
+                "IS: ranking prefix out of range");
+    }
+
+    // Gather the ragged sorted buckets to rank 0 (MPI_Gatherv), as IS
+    // collects its output.
+    RegisteredBuffer<std::int64_t> counts64(mpi.registry(),
+                                            static_cast<std::size_t>(n));
+    RegisteredBuffer<std::int64_t> my_count_bcast(mpi.registry(), 1,
+                                                  my_count[0]);
+    mpi.allgather(my_count_bcast.data(), 1, mpi::kInt64, counts64.data(), 1,
+                  mpi::kInt64);
+    std::vector<std::int32_t> gather_counts(static_cast<std::size_t>(n));
+    std::vector<std::int32_t> gather_displs(static_cast<std::size_t>(n));
+    std::int32_t total_keys = 0;
+    bool counts_plausible = true;
+    for (int r = 0; r < n; ++r) {
+      const std::int64_t c = counts64[static_cast<std::size_t>(r)];
+      counts_plausible =
+          counts_plausible && c >= 0 &&
+          c <= static_cast<std::int64_t>(config_.keys_per_rank) * n;
+      gather_counts[static_cast<std::size_t>(r)] =
+          static_cast<std::int32_t>(std::max<std::int64_t>(0, c));
+      gather_displs[static_cast<std::size_t>(r)] = total_keys;
+      total_keys += gather_counts[static_cast<std::size_t>(r)];
+    }
+    {
+      trace::ErrorHandlingScope errhal(tr);
+      app_check(counts_plausible &&
+                    total_keys == config_.keys_per_rank * n,
+                "IS: output gathering counts corrupted");
+    }
+    RegisteredBuffer<std::int32_t> all_keys(
+        mpi.registry(),
+        std::max<std::size_t>(1, static_cast<std::size_t>(total_keys)));
+    RegisteredBuffer<std::int32_t> send_sorted(
+        mpi.registry(), std::max<std::size_t>(1, sorted_keys.size()));
+    std::copy(sorted_keys.begin(), sorted_keys.end(), send_sorted.begin());
+    mpi.gatherv(send_sorted.data(),
+                static_cast<std::int32_t>(sorted_keys.size()), mpi::kInt32,
+                all_keys.data(), gather_counts, gather_displs, mpi::kInt32,
+                0);
+    if (me == 0) {
+      trace::ErrorHandlingScope errhal(tr);
+      for (std::int32_t i = 0; i + 1 < total_keys; ++i) {
+        app_check(all_keys[static_cast<std::size_t>(i)] <=
+                      all_keys[static_cast<std::size_t>(i + 1)],
+                  "IS: gathered output is not globally sorted");
+      }
+    }
+
+    // Global key sum must equal the generated total (MPI_Reduce to 0).
+    RegisteredBuffer<std::int64_t> local_sum(mpi.registry(), 1, 0);
+    for (std::int32_t k : sorted_keys) local_sum[0] += k;
+    RegisteredBuffer<std::int64_t> global_sum(mpi.registry(), 1, 0);
+    mpi.reduce(local_sum.data(), global_sum.data(), 1, mpi::kInt64, mpi::kSum,
+               0);
+
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::int32_t k : sorted_keys) {
+      h ^= static_cast<std::uint32_t>(k);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= static_cast<std::uint64_t>(sorted_keys.size());
+    h *= 0x100000001b3ULL;
+    if (me == 0) {
+      h ^= static_cast<std::uint64_t>(global_sum[0]);
+      h *= 0x100000001b3ULL;
+    }
+    digest = h;
+  }
+  return digest;
+}
+
+}  // namespace fastfit::apps

@@ -1,0 +1,179 @@
+#include "apps/lu.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "apps/common.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::apps {
+namespace {
+
+using mpi::RegisteredBuffer;
+
+constexpr std::int32_t kForwardTag = 31;
+constexpr std::int32_t kBackwardTag = 32;
+
+}  // namespace
+
+std::uint64_t MiniLU::run_rank(AppContext& ctx) const {
+  auto& mpi = ctx.mpi;
+  auto& tr = ctx.trace;
+  const int n = mpi.size();
+  const int me = mpi.rank();
+
+  if (config_.npoints % n != 0) {
+    throw ConfigError("MiniLU: rank count must divide the grid size");
+  }
+  const int nloc = config_.npoints / n;
+
+  // ---- init phase ---------------------------------------------------------
+  tr.set_phase(trace::ExecPhase::Init);
+  double omega = 0.0;
+  double sigma = 0.0;
+  int iterations = 0;
+  {
+    trace::FunctionScope scope(tr, "read_input");
+    RegisteredBuffer<double> params(mpi.registry(), 3);
+    if (me == 0) {
+      params[0] = config_.omega;
+      params[1] = config_.sigma;
+      params[2] = static_cast<double>(config_.iterations);
+    }
+    mpi.bcast(params.data(), 3, mpi::kDouble, 0);
+    omega = params[0];
+    sigma = params[1];
+    iterations = static_cast<int>(params[2]);
+    app_check(omega > 0.0 && omega < 2.0, "LU: relaxation factor outside (0,2)");
+    app_check_finite(sigma, "LU: reaction coefficient");
+    app_check(iterations > 0 && iterations <= 64,
+              "LU: implausible iteration count");
+  }
+
+  // ---- input phase: matrix coefficients and right-hand side ---------------
+  tr.set_phase(trace::ExecPhase::Input);
+  // System: (-u_{i-1} + (2 + sigma h^2) u_i - u_{i+1}) / h^2 = f_i.
+  const double h = 1.0 / static_cast<double>(config_.npoints + 1);
+  const double diag = 2.0 + sigma * h * h;
+  std::vector<double> u(static_cast<std::size_t>(nloc) + 2, 0.0);
+  std::vector<double> f(static_cast<std::size_t>(nloc) + 2, 0.0);
+  {
+    trace::FunctionScope scope(tr, "setbv");
+    // Seed-dependent forcing; the stream has no rank index, so every rank
+    // agrees on the problem.
+    RngStream rng(ctx.input_seed, "lu-rhs");
+    const double amp = 25.0 + 50.0 * rng.uniform();
+    const double phase = 2.0 * std::numbers::pi * rng.uniform();
+    for (int i = 1; i <= nloc; ++i) {
+      const double x = static_cast<double>(me * nloc + i) * h;
+      f[static_cast<std::size_t>(i)] =
+          std::exp(-x) * std::sin(3.0 * std::numbers::pi * x + phase) * amp;
+    }
+  }
+
+  mpi::ScopedRegistration keep_u(mpi.registry(), u.data(),
+                                 u.size() * sizeof(double));
+
+  // ---- compute phase: pipelined SSOR iterations ----------------------------
+  tr.set_phase(trace::ExecPhase::Compute);
+  const double h2 = h * h;
+  double previous_rms = 0.0;
+  std::vector<double> rms_history;
+  for (int iter = 1; iter <= iterations; ++iter) {
+    trace::FunctionScope scope(tr, "ssor");
+    mpi.check_deadline();
+
+    // Forward sweep: the lower-triangular solve pipelines left-to-right;
+    // each rank waits for its left neighbour's updated edge cell.
+    {
+      trace::FunctionScope sweep(tr, "blts");
+      if (me > 0) {
+        mpi.recv(&u[0], 1, mpi::kDouble, me - 1, kForwardTag);
+      } else {
+        u[0] = 0.0;
+      }
+      for (int i = 1; i <= nloc; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const double gs =
+            (h2 * f[idx] + u[idx - 1] + u[idx + 1]) / diag;
+        u[idx] += omega * (gs - u[idx]);
+      }
+      if (me + 1 < n) {
+        mpi.send(&u[static_cast<std::size_t>(nloc)], 1, mpi::kDouble, me + 1,
+                 kForwardTag);
+      }
+    }
+
+    // Backward sweep: right-to-left.
+    {
+      trace::FunctionScope sweep(tr, "buts");
+      if (me + 1 < n) {
+        mpi.recv(&u[static_cast<std::size_t>(nloc) + 1], 1, mpi::kDouble,
+                 me + 1, kBackwardTag);
+      } else {
+        u[static_cast<std::size_t>(nloc) + 1] = 0.0;
+      }
+      for (int i = nloc; i >= 1; --i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const double gs =
+            (h2 * f[idx] + u[idx - 1] + u[idx + 1]) / diag;
+        u[idx] += omega * (gs - u[idx]);
+      }
+      if (me > 0) {
+        mpi.send(&u[1], 1, mpi::kDouble, me - 1, kBackwardTag);
+      }
+    }
+
+    // RMS residual over the global grid (the paper's Fig 1 MPI_Allreduce).
+    {
+      trace::FunctionScope norm(tr, "l2norm");
+      double local = 0.0;
+      for (int i = 1; i <= nloc; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const double r = f[idx] - (diag * u[idx] - u[idx - 1] - u[idx + 1]) / h2;
+        local += r * r;
+      }
+      const double total = mpi.allreduce_value(local, mpi::kSum);
+      const double rms =
+          std::sqrt(total / static_cast<double>(config_.npoints));
+      {
+        trace::ErrorHandlingScope errhal(tr);
+        app_check_finite(rms, "LU: RMS residual");
+        if (iter > 1) {
+          app_check(rms <= previous_rms * 2.0 + 1e-12,
+                    "LU: SSOR diverged between iterations");
+        }
+      }
+      previous_rms = rms;
+      rms_history.push_back(rms);
+    }
+  }
+
+  // ---- end phase: verification norms ---------------------------------------
+  tr.set_phase(trace::ExecPhase::End);
+  std::uint64_t digest;
+  {
+    trace::FunctionScope scope(tr, "verify");
+    // NPB LU verifies via norms of the solution; combine min/max/sum of u
+    // with MPI_Allreduce.
+    double local_sum = 0.0;
+    double local_max = 0.0;
+    for (int i = 1; i <= nloc; ++i) {
+      local_sum += u[static_cast<std::size_t>(i)];
+      local_max = std::max(local_max,
+                           std::abs(u[static_cast<std::size_t>(i)]));
+    }
+    const double global_sum = mpi.allreduce_value(local_sum, mpi::kSum);
+    const double global_max = mpi.allreduce_value(local_max, mpi::kMax);
+    app_check_finite(global_sum, "LU: verification sum");
+    std::vector<double> observables(u.begin(), u.end());
+    observables.push_back(global_sum);
+    observables.push_back(global_max);
+    observables.insert(observables.end(), rms_history.begin(),
+                       rms_history.end());
+    digest = digest_doubles(observables, 8);
+  }
+  return digest;
+}
+
+}  // namespace fastfit::apps

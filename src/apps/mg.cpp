@@ -1,0 +1,248 @@
+#include "apps/mg.hpp"
+
+#include <cmath>
+#include <functional>
+#include <numbers>
+
+#include "apps/common.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::apps {
+namespace {
+
+using mpi::RegisteredBuffer;
+
+/// Distributed cell-centered 1-D grid level: `nloc` cells per rank plus
+/// one halo cell at each end. Cell-centered coarsening nests exactly for
+/// power-of-two sizes, and the piecewise-constant transfer operators keep
+/// the hierarchy simple and convergent.
+struct Level {
+  int nloc = 0;
+  double h = 0.0;                 // cell width
+  std::vector<double> u;          // nloc + 2 (halo cells at 0 and nloc+1)
+  std::vector<double> f;          // nloc + 2
+};
+
+constexpr std::int32_t kHaloTag = 17;
+
+/// Exchanges halo cells with the left/right neighbour ranks. Dirichlet
+/// zero at the domain faces is imposed by reflection (ghost = -edge cell).
+void exchange_halo(mpi::Mpi& mpi, Level& level) {
+  const int n = mpi.size();
+  const int me = mpi.rank();
+  auto& u = level.u;
+  const auto nloc = static_cast<std::size_t>(level.nloc);
+
+  mpi::ScopedRegistration keep(mpi.registry(), u.data(),
+                               u.size() * sizeof(double));
+  // Sends are buffered, so eager sends followed by receives cannot
+  // deadlock in fault-free runs.
+  if (me + 1 < n) {
+    mpi.send(&u[nloc], 1, mpi::kDouble, me + 1, kHaloTag);
+  }
+  if (me > 0) {
+    mpi.send(&u[1], 1, mpi::kDouble, me - 1, kHaloTag);
+    mpi.recv(&u[0], 1, mpi::kDouble, me - 1, kHaloTag);
+  } else {
+    u[0] = -u[1];
+  }
+  if (me + 1 < n) {
+    mpi.recv(&u[nloc + 1], 1, mpi::kDouble, me + 1, kHaloTag);
+  } else {
+    u[nloc + 1] = -u[nloc];
+  }
+}
+
+/// Weighted-Jacobi smoothing sweeps for -u'' = f.
+void smooth(mpi::Mpi& mpi, Level& level, int sweeps) {
+  const double h2 = level.h * level.h;
+  const double omega = 2.0 / 3.0;
+  std::vector<double> next(level.u.size());
+  for (int s = 0; s < sweeps; ++s) {
+    exchange_halo(mpi, level);
+    for (int i = 1; i <= level.nloc; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const double jacobi =
+          0.5 * (level.u[idx - 1] + level.u[idx + 1] + h2 * level.f[idx]);
+      next[idx] = (1.0 - omega) * level.u[idx] + omega * jacobi;
+    }
+    for (int i = 1; i <= level.nloc; ++i) {
+      level.u[static_cast<std::size_t>(i)] = next[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+/// Local residual r = f + u'' into `r` (interior cells only).
+void residual(mpi::Mpi& mpi, Level& level, std::vector<double>& r) {
+  exchange_halo(mpi, level);
+  const double inv_h2 = 1.0 / (level.h * level.h);
+  r.assign(level.u.size(), 0.0);
+  for (int i = 1; i <= level.nloc; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    r[idx] = level.f[idx] +
+             (level.u[idx - 1] - 2.0 * level.u[idx] + level.u[idx + 1]) *
+                 inv_h2;
+  }
+}
+
+/// Squared global residual norm (MPI_Allreduce, as NPB MG's norm2u3).
+double residual_norm2(mpi::Mpi& mpi, trace::RankContext& tr, Level& level) {
+  trace::FunctionScope scope(tr, "norm2u3");
+  std::vector<double> r;
+  residual(mpi, level, r);
+  double local = 0.0;
+  for (int i = 1; i <= level.nloc; ++i) {
+    local += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+  }
+  return mpi.allreduce_value(local, mpi::kSum);
+}
+
+}  // namespace
+
+std::uint64_t MiniMG::run_rank(AppContext& ctx) const {
+  auto& mpi = ctx.mpi;
+  auto& tr = ctx.trace;
+  const int n = mpi.size();
+  const int me = mpi.rank();
+
+  if (config_.npoints % n != 0) {
+    throw ConfigError("MiniMG: rank count must divide the grid size");
+  }
+
+  // ---- init phase --------------------------------------------------------
+  tr.set_phase(trace::ExecPhase::Init);
+  int npoints = 0;
+  int vcycles = 0;
+  {
+    trace::FunctionScope scope(tr, "mg_setup");
+    RegisteredBuffer<std::int32_t> params(mpi.registry(), 2);
+    if (me == 0) {
+      params[0] = config_.npoints;
+      params[1] = config_.vcycles;
+    }
+    mpi.bcast(params.data(), 2, mpi::kInt32, 0);
+    npoints = params[0];
+    vcycles = params[1];
+    // Upper bound guards against absurd inputs that would exhaust memory
+    // (a corrupted broadcast of the grid size would otherwise OOM the job).
+    app_check(npoints > 0 && npoints <= (1 << 22) && npoints % n == 0,
+              "MG: invalid grid size");
+    app_check(vcycles > 0 && vcycles <= 64, "MG: implausible cycle count");
+  }
+
+  // Build the level hierarchy; the coarsest level keeps >= 1 point/rank.
+  std::vector<Level> levels;
+  for (int size = npoints; size % n == 0 && size / n >= 1 && size >= 2;
+       size /= 2) {
+    Level level;
+    level.nloc = size / n;
+    level.h = 1.0 / static_cast<double>(size);
+    level.u.assign(static_cast<std::size_t>(level.nloc) + 2, 0.0);
+    level.f.assign(static_cast<std::size_t>(level.nloc) + 2, 0.0);
+    levels.push_back(std::move(level));
+    if (size / 2 % n != 0 || size / 2 / n < 1) break;
+  }
+  app_check(levels.size() >= 2, "MG: hierarchy too shallow");
+
+  // ---- input phase: right-hand side --------------------------------------
+  tr.set_phase(trace::ExecPhase::Input);
+  {
+    trace::FunctionScope scope(tr, "zran3");
+    // Seed-dependent smooth right-hand side; the stream has no rank index,
+    // so all ranks agree on the problem.
+    RngStream rng(ctx.input_seed, "mg-rhs");
+    const double amp1 = 0.5 + rng.uniform();
+    const double amp2 = 0.25 + 0.5 * rng.uniform();
+    const double phase = 2.0 * std::numbers::pi * rng.uniform();
+    Level& fine = levels.front();
+    for (int i = 1; i <= fine.nloc; ++i) {
+      const double x =
+          (static_cast<double>(me * fine.nloc + i) - 0.5) * fine.h;
+      fine.f[static_cast<std::size_t>(i)] =
+          amp1 * std::sin(2.0 * std::numbers::pi * x + phase) +
+          amp2 * std::sin(6.0 * std::numbers::pi * x);
+    }
+  }
+
+  // ---- compute phase: V-cycles -------------------------------------------
+  tr.set_phase(trace::ExecPhase::Compute);
+  const double initial_norm2 = residual_norm2(mpi, tr, levels.front());
+  app_check_finite(initial_norm2, "MG: initial residual norm");
+
+  // Recursive V-cycle over the hierarchy.
+  const std::function<void(std::size_t)> vcycle = [&](std::size_t depth) {
+    trace::FunctionScope scope(tr, depth + 1 == levels.size() ? "mg_coarse"
+                                                              : "mg_level");
+    Level& level = levels[depth];
+    if (depth + 1 == levels.size()) {
+      smooth(mpi, level, config_.coarse_smooth);
+      return;
+    }
+    smooth(mpi, level, config_.pre_smooth);
+
+    // Restrict the residual to the coarse grid: coarse cell j covers fine
+    // cells 2j-1 and 2j of this rank's slice (cell averaging).
+    std::vector<double> r;
+    residual(mpi, level, r);
+    Level& coarse = levels[depth + 1];
+    for (int j = 1; j <= coarse.nloc; ++j) {
+      coarse.f[static_cast<std::size_t>(j)] =
+          0.5 * (r[static_cast<std::size_t>(2 * j - 1)] +
+                 r[static_cast<std::size_t>(2 * j)]);
+      coarse.u[static_cast<std::size_t>(j)] = 0.0;
+    }
+    vcycle(depth + 1);
+
+    // Prolong the coarse correction (cell-centered linear interpolation,
+    // which keeps the post-correction residual smooth) and add.
+    exchange_halo(mpi, coarse);
+    for (int j = 1; j <= coarse.nloc; ++j) {
+      const auto cj = static_cast<std::size_t>(j);
+      level.u[static_cast<std::size_t>(2 * j - 1)] +=
+          0.75 * coarse.u[cj] + 0.25 * coarse.u[cj - 1];
+      level.u[static_cast<std::size_t>(2 * j)] +=
+          0.75 * coarse.u[cj] + 0.25 * coarse.u[cj + 1];
+    }
+    smooth(mpi, level, config_.post_smooth);
+  };
+
+  double norm2 = initial_norm2;
+  for (int cycle = 0; cycle < vcycles; ++cycle) {
+    trace::FunctionScope scope(tr, "mg3P");
+    mpi.check_deadline();
+    vcycle(0);
+    const double next_norm2 = residual_norm2(mpi, tr, levels.front());
+    {
+      // The convergence check is the kernel's error handling: a diverging
+      // or non-finite residual aborts the run.
+      trace::ErrorHandlingScope errhal(tr);
+      trace::FunctionScope check(tr, "convergence_check");
+      app_check_finite(next_norm2, "MG: residual norm");
+      app_check(next_norm2 <= norm2 * 1.5 + 1e-30,
+                "MG: residual diverged across a V-cycle");
+      const double worst =
+          mpi.allreduce_value(next_norm2, mpi::kMax);
+      app_check_finite(worst, "MG: cross-rank residual norm");
+    }
+    norm2 = next_norm2;
+    mpi.barrier();
+  }
+
+  // ---- end phase -----------------------------------------------------------
+  tr.set_phase(trace::ExecPhase::End);
+  std::uint64_t digest;
+  {
+    trace::FunctionScope scope(tr, "mg_report");
+    RegisteredBuffer<double> local(mpi.registry(), 1, norm2);
+    RegisteredBuffer<double> final_norm(mpi.registry(), 1, 0.0);
+    mpi.reduce(local.data(), final_norm.data(), 1, mpi::kDouble, mpi::kSum, 0);
+    std::vector<double> observables(levels.front().u.begin(),
+                                    levels.front().u.end());
+    observables.push_back(std::sqrt(norm2));
+    if (me == 0) observables.push_back(std::sqrt(final_norm[0]));
+    digest = digest_doubles(observables, 8);
+  }
+  return digest;
+}
+
+}  // namespace fastfit::apps

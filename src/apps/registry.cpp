@@ -1,0 +1,31 @@
+#include "apps/registry.hpp"
+
+#include "apps/cg.hpp"
+#include "apps/ep.hpp"
+#include "apps/ft.hpp"
+#include "apps/is.hpp"
+#include "apps/lu.hpp"
+#include "apps/mg.hpp"
+#include "apps/minimd.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::apps {
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  if (name == "IS") return std::make_unique<MiniIS>();
+  if (name == "FT") return std::make_unique<MiniFT>();
+  if (name == "MG") return std::make_unique<MiniMG>();
+  if (name == "LU") return std::make_unique<MiniLU>();
+  if (name == "CG") return std::make_unique<MiniCG>();
+  if (name == "EP") return std::make_unique<MiniEP>();
+  if (name == "miniMD" || name == "LAMMPS") return std::make_unique<MiniMD>();
+  throw ConfigError("unknown workload: " + name);
+}
+
+std::vector<std::string> workload_names() {
+  // The paper's evaluation set (IS, FT, MG, LU, LAMMPS) plus the CG and
+  // EP kernels as suite extensions.
+  return {"IS", "FT", "MG", "LU", "CG", "EP", "miniMD"};
+}
+
+}  // namespace fastfit::apps

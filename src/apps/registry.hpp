@@ -1,0 +1,20 @@
+#pragma once
+
+// Workload registry: the five evaluation workloads of the paper by name.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace fastfit::apps {
+
+/// Creates a workload by name: "IS", "FT", "MG", "LU", or "miniMD"
+/// (aliases: "LAMMPS" -> miniMD). Throws ConfigError for unknown names.
+std::unique_ptr<Workload> make_workload(const std::string& name);
+
+/// Names of all bundled workloads, NPB kernels first.
+std::vector<std::string> workload_names();
+
+}  // namespace fastfit::apps

@@ -1,0 +1,133 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+
+#include "inject/injector.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::core {
+
+using namespace std::chrono_literals;
+
+double PointResult::error_rate() const {
+  if (trials == 0) return 0.0;
+  const auto successes =
+      counts[static_cast<std::size_t>(inject::Outcome::Success)];
+  return 1.0 - static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+double PointResult::fraction(inject::Outcome outcome) const {
+  if (trials == 0) return 0.0;
+  return static_cast<double>(counts[static_cast<std::size_t>(outcome)]) /
+         static_cast<double>(trials);
+}
+
+inject::Outcome PointResult::dominant() const {
+  std::size_t best = 0;
+  for (std::size_t o = 1; o < inject::kNumOutcomes; ++o) {
+    if (counts[o] > counts[best]) best = o;
+  }
+  return static_cast<inject::Outcome>(best);
+}
+
+Campaign::Campaign(const apps::Workload& workload, CampaignOptions options)
+    : workload_(&workload), options_(options) {
+  if (options_.nranks < 1) throw ConfigError("Campaign: nranks must be >= 1");
+  if (options_.trials_per_point == 0) {
+    throw ConfigError("Campaign: trials_per_point must be positive");
+  }
+}
+
+void Campaign::profile() {
+  if (profiled_) throw InternalError("Campaign::profile: already profiled");
+
+  // Golden (fault-free, un-instrumented) run: digest + wall time.
+  mpi::WorldOptions golden_opts;
+  golden_opts.nranks = options_.nranks;
+  golden_opts.seed = options_.seed;
+  golden_opts.algorithms = options_.algorithms;
+  golden_opts.watchdog = options_.watchdog.value_or(30'000ms);
+  trace::ContextRegistry golden_contexts(options_.nranks);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto golden =
+      apps::run_job(*workload_, golden_opts, nullptr, golden_contexts);
+  const auto golden_wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  if (!golden.world.clean()) {
+    throw InternalError("Campaign: golden run failed: " +
+                        golden.world.event->message);
+  }
+  golden_digest_ = golden.digest;
+
+  // Watchdog for injected runs: a hung job must be detected promptly, but
+  // the fault-free path must fit comfortably.
+  watchdog_ = options_.watchdog.value_or(
+      std::max<std::chrono::milliseconds>(150ms, golden_wall * 12));
+
+  // Profiling run (paper Fig 5 phase 1): same problem as the injection
+  // runs, so the features transfer.
+  contexts_ = std::make_unique<trace::ContextRegistry>(options_.nranks);
+  profiler_ = std::make_unique<profile::Profiler>(*contexts_);
+  mpi::WorldOptions profile_opts = golden_opts;
+  const auto profiled =
+      apps::run_job(*workload_, profile_opts, profiler_.get(), *contexts_);
+  if (!profiled.world.clean()) {
+    throw InternalError("Campaign: profiling run failed: " +
+                        profiled.world.event->message);
+  }
+  if (profiled.digest != golden_digest_) {
+    throw InternalError("Campaign: profiling run digest diverged");
+  }
+
+  enumeration_ = enumerate_points(*profiler_);
+  profiled_ = true;
+}
+
+const Enumeration& Campaign::enumeration() const {
+  if (!profiled_) throw InternalError("Campaign: profile() not run");
+  return enumeration_;
+}
+
+const profile::Profiler& Campaign::profiler() const {
+  if (!profiled_) throw InternalError("Campaign: profile() not run");
+  return *profiler_;
+}
+
+std::uint64_t Campaign::golden_digest() const {
+  if (!profiled_) throw InternalError("Campaign: profile() not run");
+  return golden_digest_;
+}
+
+PointResult Campaign::measure(const InjectionPoint& point,
+                              std::uint32_t trials) {
+  if (!profiled_) throw InternalError("Campaign: profile() not run");
+  PointResult result;
+  result.point = point;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    inject::FaultSpec spec;
+    spec.site_id = point.site_id;
+    spec.rank = point.rank;
+    spec.invocation = point.invocation;
+    spec.param = point.param;
+    spec.trial = trial_counter_++;
+    spec.model = options_.fault_model;
+
+    inject::Injector injector(spec, options_.seed);
+    mpi::WorldOptions opts;
+    opts.nranks = options_.nranks;
+    opts.seed = options_.seed;
+    opts.watchdog = watchdog_;
+    opts.algorithms = options_.algorithms;
+    trace::ContextRegistry contexts(options_.nranks);
+    const auto job = apps::run_job(*workload_, opts, &injector, contexts);
+    result.record(inject::classify(job.world, job.digest, golden_digest_));
+    ++trials_run_;
+  }
+  return result;
+}
+
+PointResult Campaign::measure(const InjectionPoint& point) {
+  return measure(point, options_.trials_per_point);
+}
+
+}  // namespace fastfit::core

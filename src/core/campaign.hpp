@@ -1,0 +1,98 @@
+#pragma once
+
+// Campaign execution: golden run, per-trial fault injection, and the
+// per-point statistics the evaluation section reports.
+
+#include <array>
+#include <chrono>
+#include <optional>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "core/enumerate.hpp"
+#include "core/points.hpp"
+#include "inject/fault_spec.hpp"
+#include "inject/outcome.hpp"
+#include "profile/profiler.hpp"
+
+namespace fastfit::core {
+
+struct CampaignOptions {
+  int nranks = 16;
+  std::uint64_t seed = 0x5eedfa57f17ULL;
+  /// Fault injection tests per injection point (Table II: NUM_INJ). The
+  /// paper uses 100; smaller values trade statistical resolution for
+  /// wall-clock time.
+  std::uint32_t trials_per_point = 30;
+  /// Watchdog for injected runs; if unset, calibrated from the golden run
+  /// (a multiple of the fault-free wall time).
+  std::optional<std::chrono::milliseconds> watchdog;
+  /// Fault manifestation; the paper's model is the single bit flip, the
+  /// alternatives exist for the fault-model ablation.
+  inject::FaultModel fault_model = inject::FaultModel::SingleBitFlip;
+  /// Collective algorithm selection for every run of this campaign.
+  mpi::CollectiveAlgorithms algorithms;
+};
+
+/// Statistics of one injection point over its trials.
+struct PointResult {
+  InjectionPoint point;
+  std::array<std::uint32_t, inject::kNumOutcomes> counts{};
+  std::uint32_t trials = 0;
+
+  void record(inject::Outcome outcome) {
+    ++counts[static_cast<std::size_t>(outcome)];
+    ++trials;
+  }
+  /// Fraction of trials with any of the five error responses.
+  double error_rate() const;
+  /// Fraction of trials with a given response.
+  double fraction(inject::Outcome outcome) const;
+  /// Most frequent response (ties to the lower enum value).
+  inject::Outcome dominant() const;
+};
+
+/// One fault-injection campaign over one workload: owns the profiling
+/// phase, the golden digest, and trial execution. The heavy lifting of
+/// deciding *which* points to run lives above (ml_loop / fastfit).
+class Campaign {
+ public:
+  Campaign(const apps::Workload& workload, CampaignOptions options);
+
+  /// Phase 1 (paper Fig 5): profiling run + golden digest + watchdog
+  /// calibration + point enumeration. Must be called before trials.
+  void profile();
+
+  const Enumeration& enumeration() const;
+  const PruningStats& stats() const { return enumeration().stats; }
+  const profile::Profiler& profiler() const;
+
+  /// Runs `trials` injected executions of one point and aggregates the
+  /// responses. Deterministic in (campaign seed, point, trial index).
+  PointResult measure(const InjectionPoint& point, std::uint32_t trials);
+
+  /// Convenience: measure with the configured trials_per_point.
+  PointResult measure(const InjectionPoint& point);
+
+  /// Total injected executions so far.
+  std::uint64_t trials_run() const noexcept { return trials_run_; }
+
+  std::uint64_t golden_digest() const;
+  std::chrono::milliseconds watchdog() const { return watchdog_; }
+  const CampaignOptions& options() const noexcept { return options_; }
+  const apps::Workload& workload() const noexcept { return *workload_; }
+
+ private:
+  const apps::Workload* workload_;
+  CampaignOptions options_;
+  bool profiled_ = false;
+  std::uint64_t golden_digest_ = 0;
+  std::chrono::milliseconds watchdog_{0};
+  std::unique_ptr<trace::ContextRegistry> contexts_;
+  std::unique_ptr<profile::Profiler> profiler_;
+  Enumeration enumeration_;
+  std::uint64_t trials_run_ = 0;
+  std::uint64_t trial_counter_ = 0;
+};
+
+}  // namespace fastfit::core

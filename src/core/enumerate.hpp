@@ -1,0 +1,34 @@
+#pragma once
+
+// Injection-point enumeration over a profiled run: applies semantic-driven
+// pruning (paper Sec III-A) and application-context-driven pruning
+// (Sec III-B) and yields the surviving points with their ML features.
+
+#include <vector>
+
+#include "core/points.hpp"
+#include "profile/profiler.hpp"
+#include "trace/similarity.hpp"
+
+namespace fastfit::core {
+
+struct Enumeration {
+  PruningStats stats;
+  std::vector<trace::EquivalenceClass> classes;
+  std::vector<InjectionPoint> points;  ///< the post-pruning points
+};
+
+/// Enumerates injection points from the profiling run. For every process
+/// equivalence class, its lowest-rank representative is kept; for every
+/// (rank, site), one invocation per distinct call stack is kept; every
+/// surviving invocation contributes one point per injectable parameter of
+/// the collective kind.
+Enumeration enumerate_points(const profile::Profiler& profiler);
+
+/// Variant without the context (call-stack) pruning step: every invocation
+/// of every representative rank contributes points. Used to build dense
+/// training datasets for the ML accuracy evaluation (paper Sec V-D) and to
+/// study the context-pruning premise itself (Fig 3).
+Enumeration enumerate_points_semantic_only(const profile::Profiler& profiler);
+
+}  // namespace fastfit::core

@@ -1,0 +1,205 @@
+#include "core/export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fastfit::core {
+namespace {
+
+std::string csv_quote(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_point(std::ostringstream& out, const InjectionPoint& p) {
+  out << "{\"site\":\"" << json_escape(p.site_location) << "\",\"kind\":\""
+      << mpi::to_string(p.kind) << "\",\"param\":\"" << to_string(p.param)
+      << "\",\"rank\":" << p.rank << ",\"invocation\":" << p.invocation
+      << ",\"phase\":\"" << trace::to_string(p.phase) << "\",\"errhal\":"
+      << (p.errhal ? "true" : "false") << ",\"nInv\":" << p.n_inv
+      << ",\"stackDep\":" << p.stack_depth
+      << ",\"nDiffStack\":" << p.n_diff_stack << '}';
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<PointResult>& results) {
+  std::ostringstream out;
+  out << "site,kind,param,rank,invocation,phase,errhal,n_inv,stack_depth,"
+         "n_diff_stack,trials";
+  for (const auto& name : inject::outcome_names()) out << ',' << name;
+  out << ",error_rate\n";
+  for (const auto& r : results) {
+    const auto& p = r.point;
+    out << csv_quote(p.site_location) << ',' << mpi::to_string(p.kind) << ','
+        << to_string(p.param) << ',' << p.rank << ',' << p.invocation << ','
+        << trace::to_string(p.phase) << ',' << (p.errhal ? 1 : 0) << ','
+        << p.n_inv << ',' << p.stack_depth << ',' << p.n_diff_stack << ','
+        << r.trials;
+    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      out << ',' << r.counts[o];
+    }
+    out << ',' << r.error_rate() << '\n';
+  }
+  return out.str();
+}
+
+std::string to_json(const FastFitResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"pruning\": {\"total\": " << result.stats.total_points
+      << ", \"afterSemantic\": " << result.stats.after_semantic
+      << ", \"afterContext\": " << result.stats.after_context
+      << ", \"equivalenceClasses\": " << result.stats.equivalence_classes
+      << ", \"nranks\": " << result.stats.nranks << "},\n";
+  out << "  \"mlReduction\": " << result.ml_reduction
+      << ",\n  \"finalAccuracy\": " << result.final_accuracy
+      << ",\n  \"thresholdReached\": "
+      << (result.threshold_reached ? "true" : "false") << ",\n";
+
+  out << "  \"measured\": [\n";
+  for (std::size_t i = 0; i < result.measured.size(); ++i) {
+    const auto& r = result.measured[i];
+    out << "    {\"point\": ";
+    json_point(out, r.point);
+    out << ", \"trials\": " << r.trials << ", \"counts\": {";
+    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      if (o) out << ", ";
+      out << '"' << inject::outcome_names()[o] << "\": " << r.counts[o];
+    }
+    out << "}, \"errorRate\": " << r.error_rate() << '}';
+    out << (i + 1 < result.measured.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
+
+  out << "  \"predicted\": [\n";
+  for (std::size_t i = 0; i < result.predicted.size(); ++i) {
+    const auto& [point, label] = result.predicted[i];
+    out << "    {\"point\": ";
+    json_point(out, point);
+    out << ", \"label\": " << label << '}';
+    out << (i + 1 < result.predicted.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+namespace {
+
+constexpr const char* kEnumerationHeader = "fastfit-enumeration v1";
+
+}  // namespace
+
+std::string to_text(const Enumeration& enumeration) {
+  std::ostringstream out;
+  out << kEnumerationHeader << '\n';
+  const auto& s = enumeration.stats;
+  out << "stats " << s.total_points << ' ' << s.after_semantic << ' '
+      << s.after_context << ' ' << s.equivalence_classes << ' ' << s.nranks
+      << '\n';
+  for (const auto& cls : enumeration.classes) {
+    out << "class";
+    for (int rank : cls.ranks) out << ' ' << rank;
+    out << '\n';
+  }
+  for (const auto& p : enumeration.points) {
+    out << "point " << p.site_id << ' ' << static_cast<int>(p.kind) << ' '
+        << p.rank << ' ' << p.invocation << ' ' << static_cast<int>(p.param)
+        << ' ' << p.stack << ' ' << static_cast<int>(p.phase) << ' '
+        << (p.errhal ? 1 : 0) << ' ' << p.n_inv << ' ' << p.stack_depth
+        << ' ' << p.n_diff_stack << ' ' << p.site_location << '\n';
+  }
+  return out.str();
+}
+
+Enumeration enumeration_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kEnumerationHeader) {
+    throw ConfigError("enumeration_from_text: bad header");
+  }
+  Enumeration out;
+  bool saw_stats = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "stats") {
+      fields >> out.stats.total_points >> out.stats.after_semantic >>
+          out.stats.after_context >> out.stats.equivalence_classes >>
+          out.stats.nranks;
+      if (!fields) throw ConfigError("enumeration_from_text: bad stats line");
+      saw_stats = true;
+    } else if (tag == "class") {
+      trace::EquivalenceClass cls;
+      int rank;
+      while (fields >> rank) cls.ranks.push_back(rank);
+      if (cls.ranks.empty()) {
+        throw ConfigError("enumeration_from_text: empty class");
+      }
+      out.classes.push_back(std::move(cls));
+    } else if (tag == "point") {
+      InjectionPoint p;
+      int kind = 0;
+      int param = 0;
+      int phase = 0;
+      int errhal = 0;
+      fields >> p.site_id >> kind >> p.rank >> p.invocation >> param >>
+          p.stack >> phase >> errhal >> p.n_inv >> p.stack_depth >>
+          p.n_diff_stack >> p.site_location;
+      if (!fields) throw ConfigError("enumeration_from_text: bad point line");
+      if (kind < 0 || kind >= static_cast<int>(mpi::kNumCollectiveKinds) ||
+          param < 0 || param >= static_cast<int>(mpi::kNumParams) ||
+          phase < 0 || phase >= static_cast<int>(trace::kNumPhases)) {
+        throw ConfigError("enumeration_from_text: enum value out of range");
+      }
+      p.kind = static_cast<mpi::CollectiveKind>(kind);
+      p.param = static_cast<mpi::Param>(param);
+      p.phase = static_cast<trace::ExecPhase>(phase);
+      p.errhal = errhal != 0;
+      out.points.push_back(std::move(p));
+    } else {
+      throw ConfigError("enumeration_from_text: unknown tag '" + tag + "'");
+    }
+  }
+  if (!saw_stats) throw ConfigError("enumeration_from_text: missing stats");
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ConfigError("cannot open for writing: " + path);
+  out << content;
+  if (!out) throw ConfigError("write failed: " + path);
+}
+
+}  // namespace fastfit::core

@@ -1,0 +1,38 @@
+#pragma once
+
+// Result serialization: campaigns are expensive; their results should
+// outlive the process. CSV for spreadsheet/pandas post-processing of
+// per-point responses, JSON for the full study (pruning statistics,
+// measured points, predictions).
+
+#include <string>
+#include <vector>
+
+#include "core/fastfit.hpp"
+
+namespace fastfit::core {
+
+/// One row per measured injection point: identification, features, trial
+/// counts per outcome, and the error rate. RFC-4180-style quoting.
+std::string to_csv(const std::vector<PointResult>& results);
+
+/// The full study as a JSON document: options-independent content only
+/// (stats, measured points, predicted labels, accuracy).
+std::string to_json(const FastFitResult& result);
+
+/// Writes content to a file, throwing ConfigError on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+/// Serializes an enumeration (pruning stats + equivalence classes +
+/// surviving injection points) to a versioned text format. The paper
+/// notes the profiling phase "is a one time cost as the collected
+/// information can be used for any number of fault injection campaigns" —
+/// this is that reuse path: profile once, persist, drive later campaigns
+/// from the file.
+std::string to_text(const Enumeration& enumeration);
+
+/// Parses to_text() output. Throws ConfigError on malformed or
+/// version-mismatched input.
+Enumeration enumeration_from_text(const std::string& text);
+
+}  // namespace fastfit::core

@@ -1,0 +1,61 @@
+#pragma once
+
+// FastFIT orchestrator: the three-phase tool of the paper's Fig 5.
+//
+//   profiling  ->  (semantic + context pruning)  ->  injection ⇄ learning
+//
+// One FastFit object runs a complete sensitivity study for one workload
+// and returns everything the evaluation reports: pruning statistics
+// (Table III), measured per-point responses (Figs 7-11, Table IV),
+// predicted responses for untested points, and the trained model
+// (Figs 4, 12, 13).
+
+#include <memory>
+
+#include "core/campaign.hpp"
+#include "core/ml_loop.hpp"
+
+namespace fastfit::core {
+
+struct FastFitOptions {
+  CampaignOptions campaign;
+  /// ML-driven pruning on/off. The paper enables it for LAMMPS only (the
+  /// NPB spaces are already small after structural pruning).
+  bool use_ml = true;
+  MlLoopConfig ml;
+};
+
+struct FastFitResult {
+  PruningStats stats;
+  std::vector<PointResult> measured;
+  std::vector<std::pair<InjectionPoint, std::size_t>> predicted;
+  double ml_reduction = 0.0;       ///< Table III "ML" column (0 if ML off)
+  double final_accuracy = 0.0;
+  bool threshold_reached = false;
+  std::size_t ml_rounds = 0;
+  std::optional<ml::RandomForest> model;
+
+  /// Table III "Total" column: overall fraction of the exploration space
+  /// whose response was obtained without direct injection.
+  double total_reduction() const;
+};
+
+class FastFit {
+ public:
+  FastFit(const apps::Workload& workload, FastFitOptions options);
+
+  /// Runs all three phases and returns the study. Callable once.
+  FastFitResult run();
+
+  /// The underlying campaign (valid after run(); exposes the profiler,
+  /// enumeration, and golden digest for further analysis).
+  Campaign& campaign() { return campaign_; }
+  const Campaign& campaign() const { return campaign_; }
+
+ private:
+  FastFitOptions options_;
+  Campaign campaign_;
+  bool ran_ = false;
+};
+
+}  // namespace fastfit::core

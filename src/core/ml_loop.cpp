@@ -1,0 +1,133 @@
+#include "core/ml_loop.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::core {
+
+std::size_t label_of(const PointResult& result, LabelMode mode,
+                     const std::vector<double>& thresholds) {
+  switch (mode) {
+    case LabelMode::ErrorType:
+      return static_cast<std::size_t>(result.dominant());
+    case LabelMode::ErrorRateLevel:
+      return stats::level_of(result.error_rate(), thresholds);
+  }
+  throw InternalError("label_of: unknown mode");
+}
+
+std::size_t label_count(LabelMode mode,
+                        const std::vector<double>& thresholds) {
+  switch (mode) {
+    case LabelMode::ErrorType:
+      return inject::kNumOutcomes;
+    case LabelMode::ErrorRateLevel:
+      return thresholds.size() + 1;
+  }
+  throw InternalError("label_count: unknown mode");
+}
+
+std::vector<std::string> label_names(LabelMode mode,
+                                     const std::vector<double>& thresholds) {
+  switch (mode) {
+    case LabelMode::ErrorType:
+      return inject::outcome_names();
+    case LabelMode::ErrorRateLevel:
+      return stats::level_names(thresholds.size() + 1);
+  }
+  throw InternalError("label_names: unknown mode");
+}
+
+double MlLoopResult::ml_reduction() const {
+  const std::size_t total = measured.size() + predicted.size();
+  if (total == 0) return 0.0;
+  return static_cast<double>(predicted.size()) / static_cast<double>(total);
+}
+
+MlLoopResult run_ml_loop(Campaign& campaign,
+                         std::vector<InjectionPoint> points,
+                         const MlLoopConfig& config) {
+  if (config.train_batch == 0 || config.verify_batch == 0) {
+    throw ConfigError("run_ml_loop: batch sizes must be positive");
+  }
+  MlLoopResult result;
+  if (points.empty()) return result;
+
+  // Randomize visiting order so batches are unbiased samples of the space.
+  RngStream rng(campaign.options().seed, "ml-loop-order");
+  rng.shuffle(points);
+
+  const std::size_t classes = label_count(config.mode, config.thresholds);
+  ml::Dataset train(classes);
+  std::size_t cursor = 0;
+  std::vector<bool> verification_hits;  // per fresh verification sample
+
+  const auto measure_next = [&](std::size_t count,
+                                std::vector<PointResult>& into) {
+    std::vector<PointResult> batch;
+    while (batch.size() < count && cursor < points.size()) {
+      batch.push_back(campaign.measure(points[cursor++]));
+    }
+    for (const auto& r : batch) into.push_back(r);
+    return batch;
+  };
+
+  while (cursor < points.size()) {
+    ++result.rounds;
+    // Measure a training batch and fold it in.
+    for (const auto& r : measure_next(config.train_batch, result.measured)) {
+      train.add(r.point.features(), label_of(r, config.mode,
+                                             config.thresholds));
+    }
+    if (train.empty() || cursor >= points.size()) break;
+
+    // Train the model on everything measured so far.
+    ml::ForestConfig forest_config = config.forest;
+    forest_config.seed = campaign.options().seed ^ (result.rounds * 0x9e37ULL);
+    result.model = ml::RandomForest::train(train, forest_config);
+
+    // Verify on the next fresh batch of measurements.
+    const auto verify_batch =
+        measure_next(config.verify_batch, result.measured);
+    if (verify_batch.empty()) break;
+    for (const auto& r : verify_batch) {
+      const auto actual = label_of(r, config.mode, config.thresholds);
+      verification_hits.push_back(
+          result.model->predict(r.point.features()) == actual);
+      train.add(r.point.features(), actual);  // verification data is not wasted
+    }
+    // Sliding-window accuracy over the freshest verification samples.
+    const std::size_t window =
+        config.verify_window == 0
+            ? verify_batch.size()
+            : std::min(config.verify_window, verification_hits.size());
+    std::size_t correct = 0;
+    for (std::size_t i = verification_hits.size() - window;
+         i < verification_hits.size(); ++i) {
+      if (verification_hits[i]) ++correct;
+    }
+    result.final_accuracy =
+        static_cast<double>(correct) / static_cast<double>(window);
+    if (verification_hits.size() >= config.min_verify_samples &&
+        result.final_accuracy >= config.accuracy_threshold) {
+      result.threshold_reached = true;
+      break;
+    }
+  }
+
+  // Retrain once on all measurements, then predict the untested points.
+  if (!train.empty() && cursor < points.size()) {
+    ml::ForestConfig forest_config = config.forest;
+    forest_config.seed = campaign.options().seed ^ 0xF1A7ULL;
+    result.model = ml::RandomForest::train(train, forest_config);
+    for (std::size_t i = cursor; i < points.size(); ++i) {
+      result.predicted.emplace_back(
+          points[i], result.model->predict(points[i].features()));
+    }
+  }
+  return result;
+}
+
+}  // namespace fastfit::core

@@ -1,0 +1,78 @@
+#pragma once
+
+// Machine-Learning-driven fault injection (paper Sec III-C, Fig 5's
+// injection ⇄ learning feedback loop).
+//
+// Points are measured in small batches; after each batch a random forest
+// is retrained on everything measured so far and verified against the next
+// batch of fresh measurements. Once the verification accuracy reaches the
+// user's threshold, the remaining points are *predicted* instead of
+// measured — that skipped fraction is the "ML" column of Table III. If the
+// loop exhausts all points first, it degrades gracefully to the
+// traditional method (every point measured), as the paper specifies.
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "ml/random_forest.hpp"
+#include "stats/levels.hpp"
+
+namespace fastfit::core {
+
+/// What the model predicts: the paper evaluates both error types (Fig 12)
+/// and quantized error-rate levels (Figs 13, 4).
+enum class LabelMode { ErrorType, ErrorRateLevel };
+
+/// Label of a measured point under a mode. For ErrorRateLevel,
+/// `thresholds` quantizes the error rate (see stats/levels.hpp).
+std::size_t label_of(const PointResult& result, LabelMode mode,
+                     const std::vector<double>& thresholds);
+
+/// Number of classes a mode yields.
+std::size_t label_count(LabelMode mode, const std::vector<double>& thresholds);
+
+/// Class names for rendering (outcome names or level names).
+std::vector<std::string> label_names(LabelMode mode,
+                                     const std::vector<double>& thresholds);
+
+struct MlLoopConfig {
+  LabelMode mode = LabelMode::ErrorRateLevel;
+  std::vector<double> thresholds = stats::even_thresholds(4);
+  /// Verification accuracy that stops the measuring (paper Fig 6 sweeps
+  /// this; 65% is the paper's chosen operating point).
+  double accuracy_threshold = 0.65;
+  std::size_t train_batch = 8;
+  std::size_t verify_batch = 6;
+  /// The accuracy compared against the threshold is computed over the
+  /// most recent `verify_window` verification samples (each scored by the
+  /// model that was current when it was measured), giving finer
+  /// granularity than a single batch. 0 means "just the last batch".
+  std::size_t verify_window = 18;
+  /// The loop may not stop before this many verification samples exist:
+  /// guards against declaring victory on one lucky batch.
+  std::size_t min_verify_samples = 12;
+  ml::ForestConfig forest;
+};
+
+struct MlLoopResult {
+  std::vector<PointResult> measured;
+  std::vector<std::pair<InjectionPoint, std::size_t>> predicted;
+  double final_accuracy = 0.0;
+  std::size_t rounds = 0;
+  bool threshold_reached = false;
+  std::optional<ml::RandomForest> model;
+
+  /// Table III "ML" column: fraction of post-structural points whose
+  /// response was predicted rather than measured.
+  double ml_reduction() const;
+};
+
+/// Runs the feedback loop over `points` (typically
+/// campaign.enumeration().points). Deterministic in the campaign seed.
+MlLoopResult run_ml_loop(Campaign& campaign,
+                         std::vector<InjectionPoint> points,
+                         const MlLoopConfig& config);
+
+}  // namespace fastfit::core

@@ -1,0 +1,70 @@
+#pragma once
+
+// Point-to-point sensitivity study: FastFIT's pruning and campaign
+// machinery applied to send/recv calls (the paper's future-work claim
+// that its techniques "can be applied to other programming elements of an
+// HPC application"). The enumeration reuses the same semantic (process
+// equivalence) and context (distinct call stacks) pruning; trials run
+// through the P2pInjector.
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "inject/p2p_injector.hpp"
+
+namespace fastfit::core {
+
+struct P2pInjectionPoint {
+  std::uint32_t site_id = 0;
+  mpi::P2pKind kind{};
+  std::string site_location;
+  int rank = 0;
+  std::uint64_t invocation = 0;
+  mpi::P2pParam param{};
+
+  trace::StackId stack = 0;
+  trace::ExecPhase phase{};
+  bool errhal = false;
+  std::uint64_t n_inv = 0;
+  double stack_depth = 0.0;
+  std::uint64_t n_diff_stack = 0;
+};
+
+struct P2pEnumeration {
+  PruningStats stats;
+  std::vector<P2pInjectionPoint> points;
+};
+
+/// Enumerates point-to-point injection points from a profiled run with
+/// semantic + context pruning (the collective pipeline's rules, applied
+/// to p2p sites).
+P2pEnumeration enumerate_p2p_points(const profile::Profiler& profiler);
+
+/// Per-point statistics for a p2p point.
+struct P2pPointResult {
+  P2pInjectionPoint point;
+  std::array<std::uint32_t, inject::kNumOutcomes> counts{};
+  std::uint32_t trials = 0;
+
+  void record(inject::Outcome outcome) {
+    ++counts[static_cast<std::size_t>(outcome)];
+    ++trials;
+  }
+  double error_rate() const;
+  double fraction(inject::Outcome outcome) const;
+};
+
+/// Runs `trials` injected executions of one p2p point against the
+/// campaign's workload/golden digest. The campaign must be profiled.
+P2pPointResult measure_p2p(Campaign& campaign, const P2pInjectionPoint& point,
+                           std::uint32_t trials);
+
+/// Outcome distribution over p2p results, optionally filtered by
+/// direction and/or parameter.
+std::array<double, inject::kNumOutcomes> p2p_outcome_distribution(
+    const std::vector<P2pPointResult>& results,
+    std::optional<mpi::P2pKind> kind = std::nullopt,
+    std::optional<mpi::P2pParam> param = std::nullopt);
+
+}  // namespace fastfit::core

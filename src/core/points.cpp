@@ -1,0 +1,40 @@
+#include "core/points.hpp"
+
+#include "support/error.hpp"
+
+namespace fastfit::core {
+
+ml::FeatureVec InjectionPoint::features() const {
+  ml::FeatureVec x{};
+  x[static_cast<std::size_t>(ml::Feature::Type)] =
+      static_cast<double>(static_cast<int>(kind));
+  x[static_cast<std::size_t>(ml::Feature::Phase)] =
+      static_cast<double>(static_cast<int>(phase));
+  x[static_cast<std::size_t>(ml::Feature::ErrHal)] = errhal ? 1.0 : 0.0;
+  x[static_cast<std::size_t>(ml::Feature::NInv)] =
+      static_cast<double>(n_inv);
+  x[static_cast<std::size_t>(ml::Feature::StackDep)] = stack_depth;
+  x[static_cast<std::size_t>(ml::Feature::NDiffStack)] =
+      static_cast<double>(n_diff_stack);
+  return x;
+}
+
+double PruningStats::semantic_reduction() const {
+  if (total_points == 0) return 0.0;
+  return 1.0 - static_cast<double>(after_semantic) /
+                   static_cast<double>(total_points);
+}
+
+double PruningStats::context_reduction() const {
+  if (after_semantic == 0) return 0.0;
+  return 1.0 - static_cast<double>(after_context) /
+                   static_cast<double>(after_semantic);
+}
+
+double PruningStats::structural_reduction() const {
+  if (total_points == 0) return 0.0;
+  return 1.0 - static_cast<double>(after_context) /
+                   static_cast<double>(total_points);
+}
+
+}  // namespace fastfit::core

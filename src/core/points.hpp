@@ -1,0 +1,64 @@
+#pragma once
+
+// Injection points and the bookkeeping of their pruning.
+//
+// Paper Sec II: "Each invocation of an MPI collective call site [on each
+// process, for each input parameter] is a potential fault injection
+// point." FastFIT prunes that space in two structural steps before the ML
+// stage: semantic pruning (representative ranks per equivalence class) and
+// application-context pruning (representative invocations per distinct
+// call stack).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minimpi/hooks.hpp"
+#include "minimpi/types.hpp"
+#include "ml/dataset.hpp"
+#include "trace/rank_context.hpp"
+#include "trace/shadow_stack.hpp"
+
+namespace fastfit::core {
+
+/// One (surviving) fault injection point, with the application features
+/// the ML model consumes attached.
+struct InjectionPoint {
+  std::uint32_t site_id = 0;
+  mpi::CollectiveKind kind{};
+  std::string site_location;     ///< "file:line" for reports
+  int rank = 0;                  ///< representative world rank
+  std::uint64_t invocation = 0;  ///< representative invocation ordinal
+  mpi::Param param{};
+
+  // Application features (paper Sec III-C).
+  trace::StackId stack = 0;
+  trace::ExecPhase phase{};
+  bool errhal = false;
+  std::uint64_t n_inv = 0;        ///< invocations of this site on this rank
+  double stack_depth = 0.0;       ///< mean shadow-stack depth at the site
+  std::uint64_t n_diff_stack = 0; ///< distinct call stacks at the site
+
+  /// Feature vector in the ml::Feature order.
+  ml::FeatureVec features() const;
+};
+
+/// Point counts through the pruning pipeline (the raw material of the
+/// paper's Table III).
+struct PruningStats {
+  std::uint64_t total_points = 0;     ///< all ranks x sites x invocations x params
+  std::uint64_t after_semantic = 0;   ///< representative ranks only
+  std::uint64_t after_context = 0;    ///< + one invocation per distinct stack
+  std::size_t equivalence_classes = 0;
+  int nranks = 0;
+
+  /// Table III "MPI" column: reduction from semantic pruning alone.
+  double semantic_reduction() const;
+  /// Table III "App" column: additional reduction from context pruning,
+  /// relative to the post-semantic count.
+  double context_reduction() const;
+  /// Combined structural reduction (before ML).
+  double structural_reduction() const;
+};
+
+}  // namespace fastfit::core

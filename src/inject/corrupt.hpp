@@ -1,0 +1,38 @@
+#pragma once
+
+// Parameter corruption: applies the single-bit-flip fault model to one
+// parameter of a CollectiveCall.
+//
+// Scalar parameters (count, datatype, op, comm, root) flip one of their 32
+// bits. Buffer parameters flip one random bit of the buffer *contents*
+// (never the address — the paper excludes address faults as trivially
+// catastrophic). For vector collectives, the count fault lands in a random
+// entry of the count array, matching how the corresponding parameter is
+// actually passed.
+
+#include "inject/fault_model.hpp"
+#include "inject/fault_spec.hpp"
+#include "minimpi/hooks.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::mpi {
+class Mpi;
+}
+
+namespace fastfit::inject {
+
+/// Corrupts `param` of `call` in place under `model`. Returns false when
+/// the parameter has no corruptible substance at this rank (zero-length
+/// buffer, buffer not mapped in the rank's registry) or the mutation is a
+/// provable no-op — the fault then lands in dead state and the trial
+/// proceeds un-faulted, as on real hardware.
+bool corrupt_parameter(mpi::CollectiveCall& call, mpi::Param param,
+                       FaultModel model, RngStream& rng, mpi::Mpi& mpi);
+
+/// Paper-default model (single bit flip).
+inline bool corrupt_parameter(mpi::CollectiveCall& call, mpi::Param param,
+                              RngStream& rng, mpi::Mpi& mpi) {
+  return corrupt_parameter(call, param, FaultModel::SingleBitFlip, rng, mpi);
+}
+
+}  // namespace fastfit::inject

@@ -1,0 +1,57 @@
+#include "inject/fault_model.hpp"
+
+#include "support/bitops.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::inject {
+
+const char* to_string(FaultModel model) noexcept {
+  switch (model) {
+    case FaultModel::SingleBitFlip: return "single-bit-flip";
+    case FaultModel::DoubleBitFlip: return "double-bit-flip";
+    case FaultModel::StuckAtZero: return "stuck-at-zero";
+    case FaultModel::RandomByte: return "random-byte";
+  }
+  return "unknown";
+}
+
+bool mutate_bytes(std::span<std::byte> bytes, FaultModel model,
+                  RngStream& rng) {
+  if (bytes.empty()) return false;
+  const std::size_t nbits = bytes.size() * 8;
+  switch (model) {
+    case FaultModel::SingleBitFlip: {
+      flip_bit(bytes, rng.index(nbits));
+      return true;
+    }
+    case FaultModel::DoubleBitFlip: {
+      const std::size_t first = rng.index(nbits);
+      std::size_t second = rng.index(nbits);
+      if (nbits > 1) {
+        while (second == first) second = rng.index(nbits);
+      }
+      flip_bit(bytes, first);
+      if (second != first) flip_bit(bytes, second);
+      return true;
+    }
+    case FaultModel::StuckAtZero: {
+      const std::size_t bit = rng.index(nbits);
+      auto& target = bytes[bit / 8];
+      const auto mask = static_cast<std::byte>(1u << (bit % 8));
+      const bool was_set = (target & mask) != std::byte{0};
+      target &= ~mask;
+      return was_set;
+    }
+    case FaultModel::RandomByte: {
+      const std::size_t index = rng.index(bytes.size());
+      const auto fresh =
+          static_cast<std::byte>(rng.uniform_u64(0, 255));
+      const bool changed = fresh != bytes[index];
+      bytes[index] = fresh;
+      return changed;
+    }
+  }
+  throw InternalError("mutate_bytes: unknown fault model");
+}
+
+}  // namespace fastfit::inject

@@ -1,0 +1,54 @@
+#pragma once
+
+// Fault models.
+//
+// The paper's model is a single random bit flip. Real upsets also appear
+// as multi-bit flips (adjacent cells), stuck-at faults, and whole-byte
+// corruption (bus/latch errors); these ship as ablation variants so the
+// sensitivity of the paper's conclusions to the fault model itself can be
+// measured (bench/ablation_fault_models).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "support/rng.hpp"
+
+namespace fastfit::inject {
+
+enum class FaultModel : std::uint8_t {
+  SingleBitFlip = 0,  ///< the paper's model
+  DoubleBitFlip = 1,  ///< two distinct random bits
+  StuckAtZero = 2,    ///< a random bit forced to 0 (no-op on a clear bit)
+  RandomByte = 3,     ///< one byte replaced with a random value
+};
+
+inline constexpr std::size_t kNumFaultModels = 4;
+
+const char* to_string(FaultModel model) noexcept;
+
+/// Applies `model` to the byte range. Returns false when the mutation is
+/// provably a no-op (e.g. stuck-at-zero on an already-clear bit) — the
+/// fault landed but changed nothing, which callers may count as a
+/// non-manifested fault. Empty ranges return false.
+bool mutate_bytes(std::span<std::byte> bytes, FaultModel model,
+                  RngStream& rng);
+
+/// Applies `model` to a trivially-copyable value, returning the mutated
+/// copy. `changed` (optional) reports whether the value differs.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T mutate_value(T value, FaultModel model, RngStream& rng,
+               bool* changed = nullptr) {
+  std::byte raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  const bool mutated =
+      mutate_bytes(std::span<std::byte>(raw, sizeof(T)), model, rng);
+  T out;
+  std::memcpy(&out, raw, sizeof(T));
+  if (changed != nullptr) *changed = mutated && std::memcmp(&out, &value, sizeof(T)) != 0;
+  return out;
+}
+
+}  // namespace fastfit::inject

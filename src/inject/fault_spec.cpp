@@ -1,0 +1,15 @@
+#include "inject/fault_spec.hpp"
+
+#include <sstream>
+
+namespace fastfit::inject {
+
+std::string FaultSpec::describe() const {
+  std::ostringstream out;
+  out << "fault{site=0x" << std::hex << site_id << std::dec
+      << " rank=" << rank << " inv=" << invocation
+      << " param=" << mpi::to_string(param) << " trial=" << trial << '}';
+  return out.str();
+}
+
+}  // namespace fastfit::inject

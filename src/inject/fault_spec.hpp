@@ -1,0 +1,34 @@
+#pragma once
+
+// Fault specification: one planned bit flip.
+//
+// A FaultSpec pins the paper's Table II coordinates — which rank
+// (RANK_ID), which collective call site (CALL_ID), which invocation
+// (INV_ID), which parameter (PARAM_ID) — plus the trial index that seeds
+// the random bit choice. The fault model is exactly the paper's: a single
+// random bit flip in one input parameter (or one random bit of the data
+// buffer) of one collective invocation.
+
+#include <cstdint>
+#include <string>
+
+#include "inject/fault_model.hpp"
+#include "minimpi/hooks.hpp"
+
+namespace fastfit::inject {
+
+struct FaultSpec {
+  std::uint32_t site_id = 0;      ///< collective call site (CALL_ID analogue)
+  int rank = 0;                   ///< injected world rank (RANK_ID)
+  std::uint64_t invocation = 0;   ///< injected invocation ordinal (INV_ID)
+  mpi::Param param{};             ///< injected parameter (PARAM_ID)
+  std::uint64_t trial = 0;        ///< trial index; selects the flipped bit
+  FaultModel model = FaultModel::SingleBitFlip;  ///< fault manifestation
+
+  bool operator==(const FaultSpec&) const = default;
+
+  /// Human-readable one-liner for logs and reports.
+  std::string describe() const;
+};
+
+}  // namespace fastfit::inject

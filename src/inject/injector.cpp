@@ -1,0 +1,27 @@
+#include "inject/injector.hpp"
+
+#include "inject/corrupt.hpp"
+#include "minimpi/mpi.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::inject {
+
+Injector::Injector(FaultSpec spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed) {}
+
+void Injector::on_enter(mpi::CollectiveCall& call, mpi::Mpi& mpi) {
+  if (fired_.load(std::memory_order_relaxed)) return;
+  if (mpi.world_rank() != spec_.rank) return;
+  if (call.site_id != spec_.site_id) return;
+  if (call.invocation != spec_.invocation) return;
+
+  fired_.store(true);
+  RngStream rng(seed_, "bitflip", spec_.trial);
+  if (!corrupt_parameter(call, spec_.param, spec_.model, rng, mpi)) {
+    fizzled_.store(true);
+  }
+}
+
+void Injector::on_exit(const mpi::CollectiveCall&, mpi::Mpi&) {}
+
+}  // namespace fastfit::inject

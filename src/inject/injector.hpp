@@ -1,0 +1,43 @@
+#pragma once
+
+// The fault-injection tool: a ToolHooks implementation armed with one
+// FaultSpec per trial. It waits for the targeted (rank, site, invocation)
+// to come through the interposition layer and applies the bit flip there;
+// every other call passes through untouched — the PMPI-shim deployment the
+// paper describes (Fig 5's Fault Injection module).
+
+#include <atomic>
+
+#include "inject/fault_spec.hpp"
+#include "minimpi/hooks.hpp"
+
+namespace fastfit::inject {
+
+class Injector final : public mpi::ToolHooks {
+ public:
+  /// `seed` is the campaign master seed; the flipped bit is drawn from the
+  /// ("bitflip", spec.trial) stream so trial t is reproducible in
+  /// isolation.
+  Injector(FaultSpec spec, std::uint64_t seed);
+
+  void on_enter(mpi::CollectiveCall& call, mpi::Mpi& mpi) override;
+  void on_exit(const mpi::CollectiveCall& call, mpi::Mpi& mpi) override;
+
+  /// True once the targeted invocation was reached and the flip applied.
+  bool fired() const noexcept { return fired_.load(); }
+
+  /// True if the target was reached but the parameter had no corruptible
+  /// substance (e.g. zero-length buffer): the trial ran effectively
+  /// fault-free.
+  bool fizzled() const noexcept { return fizzled_.load(); }
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  std::uint64_t seed_;
+  std::atomic<bool> fired_{false};
+  std::atomic<bool> fizzled_{false};
+};
+
+}  // namespace fastfit::inject

@@ -1,0 +1,39 @@
+#include "inject/outcome.hpp"
+
+#include "support/error.hpp"
+
+namespace fastfit::inject {
+
+const char* to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::Success: return "SUCCESS";
+    case Outcome::AppDetected: return "APP_DETECTED";
+    case Outcome::MpiErr: return "MPI_ERR";
+    case Outcome::SegFault: return "SEG_FAULT";
+    case Outcome::WrongAns: return "WRONG_ANS";
+    case Outcome::InfLoop: return "INF_LOOP";
+  }
+  return "UNKNOWN";
+}
+
+const std::vector<std::string>& outcome_names() {
+  static const std::vector<std::string> names{
+      "SUCCESS", "APP_DETECTED", "MPI_ERR", "SEG_FAULT", "WRONG_ANS",
+      "INF_LOOP"};
+  return names;
+}
+
+Outcome classify(const mpi::WorldResult& result, std::uint64_t trial_digest,
+                 std::uint64_t golden_digest) noexcept {
+  if (result.event) {
+    switch (result.event->type) {
+      case mpi::EventType::AppDetected: return Outcome::AppDetected;
+      case mpi::EventType::MpiErr: return Outcome::MpiErr;
+      case mpi::EventType::SegFault: return Outcome::SegFault;
+      case mpi::EventType::Timeout: return Outcome::InfLoop;
+    }
+  }
+  return trial_digest == golden_digest ? Outcome::Success : Outcome::WrongAns;
+}
+
+}  // namespace fastfit::inject

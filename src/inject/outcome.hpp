@@ -1,0 +1,44 @@
+#pragma once
+
+// Application-response taxonomy (paper Table I) and the classification of
+// a completed trial into it.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minimpi/world.hpp"
+
+namespace fastfit::inject {
+
+/// Paper Table I. All types except Success count as an *error* when the
+/// paper speaks of "error rate".
+enum class Outcome : std::uint8_t {
+  Success = 0,      ///< clean exit, answer matches the fault-free run
+  AppDetected = 1,  ///< the program's own error handling reported the fault
+  MpiErr = 2,       ///< the MPI environment reported an error
+  SegFault = 3,     ///< (simulated) segmentation fault
+  WrongAns = 4,     ///< clean exit, answer differs from the fault-free run
+  InfLoop = 5,      ///< the job hung and was killed by the watchdog
+};
+
+inline constexpr std::size_t kNumOutcomes = 6;
+
+const char* to_string(Outcome outcome) noexcept;
+
+/// All six outcome names in enum order (for tables and confusion axes).
+const std::vector<std::string>& outcome_names();
+
+/// True for the five outcomes the paper counts in the error rate.
+constexpr bool is_error(Outcome outcome) noexcept {
+  return outcome != Outcome::Success;
+}
+
+/// Classifies a finished trial: an initiating fault event decides
+/// directly; a clean world is Success or WrongAns by digest comparison
+/// against the golden (fault-free) run.
+Outcome classify(const mpi::WorldResult& result, std::uint64_t trial_digest,
+                 std::uint64_t golden_digest) noexcept;
+
+}  // namespace fastfit::inject

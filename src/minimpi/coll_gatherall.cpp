@@ -1,0 +1,121 @@
+// All-to-all-family collectives: MPI_Allgather (ring), MPI_Alltoall and
+// MPI_Alltoallv (pairwise exchange rounds, as production MPIs use for
+// medium message sizes).
+
+#include "minimpi/coll_util.hpp"
+#include "minimpi/mpi.hpp"
+
+namespace fastfit::mpi {
+
+using detail::byte_ptr;
+using detail::require_fits;
+
+void Mpi::run_allgather(const CollectiveCall& call, std::uint32_t seq) {
+  const int n = size(call.comm);
+  const int me = world_->comm_rank_of(call.comm, world_rank_);
+  const std::size_t sbytes =
+      static_cast<std::size_t>(call.count) * datatype_size(call.datatype);
+  const std::size_t rbytes =
+      static_cast<std::size_t>(call.recvcount) *
+      datatype_size(call.recvdatatype);
+
+  // Place the local contribution, then circulate blocks around the ring:
+  // in step s, forward the block received in step s-1.
+  auto own = pack(call.sendbuf, sbytes, "allgather send buffer");
+  require_fits(own.size(), rbytes, "allgather");
+  store(byte_ptr(call.recvbuf) + static_cast<std::size_t>(me) * rbytes, own,
+        "allgather receive buffer");
+
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  int held = me;
+  for (int step = 1; step < n; ++step) {
+    const auto phase = static_cast<std::uint8_t>(step & 0xff);
+    auto block = pack(byte_ptr(call.recvbuf) +
+                          static_cast<std::size_t>(held) * rbytes,
+                      rbytes, "allgather receive buffer");
+    send_internal(call.comm, right, coll_tag(call.comm, seq, phase),
+                  std::move(block));
+    auto payload =
+        recv_internal(call.comm, left, coll_tag(call.comm, seq, phase));
+    held = (me - step + n) % n;
+    require_fits(payload.size(), rbytes, "allgather");
+    store(byte_ptr(call.recvbuf) + static_cast<std::size_t>(held) * rbytes,
+          payload, "allgather receive buffer");
+  }
+}
+
+void Mpi::run_alltoall(const CollectiveCall& call, std::uint32_t seq) {
+  const int n = size(call.comm);
+  const int me = world_->comm_rank_of(call.comm, world_rank_);
+  const std::size_t sbytes =
+      static_cast<std::size_t>(call.count) * datatype_size(call.datatype);
+  const std::size_t rbytes =
+      static_cast<std::size_t>(call.recvcount) *
+      datatype_size(call.recvdatatype);
+
+  // Local block.
+  auto mine = pack(byte_ptr(call.sendbuf) +
+                       static_cast<std::size_t>(me) * sbytes,
+                   sbytes, "alltoall send buffer");
+  require_fits(mine.size(), rbytes, "alltoall");
+  store(byte_ptr(call.recvbuf) + static_cast<std::size_t>(me) * rbytes, mine,
+        "alltoall receive buffer");
+
+  for (int step = 1; step < n; ++step) {
+    const auto phase = static_cast<std::uint8_t>(step & 0xff);
+    const int dst = (me + step) % n;
+    const int src = (me - step + n) % n;
+    send_internal(call.comm, dst, coll_tag(call.comm, seq, phase),
+                  pack(byte_ptr(call.sendbuf) +
+                           static_cast<std::size_t>(dst) * sbytes,
+                       sbytes, "alltoall send buffer"));
+    auto payload =
+        recv_internal(call.comm, src, coll_tag(call.comm, seq, phase));
+    require_fits(payload.size(), rbytes, "alltoall");
+    store(byte_ptr(call.recvbuf) + static_cast<std::size_t>(src) * rbytes,
+          payload, "alltoall receive buffer");
+  }
+}
+
+void Mpi::run_alltoallv(const CollectiveCall& call, std::uint32_t seq) {
+  const int n = size(call.comm);
+  const int me = world_->comm_rank_of(call.comm, world_rank_);
+  const std::size_t esend = datatype_size(call.datatype);
+  const std::size_t erecv = datatype_size(call.recvdatatype);
+  const auto& scounts = *call.sendcounts;
+  const auto& sdispls = *call.sdispls;
+  const auto& rcounts = *call.recvcounts;
+  const auto& rdispls = *call.rdispls;
+
+  const auto send_block = [&](int r) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(scounts[static_cast<std::size_t>(r)]) * esend;
+    const std::size_t offset =
+        static_cast<std::size_t>(sdispls[static_cast<std::size_t>(r)]) * esend;
+    return pack(byte_ptr(call.sendbuf) + offset, bytes,
+                "alltoallv send buffer");
+  };
+  const auto store_block = [&](int r, std::span<const std::byte> payload) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(rcounts[static_cast<std::size_t>(r)]) * erecv;
+    const std::size_t offset =
+        static_cast<std::size_t>(rdispls[static_cast<std::size_t>(r)]) * erecv;
+    require_fits(payload.size(), bytes, "alltoallv");
+    store(byte_ptr(call.recvbuf) + offset, payload,
+          "alltoallv receive buffer");
+  };
+
+  store_block(me, send_block(me));
+  for (int step = 1; step < n; ++step) {
+    const auto phase = static_cast<std::uint8_t>(step & 0xff);
+    const int dst = (me + step) % n;
+    const int src = (me - step + n) % n;
+    send_internal(call.comm, dst, coll_tag(call.comm, seq, phase),
+                  send_block(dst));
+    store_block(src,
+                recv_internal(call.comm, src, coll_tag(call.comm, seq, phase)));
+  }
+}
+
+}  // namespace fastfit::mpi

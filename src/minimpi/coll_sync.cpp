@@ -1,0 +1,25 @@
+// MPI_Barrier: dissemination algorithm (Hensgen/Finkel/Manber).
+//
+// ceil(log2(n)) rounds; in round k every rank signals (rank + 2^k) mod n
+// and waits for (rank - 2^k) mod n. A rank that never arrives (because it
+// faulted or diverged) starves its successors, which is precisely how a
+// damaged barrier hangs a real job.
+
+#include "minimpi/coll_util.hpp"
+#include "minimpi/mpi.hpp"
+
+namespace fastfit::mpi {
+
+void Mpi::run_barrier(const CollectiveCall& call, std::uint32_t seq) {
+  const int n = size(call.comm);
+  const int me = world_->comm_rank_of(call.comm, world_rank_);
+  std::uint8_t phase = 0;
+  for (int mask = 1; mask < n; mask <<= 1, ++phase) {
+    const int dst = (me + mask) % n;
+    const int src = (me - mask + n) % n;
+    send_internal(call.comm, dst, coll_tag(call.comm, seq, phase), {});
+    recv_internal(call.comm, src, coll_tag(call.comm, seq, phase));
+  }
+}
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,55 @@
+#pragma once
+
+// Internal helpers shared by the collective algorithm translation units.
+// Not part of the public MiniMPI API.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "minimpi/datatype.hpp"
+#include "minimpi/op.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::mpi::detail {
+
+inline std::byte* byte_ptr(void* p) noexcept { return static_cast<std::byte*>(p); }
+inline const std::byte* byte_ptr(const void* p) noexcept {
+  return static_cast<const std::byte*>(p);
+}
+
+/// Raises the truncation error a production MPI reports when an incoming
+/// message exceeds the posted receive size.
+inline void require_fits(std::size_t payload_bytes, std::size_t posted_bytes,
+                         const char* what) {
+  if (payload_bytes > posted_bytes) {
+    throw MpiError(MpiErrc::Truncate,
+                   std::string(what) + ": message of " +
+                       std::to_string(payload_bytes) + " bytes for a " +
+                       std::to_string(posted_bytes) + "-byte receive");
+  }
+}
+
+/// accum = accum OP payload over as many whole elements as both sides
+/// hold. A payload longer than the accumulator is a truncation error; a
+/// shorter one (peer with a corrupted smaller count) contributes partially
+/// — the silent data-shear a real reduction tree exhibits.
+inline void combine_payload(Op op, Datatype dtype,
+                            std::span<const std::byte> payload,
+                            std::vector<std::byte>& accum) {
+  require_fits(payload.size(), accum.size(), "reduction");
+  const std::size_t esize = datatype_size(dtype);
+  const std::size_t elems = payload.size() / esize;
+  if (elems == 0) return;
+  apply(op, dtype, payload.first(elems * esize),
+        std::span<std::byte>(accum.data(), elems * esize), elems);
+}
+
+/// Largest power of two not exceeding n (n >= 1).
+inline int floor_pow2(int n) noexcept {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace fastfit::mpi::detail

@@ -1,0 +1,45 @@
+#include "minimpi/datatype.hpp"
+
+#include <array>
+
+#include "support/error.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+struct DatatypeInfo {
+  std::string_view name;
+  std::size_t size;
+};
+
+constexpr std::array<DatatypeInfo, kNumDatatypes> kTable{{
+    {"MPI_CHAR", sizeof(char)},
+    {"MPI_BYTE", 1},
+    {"MPI_INT", sizeof(std::int32_t)},
+    {"MPI_UNSIGNED", sizeof(std::uint32_t)},
+    {"MPI_LONG_LONG", sizeof(std::int64_t)},
+    {"MPI_UNSIGNED_LONG_LONG", sizeof(std::uint64_t)},
+    {"MPI_FLOAT", sizeof(float)},
+    {"MPI_DOUBLE", sizeof(double)},
+}};
+
+const DatatypeInfo& info(Datatype dtype) {
+  if (!is_valid(dtype)) {
+    throw MpiError(MpiErrc::InvalidDatatype,
+                   "handle 0x" + std::to_string(raw(dtype)));
+  }
+  return kTable[handle_index(raw(dtype))];
+}
+
+}  // namespace
+
+bool is_valid(Datatype dtype) noexcept {
+  const RawHandle h = raw(dtype);
+  return has_magic(h, kDatatypeMagic) && handle_index(h) < kNumDatatypes;
+}
+
+std::size_t datatype_size(Datatype dtype) { return info(dtype).size; }
+
+std::string_view datatype_name(Datatype dtype) { return info(dtype).name; }
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,51 @@
+#pragma once
+
+// MiniMPI datatype registry.
+//
+// A fixed table of basic datatypes, addressed by validated handles. The
+// fault injector flips bits of these handles; `is_valid` is the gate that
+// turns most flips into MPI_ERR_TYPE, while low-bit flips that land on
+// another table entry silently change the element size — which downstream
+// manifests as truncation errors, partial transfers, or simulated
+// segfaults, exactly the spectrum the paper reports for `datatype` faults.
+
+#include <cstddef>
+#include <string_view>
+
+#include "minimpi/types.hpp"
+
+namespace fastfit::mpi {
+
+inline constexpr Datatype kChar = make_datatype(0);
+inline constexpr Datatype kByte = make_datatype(1);
+inline constexpr Datatype kInt32 = make_datatype(2);
+inline constexpr Datatype kUint32 = make_datatype(3);
+inline constexpr Datatype kInt64 = make_datatype(4);
+inline constexpr Datatype kUint64 = make_datatype(5);
+inline constexpr Datatype kFloat = make_datatype(6);
+inline constexpr Datatype kDouble = make_datatype(7);
+
+inline constexpr std::size_t kNumDatatypes = 8;
+
+/// True iff the handle denotes an entry of the datatype table.
+bool is_valid(Datatype dtype) noexcept;
+
+/// Element size in bytes. Requires a valid handle.
+std::size_t datatype_size(Datatype dtype);
+
+/// MPI-style name, e.g. "MPI_DOUBLE". Requires a valid handle.
+std::string_view datatype_name(Datatype dtype);
+
+/// Maps a C++ arithmetic type onto its MiniMPI datatype handle.
+template <typename T>
+constexpr Datatype datatype_of() noexcept;
+
+template <> constexpr Datatype datatype_of<char>() noexcept { return kChar; }
+template <> constexpr Datatype datatype_of<std::int32_t>() noexcept { return kInt32; }
+template <> constexpr Datatype datatype_of<std::uint32_t>() noexcept { return kUint32; }
+template <> constexpr Datatype datatype_of<std::int64_t>() noexcept { return kInt64; }
+template <> constexpr Datatype datatype_of<std::uint64_t>() noexcept { return kUint64; }
+template <> constexpr Datatype datatype_of<float>() noexcept { return kFloat; }
+template <> constexpr Datatype datatype_of<double>() noexcept { return kDouble; }
+
+}  // namespace fastfit::mpi

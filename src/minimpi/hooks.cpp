@@ -1,0 +1,76 @@
+#include "minimpi/hooks.hpp"
+
+#include "support/error.hpp"
+
+namespace fastfit::mpi {
+
+const char* to_string(P2pKind kind) noexcept {
+  switch (kind) {
+    case P2pKind::Send: return "MPI_Send";
+    case P2pKind::Recv: return "MPI_Recv";
+  }
+  return "unknown";
+}
+
+const char* to_string(P2pParam param) noexcept {
+  switch (param) {
+    case P2pParam::Buffer: return "buffer";
+    case P2pParam::Count: return "count";
+    case P2pParam::Datatype: return "datatype";
+    case P2pParam::Peer: return "peer";
+    case P2pParam::Tag: return "tag";
+  }
+  return "unknown";
+}
+
+const char* to_string(Param param) noexcept {
+  switch (param) {
+    case Param::SendBuf: return "sendbuf";
+    case Param::RecvBuf: return "recvbuf";
+    case Param::Count: return "count";
+    case Param::Datatype: return "datatype";
+    case Param::Op: return "op";
+    case Param::Comm: return "comm";
+    case Param::Root: return "root";
+    case Param::RecvCount: return "recvcount";
+    case Param::RecvDatatype: return "recvtype";
+  }
+  return "unknown";
+}
+
+std::vector<Param> injectable_params(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::Barrier:
+      return {Param::Comm};
+    case CollectiveKind::Bcast:
+      return {Param::SendBuf, Param::Count, Param::Datatype, Param::Root,
+              Param::Comm};
+    case CollectiveKind::Reduce:
+      return {Param::SendBuf, Param::RecvBuf, Param::Count, Param::Datatype,
+              Param::Op, Param::Root, Param::Comm};
+    case CollectiveKind::Allreduce:
+      return {Param::SendBuf, Param::RecvBuf, Param::Count, Param::Datatype,
+              Param::Op, Param::Comm};
+    case CollectiveKind::Scatter:
+    case CollectiveKind::Gather:
+      return {Param::SendBuf, Param::RecvBuf, Param::Count, Param::Datatype,
+              Param::RecvCount, Param::RecvDatatype, Param::Root, Param::Comm};
+    case CollectiveKind::Scatterv:
+    case CollectiveKind::Gatherv:
+      return {Param::SendBuf, Param::RecvBuf, Param::Count, Param::Datatype,
+              Param::RecvCount, Param::RecvDatatype, Param::Root, Param::Comm};
+    case CollectiveKind::Allgather:
+    case CollectiveKind::Allgatherv:
+    case CollectiveKind::Alltoall:
+    case CollectiveKind::Alltoallv:
+      return {Param::SendBuf, Param::RecvBuf, Param::Count, Param::Datatype,
+              Param::RecvCount, Param::RecvDatatype, Param::Comm};
+    case CollectiveKind::ReduceScatterBlock:
+    case CollectiveKind::Scan:
+      return {Param::SendBuf, Param::RecvBuf, Param::Count, Param::Datatype,
+              Param::Op, Param::Comm};
+  }
+  throw InternalError("injectable_params: unknown collective kind");
+}
+
+}  // namespace fastfit::mpi

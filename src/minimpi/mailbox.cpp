@@ -1,0 +1,57 @@
+#include "minimpi/mailbox.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace fastfit::mpi {
+
+void Mailbox::deliver(Message message) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::receive(int source, std::uint64_t tag,
+                         std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Message& m) {
+                             return m.source == source && m.tag == tag;
+                           });
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    // Check poison before and after the wait so a rank that arrives late
+    // never sleeps through the teardown.
+    {
+      std::lock_guard plock(poison_->mutex);
+      if (poison_->poisoned) {
+        throw WorldAborted("mailbox wait interrupted by world teardown");
+      }
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      std::lock_guard plock(poison_->mutex);
+      if (poison_->poisoned) {
+        throw WorldAborted("mailbox wait interrupted by world teardown");
+      }
+      throw SimTimeout("receive from rank " + std::to_string(source) +
+                       " tag " + std::to_string(tag) +
+                       " never matched (job hang)");
+    }
+  }
+}
+
+void Mailbox::wake() { cv_.notify_all(); }
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace fastfit::mpi

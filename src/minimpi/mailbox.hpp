@@ -1,0 +1,76 @@
+#pragma once
+
+// Point-to-point transport: one mailbox per rank.
+//
+// Collectives in MiniMPI are built from real message exchanges over these
+// mailboxes (binomial trees, recursive doubling, pairwise exchange), so a
+// corrupted parameter that makes ranks disagree about the communication
+// schedule — e.g. a flipped `root` — produces a genuine unmatched
+// send/recv. The receive path waits with a deadline; when the deadline
+// passes the rank raises SimTimeout (the job "hangs", paper: INF_LOOP),
+// and when another rank has already failed, the world poison wakes every
+// waiter with WorldAborted so trials finish promptly.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace fastfit::mpi {
+
+/// A delivered message. `tag` encodes (communicator, collective sequence,
+/// phase) for collective traffic; plain p2p uses user tags.
+struct Message {
+  int source = -1;
+  std::uint64_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Shared flag that tears down a world once any rank fails.
+struct PoisonState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool poisoned = false;
+
+  void poison() {
+    {
+      std::lock_guard lock(mutex);
+      poisoned = true;
+    }
+    cv.notify_all();
+  }
+};
+
+/// Unbounded MPSC mailbox with (source, tag) matching and deadline waits.
+class Mailbox {
+ public:
+  explicit Mailbox(PoisonState& poison) : poison_(&poison) {}
+
+  /// Enqueues a message (called by the sending rank's thread).
+  void deliver(Message message);
+
+  /// Blocks until a message matching (source, tag) is available, the
+  /// deadline passes (throws SimTimeout), or the world is poisoned (throws
+  /// WorldAborted). Matching is exact; out-of-order arrivals with other
+  /// tags stay queued.
+  Message receive(int source, std::uint64_t tag,
+                  std::chrono::steady_clock::time_point deadline);
+
+  /// Number of queued (unmatched) messages; used by tests.
+  std::size_t pending() const;
+
+  /// Wakes any waiter so it can observe the poison flag. Called by the
+  /// world during teardown.
+  void wake();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  PoisonState* poison_;
+};
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,65 @@
+#include "minimpi/memory.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fastfit::mpi {
+
+void MemoryRegistry::add(const void* ptr, std::size_t bytes) {
+  if (ptr == nullptr && bytes > 0) {
+    throw InternalError("MemoryRegistry::add: null region");
+  }
+  if (bytes == 0) return;  // nothing to protect
+  const auto base = reinterpret_cast<std::uintptr_t>(ptr);
+  std::lock_guard lock(mutex_);
+  // Reject overlap with the predecessor and successor regions.
+  auto next = regions_.lower_bound(base);
+  if (next != regions_.end() && base + bytes > next->first) {
+    throw InternalError("MemoryRegistry::add: overlapping region");
+  }
+  if (next != regions_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second > base) {
+      throw InternalError("MemoryRegistry::add: overlapping region");
+    }
+  }
+  regions_.emplace(base, bytes);
+}
+
+void MemoryRegistry::remove(const void* ptr) {
+  const auto base = reinterpret_cast<std::uintptr_t>(ptr);
+  std::lock_guard lock(mutex_);
+  if (regions_.erase(base) == 0) {
+    throw InternalError("MemoryRegistry::remove: unknown region");
+  }
+}
+
+bool MemoryRegistry::covers(const void* ptr, std::size_t bytes) const noexcept {
+  if (bytes == 0) return true;
+  if (ptr == nullptr) return false;
+  const auto base = reinterpret_cast<std::uintptr_t>(ptr);
+  std::lock_guard lock(mutex_);
+  auto next = regions_.upper_bound(base);
+  if (next == regions_.begin()) return false;
+  const auto& [region_base, region_len] = *std::prev(next);
+  return base >= region_base && base + bytes <= region_base + region_len;
+}
+
+void MemoryRegistry::check(const void* ptr, std::size_t bytes,
+                           const char* what) const {
+  if (!covers(ptr, bytes)) {
+    std::ostringstream msg;
+    msg << what << " of " << bytes << " bytes at "
+        << reinterpret_cast<std::uintptr_t>(ptr)
+        << " leaves every registered region";
+    throw SimSegFault(reinterpret_cast<std::uintptr_t>(ptr), bytes, msg.str());
+  }
+}
+
+std::size_t MemoryRegistry::region_count() const {
+  std::lock_guard lock(mutex_);
+  return regions_.size();
+}
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,622 @@
+#include "minimpi/mpi.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "minimpi/validate.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+// Transport tag layout (64 bits):
+//   [63]     space: 0 = collective phase traffic, 1 = user point-to-point
+//   [62:43]  communicator index (20 bits)
+//   [42:11]  collective sequence number (32 bits)   } collective space
+//   [10:3]   algorithm phase (8 bits)               }
+//   [31:0]   user tag                               } p2p space
+constexpr std::uint64_t kP2pSpace = 1ULL << 63;
+
+std::uint64_t p2p_tag(Comm comm, std::int32_t user_tag) {
+  return kP2pSpace |
+         (static_cast<std::uint64_t>(handle_index(raw(comm))) << 43) |
+         static_cast<std::uint32_t>(user_tag);
+}
+
+std::uint32_t site_hash(const std::source_location& loc,
+                        CollectiveKind kind) {
+  std::ostringstream key;
+  key << loc.file_name() << ':' << loc.line() << ':'
+      << static_cast<int>(kind);
+  return static_cast<std::uint32_t>(fnv1a(key.str()));
+}
+
+}  // namespace
+
+Mpi::Mpi(World& world, int world_rank)
+    : world_(&world), world_rank_(world_rank) {}
+
+int Mpi::rank(Comm comm) const {
+  const int r = world_->comm_rank_of(comm, world_rank_);
+  if (r < 0) {
+    throw MpiError(MpiErrc::InvalidComm, "caller is not in the communicator");
+  }
+  return r;
+}
+
+int Mpi::size(Comm comm) const {
+  return static_cast<int>(world_->group_of(comm).size());
+}
+
+void Mpi::check_deadline() {
+  if (world_->poisoned()) {
+    throw WorldAborted("compute loop interrupted by world teardown");
+  }
+  if (std::chrono::steady_clock::now() > world_->deadline()) {
+    throw SimTimeout("compute loop exceeded the watchdog (job hang)");
+  }
+}
+
+std::uint64_t Mpi::coll_tag(Comm comm, std::uint32_t seq,
+                            std::uint8_t phase) const {
+  return (static_cast<std::uint64_t>(handle_index(raw(comm))) << 43) |
+         (static_cast<std::uint64_t>(seq) << 11) |
+         (static_cast<std::uint64_t>(phase) << 3);
+}
+
+void Mpi::send_internal(Comm comm, int dest, std::uint64_t tag,
+                        std::vector<std::byte> payload) {
+  if (world_->poisoned()) {
+    throw WorldAborted("send interrupted by world teardown");
+  }
+  const auto& members = world_->group_of(comm);
+  if (dest < 0 || dest >= static_cast<int>(members.size())) {
+    throw MpiError(MpiErrc::InvalidRank,
+                   "destination rank " + std::to_string(dest) +
+                       " outside communicator of size " +
+                       std::to_string(members.size()));
+  }
+  Message message;
+  message.source = world_->comm_rank_of(comm, world_rank_);
+  message.tag = tag;
+  message.payload = std::move(payload);
+  world_->mailbox(members[static_cast<std::size_t>(dest)])
+      .deliver(std::move(message));
+}
+
+std::vector<std::byte> Mpi::recv_internal(Comm comm, int source,
+                                          std::uint64_t tag) {
+  const auto& members = world_->group_of(comm);
+  if (source < 0 || source >= static_cast<int>(members.size())) {
+    throw MpiError(MpiErrc::InvalidRank,
+                   "source rank " + std::to_string(source) +
+                       " outside communicator of size " +
+                       std::to_string(members.size()));
+  }
+  Message message = world_->mailbox(world_rank_).receive(source, tag,
+                                                         world_->deadline());
+  return std::move(message.payload);
+}
+
+std::vector<std::byte> Mpi::pack(const void* ptr, std::size_t bytes,
+                                 const char* what) {
+  registry().check(ptr, bytes, what);
+  std::vector<std::byte> out(bytes);
+  if (bytes > 0) std::memcpy(out.data(), ptr, bytes);
+  return out;
+}
+
+void Mpi::store(void* ptr, std::span<const std::byte> data, const char* what) {
+  registry().check(ptr, data.size(), what);
+  if (!data.empty()) std::memcpy(ptr, data.data(), data.size());
+}
+
+// --- point-to-point ---------------------------------------------------------
+
+void Mpi::dispatch_p2p(P2pCall& call, std::source_location loc) {
+  if (world_->poisoned()) {
+    throw WorldAborted("point-to-point interrupted by world teardown");
+  }
+  call.site_file = loc.file_name();
+  call.site_line = static_cast<int>(loc.line());
+  {
+    std::ostringstream key;
+    key << loc.file_name() << ':' << loc.line() << ":p2p:"
+        << static_cast<int>(call.kind);
+    call.site_id = static_cast<std::uint32_t>(fnv1a(key.str()));
+  }
+  call.invocation = invocations_[call.site_id]++;
+  call.rank = world_->comm_rank_of(call.comm, world_rank_);
+  if (ToolHooks* tools = world_->tools()) {
+    tools->on_p2p(call, *this);
+  }
+}
+
+void Mpi::send(const void* buf, std::int32_t count, Datatype dtype, int dest,
+               std::int32_t tag, Comm comm, std::source_location loc) {
+  P2pCall call;
+  call.kind = P2pKind::Send;
+  call.buffer = const_cast<void*>(buf);  // fault model mutates app data
+  call.count = count;
+  call.datatype = dtype;
+  call.peer = dest;
+  call.tag = tag;
+  call.comm = comm;
+  dispatch_p2p(call, loc);
+
+  if (call.count < 0) {
+    throw MpiError(MpiErrc::InvalidCount, std::to_string(call.count));
+  }
+  if (!is_valid(call.datatype)) {
+    throw MpiError(MpiErrc::InvalidDatatype,
+                   "handle 0x" + std::to_string(raw(call.datatype)));
+  }
+  if (call.tag < 0) {
+    throw MpiError(MpiErrc::InvalidTag, std::to_string(call.tag));
+  }
+  const std::size_t bytes =
+      static_cast<std::size_t>(call.count) * datatype_size(call.datatype);
+  send_internal(call.comm, call.peer, p2p_tag(call.comm, call.tag),
+                pack(call.buffer, bytes, "send"));
+}
+
+void Mpi::recv(void* buf, std::int32_t count, Datatype dtype, int source,
+               std::int32_t tag, Comm comm, std::source_location loc) {
+  P2pCall call;
+  call.kind = P2pKind::Recv;
+  call.buffer = buf;
+  call.count = count;
+  call.datatype = dtype;
+  call.peer = source;
+  call.tag = tag;
+  call.comm = comm;
+  dispatch_p2p(call, loc);
+
+  if (call.count < 0) {
+    throw MpiError(MpiErrc::InvalidCount, std::to_string(call.count));
+  }
+  if (!is_valid(call.datatype)) {
+    throw MpiError(MpiErrc::InvalidDatatype,
+                   "handle 0x" + std::to_string(raw(call.datatype)));
+  }
+  if (call.tag < 0) {
+    throw MpiError(MpiErrc::InvalidTag, std::to_string(call.tag));
+  }
+  const std::size_t bytes =
+      static_cast<std::size_t>(call.count) * datatype_size(call.datatype);
+  std::vector<std::byte> payload =
+      recv_internal(call.comm, call.peer, p2p_tag(call.comm, call.tag));
+  if (payload.size() > bytes) {
+    throw MpiError(MpiErrc::Truncate,
+                   "message of " + std::to_string(payload.size()) +
+                       " bytes for a " + std::to_string(bytes) +
+                       "-byte receive");
+  }
+  store(call.buffer, payload, "recv");
+}
+
+Mpi::Request Mpi::isend(const void* buf, std::int32_t count, Datatype dtype,
+                        int dest, std::int32_t tag, Comm comm,
+                        std::source_location loc) {
+  // Eager/buffered: identical to a blocking send on this transport.
+  send(buf, count, dtype, dest, tag, comm, loc);
+  return Request{};
+}
+
+Mpi::Request Mpi::irecv(void* buf, std::int32_t count, Datatype dtype,
+                        int source, std::int32_t tag, Comm comm,
+                        std::source_location loc) {
+  // Interpose and validate at post time (the parameters as passed);
+  // matching happens at wait().
+  P2pCall call;
+  call.kind = P2pKind::Recv;
+  call.buffer = buf;
+  call.count = count;
+  call.datatype = dtype;
+  call.peer = source;
+  call.tag = tag;
+  call.comm = comm;
+  dispatch_p2p(call, loc);
+
+  if (call.count < 0) {
+    throw MpiError(MpiErrc::InvalidCount, std::to_string(call.count));
+  }
+  if (!is_valid(call.datatype)) {
+    throw MpiError(MpiErrc::InvalidDatatype,
+                   "handle 0x" + std::to_string(raw(call.datatype)));
+  }
+  if (call.tag < 0) {
+    throw MpiError(MpiErrc::InvalidTag, std::to_string(call.tag));
+  }
+  Request request;
+  request.pending_ = Request::PendingRecv{call.buffer, call.count,
+                                          call.datatype, call.peer,
+                                          call.tag,     call.comm};
+  return request;
+}
+
+void Mpi::wait(Request& request) {
+  if (!request.pending_) return;
+  const auto pending = *request.pending_;
+  request.pending_.reset();
+  const std::size_t bytes =
+      static_cast<std::size_t>(pending.count) * datatype_size(pending.dtype);
+  std::vector<std::byte> payload =
+      recv_internal(pending.comm, pending.source,
+                    p2p_tag(pending.comm, pending.tag));
+  if (payload.size() > bytes) {
+    throw MpiError(MpiErrc::Truncate,
+                   "message of " + std::to_string(payload.size()) +
+                       " bytes for a " + std::to_string(bytes) +
+                       "-byte receive");
+  }
+  store(pending.buf, payload, "irecv");
+}
+
+void Mpi::waitall(std::span<Request> requests) {
+  for (auto& request : requests) wait(request);
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+void Mpi::dispatch(CollectiveCall& call, std::source_location loc) {
+  if (world_->poisoned()) {
+    throw WorldAborted("collective interrupted by world teardown");
+  }
+  call.site_file = loc.file_name();
+  call.site_line = static_cast<int>(loc.line());
+  call.site_id = site_hash(loc, call.kind);
+  call.invocation = invocations_[call.site_id]++;
+  call.rank = world_->comm_rank_of(call.comm, world_rank_);
+
+  // Reserve the sequence number against the *pre-corruption* communicator:
+  // the rank entered this collective on that communicator, and peers will
+  // look for its traffic there.
+  const RawHandle pre_comm = raw(call.comm);
+
+  if (ToolHooks* tools = world_->tools()) {
+    tools->on_enter(call, *this);
+  }
+
+  validate_collective(call, *world_, world_rank_);
+
+  // A corrupted comm handle that still validates (another live
+  // communicator) diverts this rank's traffic there — sequence numbers are
+  // tracked per communicator actually used, so the confusion is real.
+  const RawHandle used_comm = raw(call.comm);
+  std::uint32_t seq = coll_seq_[used_comm]++;
+  if (used_comm != pre_comm) {
+    // Keep the original communicator's stream moving too, as the rank has
+    // conceptually consumed its slot there.
+    coll_seq_[pre_comm]++;
+  }
+
+  run_algorithm(call, seq);
+
+  if (ToolHooks* tools = world_->tools()) {
+    tools->on_exit(call, *this);
+  }
+}
+
+void Mpi::run_algorithm(const CollectiveCall& call, std::uint32_t seq) {
+  const auto& algorithms = world_->options().algorithms;
+  switch (call.kind) {
+    case CollectiveKind::Barrier: return run_barrier(call, seq);
+    case CollectiveKind::Bcast:
+      return algorithms.bcast == CollectiveAlgorithms::Bcast::Chain
+                 ? run_bcast_chain(call, seq)
+                 : run_bcast(call, seq);
+    case CollectiveKind::Reduce: return run_reduce(call, seq);
+    case CollectiveKind::Allreduce:
+      return algorithms.allreduce ==
+                     CollectiveAlgorithms::Allreduce::ReduceBcast
+                 ? run_allreduce_reduce_bcast(call, seq)
+                 : run_allreduce(call, seq);
+    case CollectiveKind::Scatter: return run_scatter(call, seq);
+    case CollectiveKind::Scatterv: return run_scatterv(call, seq);
+    case CollectiveKind::Gather: return run_gather(call, seq);
+    case CollectiveKind::Gatherv: return run_gatherv(call, seq);
+    case CollectiveKind::Allgather: return run_allgather(call, seq);
+    case CollectiveKind::Allgatherv: return run_allgatherv(call, seq);
+    case CollectiveKind::Alltoall: return run_alltoall(call, seq);
+    case CollectiveKind::Alltoallv: return run_alltoallv(call, seq);
+    case CollectiveKind::ReduceScatterBlock:
+      return run_reduce_scatter_block(call, seq);
+    case CollectiveKind::Scan: return run_scan(call, seq);
+  }
+  throw InternalError("run_algorithm: unknown collective kind");
+}
+
+// --- collective entry points ---------------------------------------------------
+
+void Mpi::barrier(Comm comm, std::source_location loc) {
+  CollectiveCall call;
+  call.kind = CollectiveKind::Barrier;
+  call.comm = comm;
+  dispatch(call, loc);
+}
+
+void Mpi::bcast(void* buf, std::int32_t count, Datatype dtype,
+                std::int32_t root, Comm comm, std::source_location loc) {
+  CollectiveCall call;
+  call.kind = CollectiveKind::Bcast;
+  call.sendbuf = buf;
+  call.recvbuf = buf;
+  call.count = count;
+  call.datatype = dtype;
+  call.root = root;
+  call.comm = comm;
+  dispatch(call, loc);
+}
+
+void Mpi::reduce(const void* sendbuf, void* recvbuf, std::int32_t count,
+                 Datatype dtype, Op op, std::int32_t root, Comm comm,
+                 std::source_location loc) {
+  CollectiveCall call;
+  call.kind = CollectiveKind::Reduce;
+  call.sendbuf = const_cast<void*>(sendbuf);  // fault model mutates app data
+  call.recvbuf = recvbuf;
+  call.count = count;
+  call.datatype = dtype;
+  call.op = op;
+  call.root = root;
+  call.comm = comm;
+  dispatch(call, loc);
+}
+
+void Mpi::allreduce(const void* sendbuf, void* recvbuf, std::int32_t count,
+                    Datatype dtype, Op op, Comm comm,
+                    std::source_location loc) {
+  CollectiveCall call;
+  call.kind = CollectiveKind::Allreduce;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.count = count;
+  call.datatype = dtype;
+  call.op = op;
+  call.comm = comm;
+  dispatch(call, loc);
+}
+
+void Mpi::scatter(const void* sendbuf, std::int32_t sendcount,
+                  Datatype sendtype, void* recvbuf, std::int32_t recvcount,
+                  Datatype recvtype, std::int32_t root, Comm comm,
+                  std::source_location loc) {
+  CollectiveCall call;
+  call.kind = CollectiveKind::Scatter;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.count = sendcount;
+  call.recvcount = recvcount;
+  call.datatype = sendtype;
+  call.recvdatatype = recvtype;
+  call.root = root;
+  call.comm = comm;
+  dispatch(call, loc);
+}
+
+void Mpi::gather(const void* sendbuf, std::int32_t sendcount,
+                 Datatype sendtype, void* recvbuf, std::int32_t recvcount,
+                 Datatype recvtype, std::int32_t root, Comm comm,
+                 std::source_location loc) {
+  CollectiveCall call;
+  call.kind = CollectiveKind::Gather;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.count = sendcount;
+  call.recvcount = recvcount;
+  call.datatype = sendtype;
+  call.recvdatatype = recvtype;
+  call.root = root;
+  call.comm = comm;
+  dispatch(call, loc);
+}
+
+void Mpi::allgather(const void* sendbuf, std::int32_t sendcount,
+                    Datatype sendtype, void* recvbuf, std::int32_t recvcount,
+                    Datatype recvtype, Comm comm, std::source_location loc) {
+  CollectiveCall call;
+  call.kind = CollectiveKind::Allgather;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.count = sendcount;
+  call.recvcount = recvcount;
+  call.datatype = sendtype;
+  call.recvdatatype = recvtype;
+  call.comm = comm;
+  dispatch(call, loc);
+}
+
+void Mpi::scatterv(const void* sendbuf,
+                   const std::vector<std::int32_t>& sendcounts,
+                   const std::vector<std::int32_t>& sdispls, Datatype sendtype,
+                   void* recvbuf, std::int32_t recvcount, Datatype recvtype,
+                   std::int32_t root, Comm comm, std::source_location loc) {
+  std::vector<std::int32_t> sc = sendcounts;
+  std::vector<std::int32_t> sd = sdispls;
+  CollectiveCall call;
+  call.kind = CollectiveKind::Scatterv;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.recvcount = recvcount;
+  call.datatype = sendtype;
+  call.recvdatatype = recvtype;
+  call.root = root;
+  call.comm = comm;
+  call.sendcounts = &sc;
+  call.sdispls = &sd;
+  dispatch(call, loc);
+}
+
+void Mpi::gatherv(const void* sendbuf, std::int32_t sendcount,
+                  Datatype sendtype, void* recvbuf,
+                  const std::vector<std::int32_t>& recvcounts,
+                  const std::vector<std::int32_t>& rdispls, Datatype recvtype,
+                  std::int32_t root, Comm comm, std::source_location loc) {
+  std::vector<std::int32_t> rc = recvcounts;
+  std::vector<std::int32_t> rd = rdispls;
+  CollectiveCall call;
+  call.kind = CollectiveKind::Gatherv;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.count = sendcount;
+  call.datatype = sendtype;
+  call.recvdatatype = recvtype;
+  call.root = root;
+  call.comm = comm;
+  call.recvcounts = &rc;
+  call.rdispls = &rd;
+  dispatch(call, loc);
+}
+
+void Mpi::allgatherv(const void* sendbuf, std::int32_t sendcount,
+                     Datatype sendtype, void* recvbuf,
+                     const std::vector<std::int32_t>& recvcounts,
+                     const std::vector<std::int32_t>& rdispls,
+                     Datatype recvtype, Comm comm, std::source_location loc) {
+  std::vector<std::int32_t> rc = recvcounts;
+  std::vector<std::int32_t> rd = rdispls;
+  CollectiveCall call;
+  call.kind = CollectiveKind::Allgatherv;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.count = sendcount;
+  call.datatype = sendtype;
+  call.recvdatatype = recvtype;
+  call.comm = comm;
+  call.recvcounts = &rc;
+  call.rdispls = &rd;
+  dispatch(call, loc);
+}
+
+void Mpi::alltoall(const void* sendbuf, std::int32_t sendcount,
+                   Datatype sendtype, void* recvbuf, std::int32_t recvcount,
+                   Datatype recvtype, Comm comm, std::source_location loc) {
+  CollectiveCall call;
+  call.kind = CollectiveKind::Alltoall;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.count = sendcount;
+  call.recvcount = recvcount;
+  call.datatype = sendtype;
+  call.recvdatatype = recvtype;
+  call.comm = comm;
+  dispatch(call, loc);
+}
+
+void Mpi::alltoallv(const void* sendbuf,
+                    const std::vector<std::int32_t>& sendcounts,
+                    const std::vector<std::int32_t>& sdispls,
+                    Datatype sendtype, void* recvbuf,
+                    const std::vector<std::int32_t>& recvcounts,
+                    const std::vector<std::int32_t>& rdispls,
+                    Datatype recvtype, Comm comm, std::source_location loc) {
+  // Local copies form the call's view of the arrays: tools corrupt the
+  // view (the "parameter" as passed), never the application's own arrays.
+  std::vector<std::int32_t> sc = sendcounts;
+  std::vector<std::int32_t> sd = sdispls;
+  std::vector<std::int32_t> rc = recvcounts;
+  std::vector<std::int32_t> rd = rdispls;
+  CollectiveCall call;
+  call.kind = CollectiveKind::Alltoallv;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.datatype = sendtype;
+  call.recvdatatype = recvtype;
+  call.comm = comm;
+  call.sendcounts = &sc;
+  call.sdispls = &sd;
+  call.recvcounts = &rc;
+  call.rdispls = &rd;
+  dispatch(call, loc);
+}
+
+void Mpi::reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                               std::int32_t recvcount, Datatype dtype, Op op,
+                               Comm comm, std::source_location loc) {
+  CollectiveCall call;
+  call.kind = CollectiveKind::ReduceScatterBlock;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.count = recvcount;
+  call.datatype = dtype;
+  call.op = op;
+  call.comm = comm;
+  dispatch(call, loc);
+}
+
+void Mpi::scan(const void* sendbuf, void* recvbuf, std::int32_t count,
+               Datatype dtype, Op op, Comm comm, std::source_location loc) {
+  CollectiveCall call;
+  call.kind = CollectiveKind::Scan;
+  call.sendbuf = const_cast<void*>(sendbuf);
+  call.recvbuf = recvbuf;
+  call.count = count;
+  call.datatype = dtype;
+  call.op = op;
+  call.comm = comm;
+  dispatch(call, loc);
+}
+
+// --- communicator management ---------------------------------------------------
+
+Comm Mpi::comm_split(Comm parent, int color, int key) {
+  const int n = size(parent);
+  const int me = rank(parent);
+  const std::uint32_t split_id = split_seq_[raw(parent)]++;
+
+  // Share (color, key, world_rank) over the parent with an internal ring
+  // allgather. Communicator construction is infrastructure, not one of the
+  // paper's injected collectives, so it bypasses the tool chain — but it
+  // still uses the real transport.
+  struct Entry {
+    std::int64_t color;
+    std::int64_t key;
+    std::int64_t world_rank;
+  };
+  std::vector<Entry> entries(static_cast<std::size_t>(n));
+  entries[static_cast<std::size_t>(me)] = {color, key, world_rank_};
+  const std::uint32_t seq = coll_seq_[raw(parent)]++;
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  int have = me;
+  for (int step = 1; step < n; ++step) {
+    std::vector<std::byte> out(sizeof(Entry));
+    std::memcpy(out.data(), &entries[static_cast<std::size_t>(have)],
+                sizeof(Entry));
+    send_internal(parent, right,
+                  coll_tag(parent, seq, static_cast<std::uint8_t>(step)),
+                  std::move(out));
+    auto in = recv_internal(
+        parent, left, coll_tag(parent, seq, static_cast<std::uint8_t>(step)));
+    if (in.size() != sizeof(Entry)) {
+      throw MpiError(MpiErrc::Internal, "comm_split exchange corrupted");
+    }
+    have = (me - step + n) % n;
+    std::memcpy(&entries[static_cast<std::size_t>(have)], in.data(),
+                sizeof(Entry));
+  }
+
+  // My group: every member with my color, ordered by (key, parent rank).
+  std::vector<std::pair<std::int64_t, int>> mine;  // (key, parent rank)
+  for (int r = 0; r < n; ++r) {
+    if (entries[static_cast<std::size_t>(r)].color == color) {
+      mine.emplace_back(entries[static_cast<std::size_t>(r)].key, r);
+    }
+  }
+  std::sort(mine.begin(), mine.end());
+  std::vector<int> members;
+  members.reserve(mine.size());
+  for (const auto& [k, parent_rank] : mine) {
+    members.push_back(static_cast<int>(
+        entries[static_cast<std::size_t>(parent_rank)].world_rank));
+  }
+
+  std::ostringstream comm_key;
+  comm_key << "split:" << raw(parent) << ':' << split_id << ':' << color;
+  return world_->register_comm(comm_key.str(), std::move(members));
+}
+
+Comm Mpi::comm_dup(Comm parent) { return comm_split(parent, 0, rank(parent)); }
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,299 @@
+#pragma once
+
+// The per-rank MPI facade: MiniMPI's public API.
+//
+// One Mpi object is handed to each rank's main function by World::run. Its
+// collective methods mirror the MPI-3 C bindings (buffer, count, datatype,
+// op, root, comm) and every call:
+//
+//   1. is wrapped in a CollectiveCall record,
+//   2. flows through the installed ToolHooks chain (profiler, injector),
+//   3. is validated like a production MPI validates its arguments,
+//   4. executes a real message-passing algorithm (binomial trees,
+//      recursive doubling, ring, pairwise exchange) over the mailbox
+//      transport, with every application-buffer access bounds-checked
+//      against the rank's MemoryRegistry.
+//
+// Call sites are identified by std::source_location so the profiling and
+// pruning layers can reason about "the MPI_Allreduce at lu.cpp:123",
+// matching the paper's call-site granularity.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <source_location>
+#include <span>
+#include <vector>
+
+#include "minimpi/datatype.hpp"
+#include "minimpi/hooks.hpp"
+#include "minimpi/memory.hpp"
+#include "minimpi/op.hpp"
+#include "minimpi/types.hpp"
+#include "minimpi/world.hpp"
+
+namespace fastfit::mpi {
+
+/// Temporarily registers a stack or member object with a MemoryRegistry;
+/// used by the typed convenience wrappers below.
+class ScopedRegistration {
+ public:
+  ScopedRegistration(MemoryRegistry& registry, const void* ptr,
+                     std::size_t bytes)
+      : registry_(&registry), ptr_(ptr), bytes_(bytes) {
+    registry_->add(ptr, bytes);
+  }
+  // Zero-byte registrations are no-ops on both ends (the registry keeps
+  // no record for them).
+  ~ScopedRegistration() {
+    if (bytes_ > 0) registry_->remove(ptr_);
+  }
+  ScopedRegistration(const ScopedRegistration&) = delete;
+  ScopedRegistration& operator=(const ScopedRegistration&) = delete;
+
+ private:
+  MemoryRegistry* registry_;
+  const void* ptr_;
+  std::size_t bytes_;
+};
+
+class Mpi {
+ public:
+  Mpi(World& world, int world_rank);
+
+  World& world() noexcept { return *world_; }
+  int world_rank() const noexcept { return world_rank_; }
+
+  /// Rank of this process in `comm` (-1 never escapes: non-membership
+  /// throws MpiError(InvalidComm), as using a foreign communicator would).
+  int rank(Comm comm = kCommWorld) const;
+  int size(Comm comm = kCommWorld) const;
+
+  MemoryRegistry& registry() { return world_->registry(world_rank_); }
+
+  /// Cooperative watchdog check for application compute loops; throws
+  /// SimTimeout past the deadline and WorldAborted once the world is
+  /// poisoned. Workloads call this once per outer iteration.
+  void check_deadline();
+
+  // --- point-to-point ----------------------------------------------------
+
+  void send(const void* buf, std::int32_t count, Datatype dtype, int dest,
+            std::int32_t tag, Comm comm = kCommWorld,
+            std::source_location loc = std::source_location::current());
+  void recv(void* buf, std::int32_t count, Datatype dtype, int source,
+            std::int32_t tag, Comm comm = kCommWorld,
+            std::source_location loc = std::source_location::current());
+
+  /// Nonblocking handle. MiniMPI sends eagerly (buffered), so an isend
+  /// request completes immediately; an irecv request defers matching to
+  /// wait(). Destroying an incomplete request is an error surfaced by
+  /// waitall/wait left undone — tests assert via pending().
+  class Request {
+   public:
+    Request() = default;
+    bool pending() const noexcept { return pending_.has_value(); }
+
+   private:
+    friend class Mpi;
+    struct PendingRecv {
+      void* buf;
+      std::int32_t count;
+      Datatype dtype;
+      int source;
+      std::int32_t tag;
+      Comm comm;
+    };
+    std::optional<PendingRecv> pending_;
+  };
+
+  /// Buffered nonblocking send: the message is injected eagerly; the
+  /// returned request is already complete (kept for symmetry/waitall).
+  Request isend(const void* buf, std::int32_t count, Datatype dtype, int dest,
+                std::int32_t tag, Comm comm = kCommWorld,
+                std::source_location loc = std::source_location::current());
+
+  /// Nonblocking receive: parameters are captured (and interposed) now;
+  /// matching happens at wait().
+  Request irecv(void* buf, std::int32_t count, Datatype dtype, int source,
+                std::int32_t tag, Comm comm = kCommWorld,
+                std::source_location loc = std::source_location::current());
+
+  /// Completes a request (blocking for pending receives). Idempotent.
+  void wait(Request& request);
+
+  /// Completes every request in the span.
+  void waitall(std::span<Request> requests);
+
+  // --- collectives (MPI-3 shapes) -----------------------------------------
+
+  void barrier(Comm comm = kCommWorld,
+               std::source_location loc = std::source_location::current());
+
+  void bcast(void* buf, std::int32_t count, Datatype dtype, std::int32_t root,
+             Comm comm = kCommWorld,
+             std::source_location loc = std::source_location::current());
+
+  void reduce(const void* sendbuf, void* recvbuf, std::int32_t count,
+              Datatype dtype, Op op, std::int32_t root,
+              Comm comm = kCommWorld,
+              std::source_location loc = std::source_location::current());
+
+  void allreduce(const void* sendbuf, void* recvbuf, std::int32_t count,
+                 Datatype dtype, Op op, Comm comm = kCommWorld,
+                 std::source_location loc = std::source_location::current());
+
+  void scatter(const void* sendbuf, std::int32_t sendcount, Datatype sendtype,
+               void* recvbuf, std::int32_t recvcount, Datatype recvtype,
+               std::int32_t root, Comm comm = kCommWorld,
+               std::source_location loc = std::source_location::current());
+
+  void gather(const void* sendbuf, std::int32_t sendcount, Datatype sendtype,
+              void* recvbuf, std::int32_t recvcount, Datatype recvtype,
+              std::int32_t root, Comm comm = kCommWorld,
+              std::source_location loc = std::source_location::current());
+
+  void allgather(const void* sendbuf, std::int32_t sendcount,
+                 Datatype sendtype, void* recvbuf, std::int32_t recvcount,
+                 Datatype recvtype, Comm comm = kCommWorld,
+                 std::source_location loc = std::source_location::current());
+
+  void scatterv(const void* sendbuf,
+                const std::vector<std::int32_t>& sendcounts,
+                const std::vector<std::int32_t>& sdispls, Datatype sendtype,
+                void* recvbuf, std::int32_t recvcount, Datatype recvtype,
+                std::int32_t root, Comm comm = kCommWorld,
+                std::source_location loc = std::source_location::current());
+
+  void gatherv(const void* sendbuf, std::int32_t sendcount, Datatype sendtype,
+               void* recvbuf, const std::vector<std::int32_t>& recvcounts,
+               const std::vector<std::int32_t>& rdispls, Datatype recvtype,
+               std::int32_t root, Comm comm = kCommWorld,
+               std::source_location loc = std::source_location::current());
+
+  void allgatherv(const void* sendbuf, std::int32_t sendcount,
+                  Datatype sendtype, void* recvbuf,
+                  const std::vector<std::int32_t>& recvcounts,
+                  const std::vector<std::int32_t>& rdispls, Datatype recvtype,
+                  Comm comm = kCommWorld,
+                  std::source_location loc = std::source_location::current());
+
+  void alltoall(const void* sendbuf, std::int32_t sendcount, Datatype sendtype,
+                void* recvbuf, std::int32_t recvcount, Datatype recvtype,
+                Comm comm = kCommWorld,
+                std::source_location loc = std::source_location::current());
+
+  void alltoallv(const void* sendbuf,
+                 const std::vector<std::int32_t>& sendcounts,
+                 const std::vector<std::int32_t>& sdispls, Datatype sendtype,
+                 void* recvbuf, const std::vector<std::int32_t>& recvcounts,
+                 const std::vector<std::int32_t>& rdispls, Datatype recvtype,
+                 Comm comm = kCommWorld,
+                 std::source_location loc = std::source_location::current());
+
+  void reduce_scatter_block(
+      const void* sendbuf, void* recvbuf, std::int32_t recvcount,
+      Datatype dtype, Op op, Comm comm = kCommWorld,
+      std::source_location loc = std::source_location::current());
+
+  void scan(const void* sendbuf, void* recvbuf, std::int32_t count,
+            Datatype dtype, Op op, Comm comm = kCommWorld,
+            std::source_location loc = std::source_location::current());
+
+  // --- communicator management --------------------------------------------
+
+  /// Collective over `parent`: partitions ranks by `color`, orders each
+  /// group by (key, parent rank). Returns the caller's new communicator.
+  Comm comm_split(Comm parent, int color, int key);
+
+  /// Collective over `parent`: duplicate with identical membership.
+  Comm comm_dup(Comm parent);
+
+  // --- typed conveniences ---------------------------------------------------
+
+  /// Allreduce of a single value; registers the temporaries for the call.
+  template <typename T>
+  T allreduce_value(T value, Op op, Comm comm = kCommWorld,
+                    std::source_location loc =
+                        std::source_location::current()) {
+    T in = value;
+    T out{};
+    ScopedRegistration keep_in(registry(), &in, sizeof(T));
+    ScopedRegistration keep_out(registry(), &out, sizeof(T));
+    allreduce(&in, &out, 1, datatype_of<T>(), op, comm, loc);
+    return out;
+  }
+
+  /// Bcast of a single value from `root`.
+  template <typename T>
+  T bcast_value(T value, std::int32_t root, Comm comm = kCommWorld,
+                std::source_location loc = std::source_location::current()) {
+    T slot = value;
+    ScopedRegistration keep(registry(), &slot, sizeof(T));
+    bcast(&slot, 1, datatype_of<T>(), root, comm, loc);
+    return slot;
+  }
+
+  // --- internals shared with the collective algorithms ---------------------
+  // (public for the free-standing algorithm translation units; applications
+  // have no reason to call these.)
+
+  struct Detail;
+
+  /// Sends raw bytes to `dest` (rank within `comm`) under a fully formed
+  /// transport tag.
+  void send_internal(Comm comm, int dest, std::uint64_t tag,
+                     std::vector<std::byte> payload);
+
+  /// Receives raw bytes from `source` (rank within `comm`); blocks until
+  /// matched, the watchdog deadline, or world poisoning.
+  std::vector<std::byte> recv_internal(Comm comm, int source,
+                                       std::uint64_t tag);
+
+  /// Reads `bytes` from an application buffer through the bounds registry.
+  std::vector<std::byte> pack(const void* ptr, std::size_t bytes,
+                              const char* what);
+
+  /// Writes bytes into an application buffer through the bounds registry.
+  void store(void* ptr, std::span<const std::byte> data, const char* what);
+
+  /// Transport tag for collective phase traffic.
+  std::uint64_t coll_tag(Comm comm, std::uint32_t seq,
+                         std::uint8_t phase) const;
+
+ private:
+  void dispatch(CollectiveCall& call, std::source_location loc);
+  void dispatch_p2p(P2pCall& call, std::source_location loc);
+  void run_algorithm(const CollectiveCall& call, std::uint32_t seq);
+
+  // one implementation per collective family (coll_*.cpp)
+  void run_barrier(const CollectiveCall& call, std::uint32_t seq);
+  void run_bcast(const CollectiveCall& call, std::uint32_t seq);
+  void run_bcast_chain(const CollectiveCall& call, std::uint32_t seq);
+  void run_allreduce_reduce_bcast(const CollectiveCall& call,
+                                  std::uint32_t seq);
+  void run_reduce(const CollectiveCall& call, std::uint32_t seq);
+  void run_allreduce(const CollectiveCall& call, std::uint32_t seq);
+  void run_scatter(const CollectiveCall& call, std::uint32_t seq);
+  void run_gather(const CollectiveCall& call, std::uint32_t seq);
+  void run_scatterv(const CollectiveCall& call, std::uint32_t seq);
+  void run_gatherv(const CollectiveCall& call, std::uint32_t seq);
+  void run_allgather(const CollectiveCall& call, std::uint32_t seq);
+  void run_allgatherv(const CollectiveCall& call, std::uint32_t seq);
+  void run_alltoall(const CollectiveCall& call, std::uint32_t seq);
+  void run_alltoallv(const CollectiveCall& call, std::uint32_t seq);
+  void run_reduce_scatter_block(const CollectiveCall& call, std::uint32_t seq);
+  void run_scan(const CollectiveCall& call, std::uint32_t seq);
+
+  World* world_;
+  int world_rank_;
+  /// Per-communicator collective sequence numbers (lockstep across ranks
+  /// in fault-free execution; divergence surfaces as unmatched traffic).
+  std::map<RawHandle, std::uint32_t> coll_seq_;
+  /// Per-(site) invocation counters for call identification.
+  std::map<std::uint32_t, std::uint64_t> invocations_;
+  /// Per-parent-communicator split counters (comm_split determinism).
+  std::map<RawHandle, std::uint32_t> split_seq_;
+};
+
+}  // namespace fastfit::mpi

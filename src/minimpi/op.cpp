@@ -1,0 +1,123 @@
+#include "minimpi/op.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "minimpi/datatype.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+constexpr std::array<std::string_view, kNumOps> kNames{
+    "MPI_SUM",  "MPI_PROD", "MPI_MIN",  "MPI_MAX", "MPI_BAND",
+    "MPI_BOR",  "MPI_BXOR", "MPI_LAND", "MPI_LOR",
+};
+
+bool is_integer_type(Datatype dtype) {
+  return dtype == kChar || dtype == kByte || dtype == kInt32 ||
+         dtype == kUint32 || dtype == kInt64 || dtype == kUint64;
+}
+
+template <typename T>
+void apply_typed(Op op, std::span<const std::byte> incoming,
+                 std::span<std::byte> accum, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    T a;
+    T b;
+    std::memcpy(&a, incoming.data() + i * sizeof(T), sizeof(T));
+    std::memcpy(&b, accum.data() + i * sizeof(T), sizeof(T));
+    T r;
+    if (op == kSum) {
+      r = static_cast<T>(b + a);
+    } else if (op == kProd) {
+      r = static_cast<T>(b * a);
+    } else if (op == kMin) {
+      r = std::min(a, b);
+    } else if (op == kMax) {
+      r = std::max(a, b);
+    } else if constexpr (std::is_integral_v<T>) {
+      using U = std::make_unsigned_t<T>;
+      const U ua = static_cast<U>(a);
+      const U ub = static_cast<U>(b);
+      if (op == kBand) {
+        r = static_cast<T>(ub & ua);
+      } else if (op == kBor) {
+        r = static_cast<T>(ub | ua);
+      } else if (op == kBxor) {
+        r = static_cast<T>(ub ^ ua);
+      } else if (op == kLand) {
+        r = static_cast<T>((b != 0) && (a != 0));
+      } else {  // kLor
+        r = static_cast<T>((b != 0) || (a != 0));
+      }
+    } else {
+      throw InternalError("op dispatch: unsupported op reached apply_typed");
+    }
+    std::memcpy(accum.data() + i * sizeof(T), &r, sizeof(T));
+  }
+}
+
+}  // namespace
+
+bool is_valid(Op op) noexcept {
+  const RawHandle h = raw(op);
+  return has_magic(h, kOpMagic) && handle_index(h) < kNumOps;
+}
+
+std::string_view op_name(Op op) {
+  if (!is_valid(op)) {
+    throw MpiError(MpiErrc::InvalidOp, "handle 0x" + std::to_string(raw(op)));
+  }
+  return kNames[handle_index(raw(op))];
+}
+
+bool op_supports(Op op, Datatype dtype) {
+  if (!is_valid(op)) {
+    throw MpiError(MpiErrc::InvalidOp, "handle 0x" + std::to_string(raw(op)));
+  }
+  if (!is_valid(dtype)) {
+    throw MpiError(MpiErrc::InvalidDatatype,
+                   "handle 0x" + std::to_string(raw(dtype)));
+  }
+  if (op == kBand || op == kBor || op == kBxor || op == kLand || op == kLor) {
+    return is_integer_type(dtype);
+  }
+  return true;
+}
+
+void apply(Op op, Datatype dtype, std::span<const std::byte> incoming,
+           std::span<std::byte> accum, std::size_t count) {
+  if (!op_supports(op, dtype)) {
+    throw MpiError(MpiErrc::InvalidOp,
+                   std::string(op_name(op)) + " undefined for " +
+                       std::string(datatype_name(dtype)));
+  }
+  const std::size_t bytes = count * datatype_size(dtype);
+  if (incoming.size() != bytes || accum.size() != bytes) {
+    throw InternalError("op::apply: span size mismatch");
+  }
+  if (dtype == kChar) {
+    apply_typed<char>(op, incoming, accum, count);
+  } else if (dtype == kByte) {
+    apply_typed<unsigned char>(op, incoming, accum, count);
+  } else if (dtype == kInt32) {
+    apply_typed<std::int32_t>(op, incoming, accum, count);
+  } else if (dtype == kUint32) {
+    apply_typed<std::uint32_t>(op, incoming, accum, count);
+  } else if (dtype == kInt64) {
+    apply_typed<std::int64_t>(op, incoming, accum, count);
+  } else if (dtype == kUint64) {
+    apply_typed<std::uint64_t>(op, incoming, accum, count);
+  } else if (dtype == kFloat) {
+    apply_typed<float>(op, incoming, accum, count);
+  } else if (dtype == kDouble) {
+    apply_typed<double>(op, incoming, accum, count);
+  } else {
+    throw MpiError(MpiErrc::InvalidDatatype,
+                   "handle 0x" + std::to_string(raw(dtype)));
+  }
+}
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,48 @@
+#pragma once
+
+// MiniMPI reduction operations.
+//
+// `apply` combines an incoming contribution into an accumulator,
+// element-wise, for every (op, datatype) pair that MPI defines — bitwise
+// ops reject floating-point types with MPI_ERR_OP, as a production MPI
+// does. A corrupted op handle that lands on a *different valid* op silently
+// computes the wrong reduction (-> WRONG_ANS); an invalid handle raises
+// MPI_ERR_OP at validation time. Both paths matter for Fig 9.
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "minimpi/types.hpp"
+
+namespace fastfit::mpi {
+
+inline constexpr Op kSum = make_op(0);
+inline constexpr Op kProd = make_op(1);
+inline constexpr Op kMin = make_op(2);
+inline constexpr Op kMax = make_op(3);
+inline constexpr Op kBand = make_op(4);
+inline constexpr Op kBor = make_op(5);
+inline constexpr Op kBxor = make_op(6);
+inline constexpr Op kLand = make_op(7);
+inline constexpr Op kLor = make_op(8);
+
+inline constexpr std::size_t kNumOps = 9;
+
+/// True iff the handle denotes an entry of the op table.
+bool is_valid(Op op) noexcept;
+
+/// MPI-style name, e.g. "MPI_SUM". Requires a valid handle.
+std::string_view op_name(Op op);
+
+/// True iff `op` is defined for `dtype` (bitwise/logical ops are not
+/// defined for floating-point types).
+bool op_supports(Op op, Datatype dtype);
+
+/// accum[i] = accum[i] OP incoming[i], element-wise over `count` elements
+/// of `dtype`. Both spans must hold exactly count * datatype_size(dtype)
+/// bytes. Throws MpiError for invalid handles or unsupported pairs.
+void apply(Op op, Datatype dtype, std::span<const std::byte> incoming,
+           std::span<std::byte> accum, std::size_t count);
+
+}  // namespace fastfit::mpi

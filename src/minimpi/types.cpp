@@ -1,0 +1,25 @@
+#include "minimpi/types.hpp"
+
+namespace fastfit::mpi {
+
+const char* to_string(CollectiveKind kind) noexcept {
+  switch (kind) {
+    case CollectiveKind::Barrier: return "MPI_Barrier";
+    case CollectiveKind::Bcast: return "MPI_Bcast";
+    case CollectiveKind::Reduce: return "MPI_Reduce";
+    case CollectiveKind::Allreduce: return "MPI_Allreduce";
+    case CollectiveKind::Scatter: return "MPI_Scatter";
+    case CollectiveKind::Scatterv: return "MPI_Scatterv";
+    case CollectiveKind::Gather: return "MPI_Gather";
+    case CollectiveKind::Gatherv: return "MPI_Gatherv";
+    case CollectiveKind::Allgather: return "MPI_Allgather";
+    case CollectiveKind::Allgatherv: return "MPI_Allgatherv";
+    case CollectiveKind::Alltoall: return "MPI_Alltoall";
+    case CollectiveKind::Alltoallv: return "MPI_Alltoallv";
+    case CollectiveKind::ReduceScatterBlock: return "MPI_Reduce_scatter_block";
+    case CollectiveKind::Scan: return "MPI_Scan";
+  }
+  return "MPI_Unknown";
+}
+
+}  // namespace fastfit::mpi

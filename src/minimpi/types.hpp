@@ -1,0 +1,113 @@
+#pragma once
+
+// Fundamental MiniMPI types: handle encodings and the collective taxonomy.
+//
+// Datatypes, reduction ops, and communicators are opaque 32-bit handles, as
+// in a production MPI. The encoding matters for fault injection: the high
+// 20 bits carry a per-class magic tag, so a random single-bit flip usually
+// destroys the magic and yields an *invalid* handle (-> MPI_ERR, as real
+// MPIs report for corrupted handles), while a flip in the low index bits
+// can land on a *different valid* handle (-> silent type/op confusion, the
+// nastier real-world case). Both behaviours are reachable, mirroring what
+// the paper observed when flipping bits of `datatype`, `op`, and `comm`.
+
+#include <cstdint>
+
+namespace fastfit::mpi {
+
+using RawHandle = std::uint32_t;
+
+inline constexpr RawHandle kDatatypeMagic = 0x7D100000u;
+inline constexpr RawHandle kOpMagic = 0x0F200000u;
+inline constexpr RawHandle kCommMagic = 0xC0300000u;
+inline constexpr RawHandle kMagicMask = 0xFFF00000u;
+inline constexpr RawHandle kIndexMask = 0x000FFFFFu;
+
+/// Opaque datatype handle (see datatype.hpp for the registry).
+enum class Datatype : RawHandle {};
+/// Opaque reduction-operation handle (see op.hpp).
+enum class Op : RawHandle {};
+/// Opaque communicator handle (see world.hpp for the registry).
+enum class Comm : RawHandle {};
+
+constexpr RawHandle raw(Datatype d) noexcept { return static_cast<RawHandle>(d); }
+constexpr RawHandle raw(Op o) noexcept { return static_cast<RawHandle>(o); }
+constexpr RawHandle raw(Comm c) noexcept { return static_cast<RawHandle>(c); }
+
+constexpr bool has_magic(RawHandle h, RawHandle magic) noexcept {
+  return (h & kMagicMask) == magic;
+}
+constexpr RawHandle handle_index(RawHandle h) noexcept { return h & kIndexMask; }
+
+constexpr Datatype make_datatype(RawHandle index) noexcept {
+  return static_cast<Datatype>(kDatatypeMagic | index);
+}
+constexpr Op make_op(RawHandle index) noexcept {
+  return static_cast<Op>(kOpMagic | index);
+}
+constexpr Comm make_comm(RawHandle index) noexcept {
+  return static_cast<Comm>(kCommMagic | index);
+}
+
+/// The world communicator always has index 0.
+inline constexpr Comm kCommWorld = make_comm(0);
+
+/// The collective operations MiniMPI implements — the set the paper injects
+/// into, plus Scan/Reduce_scatter for completeness.
+enum class CollectiveKind : std::uint8_t {
+  Barrier,
+  Bcast,
+  Reduce,
+  Allreduce,
+  Scatter,
+  Scatterv,
+  Gather,
+  Gatherv,
+  Allgather,
+  Allgatherv,
+  Alltoall,
+  Alltoallv,
+  ReduceScatterBlock,
+  Scan,
+};
+
+inline constexpr std::uint8_t kNumCollectiveKinds = 14;
+
+/// MPI-style name, e.g. "MPI_Allreduce".
+const char* to_string(CollectiveKind kind) noexcept;
+
+/// Rooted collectives have an asymmetric communication pattern (the basis
+/// of semantic-driven pruning, paper Section III-A).
+constexpr bool is_rooted(CollectiveKind kind) noexcept {
+  switch (kind) {
+    case CollectiveKind::Bcast:
+    case CollectiveKind::Reduce:
+    case CollectiveKind::Scatter:
+    case CollectiveKind::Scatterv:
+    case CollectiveKind::Gather:
+    case CollectiveKind::Gatherv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Collectives that apply a reduction operation (have an `op` parameter).
+constexpr bool has_op(CollectiveKind kind) noexcept {
+  switch (kind) {
+    case CollectiveKind::Reduce:
+    case CollectiveKind::Allreduce:
+    case CollectiveKind::ReduceScatterBlock:
+    case CollectiveKind::Scan:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Collectives that carry a data payload (Barrier does not).
+constexpr bool has_data(CollectiveKind kind) noexcept {
+  return kind != CollectiveKind::Barrier;
+}
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,153 @@
+#include "minimpi/validate.hpp"
+
+#include "minimpi/datatype.hpp"
+#include "minimpi/op.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+void require_count(std::int32_t count) {
+  if (count < 0) {
+    throw MpiError(MpiErrc::InvalidCount, std::to_string(count));
+  }
+}
+
+void require_datatype(Datatype dtype) {
+  if (!is_valid(dtype)) {
+    throw MpiError(MpiErrc::InvalidDatatype,
+                   "handle 0x" + std::to_string(raw(dtype)));
+  }
+}
+
+void require_op(Op op, Datatype dtype) {
+  if (!is_valid(op)) {
+    throw MpiError(MpiErrc::InvalidOp, "handle 0x" + std::to_string(raw(op)));
+  }
+  if (!op_supports(op, dtype)) {
+    throw MpiError(MpiErrc::InvalidOp,
+                   std::string(op_name(op)) + " undefined for " +
+                       std::string(datatype_name(dtype)));
+  }
+}
+
+void require_counts_array(const std::vector<std::int32_t>* counts,
+                          const std::vector<std::int32_t>* displs, int n) {
+  if (counts == nullptr || displs == nullptr) {
+    throw MpiError(MpiErrc::InvalidCount, "missing counts/displs array");
+  }
+  if (static_cast<int>(counts->size()) != n ||
+      static_cast<int>(displs->size()) != n) {
+    throw MpiError(MpiErrc::InvalidCount,
+                   "counts/displs array length does not match group size");
+  }
+  for (std::int32_t c : *counts) require_count(c);
+  for (std::int32_t d : *displs) {
+    if (d < 0) throw MpiError(MpiErrc::InvalidCount, "negative displacement");
+  }
+}
+
+}  // namespace
+
+void validate_collective(const CollectiveCall& call, World& world,
+                         int world_rank) {
+  // Communicator first: nothing else can be interpreted without it.
+  const auto& members = world.group_of(call.comm);  // throws InvalidComm
+  const int me = world.comm_rank_of(call.comm, world_rank);
+  if (me < 0) {
+    throw MpiError(MpiErrc::InvalidComm, "caller is not in the communicator");
+  }
+  const int n = static_cast<int>(members.size());
+
+  if (is_rooted(call.kind)) {
+    if (call.root < 0 || call.root >= n) {
+      throw MpiError(MpiErrc::InvalidRoot, std::to_string(call.root));
+    }
+  }
+  const bool is_root = is_rooted(call.kind) && me == call.root;
+
+  switch (call.kind) {
+    case CollectiveKind::Barrier:
+      break;
+
+    case CollectiveKind::Bcast:
+      require_count(call.count);
+      require_datatype(call.datatype);
+      break;
+
+    case CollectiveKind::Reduce:
+      require_count(call.count);
+      require_datatype(call.datatype);
+      require_op(call.op, call.datatype);
+      break;
+
+    case CollectiveKind::Allreduce:
+    case CollectiveKind::ReduceScatterBlock:
+    case CollectiveKind::Scan:
+      require_count(call.count);
+      require_datatype(call.datatype);
+      require_op(call.op, call.datatype);
+      break;
+
+    case CollectiveKind::Scatter:
+      // sendcount/sendtype significant only at the root.
+      if (is_root) {
+        require_count(call.count);
+        require_datatype(call.datatype);
+      }
+      require_count(call.recvcount);
+      require_datatype(call.recvdatatype);
+      break;
+
+    case CollectiveKind::Gather:
+      require_count(call.count);
+      require_datatype(call.datatype);
+      // recvcount/recvtype significant only at the root.
+      if (is_root) {
+        require_count(call.recvcount);
+        require_datatype(call.recvdatatype);
+      }
+      break;
+
+    case CollectiveKind::Allgather:
+    case CollectiveKind::Alltoall:
+      require_count(call.count);
+      require_datatype(call.datatype);
+      require_count(call.recvcount);
+      require_datatype(call.recvdatatype);
+      break;
+
+    case CollectiveKind::Allgatherv:
+      require_count(call.count);
+      require_datatype(call.datatype);
+      require_datatype(call.recvdatatype);
+      require_counts_array(call.recvcounts, call.rdispls, n);
+      break;
+
+    case CollectiveKind::Alltoallv:
+      require_datatype(call.datatype);
+      require_datatype(call.recvdatatype);
+      require_counts_array(call.sendcounts, call.sdispls, n);
+      require_counts_array(call.recvcounts, call.rdispls, n);
+      break;
+
+    case CollectiveKind::Scatterv:
+      if (is_root) {
+        require_datatype(call.datatype);
+        require_counts_array(call.sendcounts, call.sdispls, n);
+      }
+      require_count(call.recvcount);
+      require_datatype(call.recvdatatype);
+      break;
+
+    case CollectiveKind::Gatherv:
+      require_count(call.count);
+      require_datatype(call.datatype);
+      if (is_root) {
+        require_datatype(call.recvdatatype);
+        require_counts_array(call.recvcounts, call.rdispls, n);
+      }
+      break;
+  }
+}
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,22 @@
+#pragma once
+
+// Parameter validation for collective calls, mirroring the checks a
+// production MPI performs on entry. This is the layer that turns most
+// corrupted handles and counts into MPI_ERR responses (paper Table I),
+// while deliberately *not* catching what real MPIs cannot catch — a
+// plausible-but-wrong root, a different valid op, an oversized count whose
+// buffer access only faults later.
+
+#include "minimpi/hooks.hpp"
+#include "minimpi/world.hpp"
+
+namespace fastfit::mpi {
+
+/// Validates `call` as the given world rank would on entry. Throws
+/// MpiError on the first violation. Significance rules follow MPI: e.g.
+/// gather's recvcount/recvtype are validated only at the root, so a flip
+/// in a parameter this rank never reads is (correctly) harmless.
+void validate_collective(const CollectiveCall& call, World& world,
+                         int world_rank);
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,178 @@
+#include "minimpi/world.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+#include "minimpi/mpi.hpp"
+
+namespace fastfit::mpi {
+
+const char* to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::AppDetected: return "APP_DETECTED";
+    case EventType::MpiErr: return "MPI_ERR";
+    case EventType::SegFault: return "SEG_FAULT";
+    case EventType::Timeout: return "INF_LOOP";
+  }
+  return "UNKNOWN";
+}
+
+World::World(WorldOptions options) : options_(options) {
+  if (options_.nranks < 1) {
+    throw ConfigError("World: nranks must be at least 1");
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(options_.nranks));
+  registries_.reserve(static_cast<std::size_t>(options_.nranks));
+  for (int r = 0; r < options_.nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(poison_));
+    registries_.push_back(std::make_unique<MemoryRegistry>());
+  }
+  std::vector<int> everyone(static_cast<std::size_t>(options_.nranks));
+  for (int r = 0; r < options_.nranks; ++r) {
+    everyone[static_cast<std::size_t>(r)] = r;
+  }
+  comms_.push_back(CommEntry{std::move(everyone)});
+  comm_keys_.emplace("world", 0);
+}
+
+World::~World() = default;
+
+Mailbox& World::mailbox(int world_rank) {
+  return *mailboxes_.at(static_cast<std::size_t>(world_rank));
+}
+
+MemoryRegistry& World::registry(int world_rank) {
+  return *registries_.at(static_cast<std::size_t>(world_rank));
+}
+
+bool World::poisoned() {
+  std::lock_guard lock(poison_.mutex);
+  return poison_.poisoned;
+}
+
+void World::report_event(int rank, const FaultEvent& event) {
+  {
+    std::lock_guard lock(event_mutex_);
+    if (!event_) {
+      CapturedEvent captured;
+      captured.rank = rank;
+      captured.message = event.what();
+      if (const auto* mpi_error = dynamic_cast<const MpiError*>(&event)) {
+        captured.type = EventType::MpiErr;
+        captured.mpi_code = mpi_error->code();
+      } else if (dynamic_cast<const SimSegFault*>(&event) != nullptr) {
+        captured.type = EventType::SegFault;
+      } else if (dynamic_cast<const AppError*>(&event) != nullptr) {
+        captured.type = EventType::AppDetected;
+      } else if (dynamic_cast<const SimTimeout*>(&event) != nullptr) {
+        captured.type = EventType::Timeout;
+      } else {
+        // WorldAborted never initiates; anything else is a library bug.
+        throw InternalError(std::string("report_event: unexpected event: ") +
+                            event.what());
+      }
+      event_ = std::move(captured);
+    }
+  }
+  poison_.poison();
+  for (auto& mailbox : mailboxes_) mailbox->wake();
+}
+
+Comm World::register_comm(const std::string& key, std::vector<int> members) {
+  if (members.empty()) {
+    throw InternalError("register_comm: empty member list");
+  }
+  std::lock_guard lock(comm_mutex_);
+  if (auto it = comm_keys_.find(key); it != comm_keys_.end()) {
+    const auto& existing = comms_[it->second].members;
+    if (existing != members) {
+      // Two ranks derived the same key for different groups: under a fault
+      // this is a communicator-construction inconsistency a real MPI would
+      // surface as a communicator error.
+      throw MpiError(MpiErrc::InvalidComm,
+                     "inconsistent group for communicator key '" + key + "'");
+    }
+    return make_comm(it->second);
+  }
+  const auto index = static_cast<RawHandle>(comms_.size());
+  if (index > kIndexMask) {
+    throw InternalError("register_comm: communicator table exhausted");
+  }
+  comms_.push_back(CommEntry{std::move(members)});
+  comm_keys_.emplace(key, index);
+  return make_comm(index);
+}
+
+const std::vector<int>& World::group_of(Comm comm) const {
+  const RawHandle h = raw(comm);
+  std::lock_guard lock(comm_mutex_);
+  if (!has_magic(h, kCommMagic) || handle_index(h) >= comms_.size()) {
+    throw MpiError(MpiErrc::InvalidComm, "handle 0x" + std::to_string(h));
+  }
+  return comms_[handle_index(h)].members;
+}
+
+int World::comm_rank_of(Comm comm, int world_rank) const {
+  const auto& members = group_of(comm);
+  const auto it = std::find(members.begin(), members.end(), world_rank);
+  if (it == members.end()) return -1;
+  return static_cast<int>(it - members.begin());
+}
+
+WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
+  if (ran_) throw InternalError("World::run: a World is single-use");
+  ran_ = true;
+  deadline_ = std::chrono::steady_clock::now() + options_.watchdog;
+
+  std::mutex internal_mutex;
+  std::exception_ptr internal_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options_.nranks));
+  for (int r = 0; r < options_.nranks; ++r) {
+    threads.emplace_back([this, r, &rank_main, &internal_mutex,
+                          &internal_error] {
+      Mpi mpi(*this, r);
+      try {
+        rank_main(mpi);
+      } catch (const WorldAborted&) {
+        // Subordinate teardown; the initiating rank already reported.
+      } catch (const FaultEvent& event) {
+        report_event(r, event);
+      } catch (const std::bad_alloc&) {
+        // A corrupted size that slipped past application checks exhausted
+        // memory: on a real cluster the OOM killer takes the job down, the
+        // same observable as a crash.
+        report_event(r, SimSegFault(0, 0, "allocation failure (OOM kill)"));
+      } catch (const std::length_error&) {
+        report_event(r, SimSegFault(0, 0, "absurd allocation request"));
+      } catch (...) {
+        {
+          std::lock_guard lock(internal_mutex);
+          if (!internal_error) internal_error = std::current_exception();
+        }
+        poison_.poison();
+        for (auto& mailbox : mailboxes_) mailbox->wake();
+      }
+      // Wake peers that might be blocked on this rank's silence: once any
+      // rank exits its main early (fault path), messages it would have sent
+      // never arrive; poisoning handles the fault paths, and a clean early
+      // exit simply stops participating (peers time out, as on a real job).
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  if (internal_error) std::rethrow_exception(internal_error);
+
+  WorldResult result;
+  {
+    std::lock_guard lock(event_mutex_);
+    result.event = event_;
+  }
+  return result;
+}
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,154 @@
+#pragma once
+
+// The World: a simulated MPI job.
+//
+// A World runs an SPMD rank function on N threads, one per rank, each with
+// its own mailbox (transport endpoint) and memory registry (simulated
+// address space). It is the failure-containment boundary of a fault-
+// injection trial: the first FaultEvent any rank raises is captured,
+// the world is poisoned so every other rank unwinds promptly with
+// WorldAborted, and run() returns a WorldResult describing the initiating
+// event — never letting a "segfault" or "hang" escape the process.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minimpi/hooks.hpp"
+#include "minimpi/mailbox.hpp"
+#include "minimpi/memory.hpp"
+#include "minimpi/types.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::mpi {
+
+class Mpi;
+
+/// Algorithm selection per collective family, mirroring how production
+/// MPIs pick among several implementations. Fault *behaviour* differs by
+/// algorithm (e.g. a divergent root stalls a chain pipeline differently
+/// from a binomial tree), which bench/ablation_algorithms measures.
+struct CollectiveAlgorithms {
+  enum class Allreduce : std::uint8_t {
+    RecursiveDoubling,  ///< MPICH short-vector algorithm (default)
+    ReduceBcast,        ///< binomial reduce to rank 0 + binomial bcast
+  };
+  enum class Bcast : std::uint8_t {
+    Binomial,  ///< binomial tree (default)
+    Chain,     ///< pipeline through consecutive ranks
+  };
+  Allreduce allreduce = Allreduce::RecursiveDoubling;
+  Bcast bcast = Bcast::Binomial;
+};
+
+struct WorldOptions {
+  int nranks = 32;
+  /// Rendezvous watchdog: a collective that has not completed after this
+  /// long is declared hung (paper Table I: INF_LOOP). Must comfortably
+  /// exceed the fault-free runtime of the workload.
+  std::chrono::milliseconds watchdog{500};
+  std::uint64_t seed = 0x5eedULL;
+  CollectiveAlgorithms algorithms;
+};
+
+/// How a rank failed, for outcome classification (maps onto Table I).
+enum class EventType : std::uint8_t {
+  AppDetected,  ///< application's own error handling aborted
+  MpiErr,       ///< MiniMPI validation rejected a parameter
+  SegFault,     ///< memory-registry bounds violation
+  Timeout,      ///< watchdog fired: the job hung
+};
+
+const char* to_string(EventType type) noexcept;
+
+/// The first (initiating) failure observed in a world.
+struct CapturedEvent {
+  EventType type{};
+  int rank = -1;
+  std::string message;
+  std::optional<MpiErrc> mpi_code;
+};
+
+/// Result of one world execution. `clean()` does not imply SUCCESS — the
+/// trial runner still compares the application's answer against a golden
+/// run to distinguish SUCCESS from WRONG_ANS.
+struct WorldResult {
+  std::optional<CapturedEvent> event;
+  bool clean() const noexcept { return !event.has_value(); }
+};
+
+class World {
+ public:
+  explicit World(WorldOptions options);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs `rank_main` on every rank. Callable once per World. Exceptions
+  /// that are not FaultEvents (library bugs) are re-thrown to the caller.
+  WorldResult run(const std::function<void(Mpi&)>& rank_main);
+
+  const WorldOptions& options() const noexcept { return options_; }
+  int size() const noexcept { return options_.nranks; }
+
+  /// Installs the tool chain every collective dispatches through.
+  void set_tools(ToolHooks* tools) noexcept { tools_ = tools; }
+  ToolHooks* tools() const noexcept { return tools_; }
+
+  // --- internals used by the Mpi facade ---------------------------------
+
+  Mailbox& mailbox(int world_rank);
+  MemoryRegistry& registry(int world_rank);
+  PoisonState& poison() noexcept { return poison_; }
+  bool poisoned();
+  std::chrono::steady_clock::time_point deadline() const noexcept {
+    return deadline_;
+  }
+
+  /// Records the initiating failure (first wins; WorldAborted never
+  /// initiates) and poisons the world.
+  void report_event(int rank, const FaultEvent& event);
+
+  /// Communicator registry. A communicator is a list of world ranks.
+  /// `register_comm` is idempotent on `key`: all members of a new
+  /// communicator derive the same creation key (parent handle, per-parent
+  /// split sequence, color), so each obtains the same handle without any
+  /// global ordering.
+  Comm register_comm(const std::string& key, std::vector<int> members);
+
+  /// Group of a communicator; throws MpiError(InvalidComm) for a handle
+  /// that does not name a live communicator of this world.
+  const std::vector<int>& group_of(Comm comm) const;
+
+  /// Rank of `world_rank` within `comm`, or -1 if not a member.
+  int comm_rank_of(Comm comm, int world_rank) const;
+
+ private:
+  WorldOptions options_;
+  PoisonState poison_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<MemoryRegistry>> registries_;
+  std::chrono::steady_clock::time_point deadline_;
+
+  std::mutex event_mutex_;
+  std::optional<CapturedEvent> event_;
+
+  mutable std::mutex comm_mutex_;
+  struct CommEntry {
+    std::vector<int> members;
+  };
+  std::vector<CommEntry> comms_;
+  std::map<std::string, RawHandle> comm_keys_;
+
+  ToolHooks* tools_ = nullptr;
+  bool ran_ = false;
+};
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,90 @@
+#include "ml/classifier.hpp"
+
+#include <optional>
+
+#include "ml/knn.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/random_forest.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::ml {
+namespace {
+
+/// Adapter exposing RandomForest through the Classifier interface.
+class ForestClassifier final : public Classifier {
+ public:
+  explicit ForestClassifier(const ClassifierConfig& config) {
+    forest_config_.n_trees = config.n_trees;
+    forest_config_.max_depth = config.max_depth;
+    forest_config_.seed = config.seed;
+  }
+  void train(const Dataset& data) override {
+    forest_ = RandomForest::train(data, forest_config_);
+  }
+  std::size_t predict(const FeatureVec& x) const override {
+    if (!forest_) throw InternalError("ForestClassifier: untrained");
+    return forest_->predict(x);
+  }
+  std::string name() const override { return "random-forest"; }
+
+ private:
+  ForestConfig forest_config_;
+  std::optional<RandomForest> forest_;
+};
+
+/// Always predicts the training majority: the floor every model must beat.
+class MajorityClassifier final : public Classifier {
+ public:
+  void train(const Dataset& data) override { label_ = data.majority_label(); }
+  std::size_t predict(const FeatureVec&) const override { return label_; }
+  std::string name() const override { return "majority"; }
+
+ private:
+  std::size_t label_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> make_classifier(const std::string& name,
+                                            const ClassifierConfig& config) {
+  if (name == "random-forest") {
+    return std::make_unique<ForestClassifier>(config);
+  }
+  if (name == "knn") return std::make_unique<KnnClassifier>(config.k);
+  if (name == "naive-bayes") return std::make_unique<GaussianNaiveBayes>();
+  if (name == "majority") return std::make_unique<MajorityClassifier>();
+  throw ConfigError("unknown classifier: " + name);
+}
+
+std::vector<std::string> classifier_names() {
+  return {"random-forest", "knn", "naive-bayes", "majority"};
+}
+
+stats::ConfusionMatrix evaluate(const Classifier& model, const Dataset& data) {
+  stats::ConfusionMatrix matrix(data.num_classes());
+  for (const auto& sample : data.samples()) {
+    matrix.add(sample.label, model.predict(sample.x));
+  }
+  return matrix;
+}
+
+std::vector<stats::ConfusionMatrix> repeated_random_split_eval(
+    const std::string& model_name, const ClassifierConfig& config,
+    const Dataset& data, std::size_t rounds, double train_fraction) {
+  std::vector<stats::ConfusionMatrix> out;
+  out.reserve(rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto [train, test] = data.split(train_fraction, config.seed, round);
+    if (train.empty() || test.empty()) {
+      throw InternalError("repeated_random_split_eval: degenerate split");
+    }
+    ClassifierConfig round_config = config;
+    round_config.seed = config.seed ^ (0x9e3779b97f4a7c15ULL * (round + 1));
+    auto model = make_classifier(model_name, round_config);
+    model->train(train);
+    out.push_back(evaluate(*model, test));
+  }
+  return out;
+}
+
+}  // namespace fastfit::ml

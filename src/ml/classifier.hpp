@@ -1,0 +1,63 @@
+#pragma once
+
+// Pluggable classification models.
+//
+// The paper (Sec IV-D): "FastFIT is not tied to the random forest
+// algorithm. It can be replaced by other machine learning algorithms, if
+// required." This interface is that replacement point: the learning loop
+// and the accuracy evaluation work against Classifier, and a factory
+// builds any registered model by name. Besides the random forest, two
+// classic baselines ship: k-nearest-neighbours (distance-weighted, with
+// per-feature normalization) and Gaussian naive Bayes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "stats/confusion.hpp"
+
+namespace fastfit::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fits the model. May be called again to re-fit on new data.
+  virtual void train(const Dataset& data) = 0;
+
+  /// Predicts a class label; requires a prior train().
+  virtual std::size_t predict(const FeatureVec& x) const = 0;
+
+  /// Model name for reports ("random-forest", "knn", "naive-bayes").
+  virtual std::string name() const = 0;
+};
+
+struct ClassifierConfig {
+  /// Forest parameters (used by "random-forest").
+  std::size_t n_trees = 48;
+  std::size_t max_depth = 10;
+  /// Neighbour count (used by "knn").
+  std::size_t k = 5;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a classifier by name: "random-forest", "knn", "naive-bayes",
+/// or "majority" (the trivial baseline). Throws ConfigError for unknown
+/// names.
+std::unique_ptr<Classifier> make_classifier(const std::string& name,
+                                            const ClassifierConfig& config);
+
+/// Names of all registered models.
+std::vector<std::string> classifier_names();
+
+/// Confusion matrix of any classifier on a dataset.
+stats::ConfusionMatrix evaluate(const Classifier& model, const Dataset& data);
+
+/// The paper's repeated random-division protocol, generalized over
+/// classifiers: returns the per-round held-out confusion matrices.
+std::vector<stats::ConfusionMatrix> repeated_random_split_eval(
+    const std::string& model_name, const ClassifierConfig& config,
+    const Dataset& data, std::size_t rounds, double train_fraction = 0.5);
+
+}  // namespace fastfit::ml

@@ -1,0 +1,61 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::ml {
+
+const char* to_string(Feature feature) noexcept {
+  switch (feature) {
+    case Feature::Type: return "Type";
+    case Feature::Phase: return "Phase";
+    case Feature::ErrHal: return "ErrHal";
+    case Feature::NInv: return "nInv";
+    case Feature::StackDep: return "StackDep";
+    case Feature::NDiffStack: return "nDiffStack";
+  }
+  return "unknown";
+}
+
+Dataset::Dataset(std::size_t num_classes) : num_classes_(num_classes) {
+  if (num_classes == 0) throw InternalError("Dataset: zero classes");
+}
+
+void Dataset::add(const FeatureVec& x, std::size_t label) {
+  if (label >= num_classes_) {
+    throw InternalError("Dataset::add: label out of range");
+  }
+  samples_.push_back(Sample{x, label});
+}
+
+std::size_t Dataset::majority_label() const {
+  if (samples_.empty()) throw InternalError("majority_label: empty dataset");
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (const auto& s : samples_) ++counts[s.label];
+  return static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
+                                           std::uint64_t seed,
+                                           std::uint64_t round) const {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw InternalError("Dataset::split: fraction must be in (0, 1)");
+  }
+  std::vector<std::size_t> order(samples_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  RngStream rng(seed, "dataset-split", round);
+  rng.shuffle(order);
+  const auto train_n = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(samples_.size()));
+  Dataset train(num_classes_);
+  Dataset test(num_classes_);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (i < train_n ? train : test).add(samples_[order[i]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace fastfit::ml

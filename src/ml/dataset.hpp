@@ -1,0 +1,67 @@
+#pragma once
+
+// Feature encoding and training data for the sensitivity predictor.
+//
+// The paper trains on six application features (Sec III-C): the collective
+// Type, the execution Phase, the ErrHal flag, the invocation count nInv,
+// the average call-stack depth StackDep, and the number of distinct call
+// stacks nDiffStack. Categorical features are assigned numeric codes, as
+// the paper describes ("the application feature must be represented by
+// numerical values to facilitate the tree construction").
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastfit::ml {
+
+enum class Feature : std::uint8_t {
+  Type = 0,        ///< collective kind code
+  Phase = 1,       ///< execution phase code (init/input/compute/end)
+  ErrHal = 2,      ///< 1 inside error-handling code, else 0
+  NInv = 3,        ///< invocations of the call site
+  StackDep = 4,    ///< mean call-stack depth at the site
+  NDiffStack = 5,  ///< distinct call stacks at the site
+};
+
+inline constexpr std::size_t kNumFeatures = 6;
+
+const char* to_string(Feature feature) noexcept;
+
+using FeatureVec = std::array<double, kNumFeatures>;
+
+struct Sample {
+  FeatureVec x{};
+  std::size_t label = 0;
+};
+
+/// A labelled dataset with a fixed class count.
+class Dataset {
+ public:
+  explicit Dataset(std::size_t num_classes);
+
+  void add(const FeatureVec& x, std::size_t label);
+  void add(const Sample& sample) { add(sample.x, sample.label); }
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  /// Most frequent label (ties to the lowest); the trivial baseline.
+  std::size_t majority_label() const;
+
+  /// Random split into (train, test) with `train_fraction` of samples in
+  /// train. Used for the paper's repeated random-division evaluation.
+  std::pair<Dataset, Dataset> split(double train_fraction,
+                                    std::uint64_t seed,
+                                    std::uint64_t round) const;
+
+ private:
+  std::size_t num_classes_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace fastfit::ml

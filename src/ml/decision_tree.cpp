@@ -1,0 +1,199 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::ml {
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+struct BestSplit {
+  bool found = false;
+  Feature feature{};
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+std::size_t majority(const std::vector<std::size_t>& counts) {
+  return static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::fit(const Dataset& data,
+                               const std::vector<std::size_t>& indices,
+                               const TreeConfig& config) {
+  if (data.empty()) throw InternalError("DecisionTree::fit: empty dataset");
+  DecisionTree tree;
+  tree.num_classes_ = data.num_classes();
+  std::vector<std::size_t> work = indices;
+  if (work.empty()) {
+    work.resize(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) work[i] = i;
+  }
+  RngStream rng(config.seed, "tree-features", config.tree_index);
+  tree.build(data, work, 0, work.size(), 0, config, rng);
+  return tree;
+}
+
+std::size_t DecisionTree::build(const Dataset& data,
+                                std::vector<std::size_t>& indices,
+                                std::size_t begin, std::size_t end,
+                                std::size_t depth, const TreeConfig& config,
+                                RngStream& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = end - begin;
+
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (std::size_t i = begin; i < end; ++i) ++counts[data[indices[i]].label];
+  const double parent_gini = gini(counts, n);
+
+  const auto make_leaf = [&] {
+    Node node;
+    node.leaf = true;
+    node.label = majority(counts);
+    nodes_.push_back(node);
+    return nodes_.size() - 1;
+  };
+
+  if (parent_gini == 0.0 || depth >= config.max_depth ||
+      n < 2 * config.min_samples_leaf || n < 2) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a random subset of mtry for forests.
+  std::vector<Feature> features;
+  if (config.mtry == 0 || config.mtry >= kNumFeatures) {
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      features.push_back(static_cast<Feature>(f));
+    }
+  } else {
+    for (std::size_t f : rng.sample_without_replacement(kNumFeatures,
+                                                        config.mtry)) {
+      features.push_back(static_cast<Feature>(f));
+    }
+  }
+
+  BestSplit best;
+  std::vector<std::pair<double, std::size_t>> values;  // (feature value, label)
+  for (Feature feature : features) {
+    values.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& s = data[indices[i]];
+      values.emplace_back(s.x[static_cast<std::size_t>(feature)], s.label);
+    }
+    std::sort(values.begin(), values.end());
+
+    std::vector<std::size_t> left(num_classes_, 0);
+    std::vector<std::size_t> right = counts;
+    for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+      ++left[values[i].second];
+      --right[values[i].second];
+      if (values[i].first == values[i + 1].first) continue;
+      const std::size_t ln = i + 1;
+      const std::size_t rn = n - ln;
+      if (ln < config.min_samples_leaf || rn < config.min_samples_leaf) {
+        continue;
+      }
+      const double child_gini =
+          (static_cast<double>(ln) * gini(left, ln) +
+           static_cast<double>(rn) * gini(right, rn)) /
+          static_cast<double>(n);
+      const double gain = parent_gini - child_gini;
+      if (gain > best.gain + 1e-12) {
+        best.found = true;
+        best.feature = feature;
+        best.threshold = (values[i].first + values[i + 1].first) / 2.0;
+        best.gain = gain;
+      }
+    }
+  }
+
+  if (!best.found) return make_leaf();
+
+  importance_[static_cast<std::size_t>(best.feature)] +=
+      best.gain * static_cast<double>(n);
+
+  // Partition the index range on the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t idx) {
+        return data[idx].x[static_cast<std::size_t>(best.feature)] <=
+               best.threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();  // degenerate split
+
+  Node node;
+  node.leaf = false;
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  nodes_.push_back(node);
+  const std::size_t self = nodes_.size() - 1;
+
+  const std::size_t left_child =
+      build(data, indices, begin, mid, depth + 1, config, rng);
+  const std::size_t right_child =
+      build(data, indices, mid, end, depth + 1, config, rng);
+  nodes_[self].left = static_cast<std::int32_t>(left_child);
+  nodes_[self].right = static_cast<std::int32_t>(right_child);
+  return self;
+}
+
+std::size_t DecisionTree::predict(const FeatureVec& x) const {
+  if (nodes_.empty()) throw InternalError("DecisionTree::predict: unfitted");
+  // The top-level build() pushes its own node before any child, so the
+  // root always lives at index 0.
+  std::size_t node = 0;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.leaf) return n.label;
+    const double v = x[static_cast<std::size_t>(n.feature)];
+    node = static_cast<std::size_t>(v <= n.threshold ? n.left : n.right);
+  }
+}
+
+void DecisionTree::render_node(std::size_t node, std::size_t indent,
+                               const std::vector<std::string>& class_names,
+                               std::string& out) const {
+  const Node& n = nodes_[node];
+  const std::string pad(indent * 2, ' ');
+  if (n.leaf) {
+    out += pad + "-> " +
+           (n.label < class_names.size() ? class_names[n.label]
+                                         : std::to_string(n.label)) +
+           "\n";
+    return;
+  }
+  std::ostringstream line;
+  line << pad << to_string(n.feature) << " <= " << n.threshold << " ?\n";
+  out += line.str();
+  render_node(static_cast<std::size_t>(n.left), indent + 1, class_names, out);
+  out += pad + "else\n";
+  render_node(static_cast<std::size_t>(n.right), indent + 1, class_names, out);
+}
+
+std::string DecisionTree::render(
+    const std::vector<std::string>& class_names) const {
+  if (nodes_.empty()) return "<unfitted>\n";
+  std::string out;
+  render_node(0, 0, class_names, out);
+  return out;
+}
+
+}  // namespace fastfit::ml

@@ -1,0 +1,76 @@
+#pragma once
+
+// CART decision tree (Gini impurity, axis-aligned numeric splits).
+//
+// This is the constituent learner of the random forest, and also the
+// artifact behind the paper's Fig 4 — render() prints a learned tree with
+// feature names on interior nodes and sensitivity labels on leaves.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 10;
+  std::size_t min_samples_leaf = 1;
+  /// Features considered per split; 0 = all (single tree), forests pass
+  /// floor(sqrt(kNumFeatures)).
+  std::size_t mtry = 0;
+  std::uint64_t seed = 1;
+  std::uint64_t tree_index = 0;  ///< stream index for feature subsampling
+};
+
+class DecisionTree {
+ public:
+  /// Fits a tree on (a view of) `data` restricted to `indices`; an empty
+  /// index list means "all samples". The dataset must be non-empty.
+  static DecisionTree fit(const Dataset& data,
+                          const std::vector<std::size_t>& indices,
+                          const TreeConfig& config);
+
+  std::size_t predict(const FeatureVec& x) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+  /// Total Gini impurity decrease attributed to each feature during
+  /// training (the classic random-forest importance measure).
+  const std::array<double, kNumFeatures>& impurity_decrease() const noexcept {
+    return importance_;
+  }
+
+  /// Fig 4-style rendering: indented interior nodes "feature <= thr" with
+  /// class names on leaves.
+  std::string render(const std::vector<std::string>& class_names) const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::size_t label = 0;           // leaf payload
+    Feature feature{};               // split feature
+    double threshold = 0.0;          // goes left if x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::size_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                    std::size_t begin, std::size_t end, std::size_t depth,
+                    const TreeConfig& config, RngStream& rng);
+
+  void render_node(std::size_t node, std::size_t indent,
+                   const std::vector<std::string>& class_names,
+                   std::string& out) const;
+
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+  std::size_t num_classes_ = 0;
+  std::array<double, kNumFeatures> importance_{};
+};
+
+}  // namespace fastfit::ml

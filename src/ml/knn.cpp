@@ -1,0 +1,75 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace fastfit::ml {
+
+void KnnClassifier::train(const Dataset& data) {
+  if (data.empty()) throw InternalError("KnnClassifier::train: empty dataset");
+  if (k_ == 0) throw InternalError("KnnClassifier: k must be positive");
+  num_classes_ = data.num_classes();
+
+  FeatureVec lo{};
+  FeatureVec hi{};
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    lo[f] = data[0].x[f];
+    hi[f] = data[0].x[f];
+  }
+  for (const auto& s : data.samples()) {
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      lo[f] = std::min(lo[f], s.x[f]);
+      hi[f] = std::max(hi[f], s.x[f]);
+    }
+  }
+  feature_min_ = lo;
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    feature_scale_[f] = hi[f] > lo[f] ? 1.0 / (hi[f] - lo[f]) : 0.0;
+  }
+
+  training_.clear();
+  training_.reserve(data.size());
+  for (const auto& s : data.samples()) {
+    training_.push_back(Sample{normalize(s.x), s.label});
+  }
+}
+
+FeatureVec KnnClassifier::normalize(const FeatureVec& x) const {
+  FeatureVec out{};
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    out[f] = (x[f] - feature_min_[f]) * feature_scale_[f];
+  }
+  return out;
+}
+
+std::size_t KnnClassifier::predict(const FeatureVec& x) const {
+  if (training_.empty()) throw InternalError("KnnClassifier: untrained");
+  const FeatureVec q = normalize(x);
+
+  // Distances to every training point; partial sort for the k nearest.
+  std::vector<std::pair<double, std::size_t>> by_distance;  // (d2, label)
+  by_distance.reserve(training_.size());
+  for (const auto& s : training_) {
+    double d2 = 0.0;
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      const double d = q[f] - s.x[f];
+      d2 += d * d;
+    }
+    by_distance.emplace_back(d2, s.label);
+  }
+  const std::size_t k = std::min(k_, by_distance.size());
+  std::partial_sort(by_distance.begin(),
+                    by_distance.begin() + static_cast<std::ptrdiff_t>(k),
+                    by_distance.end());
+
+  std::vector<double> votes(num_classes_, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    votes[by_distance[i].second] += 1.0 / (1e-9 + by_distance[i].first);
+  }
+  return static_cast<std::size_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace fastfit::ml

@@ -1,0 +1,32 @@
+#pragma once
+
+// k-nearest-neighbours classifier over the six application features.
+//
+// Features live on wildly different scales (ErrHal is 0/1, nInv can be
+// hundreds), so distances are computed after per-feature min-max
+// normalization learned from the training data. Votes are weighted by
+// inverse distance; ties resolve to the lowest label.
+
+#include "ml/classifier.hpp"
+
+namespace fastfit::ml {
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(std::size_t k) : k_(k) {}
+
+  void train(const Dataset& data) override;
+  std::size_t predict(const FeatureVec& x) const override;
+  std::string name() const override { return "knn"; }
+
+ private:
+  FeatureVec normalize(const FeatureVec& x) const;
+
+  std::size_t k_;
+  std::size_t num_classes_ = 0;
+  std::vector<Sample> training_;        // normalized
+  FeatureVec feature_min_{};
+  FeatureVec feature_scale_{};          // 1 / (max - min), 0 for constant
+};
+
+}  // namespace fastfit::ml

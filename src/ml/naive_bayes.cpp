@@ -1,0 +1,76 @@
+#include "ml/naive_bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace fastfit::ml {
+
+void GaussianNaiveBayes::train(const Dataset& data) {
+  if (data.empty()) {
+    throw InternalError("GaussianNaiveBayes::train: empty dataset");
+  }
+  classes_.assign(data.num_classes(), ClassModel{});
+  std::vector<std::size_t> counts(data.num_classes(), 0);
+
+  for (const auto& s : data.samples()) ++counts[s.label];
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    // Laplace-smoothed prior keeps absent classes representable.
+    classes_[c].log_prior = std::log(
+        (static_cast<double>(counts[c]) + 1.0) /
+        (static_cast<double>(data.size()) +
+         static_cast<double>(classes_.size())));
+    classes_[c].present = counts[c] > 0;
+  }
+
+  for (const auto& s : data.samples()) {
+    auto& model = classes_[s.label];
+    for (std::size_t f = 0; f < kNumFeatures; ++f) model.mean[f] += s.x[f];
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (counts[c] == 0) continue;
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      classes_[c].mean[f] /= static_cast<double>(counts[c]);
+    }
+  }
+  for (const auto& s : data.samples()) {
+    auto& model = classes_[s.label];
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      const double d = s.x[f] - model.mean[f];
+      model.variance[f] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (counts[c] == 0) continue;
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      classes_[c].variance[f] =
+          std::max(classes_[c].variance[f] / static_cast<double>(counts[c]),
+                   1e-6);
+    }
+  }
+}
+
+std::size_t GaussianNaiveBayes::predict(const FeatureVec& x) const {
+  if (classes_.empty()) throw InternalError("GaussianNaiveBayes: untrained");
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::size_t best_class = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const auto& model = classes_[c];
+    if (!model.present) continue;
+    double score = model.log_prior;
+    for (std::size_t f = 0; f < kNumFeatures; ++f) {
+      const double d = x[f] - model.mean[f];
+      score += -0.5 * std::log(2.0 * std::numbers::pi * model.variance[f]) -
+               0.5 * d * d / model.variance[f];
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_class = c;
+    }
+  }
+  return best_class;
+}
+
+}  // namespace fastfit::ml

@@ -1,0 +1,27 @@
+#pragma once
+
+// Gaussian naive Bayes: per-class per-feature normal likelihoods with
+// Laplace-smoothed priors. A cheap, training-free-at-predict baseline to
+// contrast the forest against.
+
+#include "ml/classifier.hpp"
+
+namespace fastfit::ml {
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  void train(const Dataset& data) override;
+  std::size_t predict(const FeatureVec& x) const override;
+  std::string name() const override { return "naive-bayes"; }
+
+ private:
+  struct ClassModel {
+    double log_prior = 0.0;
+    FeatureVec mean{};
+    FeatureVec variance{};  // floored to avoid singular likelihoods
+    bool present = false;
+  };
+  std::vector<ClassModel> classes_;
+};
+
+}  // namespace fastfit::ml

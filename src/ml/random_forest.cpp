@@ -1,0 +1,98 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::ml {
+
+RandomForest RandomForest::train(const Dataset& data,
+                                 const ForestConfig& config) {
+  if (data.empty()) throw InternalError("RandomForest::train: empty dataset");
+  if (config.n_trees == 0) {
+    throw InternalError("RandomForest::train: need at least one tree");
+  }
+  RandomForest forest;
+  forest.num_classes_ = data.num_classes();
+  forest.trees_.reserve(config.n_trees);
+
+  const std::size_t mtry =
+      config.mtry != 0
+          ? config.mtry
+          : static_cast<std::size_t>(std::floor(std::sqrt(
+                static_cast<double>(kNumFeatures))));
+
+  for (std::size_t t = 0; t < config.n_trees; ++t) {
+    // Bootstrap sample (with replacement, same size as the dataset).
+    RngStream rng(config.seed, "bootstrap", t);
+    std::vector<std::size_t> indices(data.size());
+    for (auto& idx : indices) idx = rng.index(data.size());
+
+    TreeConfig tree_config;
+    tree_config.max_depth = config.max_depth;
+    tree_config.min_samples_leaf = config.min_samples_leaf;
+    tree_config.mtry = mtry;
+    tree_config.seed = config.seed;
+    tree_config.tree_index = t;
+    forest.trees_.push_back(DecisionTree::fit(data, indices, tree_config));
+  }
+  return forest;
+}
+
+std::size_t RandomForest::predict(const FeatureVec& x) const {
+  if (trees_.empty()) throw InternalError("RandomForest::predict: untrained");
+  std::vector<std::size_t> votes(num_classes_, 0);
+  for (const auto& tree : trees_) ++votes[tree.predict(x)];
+  return static_cast<std::size_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+std::array<double, kNumFeatures> RandomForest::feature_importance() const {
+  std::array<double, kNumFeatures> total{};
+  for (const auto& tree : trees_) {
+    const auto& dec = tree.impurity_decrease();
+    for (std::size_t f = 0; f < kNumFeatures; ++f) total[f] += dec[f];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+std::string RandomForest::render_tree(
+    std::size_t i, const std::vector<std::string>& class_names) const {
+  return trees_.at(i).render(class_names);
+}
+
+stats::ConfusionMatrix evaluate(const RandomForest& forest,
+                                const Dataset& data) {
+  stats::ConfusionMatrix matrix(forest.num_classes());
+  for (const auto& sample : data.samples()) {
+    matrix.add(sample.label, forest.predict(sample.x));
+  }
+  return matrix;
+}
+
+std::vector<stats::ConfusionMatrix> repeated_random_split_eval(
+    const Dataset& data, const ForestConfig& config, std::size_t rounds,
+    double train_fraction) {
+  std::vector<stats::ConfusionMatrix> out;
+  out.reserve(rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto [train, test] = data.split(train_fraction, config.seed, round);
+    if (train.empty() || test.empty()) {
+      throw InternalError("repeated_random_split_eval: degenerate split");
+    }
+    ForestConfig round_config = config;
+    round_config.seed = config.seed ^ (0x9e3779b97f4a7c15ULL * (round + 1));
+    const RandomForest forest = RandomForest::train(train, round_config);
+    out.push_back(evaluate(forest, test));
+  }
+  return out;
+}
+
+}  // namespace fastfit::ml

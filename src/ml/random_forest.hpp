@@ -1,0 +1,62 @@
+#pragma once
+
+// Random forest: bootstrap-aggregated CART trees with per-split feature
+// subsampling and majority voting — the paper's prediction model
+// (Sec III-C: "the decision of a random forest is a majority decision
+// based on its decision trees' decisions").
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "stats/confusion.hpp"
+
+namespace fastfit::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 48;
+  std::size_t max_depth = 10;
+  std::size_t min_samples_leaf = 1;
+  /// Features per split; 0 selects floor(sqrt(kNumFeatures)) = 2.
+  std::size_t mtry = 0;
+  std::uint64_t seed = 1;
+};
+
+class RandomForest {
+ public:
+  static RandomForest train(const Dataset& data, const ForestConfig& config);
+
+  /// Majority vote over the trees (ties resolve to the lowest label).
+  std::size_t predict(const FeatureVec& x) const;
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+  const DecisionTree& tree(std::size_t i) const { return trees_.at(i); }
+
+  /// Mean impurity decrease per feature across trees, normalized to sum
+  /// to 1 (all-zero if no split ever fired).
+  std::array<double, kNumFeatures> feature_importance() const;
+
+  /// Renders one member tree (Fig 4's "example of a decision tree").
+  std::string render_tree(std::size_t i,
+                          const std::vector<std::string>& class_names) const;
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+/// Confusion matrix of `forest` on `data` (actual = sample label,
+/// predicted = forest vote).
+stats::ConfusionMatrix evaluate(const RandomForest& forest,
+                                const Dataset& data);
+
+/// The paper's accuracy protocol (Sec V-D): repeat `rounds` random
+/// train/test divisions of `data`, train a forest on each train half, and
+/// return the per-round confusion matrices on the held-out half.
+std::vector<stats::ConfusionMatrix> repeated_random_split_eval(
+    const Dataset& data, const ForestConfig& config, std::size_t rounds,
+    double train_fraction = 0.5);
+
+}  // namespace fastfit::ml

@@ -1,0 +1,26 @@
+#include "pmpi/chain.hpp"
+
+#include "support/error.hpp"
+
+namespace fastfit::pmpi {
+
+void HookChain::add(mpi::ToolHooks* tool) {
+  if (tool == nullptr) throw InternalError("HookChain::add: null tool");
+  tools_.push_back(tool);
+}
+
+void HookChain::on_enter(mpi::CollectiveCall& call, mpi::Mpi& mpi) {
+  for (auto* tool : tools_) tool->on_enter(call, mpi);
+}
+
+void HookChain::on_exit(const mpi::CollectiveCall& call, mpi::Mpi& mpi) {
+  for (auto it = tools_.rbegin(); it != tools_.rend(); ++it) {
+    (*it)->on_exit(call, mpi);
+  }
+}
+
+void HookChain::on_p2p(mpi::P2pCall& call, mpi::Mpi& mpi) {
+  for (auto* tool : tools_) tool->on_p2p(call, mpi);
+}
+
+}  // namespace fastfit::pmpi

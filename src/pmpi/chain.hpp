@@ -1,0 +1,33 @@
+#pragma once
+
+// Tool-hook chaining, mirroring how PMPI shims stack: the profiler and the
+// fault injector both attach to the same interposition point without
+// knowing about each other. on_enter runs in attachment order (profile the
+// pristine call, then corrupt it — matching the paper, which profiles
+// fault-free runs); on_exit runs in reverse.
+
+#include <vector>
+
+#include "minimpi/hooks.hpp"
+
+namespace fastfit::pmpi {
+
+class HookChain final : public mpi::ToolHooks {
+ public:
+  HookChain() = default;
+
+  /// Attaches a tool. Tools are not owned; their lifetime must cover the
+  /// world execution.
+  void add(mpi::ToolHooks* tool);
+
+  std::size_t size() const noexcept { return tools_.size(); }
+
+  void on_enter(mpi::CollectiveCall& call, mpi::Mpi& mpi) override;
+  void on_exit(const mpi::CollectiveCall& call, mpi::Mpi& mpi) override;
+  void on_p2p(mpi::P2pCall& call, mpi::Mpi& mpi) override;
+
+ private:
+  std::vector<mpi::ToolHooks*> tools_;
+};
+
+}  // namespace fastfit::pmpi

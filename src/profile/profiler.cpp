@@ -1,0 +1,120 @@
+#include "profile/profiler.hpp"
+
+#include <numeric>
+
+#include "minimpi/datatype.hpp"
+#include "minimpi/mpi.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::profile {
+
+Profiler::Profiler(trace::ContextRegistry& contexts) : contexts_(&contexts) {
+  profiles_.resize(static_cast<std::size_t>(contexts.size()));
+  for (auto& p : profiles_) p = std::make_unique<RankProfile>();
+}
+
+std::uint64_t contribution_bytes(const mpi::CollectiveCall& call,
+                                 int comm_size) {
+  using mpi::CollectiveKind;
+  const auto esize = [&](mpi::Datatype d) {
+    return static_cast<std::uint64_t>(mpi::datatype_size(d));
+  };
+  switch (call.kind) {
+    case CollectiveKind::Barrier:
+      return 0;
+    case CollectiveKind::Bcast:
+    case CollectiveKind::Reduce:
+    case CollectiveKind::Allreduce:
+    case CollectiveKind::Scan:
+      return static_cast<std::uint64_t>(call.count) * esize(call.datatype);
+    case CollectiveKind::ReduceScatterBlock:
+      return static_cast<std::uint64_t>(call.count) *
+             static_cast<std::uint64_t>(comm_size) * esize(call.datatype);
+    case CollectiveKind::Scatter:
+    case CollectiveKind::Gather:
+    case CollectiveKind::Allgather:
+      return static_cast<std::uint64_t>(call.count) * esize(call.datatype);
+    case CollectiveKind::Alltoall:
+      return static_cast<std::uint64_t>(call.count) *
+             static_cast<std::uint64_t>(comm_size) * esize(call.datatype);
+    case CollectiveKind::Scatterv: {
+      if (call.sendcounts == nullptr) {
+        return static_cast<std::uint64_t>(call.recvcount) *
+               esize(call.recvdatatype);
+      }
+      std::uint64_t total = 0;
+      for (auto c : *call.sendcounts) total += static_cast<std::uint64_t>(c);
+      return total * esize(call.datatype);
+    }
+    case CollectiveKind::Gatherv:
+    case CollectiveKind::Allgatherv:
+      return static_cast<std::uint64_t>(call.count) * esize(call.datatype);
+    case CollectiveKind::Alltoallv: {
+      std::uint64_t total = 0;
+      if (call.sendcounts != nullptr) {
+        for (auto c : *call.sendcounts) total += static_cast<std::uint64_t>(c);
+      }
+      return total * esize(call.datatype);
+    }
+  }
+  throw InternalError("contribution_bytes: unknown collective kind");
+}
+
+void Profiler::on_enter(mpi::CollectiveCall& call, mpi::Mpi& mpi) {
+  const int rank = mpi.world_rank();
+  auto& ctx = contexts_->of(rank);
+  auto& site = (*profiles_[static_cast<std::size_t>(rank)]).sites[call.site_id];
+
+  if (site.invocations.empty()) {
+    site.kind = call.kind;
+    site.file = call.site_file;
+    site.line = call.site_line;
+  }
+  const bool is_root =
+      mpi::is_rooted(call.kind) && call.rank == call.root;
+  site.is_root_here = site.is_root_here || is_root;
+
+  InvocationRecord record;
+  record.invocation = call.invocation;
+  record.stack = ctx.stack().id();
+  record.depth = static_cast<std::uint32_t>(ctx.stack().depth());
+  record.phase = ctx.phase();
+  record.errhal = ctx.in_error_handler();
+  record.bytes = contribution_bytes(call, mpi.size(call.comm));
+  site.invocations.push_back(record);
+
+  ctx.comm_trace().record(trace::CommEvent{call.kind, call.site_id,
+                                           record.bytes, is_root});
+}
+
+void Profiler::on_exit(const mpi::CollectiveCall&, mpi::Mpi&) {}
+
+void Profiler::on_p2p(mpi::P2pCall& call, mpi::Mpi& mpi) {
+  const int rank = mpi.world_rank();
+  auto& ctx = contexts_->of(rank);
+  auto& site =
+      (*profiles_[static_cast<std::size_t>(rank)]).p2p_sites[call.site_id];
+  if (site.invocations.empty()) {
+    site.kind = call.kind;
+    site.file = call.site_file;
+    site.line = call.site_line;
+  }
+  InvocationRecord record;
+  record.invocation = call.invocation;
+  record.stack = ctx.stack().id();
+  record.depth = static_cast<std::uint32_t>(ctx.stack().depth());
+  record.phase = ctx.phase();
+  record.errhal = ctx.in_error_handler();
+  record.bytes =
+      call.count >= 0 && mpi::is_valid(call.datatype)
+          ? static_cast<std::uint64_t>(call.count) *
+                mpi::datatype_size(call.datatype)
+          : 0;
+  site.invocations.push_back(record);
+}
+
+const RankProfile& Profiler::rank(int r) const {
+  return *profiles_.at(static_cast<std::size_t>(r));
+}
+
+}  // namespace fastfit::profile

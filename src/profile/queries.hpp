@@ -1,0 +1,46 @@
+#pragma once
+
+// Derived profile metrics: the application features of the paper's ML
+// model (nInv, nDiffStack, StackDep) and the mpiP-style communication
+// report used to understand a workload's collective mix.
+
+#include <string>
+#include <vector>
+
+#include "profile/profiler.hpp"
+#include "profile/records.hpp"
+
+namespace fastfit::profile {
+
+/// Number of invocations of a site on this rank: the nInv feature.
+std::uint64_t n_invocations(const SiteProfile& site) noexcept;
+std::uint64_t n_invocations(const P2pSiteProfile& site) noexcept;
+
+/// Number of distinct call stacks observed at a site: nDiffStack.
+std::size_t n_distinct_stacks(const SiteProfile& site);
+std::size_t n_distinct_stacks(const P2pSiteProfile& site);
+
+/// Mean shadow-stack depth over invocations: the StackDep feature.
+double mean_stack_depth(const SiteProfile& site) noexcept;
+double mean_stack_depth(const P2pSiteProfile& site) noexcept;
+
+/// The context-pruning representatives: the first invocation of each
+/// distinct call stack, ordered by invocation number. Injecting into
+/// these covers every application context the site runs in (Sec III-B).
+std::vector<InvocationRecord> stack_representatives(const SiteProfile& site);
+std::vector<InvocationRecord> stack_representatives(
+    const P2pSiteProfile& site);
+
+/// Fraction of all collective invocations (across ranks) with this kind;
+/// e.g. the paper notes >84% of LAMMPS collectives are MPI_Allreduce.
+double collective_fraction(const Profiler& profiler, mpi::CollectiveKind kind);
+
+/// Fraction of invocations of `kind` flagged as error handling; the paper
+/// reports 40.32% for LAMMPS' MPI_Allreduce.
+double errhal_fraction(const Profiler& profiler, mpi::CollectiveKind kind);
+
+/// mpiP-like plain-text communication report, aggregated over ranks:
+/// one row per call site (kind, file:line, calls, bytes, % of calls).
+std::string mpip_report(const Profiler& profiler);
+
+}  // namespace fastfit::profile

@@ -1,0 +1,57 @@
+#pragma once
+
+// Profile data model: what FastFIT's profiling phase collects.
+//
+// The paper gathers three profiles (Sec IV-B): a communication profile
+// (mpiP), a call-graph profile (Callgrind/gprof), and a call-stack profile
+// (backtrace at each collective invocation). Here the call graph lives in
+// trace::RankContext; the other two materialize as InvocationRecords
+// grouped by (rank, call site).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minimpi/types.hpp"
+#include "trace/rank_context.hpp"
+#include "trace/shadow_stack.hpp"
+
+namespace fastfit::profile {
+
+/// One observed invocation of a collective call site on one rank.
+struct InvocationRecord {
+  std::uint64_t invocation = 0;   ///< per-(rank, site) ordinal
+  trace::StackId stack = 0;       ///< shadow-stack identity at the call
+  std::uint32_t depth = 0;        ///< stack depth (StackDep feature input)
+  trace::ExecPhase phase{};       ///< execution phase at the call
+  bool errhal = false;            ///< inside error-handling code?
+  std::uint64_t bytes = 0;        ///< payload contributed by this rank
+};
+
+/// All observations of one call site on one rank.
+struct SiteProfile {
+  mpi::CollectiveKind kind{};
+  std::string file;
+  int line = 0;
+  bool is_root_here = false;  ///< this rank was the root in ≥1 invocation
+  std::vector<InvocationRecord> invocations;
+};
+
+/// All observations of one point-to-point call site on one rank (the
+/// future-work extension beyond collectives).
+struct P2pSiteProfile {
+  mpi::P2pKind kind{};
+  std::string file;
+  int line = 0;
+  std::vector<InvocationRecord> invocations;
+};
+
+/// Everything profiled on one rank: site map plus ownership of the trace
+/// context consumed by similarity analysis.
+struct RankProfile {
+  std::map<std::uint32_t, SiteProfile> sites;      ///< keyed by site_id
+  std::map<std::uint32_t, P2pSiteProfile> p2p_sites;
+};
+
+}  // namespace fastfit::profile

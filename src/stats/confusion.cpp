@@ -1,0 +1,91 @@
+#include "stats/confusion.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace fastfit::stats {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes) : n_(classes) {
+  if (classes == 0) throw InternalError("ConfusionMatrix: zero classes");
+  cells_.assign(classes * classes, 0);
+}
+
+std::size_t ConfusionMatrix::index(std::size_t actual,
+                                   std::size_t predicted) const {
+  if (actual >= n_ || predicted >= n_) {
+    throw InternalError("ConfusionMatrix: class out of range");
+  }
+  return actual * n_ + predicted;
+}
+
+void ConfusionMatrix::add(std::size_t actual, std::size_t predicted) {
+  ++cells_[index(actual, predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t actual,
+                                   std::size_t predicted) const {
+  return cells_[index(actual, predicted)];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < n_; ++c) correct += cells_[c * n_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+std::size_t ConfusionMatrix::support(std::size_t c) const {
+  std::size_t row = 0;
+  for (std::size_t p = 0; p < n_; ++p) row += count(c, p);
+  return row;
+}
+
+double ConfusionMatrix::recall(std::size_t c) const {
+  const std::size_t row = support(c);
+  if (row == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(std::size_t c) const {
+  std::size_t col = 0;
+  for (std::size_t a = 0; a < n_; ++a) col += count(a, c);
+  if (col == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::majority_baseline() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t best = 0;
+  for (std::size_t c = 0; c < n_; ++c) best = std::max(best, support(c));
+  return static_cast<double>(best) / static_cast<double>(total_);
+}
+
+std::string ConfusionMatrix::render(
+    const std::vector<std::string>& names) const {
+  if (names.size() != n_) {
+    throw InternalError("ConfusionMatrix::render: name count mismatch");
+  }
+  std::size_t width = 9;
+  for (const auto& name : names) width = std::max(width, name.size() + 1);
+  std::ostringstream out;
+  out << pad("actual\\pred", width + 2);
+  for (const auto& name : names) out << pad(name, width);
+  out << pad("recall", width) << '\n';
+  for (std::size_t a = 0; a < n_; ++a) {
+    out << pad(names[a], width + 2);
+    for (std::size_t p = 0; p < n_; ++p) {
+      out << pad(std::to_string(count(a, p)), width);
+    }
+    out << pad(percent(recall(a)), width) << '\n';
+  }
+  out << "overall accuracy: " << percent(accuracy())
+      << "  (majority baseline: " << percent(majority_baseline()) << ")\n";
+  return out.str();
+}
+
+}  // namespace fastfit::stats

@@ -1,0 +1,55 @@
+#pragma once
+
+// Confusion matrix and accuracy metrics for the ML evaluation
+// (Figs 12 and 13: per-class prediction accuracy of error types and
+// error-rate levels).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fastfit::stats {
+
+/// Square confusion matrix over `classes` labels. Row = actual class,
+/// column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t classes);
+
+  void add(std::size_t actual, std::size_t predicted);
+
+  std::size_t classes() const noexcept { return n_; }
+  std::size_t count(std::size_t actual, std::size_t predicted) const;
+  std::size_t total() const noexcept { return total_; }
+
+  /// Overall fraction of correct predictions; 0 when empty.
+  double accuracy() const noexcept;
+
+  /// Per-class recall: of the samples whose actual class is `c`, the
+  /// fraction predicted as `c`. This is the "prediction accuracy" the
+  /// paper reports per error type in Fig 12. Returns 0 for absent classes.
+  double recall(std::size_t c) const;
+
+  /// Per-class precision: of the samples predicted as `c`, the fraction
+  /// actually `c`.
+  double precision(std::size_t c) const;
+
+  /// Number of samples whose actual class is `c`.
+  std::size_t support(std::size_t c) const;
+
+  /// Accuracy of always predicting the most common actual class; the
+  /// baseline a useful model must beat.
+  double majority_baseline() const noexcept;
+
+  /// Plain-text table with per-class recall, given class names.
+  std::string render(const std::vector<std::string>& names) const;
+
+ private:
+  std::size_t index(std::size_t actual, std::size_t predicted) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> cells_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fastfit::stats

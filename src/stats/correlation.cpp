@@ -1,0 +1,39 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace fastfit::stats {
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    throw InternalError("pearson: series length mismatch");
+  }
+  if (xs.empty()) throw InternalError("pearson: empty series");
+  const auto n = static_cast<double>(xs.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double eq1_correlation(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  return 0.5 * (pearson(xs, ys) + 1.0);
+}
+
+}  // namespace fastfit::stats

@@ -1,0 +1,27 @@
+#pragma once
+
+// The paper's Equation 1: a Pearson correlation rescaled onto [0, 1].
+//
+//   Correlation(X, Y) = ( pearson(X, Y) + 1 ) / 2
+//
+// Interpretation per the paper: ~1 means the application feature varies
+// with the error rate (strong positive indicator), ~0 means they vary
+// oppositely, and 0.5 means the feature carries no signal. Table IV
+// reports this value between each application feature and the error-rate
+// level for LAMMPS.
+
+#include <vector>
+
+namespace fastfit::stats {
+
+/// Standard Pearson product-moment correlation in [-1, 1]. Returns 0 when
+/// either series is constant (no linear signal to report). Requires equal,
+/// non-zero lengths.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Equation 1 of the paper: Pearson rescaled to [0, 1] with 0.5 = "no
+/// effect on application sensitivity".
+double eq1_correlation(const std::vector<double>& xs,
+                       const std::vector<double>& ys);
+
+}  // namespace fastfit::stats

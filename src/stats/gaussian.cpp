@@ -1,0 +1,59 @@
+#include "stats/gaussian.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::stats {
+
+double GaussianFit::pdf(double x) const noexcept {
+  if (stddev <= 0.0) return x == mean ? 1.0 : 0.0;
+  const double z = (x - mean) / stddev;
+  return std::exp(-0.5 * z * z) /
+         (stddev * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double GaussianFit::cdf(double x) const noexcept {
+  if (stddev <= 0.0) return x < mean ? 0.0 : 1.0;
+  return 0.5 * std::erfc(-(x - mean) / (stddev * std::numbers::sqrt2));
+}
+
+GaussianFit fit_gaussian(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    throw InternalError("fit_gaussian: need at least two observations");
+  }
+  const Summary s = summarize(xs);
+  return GaussianFit{s.mean(), s.sample_stddev()};
+}
+
+ChiSquared chi_squared_gof(const Histogram& hist, const GaussianFit& fit,
+                           double min_expected) {
+  const auto total = static_cast<double>(hist.total());
+  ChiSquared out;
+  double pooled_observed = 0.0;
+  double pooled_expected = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const double p = fit.cdf(hist.bin_hi(b)) - fit.cdf(hist.bin_lo(b));
+    pooled_observed += static_cast<double>(hist.count(b));
+    pooled_expected += p * total;
+    if (pooled_expected >= min_expected) {
+      const double diff = pooled_observed - pooled_expected;
+      out.statistic += diff * diff / pooled_expected;
+      pooled_observed = pooled_expected = 0.0;
+      ++cells;
+    }
+  }
+  if (pooled_expected > 0.0) {
+    const double diff = pooled_observed - pooled_expected;
+    out.statistic += diff * diff / pooled_expected;
+    ++cells;
+  }
+  // Two parameters estimated from the data (mean, stddev).
+  out.degrees_of_freedom = cells > 3 ? cells - 3 : 0;
+  return out;
+}
+
+}  // namespace fastfit::stats

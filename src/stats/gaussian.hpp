@@ -1,0 +1,43 @@
+#pragma once
+
+// Gaussian fit used in the paper's Section III-B: the error-rate
+// distribution over same-call-stack invocations is shown to follow a
+// Gaussian (LAMMPS example: mean 29.58, stddev 7.69), which justifies
+// context-driven pruning. We fit by maximum likelihood (sample moments)
+// and quantify fit quality with a chi-squared statistic over histogram
+// bins, so benches can report "Gaussian-like" the way Fig 3 does.
+
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace fastfit::stats {
+
+/// A fitted normal distribution.
+struct GaussianFit {
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  /// Probability density at x.
+  double pdf(double x) const noexcept;
+  /// Cumulative distribution at x.
+  double cdf(double x) const noexcept;
+};
+
+/// Maximum-likelihood Gaussian fit (sample mean / stddev). Requires at
+/// least two observations.
+GaussianFit fit_gaussian(const std::vector<double>& xs);
+
+/// Pearson chi-squared statistic of a histogram against a fitted Gaussian,
+/// using expected counts from the Gaussian CDF over each bin. Bins with
+/// expected count below `min_expected` are pooled with their neighbour.
+/// Smaller is better; the bench reports the statistic and its degrees of
+/// freedom so the shape claim is checkable.
+struct ChiSquared {
+  double statistic = 0.0;
+  std::size_t degrees_of_freedom = 0;
+};
+ChiSquared chi_squared_gof(const Histogram& hist, const GaussianFit& fit,
+                           double min_expected = 1.0);
+
+}  // namespace fastfit::stats

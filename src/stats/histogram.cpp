@@ -1,0 +1,72 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace fastfit::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (bins == 0) throw InternalError("Histogram: zero bins");
+  if (!(hi > lo)) throw InternalError("Histogram: hi must exceed lo");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  // Non-finite observations clamp like out-of-range ones (NaN to the
+  // first bin) so nothing is silently dropped and no UB cast occurs.
+  long long bin = 0;
+  const double scaled = (x - lo_) / width_;
+  if (std::isfinite(scaled)) {
+    bin = scaled >= static_cast<double>(counts_.size())
+              ? static_cast<long long>(counts_.size()) - 1
+              : static_cast<long long>(scaled);
+  } else if (scaled > 0) {
+    bin = static_cast<long long>(counts_.size()) - 1;
+  }
+  bin = std::clamp<long long>(bin, 0,
+                              static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) throw InternalError("Histogram: bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw InternalError("Histogram: bin out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+std::size_t Histogram::mode_bin() const noexcept {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render(const std::string& value_label) const {
+  std::ostringstream out;
+  const std::size_t peak = counts_.empty() ? 1 : std::max<std::size_t>(
+      1, *std::max_element(counts_.begin(), counts_.end()));
+  out << value_label << " distribution (" << total_ << " observations)\n";
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    out << std::fixed << std::setprecision(1) << std::setw(6) << bin_lo(b)
+        << " - " << std::setw(6) << bin_hi(b) << " | " << std::setw(5)
+        << counts_[b] << ' '
+        << ascii_bar(static_cast<double>(counts_[b]) /
+                         static_cast<double>(peak),
+                     40)
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fastfit::stats

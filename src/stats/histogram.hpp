@@ -1,0 +1,42 @@
+#pragma once
+
+// Fixed-width histogram, used to reproduce Fig 3 (error-rate distribution
+// of 100 same-call-stack invocations, binned in 5%-wide buckets).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fastfit::stats {
+
+/// Equal-width histogram over [lo, hi). Values outside the range clamp to
+/// the first/last bin so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const noexcept { return total_; }
+
+  /// Inclusive lower edge of a bin.
+  double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of a bin.
+  double bin_hi(std::size_t bin) const;
+
+  /// Index of the most populated bin (ties resolve to the lowest index).
+  std::size_t mode_bin() const noexcept;
+
+  /// Plain-text rendering with proportional bars (bench output).
+  std::string render(const std::string& value_label) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fastfit::stats

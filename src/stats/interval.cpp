@@ -1,0 +1,59 @@
+#include "stats/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace fastfit::stats {
+
+Interval wilson_interval(std::size_t errors, std::size_t trials, double z) {
+  if (trials == 0) throw InternalError("wilson_interval: zero trials");
+  if (errors > trials) {
+    throw InternalError("wilson_interval: errors exceed trials");
+  }
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(errors) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  Interval out{std::max(0.0, center - margin),
+               std::min(1.0, center + margin)};
+  // Pin the exact boundaries (the algebra gives them exactly; floating
+  // point may not).
+  if (errors == 0) out.lo = 0.0;
+  if (errors == trials) out.hi = 1.0;
+  return out;
+}
+
+Interval bootstrap_mean_ci(const std::vector<double>& xs, double confidence,
+                           std::size_t resamples, RngStream& rng) {
+  if (xs.empty()) throw InternalError("bootstrap_mean_ci: empty sample");
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw InternalError("bootstrap_mean_ci: confidence must be in (0,1)");
+  }
+  if (resamples < 2) {
+    throw InternalError("bootstrap_mean_ci: need at least 2 resamples");
+  }
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t b = 0; b < resamples; ++b) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      total += xs[rng.index(xs.size())];
+    }
+    means.push_back(total / static_cast<double>(xs.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto pick = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(means.size() - 1) + 0.5);
+    return means[std::min(idx, means.size() - 1)];
+  };
+  return Interval{pick(alpha), pick(1.0 - alpha)};
+}
+
+}  // namespace fastfit::stats

@@ -1,0 +1,36 @@
+#pragma once
+
+// Confidence intervals for error-rate estimates.
+//
+// The paper asserts "100 random fault injection tests are sufficient to
+// cover as many cases as it might appear" (Sec III-A). These intervals
+// quantify that: the Wilson score interval for the binomial error-rate
+// proportion (analytic, well-behaved at 0 and 1), and a percentile
+// bootstrap for arbitrary statistics.
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace fastfit::stats {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double width() const noexcept { return hi - lo; }
+  bool contains(double x) const noexcept { return x >= lo && x <= hi; }
+};
+
+/// Wilson score interval for a binomial proportion (errors / trials).
+/// `z` is the normal quantile (1.96 ~ 95%). Requires trials > 0.
+Interval wilson_interval(std::size_t errors, std::size_t trials,
+                         double z = 1.96);
+
+/// Percentile bootstrap CI of the sample mean: `resamples` resamples with
+/// replacement, returning the [(1-confidence)/2, 1-(1-confidence)/2]
+/// percentiles of the resampled means. Requires a non-empty sample.
+Interval bootstrap_mean_ci(const std::vector<double>& xs, double confidence,
+                           std::size_t resamples, RngStream& rng);
+
+}  // namespace fastfit::stats

@@ -1,0 +1,46 @@
+#include "stats/levels.hpp"
+
+#include "support/error.hpp"
+
+namespace fastfit::stats {
+
+std::size_t level_of(double error_rate,
+                     const std::vector<double>& thresholds) {
+  if (thresholds.empty()) {
+    throw InternalError("level_of: need at least one threshold");
+  }
+  std::size_t level = 0;
+  for (double t : thresholds) {
+    if (error_rate >= t) ++level;
+  }
+  return level;
+}
+
+std::vector<double> even_thresholds(std::size_t levels) {
+  if (levels < 2) throw InternalError("even_thresholds: need >= 2 levels");
+  std::vector<double> out;
+  out.reserve(levels - 1);
+  for (std::size_t i = 1; i < levels; ++i) {
+    out.push_back(static_cast<double>(i) / static_cast<double>(levels));
+  }
+  return out;
+}
+
+std::vector<double> skewed_low_med_high() { return {0.15, 0.85}; }
+
+std::vector<std::string> level_names(std::size_t levels) {
+  switch (levels) {
+    case 2: return {"low", "high"};
+    case 3: return {"low", "med", "high"};
+    case 4: return {"low", "med-low", "med-high", "high"};
+    default: {
+      std::vector<std::string> out;
+      for (std::size_t i = 0; i < levels; ++i) {
+        out.push_back("L" + std::to_string(i));
+      }
+      return out;
+    }
+  }
+}
+
+}  // namespace fastfit::stats

@@ -1,0 +1,33 @@
+#pragma once
+
+// Error-rate level quantization.
+//
+// The paper never reports a raw error rate for sensitivity decisions; it
+// qualifies it into levels. Two schemes appear:
+//   - evenly divided levels (Fig 13: 2 levels, 3 levels; Fig 4's tree uses
+//     4 even levels: low / medium-low / medium-high / high);
+//   - the skewed 3-level scheme of Figs 8 and 11 (low <15%, med 15-85%,
+//     high >85% of communication instances causing error responses).
+// Both are expressed here as threshold lists.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fastfit::stats {
+
+/// Maps an error rate in [0,1] onto a level index given ascending interior
+/// thresholds. `thresholds` of {0.25, 0.5, 0.75} yields 4 levels.
+std::size_t level_of(double error_rate, const std::vector<double>& thresholds);
+
+/// Evenly spaced interior thresholds for `levels` levels (e.g. 3 -> {1/3, 2/3}).
+std::vector<double> even_thresholds(std::size_t levels);
+
+/// The skewed scheme of Figs 8 and 11: low < 15%, med 15-85%, high > 85%.
+std::vector<double> skewed_low_med_high();
+
+/// Human-readable names for a level count: {"low","high"}, {"low","med",
+/// "high"}, or {"low","med-low","med-high","high"}; generic "L<i>" beyond.
+std::vector<std::string> level_names(std::size_t levels);
+
+}  // namespace fastfit::stats

@@ -1,0 +1,45 @@
+#pragma once
+
+// Streaming summary statistics (Welford) used throughout the evaluation:
+// error-rate means/deviations (Fig 3's Gaussian parameters), per-feature
+// moments for the Eq-1 correlation, and benchmark reporting.
+
+#include <cstddef>
+#include <vector>
+
+namespace fastfit::stats {
+
+/// Numerically stable running mean / variance / extrema accumulator.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const noexcept { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Sample variance (divides by n-1); 0 for fewer than two samples.
+  double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  double sample_stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator (parallel reduction of partial summaries).
+  void merge(const Summary& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: summary of a whole vector.
+Summary summarize(const std::vector<double>& xs) noexcept;
+
+}  // namespace fastfit::stats

@@ -1,0 +1,76 @@
+#pragma once
+
+// Bit-manipulation primitives for the fault injector.
+//
+// The paper's fault model is a single bit flip in one input parameter (or
+// one random bit of the data buffer) of a collective call. These helpers
+// implement that flip over raw byte ranges and over trivially-copyable
+// values, and are involutions: flipping the same bit twice restores the
+// original value.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "support/error.hpp"
+
+namespace fastfit {
+
+/// Flips bit `bit` (0 = LSB of byte 0) in a byte range.
+inline void flip_bit(std::span<std::byte> bytes, std::size_t bit) {
+  const std::size_t byte_index = bit / 8;
+  if (byte_index >= bytes.size()) {
+    throw InternalError("flip_bit: bit index out of range");
+  }
+  bytes[byte_index] ^= static_cast<std::byte>(1u << (bit % 8));
+}
+
+/// Number of flippable bits in a byte range.
+inline std::size_t bit_width_of(std::span<const std::byte> bytes) noexcept {
+  return bytes.size() * 8;
+}
+
+/// Flips bit `bit` in a trivially-copyable value and returns the result.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T with_flipped_bit(T value, std::size_t bit) {
+  static_assert(sizeof(T) > 0);
+  std::byte raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  flip_bit(std::span<std::byte>(raw, sizeof(T)), bit);
+  T out;
+  std::memcpy(&out, raw, sizeof(T));
+  return out;
+}
+
+/// Population count over a byte range; used by tests to assert that a flip
+/// changed exactly one bit.
+inline std::size_t popcount(std::span<const std::byte> bytes) noexcept {
+  std::size_t total = 0;
+  for (std::byte b : bytes) {
+    total += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned char>(b)));
+  }
+  return total;
+}
+
+/// Hamming distance between two equal-length byte ranges.
+inline std::size_t hamming_distance(std::span<const std::byte> a,
+                                    std::span<const std::byte> b) {
+  if (a.size() != b.size()) {
+    throw InternalError("hamming_distance: size mismatch");
+  }
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned char>(
+            static_cast<unsigned char>(a[i]) ^
+            static_cast<unsigned char>(b[i]))));
+  }
+  return total;
+}
+
+}  // namespace fastfit

@@ -1,0 +1,82 @@
+#include "support/config.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace fastfit {
+namespace {
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value,
+                        std::uint64_t max_value) {
+  if (value.empty()) throw ConfigError(key + ": empty value");
+  std::uint64_t out = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      throw ConfigError(key + ": not a non-negative integer: '" + value + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      throw ConfigError(key + ": value overflows: '" + value + "'");
+    }
+    out = out * 10 + digit;
+  }
+  if (out > max_value) {
+    throw ConfigError(key + ": value " + value + " exceeds limit " +
+                      std::to_string(max_value));
+  }
+  return out;
+}
+
+}  // namespace
+
+InjectionConfig InjectionConfig::from_map(
+    const std::map<std::string, std::string>& kv) {
+  InjectionConfig cfg;
+  for (const auto& [key, value] : kv) {
+    if (key == "NUM_INJ") {
+      cfg.num_inj = parse_u64(key, value,
+                              std::numeric_limits<std::uint64_t>::max());
+      if (cfg.num_inj == 0) throw ConfigError("NUM_INJ: must be positive");
+    } else if (key == "INV_ID") {
+      // The paper allots 3 decimal digits to INV_ID and CALL_ID.
+      cfg.inv_id = static_cast<std::uint32_t>(parse_u64(key, value, 999));
+    } else if (key == "CALL_ID") {
+      cfg.call_id = static_cast<std::uint32_t>(parse_u64(key, value, 999));
+    } else if (key == "RANK_ID") {
+      cfg.rank_id = static_cast<std::uint32_t>(
+          parse_u64(key, value, std::numeric_limits<std::uint32_t>::max()));
+    } else if (key == "PARAM_ID") {
+      cfg.param_id = static_cast<std::uint8_t>(parse_u64(key, value, 9));
+    } else if (key == "FASTFIT_SEED") {
+      cfg.seed = parse_u64(key, value,
+                           std::numeric_limits<std::uint64_t>::max());
+    } else {
+      throw ConfigError("unknown configuration key: " + key);
+    }
+  }
+  return cfg;
+}
+
+InjectionConfig InjectionConfig::from_environment() {
+  std::map<std::string, std::string> kv;
+  for (const char* name : {"NUM_INJ", "INV_ID", "CALL_ID", "RANK_ID",
+                           "PARAM_ID", "FASTFIT_SEED"}) {
+    if (const char* value = std::getenv(name)) kv.emplace(name, value);
+  }
+  return from_map(kv);
+}
+
+std::map<std::string, std::string> InjectionConfig::to_map() const {
+  std::map<std::string, std::string> kv;
+  kv["NUM_INJ"] = std::to_string(num_inj);
+  if (inv_id) kv["INV_ID"] = std::to_string(*inv_id);
+  if (call_id) kv["CALL_ID"] = std::to_string(*call_id);
+  if (rank_id) kv["RANK_ID"] = std::to_string(*rank_id);
+  if (param_id) kv["PARAM_ID"] = std::to_string(*param_id);
+  kv["FASTFIT_SEED"] = std::to_string(seed);
+  return kv;
+}
+
+}  // namespace fastfit

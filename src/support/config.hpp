@@ -1,0 +1,49 @@
+#pragma once
+
+// Campaign configuration, mirroring the paper's Table II.
+//
+// FastFIT's injection phase is driven by a small set of parameters the
+// paper exposes as environment variables:
+//
+//   NUM_INJ   - number of injected faults (trials) per injection point
+//   INV_ID    - id of the injected invocation
+//   CALL_ID   - id of the injected MPI collective call site
+//   RANK_ID   - id of the injected rank
+//   PARAM_ID  - id of the injected parameter
+//
+// InjectionConfig reads them either from the process environment (like the
+// original tool) or from an explicit key/value map (used by tests and by
+// the campaign runner, which synthesizes one config per trial batch).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace fastfit {
+
+/// One fault-injection configuration (paper Table II). Fields left
+/// unset select "all" / "chosen by the campaign planner".
+struct InjectionConfig {
+  std::uint64_t num_inj = 100;            ///< trials per injection point
+  std::optional<std::uint32_t> inv_id;    ///< target invocation (3 decimal digits in the paper)
+  std::optional<std::uint32_t> call_id;   ///< target collective call site
+  std::optional<std::uint32_t> rank_id;   ///< target rank
+  std::optional<std::uint8_t> param_id;   ///< target parameter (1 digit)
+  std::uint64_t seed = 0x5eedfa57f17ULL;  ///< campaign master seed
+
+  /// Parses a config from a key/value map using the Table II names
+  /// (NUM_INJ, INV_ID, CALL_ID, RANK_ID, PARAM_ID, plus FASTFIT_SEED).
+  /// Unknown keys are rejected; malformed values raise ConfigError.
+  static InjectionConfig from_map(
+      const std::map<std::string, std::string>& kv);
+
+  /// Parses a config from the process environment (the original tool's
+  /// deployment mode). Missing variables keep their defaults.
+  static InjectionConfig from_environment();
+
+  /// Renders the config back to Table II environment-variable form.
+  std::map<std::string, std::string> to_map() const;
+};
+
+}  // namespace fastfit

@@ -1,0 +1,23 @@
+#include "support/error.hpp"
+
+namespace fastfit {
+
+const char* to_string(MpiErrc code) noexcept {
+  switch (code) {
+    case MpiErrc::InvalidComm: return "MPI_ERR_COMM";
+    case MpiErrc::InvalidDatatype: return "MPI_ERR_TYPE";
+    case MpiErrc::InvalidOp: return "MPI_ERR_OP";
+    case MpiErrc::InvalidCount: return "MPI_ERR_COUNT";
+    case MpiErrc::InvalidRoot: return "MPI_ERR_ROOT";
+    case MpiErrc::InvalidBuffer: return "MPI_ERR_BUFFER";
+    case MpiErrc::InvalidTag: return "MPI_ERR_TAG";
+    case MpiErrc::InvalidRank: return "MPI_ERR_RANK";
+    case MpiErrc::TypeMismatch: return "MPI_ERR_TYPE_MISMATCH";
+    case MpiErrc::CountMismatch: return "MPI_ERR_COUNT_MISMATCH";
+    case MpiErrc::Truncate: return "MPI_ERR_TRUNCATE";
+    case MpiErrc::Internal: return "MPI_ERR_INTERN";
+  }
+  return "MPI_ERR_UNKNOWN";
+}
+
+}  // namespace fastfit

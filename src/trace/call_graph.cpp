@@ -1,0 +1,44 @@
+#include "trace/call_graph.hpp"
+
+#include <sstream>
+
+#include "support/rng.hpp"
+
+namespace fastfit::trace {
+
+void CallGraph::add_call(const std::string& caller, const std::string& callee) {
+  ++edges_[{caller, callee}];
+}
+
+std::uint64_t CallGraph::calls(const std::string& caller,
+                               const std::string& callee) const {
+  const auto it = edges_.find({caller, callee});
+  return it == edges_.end() ? 0 : it->second;
+}
+
+std::uint64_t CallGraph::fingerprint() const {
+  // edges_ is an ordered map, so iteration order is canonical.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& [edge, count] : edges_) {
+    h ^= fnv1a(edge.first);
+    h *= 0x100000001b3ULL;
+    h ^= fnv1a(edge.second);
+    h *= 0x100000001b3ULL;
+    h ^= count;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string CallGraph::to_dot() const {
+  std::ostringstream out;
+  out << "digraph callgraph {\n";
+  for (const auto& [edge, count] : edges_) {
+    out << "  \"" << edge.first << "\" -> \"" << edge.second << "\" [label=\""
+        << count << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace fastfit::trace

@@ -1,0 +1,42 @@
+#pragma once
+
+// Application call graph, as Callgrind/gprof would produce it: weighted
+// caller -> callee edges. FastFIT's semantic pruning treats two MPI
+// processes as equivalent only if their call graphs (and communication
+// traces) match — computed here as an exact fingerprint comparison.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace fastfit::trace {
+
+class CallGraph {
+ public:
+  /// Records one invocation of `callee` from `caller`.
+  void add_call(const std::string& caller, const std::string& callee);
+
+  /// Number of distinct edges.
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// Invocation count of an edge (0 if absent).
+  std::uint64_t calls(const std::string& caller,
+                      const std::string& callee) const;
+
+  /// Order-independent fingerprint over (caller, callee, count) triples:
+  /// equal fingerprints <=> equal graphs (up to hash collision).
+  std::uint64_t fingerprint() const;
+
+  bool operator==(const CallGraph& other) const {
+    return edges_ == other.edges_;
+  }
+
+  /// DOT rendering for documentation/debugging.
+  std::string to_dot() const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, std::uint64_t> edges_;
+};
+
+}  // namespace fastfit::trace

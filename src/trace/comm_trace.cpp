@@ -1,0 +1,34 @@
+#include "trace/comm_trace.hpp"
+
+#include <sstream>
+
+namespace fastfit::trace {
+
+std::uint64_t CommTrace::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& e : events_) {
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(e.site_id);
+    // Payload sizes are deliberately excluded: the paper's equivalence is
+    // "same communication pattern", and per-rank byte counts legitimately
+    // differ for vector collectives (e.g. IS's ragged gatherv) without
+    // changing the pattern or the role.
+    mix(e.is_root ? 1 : 0);
+  }
+  return h;
+}
+
+std::string CommTrace::render() const {
+  std::ostringstream out;
+  for (const auto& e : events_) {
+    out << mpi::to_string(e.kind) << " site=" << e.site_id
+        << " bytes=" << e.bytes << (e.is_root ? " (root)" : "") << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fastfit::trace

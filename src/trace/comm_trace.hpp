@@ -1,0 +1,47 @@
+#pragma once
+
+// Per-rank communication trace: the ordered sequence of collective events
+// a rank participated in. Together with the call graph it decides process
+// equivalence for semantic pruning (paper Sec III-A: "if two MPI processes
+// have the same call graphs and traces, then they are empirically treated
+// as equivalent").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minimpi/types.hpp"
+
+namespace fastfit::trace {
+
+struct CommEvent {
+  mpi::CollectiveKind kind{};
+  std::uint32_t site_id = 0;
+  std::uint64_t bytes = 0;    ///< payload this rank contributes
+  bool is_root = false;       ///< role in a rooted collective
+  bool operator==(const CommEvent&) const = default;
+};
+
+class CommTrace {
+ public:
+  void record(const CommEvent& event) { events_.push_back(event); }
+
+  std::size_t size() const noexcept { return events_.size(); }
+  const std::vector<CommEvent>& events() const noexcept { return events_; }
+
+  /// Order-sensitive fingerprint: equal fingerprints <=> equal traces
+  /// (up to hash collision).
+  std::uint64_t fingerprint() const;
+
+  bool operator==(const CommTrace& other) const {
+    return events_ == other.events_;
+  }
+
+  /// One-line-per-event rendering for reports.
+  std::string render() const;
+
+ private:
+  std::vector<CommEvent> events_;
+};
+
+}  // namespace fastfit::trace

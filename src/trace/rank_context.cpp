@@ -1,0 +1,15 @@
+#include "trace/rank_context.hpp"
+
+namespace fastfit::trace {
+
+const char* to_string(ExecPhase phase) noexcept {
+  switch (phase) {
+    case ExecPhase::Init: return "init";
+    case ExecPhase::Input: return "input";
+    case ExecPhase::Compute: return "compute";
+    case ExecPhase::End: return "end";
+  }
+  return "unknown";
+}
+
+}  // namespace fastfit::trace

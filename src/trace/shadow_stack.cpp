@@ -1,0 +1,51 @@
+#include "trace/shadow_stack.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::trace {
+namespace {
+
+constexpr StackId kEmptyId = 0x9e3779b97f4a7c15ULL;
+
+StackId extend(StackId parent, std::string_view function) {
+  // Order-sensitive combination: hash the frame name, then mix with the
+  // parent id so [f, g] and [g, f] get distinct identities.
+  const std::uint64_t h = fnv1a(function);
+  StackId id = parent;
+  id ^= h + 0x9e3779b97f4a7c15ULL + (id << 6) + (id >> 2);
+  return id;
+}
+
+}  // namespace
+
+StackId empty_stack_id() noexcept { return kEmptyId; }
+
+void ShadowStack::enter(std::string_view function) {
+  const StackId parent = id();
+  frames_.push_back(Frame{std::string(function), extend(parent, function)});
+}
+
+void ShadowStack::leave() {
+  if (frames_.empty()) {
+    throw InternalError("ShadowStack::leave: underflow");
+  }
+  frames_.pop_back();
+}
+
+StackId ShadowStack::id() const noexcept {
+  return frames_.empty() ? kEmptyId : frames_.back().id;
+}
+
+std::vector<std::string> ShadowStack::frames() const {
+  std::vector<std::string> out;
+  out.reserve(frames_.size());
+  for (const auto& frame : frames_) out.push_back(frame.name);
+  return out;
+}
+
+std::string_view ShadowStack::innermost() const noexcept {
+  return frames_.empty() ? std::string_view("main") : frames_.back().name;
+}
+
+}  // namespace fastfit::trace

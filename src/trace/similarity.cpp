@@ -1,0 +1,28 @@
+#include "trace/similarity.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace fastfit::trace {
+
+std::vector<EquivalenceClass> equivalence_classes(
+    const ContextRegistry& contexts) {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, EquivalenceClass> classes;
+  for (int r = 0; r < contexts.size(); ++r) {
+    const auto& ctx = contexts.of(r);
+    classes[{ctx.graph().fingerprint(), ctx.comm_trace().fingerprint()}]
+        .ranks.push_back(r);
+  }
+  std::vector<EquivalenceClass> out;
+  out.reserve(classes.size());
+  for (auto& [key, cls] : classes) out.push_back(std::move(cls));
+  // Order classes by lowest member for deterministic reporting.
+  std::sort(out.begin(), out.end(),
+            [](const EquivalenceClass& a, const EquivalenceClass& b) {
+              return a.ranks.front() < b.ranks.front();
+            });
+  return out;
+}
+
+}  // namespace fastfit::trace

@@ -1,0 +1,27 @@
+#pragma once
+
+// Process-equivalence classification for semantic-driven pruning.
+//
+// Paper Sec III-A: among ranks with the same communication pattern, only
+// those with identical call graphs *and* communication traces are treated
+// as equivalent; one representative per class suffices for injection.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/rank_context.hpp"
+
+namespace fastfit::trace {
+
+/// A group of ranks whose profiled behaviour is indistinguishable.
+struct EquivalenceClass {
+  std::vector<int> ranks;        ///< members, ascending
+  int representative() const { return ranks.front(); }
+};
+
+/// Partitions ranks into equivalence classes by (call-graph fingerprint,
+/// comm-trace fingerprint). Classes are ordered by their lowest rank.
+std::vector<EquivalenceClass> equivalence_classes(
+    const ContextRegistry& contexts);
+
+}  // namespace fastfit::trace

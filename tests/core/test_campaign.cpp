@@ -1,0 +1,128 @@
+// Campaign execution: golden digest, trial determinism, and the response
+// statistics the evaluation aggregates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/registry.hpp"
+#include "core/campaign.hpp"
+
+namespace fastfit::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+CampaignOptions small_options() {
+  CampaignOptions opts;
+  opts.nranks = 8;
+  opts.trials_per_point = 6;
+  opts.seed = 77;
+  return opts;
+}
+
+TEST(Campaign, ProfilePopulatesEnumerationAndGolden) {
+  const auto workload = apps::make_workload("LU");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  EXPECT_NE(campaign.golden_digest(), 0u);
+  EXPECT_FALSE(campaign.enumeration().points.empty());
+  EXPECT_GE(campaign.watchdog(), 150ms);
+}
+
+TEST(Campaign, UsingBeforeProfileThrows) {
+  const auto workload = apps::make_workload("LU");
+  Campaign campaign(*workload, small_options());
+  EXPECT_THROW(campaign.enumeration(), InternalError);
+  EXPECT_THROW(campaign.golden_digest(), InternalError);
+  InjectionPoint point;
+  EXPECT_THROW(campaign.measure(point, 1), InternalError);
+}
+
+TEST(Campaign, InvalidOptionsRejected) {
+  const auto workload = apps::make_workload("LU");
+  CampaignOptions bad = small_options();
+  bad.trials_per_point = 0;
+  EXPECT_THROW(Campaign(*workload, bad), ConfigError);
+  bad = small_options();
+  bad.nranks = 0;
+  EXPECT_THROW(Campaign(*workload, bad), ConfigError);
+}
+
+TEST(Campaign, MeasureAggregatesTrials) {
+  const auto workload = apps::make_workload("LU");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  const auto& points = campaign.enumeration().points;
+  // Pick a count-parameter point: a mix of MPI_ERR / SEG_FAULT / SUCCESS.
+  const auto it =
+      std::find_if(points.begin(), points.end(), [](const InjectionPoint& p) {
+        return p.param == mpi::Param::Count;
+      });
+  ASSERT_NE(it, points.end());
+  const auto result = campaign.measure(*it, 10);
+  EXPECT_EQ(result.trials, 10u);
+  std::uint32_t total = 0;
+  for (auto c : result.counts) total += c;
+  EXPECT_EQ(total, 10u);
+  EXPECT_GT(result.error_rate(), 0.0);  // count flips are rarely harmless
+  EXPECT_EQ(campaign.trials_run(), 10u);
+}
+
+TEST(Campaign, PointResultMath) {
+  PointResult r;
+  r.record(inject::Outcome::Success);
+  r.record(inject::Outcome::Success);
+  r.record(inject::Outcome::MpiErr);
+  r.record(inject::Outcome::SegFault);
+  EXPECT_EQ(r.trials, 4u);
+  EXPECT_DOUBLE_EQ(r.error_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(r.fraction(inject::Outcome::Success), 0.5);
+  EXPECT_DOUBLE_EQ(r.fraction(inject::Outcome::MpiErr), 0.25);
+  EXPECT_EQ(r.dominant(), inject::Outcome::Success);
+  r.record(inject::Outcome::MpiErr);
+  r.record(inject::Outcome::MpiErr);
+  EXPECT_EQ(r.dominant(), inject::Outcome::MpiErr);
+}
+
+TEST(Campaign, RecvBufFaultsAreNearHarmless) {
+  // Paper Fig 9: recvbuf flips have little impact (the collective
+  // overwrites them).
+  const auto workload = apps::make_workload("LU");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  const auto& points = campaign.enumeration().points;
+  const auto it =
+      std::find_if(points.begin(), points.end(), [](const InjectionPoint& p) {
+        return p.param == mpi::Param::RecvBuf &&
+               p.kind == mpi::CollectiveKind::Allreduce;
+      });
+  ASSERT_NE(it, points.end());
+  const auto result = campaign.measure(*it, 12);
+  EXPECT_GE(result.fraction(inject::Outcome::Success), 0.75);
+}
+
+TEST(Campaign, SameSeedSameCampaignStatistics) {
+  const auto workload = apps::make_workload("LU");
+  Campaign c1(*workload, small_options());
+  Campaign c2(*workload, small_options());
+  c1.profile();
+  c2.profile();
+  ASSERT_EQ(c1.enumeration().points.size(), c2.enumeration().points.size());
+  const auto& p = c1.enumeration().points.front();
+  const auto r1 = c1.measure(p, 8);
+  const auto r2 = c2.measure(p, 8);
+  EXPECT_EQ(r1.counts, r2.counts);
+}
+
+TEST(Campaign, GoldenDigestStableAcrossCampaigns) {
+  const auto workload = apps::make_workload("MG");
+  Campaign c1(*workload, small_options());
+  Campaign c2(*workload, small_options());
+  c1.profile();
+  c2.profile();
+  EXPECT_EQ(c1.golden_digest(), c2.golden_digest());
+}
+
+}  // namespace
+}  // namespace fastfit::core

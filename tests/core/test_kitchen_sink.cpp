@@ -1,0 +1,166 @@
+// Robustness sweep over the full collective surface: a synthetic workload
+// that calls every MiniMPI collective, then a campaign that injects into
+// every surviving (point, parameter). Whatever the corruption does, the
+// trial must classify into the Table-I taxonomy — never escape as an
+// unhandled exception, never hang the harness, never touch memory outside
+// the registries.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/common.hpp"
+#include "apps/workload.hpp"
+#include "core/campaign.hpp"
+
+namespace fastfit::core {
+namespace {
+
+class KitchenSink final : public apps::Workload {
+ public:
+  std::string name() const override { return "kitchen-sink"; }
+
+  std::uint64_t run_rank(apps::AppContext& ctx) const override {
+    auto& mpi = ctx.mpi;
+    auto& tr = ctx.trace;
+    const int n = mpi.size();
+    const int me = mpi.rank();
+
+    tr.set_phase(trace::ExecPhase::Init);
+    {
+      trace::FunctionScope scope(tr, "setup");
+      mpi.barrier();
+      mpi::RegisteredBuffer<std::int32_t> params(mpi.registry(), 2);
+      if (me == 0) {
+        params[0] = 4;
+        params[1] = 99;
+      }
+      mpi.bcast(params.data(), 2, mpi::kInt32, 0);
+      trace::ErrorHandlingScope errhal(tr);
+      apps::app_check(params[0] == 4 && params[1] == 99,
+                      "kitchen-sink: setup broadcast corrupted");
+    }
+
+    tr.set_phase(trace::ExecPhase::Compute);
+    std::uint64_t digest = 0;
+    {
+      trace::FunctionScope scope(tr, "exercise_everything");
+      const std::size_t N = static_cast<std::size_t>(n);
+
+      mpi::RegisteredBuffer<double> vec(mpi.registry(), 4, me + 1.0);
+      mpi::RegisteredBuffer<double> summed(mpi.registry(), 4);
+      mpi.allreduce(vec.data(), summed.data(), 4, mpi::kDouble, mpi::kSum);
+
+      mpi::RegisteredBuffer<double> reduced(mpi.registry(), 4);
+      mpi.reduce(vec.data(), reduced.data(), 4, mpi::kDouble, mpi::kMax,
+                 n - 1);
+
+      mpi::RegisteredBuffer<std::int32_t> table(mpi.registry(), 2 * N);
+      mpi::RegisteredBuffer<std::int32_t> mine(mpi.registry(), 2);
+      if (me == 0) std::iota(table.begin(), table.end(), 0);
+      mpi.scatter(table.data(), 2, mpi::kInt32, mine.data(), 2, mpi::kInt32,
+                  0);
+      mpi.gather(mine.data(), 2, mpi::kInt32, table.data(), 2, mpi::kInt32,
+                 0);
+
+      mpi::RegisteredBuffer<std::int32_t> shared(mpi.registry(), N);
+      mpi::RegisteredBuffer<std::int32_t> contribution(mpi.registry(), 1, me);
+      mpi.allgather(contribution.data(), 1, mpi::kInt32, shared.data(), 1,
+                    mpi::kInt32);
+
+      mpi::RegisteredBuffer<std::int32_t> a2a_in(mpi.registry(), N, me);
+      mpi::RegisteredBuffer<std::int32_t> a2a_out(mpi.registry(), N);
+      mpi.alltoall(a2a_in.data(), 1, mpi::kInt32, a2a_out.data(), 1,
+                   mpi::kInt32);
+
+      std::vector<std::int32_t> ones(N, 1);
+      std::vector<std::int32_t> steps(N);
+      std::iota(steps.begin(), steps.end(), 0);
+      mpi::RegisteredBuffer<std::int32_t> v_out(mpi.registry(), N);
+      mpi.alltoallv(a2a_in.data(), ones, steps, mpi::kInt32, v_out.data(),
+                    ones, steps, mpi::kInt32);
+
+      mpi::RegisteredBuffer<std::int32_t> sv_out(mpi.registry(), 1);
+      mpi.scatterv(table.data(), ones, steps, mpi::kInt32, sv_out.data(), 1,
+                   mpi::kInt32, 0);
+      mpi.gatherv(sv_out.data(), 1, mpi::kInt32, table.data(), ones, steps,
+                  mpi::kInt32, 0);
+      mpi.allgatherv(contribution.data(), 1, mpi::kInt32, shared.data(),
+                     ones, steps, mpi::kInt32);
+
+      mpi::RegisteredBuffer<std::int64_t> rs_in(mpi.registry(), N, 1);
+      mpi::RegisteredBuffer<std::int64_t> rs_out(mpi.registry(), 1);
+      mpi.reduce_scatter_block(rs_in.data(), rs_out.data(), 1, mpi::kInt64,
+                               mpi::kSum);
+
+      mpi::RegisteredBuffer<std::int64_t> prefix(mpi.registry(), 1);
+      mpi::RegisteredBuffer<std::int64_t> one(mpi.registry(), 1, 1);
+      mpi.scan(one.data(), prefix.data(), 1, mpi::kInt64, mpi::kSum);
+
+      digest = static_cast<std::uint64_t>(summed[0] * 1e6) ^
+               static_cast<std::uint64_t>(rs_out[0]) ^
+               static_cast<std::uint64_t>(prefix[0] << 7) ^
+               static_cast<std::uint64_t>(
+                   shared[static_cast<std::size_t>(me)]);
+    }
+
+    tr.set_phase(trace::ExecPhase::End);
+    mpi.barrier();
+    return digest;
+  }
+};
+
+TEST(KitchenSink, GoldenRunIsClean) {
+  KitchenSink workload;
+  CampaignOptions options;
+  options.nranks = 6;
+  options.trials_per_point = 1;
+  Campaign campaign(workload, options);
+  campaign.profile();
+  EXPECT_NE(campaign.golden_digest(), 0u);
+  // All fourteen collective kinds appear among the points.
+  std::set<mpi::CollectiveKind> kinds;
+  for (const auto& p : campaign.enumeration().points) kinds.insert(p.kind);
+  EXPECT_EQ(kinds.size(), static_cast<std::size_t>(mpi::kNumCollectiveKinds));
+}
+
+TEST(KitchenSink, EveryPointSurvivesInjectionWithoutEscapes) {
+  // The harness-robustness sweep: 3 trials into every (site, stack,
+  // parameter) of every collective kind. ~hundreds of faulted executions;
+  // any unclassified failure surfaces as a thrown exception and fails the
+  // test.
+  KitchenSink workload;
+  CampaignOptions options;
+  options.nranks = 6;
+  options.trials_per_point = 3;
+  options.seed = 20260707;
+  Campaign campaign(workload, options);
+  campaign.profile();
+  std::array<std::uint64_t, inject::kNumOutcomes> totals{};
+  for (const auto& point : campaign.enumeration().points) {
+    const auto result = campaign.measure(point);
+    EXPECT_EQ(result.trials, 3u);
+    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      totals[o] += result.counts[o];
+    }
+  }
+  // The sweep must produce a spread of responses, not a single class.
+  EXPECT_GT(totals[static_cast<std::size_t>(inject::Outcome::Success)], 0u);
+  EXPECT_GT(totals[static_cast<std::size_t>(inject::Outcome::MpiErr)], 0u);
+  EXPECT_GT(totals[static_cast<std::size_t>(inject::Outcome::SegFault)], 0u);
+}
+
+TEST(KitchenSink, SemanticOnlyEnumerationIsDenser) {
+  KitchenSink workload;
+  CampaignOptions options;
+  options.nranks = 6;
+  options.trials_per_point = 1;
+  Campaign campaign(workload, options);
+  campaign.profile();
+  const auto dense = enumerate_points_semantic_only(campaign.profiler());
+  EXPECT_GE(dense.points.size(), campaign.enumeration().points.size());
+  EXPECT_EQ(dense.stats.after_semantic, dense.stats.after_context);
+}
+
+}  // namespace
+}  // namespace fastfit::core

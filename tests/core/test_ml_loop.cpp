@@ -1,0 +1,117 @@
+// The injection ⇄ learning feedback loop.
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "core/ml_loop.hpp"
+
+namespace fastfit::core {
+namespace {
+
+CampaignOptions small_options() {
+  CampaignOptions opts;
+  opts.nranks = 8;
+  opts.trials_per_point = 5;
+  opts.seed = 99;
+  return opts;
+}
+
+TEST(MlLoop, LabelModes) {
+  PointResult r;
+  for (int i = 0; i < 7; ++i) r.record(inject::Outcome::MpiErr);
+  for (int i = 0; i < 3; ++i) r.record(inject::Outcome::Success);
+  EXPECT_EQ(label_of(r, LabelMode::ErrorType, {}),
+            static_cast<std::size_t>(inject::Outcome::MpiErr));
+  // error rate 0.7 with 4 even levels -> level 2 (50-75%).
+  EXPECT_EQ(label_of(r, LabelMode::ErrorRateLevel,
+                     stats::even_thresholds(4)),
+            2u);
+  EXPECT_EQ(label_count(LabelMode::ErrorType, {}), inject::kNumOutcomes);
+  EXPECT_EQ(label_count(LabelMode::ErrorRateLevel,
+                        stats::even_thresholds(3)),
+            3u);
+  EXPECT_EQ(label_names(LabelMode::ErrorType, {}).size(),
+            inject::kNumOutcomes);
+  EXPECT_EQ(label_names(LabelMode::ErrorRateLevel,
+                        stats::even_thresholds(2)),
+            (std::vector<std::string>{"low", "high"}));
+}
+
+TEST(MlLoop, EmptyPointListIsNoOp) {
+  const auto workload = apps::make_workload("LU");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  const auto result = run_ml_loop(campaign, {}, MlLoopConfig{});
+  EXPECT_TRUE(result.measured.empty());
+  EXPECT_TRUE(result.predicted.empty());
+  EXPECT_EQ(result.ml_reduction(), 0.0);
+}
+
+TEST(MlLoop, LowThresholdPredictsMostPoints) {
+  const auto workload = apps::make_workload("miniMD");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  MlLoopConfig config;
+  config.accuracy_threshold = 0.30;  // easy to satisfy
+  config.train_batch = 6;
+  config.verify_batch = 4;
+  config.forest.n_trees = 12;
+  const auto result =
+      run_ml_loop(campaign, campaign.enumeration().points, config);
+  EXPECT_TRUE(result.threshold_reached);
+  EXPECT_GT(result.predicted.size(), result.measured.size());
+  EXPECT_GT(result.ml_reduction(), 0.5);
+  EXPECT_TRUE(result.model.has_value());
+  // Measured + predicted must cover the whole point list exactly.
+  EXPECT_EQ(result.measured.size() + result.predicted.size(),
+            campaign.enumeration().points.size());
+}
+
+TEST(MlLoop, ImpossibleThresholdDegradesToTraditional) {
+  const auto workload = apps::make_workload("LU");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  MlLoopConfig config;
+  config.accuracy_threshold = 1.01;  // unreachable by construction
+  config.train_batch = 10;
+  config.verify_batch = 10;
+  config.forest.n_trees = 8;
+  const auto result =
+      run_ml_loop(campaign, campaign.enumeration().points, config);
+  EXPECT_FALSE(result.threshold_reached);
+  EXPECT_TRUE(result.predicted.empty());
+  EXPECT_EQ(result.measured.size(), campaign.enumeration().points.size());
+  EXPECT_EQ(result.ml_reduction(), 0.0);
+}
+
+TEST(MlLoop, HigherThresholdNeverMeasuresFewerPoints) {
+  // Fig 6's tradeoff: raising the accuracy threshold costs measurements.
+  const auto workload = apps::make_workload("miniMD");
+  std::vector<std::size_t> measured_counts;
+  for (double threshold : {0.30, 0.95}) {
+    Campaign campaign(*workload, small_options());
+    campaign.profile();
+    MlLoopConfig config;
+    config.accuracy_threshold = threshold;
+    config.train_batch = 6;
+    config.verify_batch = 4;
+    config.forest.n_trees = 12;
+    const auto result =
+        run_ml_loop(campaign, campaign.enumeration().points, config);
+    measured_counts.push_back(result.measured.size());
+  }
+  EXPECT_LE(measured_counts[0], measured_counts[1]);
+}
+
+TEST(MlLoop, InvalidBatchesRejected) {
+  const auto workload = apps::make_workload("LU");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  MlLoopConfig config;
+  config.train_batch = 0;
+  EXPECT_THROW(run_ml_loop(campaign, campaign.enumeration().points, config),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace fastfit::core

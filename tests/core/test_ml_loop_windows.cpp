@@ -1,0 +1,69 @@
+// Sliding-window verification semantics of the learning loop.
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "core/ml_loop.hpp"
+
+namespace fastfit::core {
+namespace {
+
+CampaignOptions small_options() {
+  CampaignOptions opts;
+  opts.nranks = 8;
+  opts.trials_per_point = 4;
+  opts.seed = 31337;
+  return opts;
+}
+
+TEST(MlLoopWindows, MinVerifySamplesDelaysEarlyStop) {
+  // With a trivial threshold, the loop may still not stop before the
+  // verification floor is met: more measured points than one round.
+  const auto workload = apps::make_workload("miniMD");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  MlLoopConfig config;
+  config.accuracy_threshold = 0.01;
+  config.train_batch = 4;
+  config.verify_batch = 3;
+  config.min_verify_samples = 12;
+  config.forest.n_trees = 8;
+  const auto result =
+      run_ml_loop(campaign, campaign.enumeration().points, config);
+  ASSERT_TRUE(result.threshold_reached);
+  EXPECT_GE(result.rounds, 4u);  // ceil(12 / 3) verification rounds
+  EXPECT_GE(result.measured.size(), 4 * (4u + 3u));
+}
+
+TEST(MlLoopWindows, ZeroWindowFallsBackToLastBatch) {
+  const auto workload = apps::make_workload("miniMD");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  MlLoopConfig config;
+  config.accuracy_threshold = 0.01;
+  config.train_batch = 4;
+  config.verify_batch = 3;
+  config.verify_window = 0;  // last batch only
+  config.min_verify_samples = 1;
+  config.forest.n_trees = 8;
+  const auto result =
+      run_ml_loop(campaign, campaign.enumeration().points, config);
+  EXPECT_TRUE(result.threshold_reached);
+  EXPECT_EQ(result.rounds, 1u);  // stops at the first verification batch
+}
+
+TEST(MlLoopWindows, AccuracyIsAFraction) {
+  const auto workload = apps::make_workload("LU");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  MlLoopConfig config;
+  config.accuracy_threshold = 0.99;
+  config.forest.n_trees = 8;
+  const auto result =
+      run_ml_loop(campaign, campaign.enumeration().points, config);
+  EXPECT_GE(result.final_accuracy, 0.0);
+  EXPECT_LE(result.final_accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace fastfit::core

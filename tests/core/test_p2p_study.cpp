@@ -1,0 +1,142 @@
+// Point-to-point injection (the future-work extension): interposition,
+// corruption, enumeration, and trial classification.
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "core/p2p_study.hpp"
+
+namespace fastfit::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+CampaignOptions small_options() {
+  CampaignOptions opts;
+  opts.nranks = 8;
+  opts.trials_per_point = 6;
+  opts.seed = 404;
+  return opts;
+}
+
+TEST(P2pStudy, ProfilerRecordsP2pSites) {
+  // MG and LU use halo-exchange sends/receives.
+  const auto workload = apps::make_workload("MG");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  bool any = false;
+  for (int r = 0; r < 8; ++r) {
+    any = any || !campaign.profiler().rank(r).p2p_sites.empty();
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(P2pStudy, EnumerationPrunesLikeCollectives) {
+  const auto workload = apps::make_workload("LU");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  const auto e = enumerate_p2p_points(campaign.profiler());
+  EXPECT_GT(e.stats.total_points, 0u);
+  EXPECT_LE(e.stats.after_semantic, e.stats.total_points);
+  EXPECT_LE(e.stats.after_context, e.stats.after_semantic);
+  EXPECT_EQ(e.points.size(), e.stats.after_context);
+  for (const auto& p : e.points) {
+    EXPECT_GT(p.n_inv, 0u);
+    EXPECT_FALSE(p.site_location.empty());
+  }
+}
+
+TEST(P2pStudy, CollectiveOnlyWorkloadHasNoP2pPoints) {
+  const auto workload = apps::make_workload("IS");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  const auto e = enumerate_p2p_points(campaign.profiler());
+  EXPECT_EQ(e.stats.total_points, 0u);
+  EXPECT_TRUE(e.points.empty());
+}
+
+TEST(P2pStudy, BufferFaultsInHaloExchangeAreMostlyTolerated) {
+  // A flipped bit in one halo value perturbs the stencil slightly; the
+  // solver smooths it away or the residual check catches divergence.
+  const auto workload = apps::make_workload("MG");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  const auto e = enumerate_p2p_points(campaign.profiler());
+  const auto it = std::find_if(
+      e.points.begin(), e.points.end(), [](const P2pInjectionPoint& p) {
+        return p.param == mpi::P2pParam::Buffer;
+      });
+  ASSERT_NE(it, e.points.end());
+  const auto result = measure_p2p(campaign, *it, 10);
+  EXPECT_EQ(result.trials, 10u);
+  // No MPI_ERR/SEG_FAULT from data corruption.
+  EXPECT_EQ(result.fraction(inject::Outcome::MpiErr), 0.0);
+  EXPECT_EQ(result.fraction(inject::Outcome::SegFault), 0.0);
+}
+
+TEST(P2pStudy, TagFaultsHangOrErrorTheJob) {
+  // A corrupted tag either goes negative (MPI_ERR) or becomes a valid tag
+  // nobody sends on (the receive starves: INF_LOOP).
+  const auto workload = apps::make_workload("LU");
+  Campaign campaign(*workload, small_options());
+  campaign.profile();
+  const auto e = enumerate_p2p_points(campaign.profiler());
+  const auto it = std::find_if(
+      e.points.begin(), e.points.end(), [](const P2pInjectionPoint& p) {
+        return p.param == mpi::P2pParam::Tag &&
+               p.kind == mpi::P2pKind::Recv;
+      });
+  ASSERT_NE(it, e.points.end());
+  const auto result = measure_p2p(campaign, *it, 8);
+  EXPECT_GE(result.fraction(inject::Outcome::MpiErr) +
+                result.fraction(inject::Outcome::InfLoop),
+            0.99);
+}
+
+TEST(P2pStudy, DistributionHelperFilters) {
+  std::vector<P2pPointResult> results(2);
+  results[0].point.kind = mpi::P2pKind::Send;
+  results[0].point.param = mpi::P2pParam::Buffer;
+  results[0].record(inject::Outcome::Success);
+  results[1].point.kind = mpi::P2pKind::Recv;
+  results[1].point.param = mpi::P2pParam::Tag;
+  results[1].record(inject::Outcome::InfLoop);
+
+  const auto all = p2p_outcome_distribution(results);
+  EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(inject::Outcome::Success)],
+                   0.5);
+  const auto sends = p2p_outcome_distribution(results, mpi::P2pKind::Send);
+  EXPECT_DOUBLE_EQ(sends[static_cast<std::size_t>(inject::Outcome::Success)],
+                   1.0);
+  const auto tags = p2p_outcome_distribution(results, std::nullopt,
+                                             mpi::P2pParam::Tag);
+  EXPECT_DOUBLE_EQ(tags[static_cast<std::size_t>(inject::Outcome::InfLoop)],
+                   1.0);
+}
+
+TEST(P2pStudy, MeasurementIsDeterministic) {
+  const auto workload = apps::make_workload("LU");
+  Campaign c1(*workload, small_options());
+  Campaign c2(*workload, small_options());
+  c1.profile();
+  c2.profile();
+  const auto e = enumerate_p2p_points(c1.profiler());
+  ASSERT_FALSE(e.points.empty());
+  const auto r1 = measure_p2p(c1, e.points.front(), 6);
+  const auto r2 = measure_p2p(c2, e.points.front(), 6);
+  EXPECT_EQ(r1.counts, r2.counts);
+}
+
+TEST(P2pStudy, SpecDescribe) {
+  inject::P2pFaultSpec spec;
+  spec.rank = 3;
+  spec.param = mpi::P2pParam::Peer;
+  spec.model = inject::FaultModel::DoubleBitFlip;
+  const auto text = spec.describe();
+  EXPECT_NE(text.find("rank=3"), std::string::npos);
+  EXPECT_NE(text.find("peer"), std::string::npos);
+  EXPECT_NE(text.find("double-bit-flip"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastfit::core

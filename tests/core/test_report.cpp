@@ -1,0 +1,154 @@
+// Report aggregations (the math behind Figs 7-11 and Table IV).
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "stats/levels.hpp"
+
+namespace fastfit::core {
+namespace {
+
+PointResult make_result(mpi::CollectiveKind kind, mpi::Param param,
+                        std::initializer_list<std::pair<inject::Outcome, int>>
+                            outcomes,
+                        trace::ExecPhase phase = trace::ExecPhase::Compute,
+                        bool errhal = false) {
+  PointResult r;
+  r.point.kind = kind;
+  r.point.param = param;
+  r.point.phase = phase;
+  r.point.errhal = errhal;
+  r.point.n_inv = 10;
+  r.point.stack_depth = 2.0;
+  r.point.n_diff_stack = 1;
+  for (const auto& [outcome, count] : outcomes) {
+    for (int i = 0; i < count; ++i) r.record(outcome);
+  }
+  return r;
+}
+
+TEST(Report, OutcomeDistributionSumsToOne) {
+  std::vector<PointResult> results{
+      make_result(mpi::CollectiveKind::Allreduce, mpi::Param::SendBuf,
+                  {{inject::Outcome::Success, 6}, {inject::Outcome::MpiErr, 4}}),
+      make_result(mpi::CollectiveKind::Bcast, mpi::Param::Count,
+                  {{inject::Outcome::SegFault, 10}}),
+  };
+  const auto dist = outcome_distribution(results);
+  double sum = 0.0;
+  for (double v : dist) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dist[static_cast<std::size_t>(inject::Outcome::Success)],
+                   0.3);
+  EXPECT_DOUBLE_EQ(dist[static_cast<std::size_t>(inject::Outcome::SegFault)],
+                   0.5);
+}
+
+TEST(Report, DistributionFilters) {
+  std::vector<PointResult> results{
+      make_result(mpi::CollectiveKind::Allreduce, mpi::Param::SendBuf,
+                  {{inject::Outcome::Success, 10}}),
+      make_result(mpi::CollectiveKind::Bcast, mpi::Param::SendBuf,
+                  {{inject::Outcome::SegFault, 10}}),
+      make_result(mpi::CollectiveKind::Allreduce, mpi::Param::Op,
+                  {{inject::Outcome::WrongAns, 10}}),
+  };
+  const auto allreduce_only =
+      outcome_distribution(results, mpi::CollectiveKind::Allreduce);
+  EXPECT_DOUBLE_EQ(
+      allreduce_only[static_cast<std::size_t>(inject::Outcome::SegFault)],
+      0.0);
+  const auto sendbuf_only =
+      outcome_distribution(results, std::nullopt, mpi::Param::SendBuf);
+  EXPECT_DOUBLE_EQ(
+      sendbuf_only[static_cast<std::size_t>(inject::Outcome::WrongAns)], 0.0);
+  const auto both = outcome_distribution(
+      results, mpi::CollectiveKind::Allreduce, mpi::Param::SendBuf);
+  EXPECT_DOUBLE_EQ(
+      both[static_cast<std::size_t>(inject::Outcome::Success)], 1.0);
+  // No matching trials -> all zeros, not NaN.
+  const auto none = outcome_distribution(
+      results, mpi::CollectiveKind::Scan, std::nullopt);
+  for (double v : none) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Report, KindsAndParamsPresent) {
+  std::vector<PointResult> results{
+      make_result(mpi::CollectiveKind::Bcast, mpi::Param::SendBuf,
+                  {{inject::Outcome::Success, 1}}),
+      make_result(mpi::CollectiveKind::Allreduce, mpi::Param::Op,
+                  {{inject::Outcome::Success, 1}}),
+      make_result(mpi::CollectiveKind::Allreduce, mpi::Param::SendBuf,
+                  {{inject::Outcome::Success, 1}}),
+  };
+  EXPECT_EQ(kinds_present(results).size(), 2u);
+  EXPECT_EQ(params_present(results).size(), 2u);
+}
+
+TEST(Report, LevelDistribution) {
+  std::vector<PointResult> results{
+      make_result(mpi::CollectiveKind::Barrier, mpi::Param::Comm,
+                  {{inject::Outcome::MpiErr, 10}}),  // error rate 1.0 -> high
+      make_result(mpi::CollectiveKind::Barrier, mpi::Param::Comm,
+                  {{inject::Outcome::Success, 10}}),  // 0.0 -> low
+      make_result(mpi::CollectiveKind::Barrier, mpi::Param::Comm,
+                  {{inject::Outcome::Success, 5},
+                   {inject::Outcome::InfLoop, 5}}),  // 0.5 -> med
+  };
+  const auto dist = level_distribution(results, mpi::CollectiveKind::Barrier,
+                                       stats::skewed_low_med_high());
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_NEAR(dist[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dist[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dist[2], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Report, FeatureCorrelationsFollowConstruction) {
+  // Errhal points get high error rates, non-errhal get low: the ErrHdl
+  // column must exceed 0.5 and Non-ErrHdl must fall below (Eq-1 scale).
+  std::vector<PointResult> results;
+  for (int i = 0; i < 20; ++i) {
+    results.push_back(make_result(
+        mpi::CollectiveKind::Allreduce, mpi::Param::SendBuf,
+        {{inject::Outcome::MpiErr, 9}, {inject::Outcome::Success, 1}},
+        trace::ExecPhase::Input, true));
+    results.push_back(make_result(
+        mpi::CollectiveKind::Allreduce, mpi::Param::SendBuf,
+        {{inject::Outcome::Success, 9}, {inject::Outcome::MpiErr, 1}},
+        trace::ExecPhase::Compute, false));
+  }
+  const auto correlations =
+      feature_correlations(results, stats::even_thresholds(4));
+  ASSERT_EQ(correlations.size(), 9u);
+  std::map<std::string, double> by_name(correlations.begin(),
+                                        correlations.end());
+  EXPECT_GT(by_name.at("ErrHdl"), 0.9);
+  EXPECT_LT(by_name.at("Non-ErrHdl"), 0.1);
+  EXPECT_GT(by_name.at("Input Phase"), 0.9);
+  EXPECT_LT(by_name.at("Compute Phase"), 0.1);
+  // Constant features carry no signal: Eq-1 reports 0.5.
+  EXPECT_DOUBLE_EQ(by_name.at("nInv"), 0.5);
+  EXPECT_DOUBLE_EQ(by_name.at("StackDepth"), 0.5);
+  for (const auto& [name, value] : correlations) {
+    EXPECT_GE(value, 0.0) << name;
+    EXPECT_LE(value, 1.0) << name;
+  }
+}
+
+TEST(Report, RenderersProduceAlignedTables) {
+  const auto dist = outcome_distribution(
+      {make_result(mpi::CollectiveKind::Bcast, mpi::Param::SendBuf,
+                   {{inject::Outcome::Success, 1}})});
+  const auto text = render_outcome_table({{"IS", dist}, {"FT", dist}});
+  EXPECT_NE(text.find("SUCCESS"), std::string::npos);
+  EXPECT_NE(text.find("IS"), std::string::npos);
+  EXPECT_NE(text.find("FT"), std::string::npos);
+
+  const auto levels = render_level_table({{"MPI_Barrier", {0.2, 0.3, 0.5}}},
+                                         {"low", "med", "high"});
+  EXPECT_NE(levels.find("MPI_Barrier"), std::string::npos);
+  EXPECT_NE(levels.find("50.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastfit::core

@@ -1,0 +1,126 @@
+#include "inject/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "support/bitops.hpp"
+
+namespace fastfit::inject {
+namespace {
+
+std::span<std::byte> as_span(std::array<std::byte, 8>& a) {
+  return {a.data(), a.size()};
+}
+std::span<const std::byte> as_cspan(const std::array<std::byte, 8>& a) {
+  return {a.data(), a.size()};
+}
+
+TEST(FaultModel, NamesDistinct) {
+  for (std::size_t a = 0; a < kNumFaultModels; ++a) {
+    for (std::size_t b = a + 1; b < kNumFaultModels; ++b) {
+      EXPECT_STRNE(to_string(static_cast<FaultModel>(a)),
+                   to_string(static_cast<FaultModel>(b)));
+    }
+  }
+}
+
+TEST(FaultModel, SingleBitFlipsExactlyOne) {
+  RngStream rng(1, "fm");
+  for (int i = 0; i < 50; ++i) {
+    std::array<std::byte, 8> buf{};
+    const auto before = buf;
+    EXPECT_TRUE(mutate_bytes(as_span(buf), FaultModel::SingleBitFlip, rng));
+    EXPECT_EQ(hamming_distance(as_cspan(before), as_cspan(buf)), 1u);
+  }
+}
+
+TEST(FaultModel, DoubleBitFlipsExactlyTwoDistinct) {
+  RngStream rng(2, "fm");
+  for (int i = 0; i < 50; ++i) {
+    std::array<std::byte, 8> buf{};
+    const auto before = buf;
+    EXPECT_TRUE(mutate_bytes(as_span(buf), FaultModel::DoubleBitFlip, rng));
+    EXPECT_EQ(hamming_distance(as_cspan(before), as_cspan(buf)), 2u);
+  }
+}
+
+TEST(FaultModel, DoubleBitOnSingleBitRangeDegrades) {
+  RngStream rng(3, "fm");
+  std::array<std::byte, 1> one{};
+  // One-bit span: both flips necessarily target distinct bits of the byte.
+  EXPECT_TRUE(mutate_bytes(std::span<std::byte>(one.data(), 1),
+                           FaultModel::DoubleBitFlip, rng));
+  EXPECT_EQ(popcount(std::span<const std::byte>(one.data(), 1)), 2u);
+}
+
+TEST(FaultModel, StuckAtZeroOnlyClearsBits) {
+  RngStream rng(4, "fm");
+  std::array<std::byte, 8> all_ones;
+  all_ones.fill(std::byte{0xFF});
+  const auto before = all_ones;
+  EXPECT_TRUE(mutate_bytes(as_span(all_ones), FaultModel::StuckAtZero, rng));
+  EXPECT_EQ(hamming_distance(as_cspan(before), as_cspan(all_ones)), 1u);
+  EXPECT_EQ(popcount(as_cspan(all_ones)), 63u);
+}
+
+TEST(FaultModel, StuckAtZeroOnZeroesIsNoOp) {
+  RngStream rng(5, "fm");
+  std::array<std::byte, 8> zeros{};
+  EXPECT_FALSE(mutate_bytes(as_span(zeros), FaultModel::StuckAtZero, rng));
+  EXPECT_EQ(popcount(as_cspan(zeros)), 0u);
+}
+
+TEST(FaultModel, RandomByteChangesAtMostOneByte) {
+  RngStream rng(6, "fm");
+  for (int i = 0; i < 50; ++i) {
+    std::array<std::byte, 8> buf{};
+    buf.fill(std::byte{0xA5});
+    int changed_bytes = 0;
+    const bool changed = mutate_bytes(as_span(buf), FaultModel::RandomByte,
+                                      rng);
+    for (std::byte b : buf) {
+      if (b != std::byte{0xA5}) ++changed_bytes;
+    }
+    EXPECT_EQ(changed_bytes, changed ? 1 : 0);
+    EXPECT_LE(changed_bytes, 1);
+  }
+}
+
+TEST(FaultModel, EmptyRangeIsAlwaysNoOp) {
+  RngStream rng(7, "fm");
+  for (std::size_t m = 0; m < kNumFaultModels; ++m) {
+    EXPECT_FALSE(mutate_bytes({}, static_cast<FaultModel>(m), rng));
+  }
+}
+
+TEST(FaultModel, MutateValueReportsChange) {
+  RngStream rng(8, "fm");
+  bool changed = false;
+  const std::int32_t v =
+      mutate_value<std::int32_t>(0, FaultModel::StuckAtZero, rng, &changed);
+  EXPECT_EQ(v, 0);
+  EXPECT_FALSE(changed);
+  const std::int32_t w =
+      mutate_value<std::int32_t>(0x0F0F0F0F, FaultModel::SingleBitFlip, rng,
+                                 &changed);
+  EXPECT_NE(w, 0x0F0F0F0F);
+  EXPECT_TRUE(changed);
+}
+
+TEST(FaultModel, DeterministicPerStream) {
+  for (std::size_t m = 0; m < kNumFaultModels; ++m) {
+    RngStream r1(9, "fm", m);
+    RngStream r2(9, "fm", m);
+    std::array<std::byte, 8> a;
+    std::array<std::byte, 8> b;
+    a.fill(std::byte{0x3C});
+    b.fill(std::byte{0x3C});
+    mutate_bytes(as_span(a), static_cast<FaultModel>(m), r1);
+    mutate_bytes(as_span(b), static_cast<FaultModel>(m), r2);
+    EXPECT_EQ(a, b) << to_string(static_cast<FaultModel>(m));
+  }
+}
+
+}  // namespace
+}  // namespace fastfit::inject

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "minimpi/datatype.hpp"
+#include "minimpi/op.hpp"
+#include "minimpi/types.hpp"
+#include "support/bitops.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+TEST(Handles, AllTableDatatypesValidWithExpectedSizes) {
+  EXPECT_TRUE(is_valid(kChar));
+  EXPECT_TRUE(is_valid(kDouble));
+  EXPECT_EQ(datatype_size(kChar), 1u);
+  EXPECT_EQ(datatype_size(kByte), 1u);
+  EXPECT_EQ(datatype_size(kInt32), 4u);
+  EXPECT_EQ(datatype_size(kUint32), 4u);
+  EXPECT_EQ(datatype_size(kInt64), 8u);
+  EXPECT_EQ(datatype_size(kUint64), 8u);
+  EXPECT_EQ(datatype_size(kFloat), 4u);
+  EXPECT_EQ(datatype_size(kDouble), 8u);
+}
+
+TEST(Handles, DatatypeNames) {
+  EXPECT_EQ(datatype_name(kDouble), "MPI_DOUBLE");
+  EXPECT_EQ(datatype_name(kInt32), "MPI_INT");
+}
+
+TEST(Handles, InvalidDatatypeRejected) {
+  const auto bogus = static_cast<Datatype>(0x12345678u);
+  EXPECT_FALSE(is_valid(bogus));
+  EXPECT_THROW(datatype_size(bogus), MpiError);
+  const auto out_of_table = make_datatype(kNumDatatypes);
+  EXPECT_FALSE(is_valid(out_of_table));
+}
+
+TEST(Handles, MagicBitsDetectMostSingleBitFlips) {
+  // The design intent: a random flip of a valid handle usually breaks the
+  // magic tag (-> MPI_ERR), and only low-bit flips can reach another valid
+  // handle (-> silent confusion). Quantify it.
+  int invalid = 0;
+  int other_valid = 0;
+  for (std::size_t bit = 0; bit < 32; ++bit) {
+    const auto flipped =
+        static_cast<Datatype>(with_flipped_bit(raw(kDouble), bit));
+    if (!is_valid(flipped)) {
+      ++invalid;
+    } else {
+      EXPECT_NE(flipped, kDouble);  // a flip never preserves the value
+      ++other_valid;
+    }
+  }
+  EXPECT_GE(invalid, 28);
+  EXPECT_GE(other_valid, 1);  // the low bits can land on a sibling type
+}
+
+TEST(Handles, OpMagicDistinctFromDatatypeMagic) {
+  // An op handle must never validate as a datatype and vice versa, so a
+  // swapped-parameter corruption is caught.
+  EXPECT_FALSE(is_valid(static_cast<Datatype>(raw(kSum))));
+  EXPECT_FALSE(is_valid(static_cast<Op>(raw(kDouble))));
+}
+
+TEST(Handles, CollectiveKindNamesAndTaxonomy) {
+  EXPECT_STREQ(to_string(CollectiveKind::Allreduce), "MPI_Allreduce");
+  EXPECT_STREQ(to_string(CollectiveKind::Barrier), "MPI_Barrier");
+  EXPECT_TRUE(is_rooted(CollectiveKind::Bcast));
+  EXPECT_TRUE(is_rooted(CollectiveKind::Reduce));
+  EXPECT_TRUE(is_rooted(CollectiveKind::Scatter));
+  EXPECT_TRUE(is_rooted(CollectiveKind::Gather));
+  EXPECT_FALSE(is_rooted(CollectiveKind::Allreduce));
+  EXPECT_FALSE(is_rooted(CollectiveKind::Barrier));
+  EXPECT_FALSE(is_rooted(CollectiveKind::Alltoallv));
+  EXPECT_TRUE(has_op(CollectiveKind::Allreduce));
+  EXPECT_TRUE(has_op(CollectiveKind::Scan));
+  EXPECT_FALSE(has_op(CollectiveKind::Bcast));
+  EXPECT_FALSE(has_data(CollectiveKind::Barrier));
+  EXPECT_TRUE(has_data(CollectiveKind::Bcast));
+}
+
+TEST(Handles, DatatypeOfMapsCppTypes) {
+  EXPECT_EQ(datatype_of<double>(), kDouble);
+  EXPECT_EQ(datatype_of<std::int32_t>(), kInt32);
+  EXPECT_EQ(datatype_of<std::uint64_t>(), kUint64);
+}
+
+}  // namespace
+}  // namespace fastfit::mpi

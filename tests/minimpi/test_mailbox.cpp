@@ -1,0 +1,98 @@
+#include "minimpi/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::chrono::steady_clock::time_point soon(std::chrono::milliseconds d) {
+  return std::chrono::steady_clock::now() + d;
+}
+
+Message make_msg(int source, std::uint64_t tag, std::size_t bytes = 0) {
+  Message m;
+  m.source = source;
+  m.tag = tag;
+  m.payload.resize(bytes);
+  return m;
+}
+
+TEST(Mailbox, DeliverThenReceive) {
+  PoisonState poison;
+  Mailbox box(poison);
+  box.deliver(make_msg(3, 42, 16));
+  const auto m = box.receive(3, 42, soon(100ms));
+  EXPECT_EQ(m.source, 3);
+  EXPECT_EQ(m.tag, 42u);
+  EXPECT_EQ(m.payload.size(), 16u);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, MatchingIsBySourceAndTag) {
+  PoisonState poison;
+  Mailbox box(poison);
+  box.deliver(make_msg(1, 10));
+  box.deliver(make_msg(2, 10));
+  box.deliver(make_msg(1, 20));
+  const auto m = box.receive(1, 20, soon(100ms));
+  EXPECT_EQ(m.source, 1);
+  EXPECT_EQ(m.tag, 20u);
+  EXPECT_EQ(box.pending(), 2u);  // non-matching stay queued
+}
+
+TEST(Mailbox, FifoAmongSameSourceAndTag) {
+  PoisonState poison;
+  Mailbox box(poison);
+  box.deliver(make_msg(1, 5, 1));
+  box.deliver(make_msg(1, 5, 2));
+  EXPECT_EQ(box.receive(1, 5, soon(100ms)).payload.size(), 1u);
+  EXPECT_EQ(box.receive(1, 5, soon(100ms)).payload.size(), 2u);
+}
+
+TEST(Mailbox, TimeoutRaisesSimTimeout) {
+  PoisonState poison;
+  Mailbox box(poison);
+  EXPECT_THROW(box.receive(0, 1, soon(20ms)), SimTimeout);
+}
+
+TEST(Mailbox, CrossThreadDelivery) {
+  PoisonState poison;
+  Mailbox box(poison);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    box.deliver(make_msg(7, 99, 8));
+  });
+  const auto m = box.receive(7, 99, soon(2000ms));
+  EXPECT_EQ(m.source, 7);
+  producer.join();
+}
+
+TEST(Mailbox, PoisonWakesWaiterWithWorldAborted) {
+  PoisonState poison;
+  Mailbox box(poison);
+  std::thread killer([&] {
+    std::this_thread::sleep_for(10ms);
+    poison.poison();
+    box.wake();
+  });
+  EXPECT_THROW(box.receive(0, 1, soon(5000ms)), WorldAborted);
+  killer.join();
+}
+
+TEST(Mailbox, PoisonedBeforeWaitThrowsImmediately) {
+  PoisonState poison;
+  poison.poison();
+  Mailbox box(poison);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(box.receive(0, 1, soon(5000ms)), WorldAborted);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 1000ms);
+}
+
+}  // namespace
+}  // namespace fastfit::mpi

@@ -1,0 +1,102 @@
+#include "minimpi/op.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "minimpi/datatype.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+template <typename T>
+std::vector<T> apply_vec(Op op, Datatype dtype, std::vector<T> accum,
+                         const std::vector<T>& incoming) {
+  std::vector<std::byte> a(accum.size() * sizeof(T));
+  std::vector<std::byte> b(incoming.size() * sizeof(T));
+  std::memcpy(a.data(), accum.data(), a.size());
+  std::memcpy(b.data(), incoming.data(), b.size());
+  apply(op, dtype, b, a, accum.size());
+  std::memcpy(accum.data(), a.data(), a.size());
+  return accum;
+}
+
+TEST(Op, SumDouble) {
+  const auto r = apply_vec<double>(kSum, kDouble, {1.5, 2.0}, {0.5, 3.0});
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], 5.0);
+}
+
+TEST(Op, ProdInt) {
+  const auto r = apply_vec<std::int32_t>(kProd, kInt32, {3, -2}, {4, 5});
+  EXPECT_EQ(r[0], 12);
+  EXPECT_EQ(r[1], -10);
+}
+
+TEST(Op, MinMax) {
+  EXPECT_EQ(apply_vec<std::int32_t>(kMin, kInt32, {3}, {7})[0], 3);
+  EXPECT_EQ(apply_vec<std::int32_t>(kMax, kInt32, {3}, {7})[0], 7);
+  EXPECT_DOUBLE_EQ(apply_vec<double>(kMin, kDouble, {-1.0}, {2.0})[0], -1.0);
+}
+
+TEST(Op, BitwiseOnIntegers) {
+  EXPECT_EQ(apply_vec<std::uint32_t>(kBand, kUint32, {0xF0F0}, {0xFF00})[0],
+            0xF000u);
+  EXPECT_EQ(apply_vec<std::uint32_t>(kBor, kUint32, {0xF0F0}, {0xFF00})[0],
+            0xFFF0u);
+  EXPECT_EQ(apply_vec<std::uint32_t>(kBxor, kUint32, {0xF0F0}, {0xFF00})[0],
+            0x0FF0u);
+}
+
+TEST(Op, LogicalOnIntegers) {
+  EXPECT_EQ(apply_vec<std::int32_t>(kLand, kInt32, {2}, {3})[0], 1);
+  EXPECT_EQ(apply_vec<std::int32_t>(kLand, kInt32, {2}, {0})[0], 0);
+  EXPECT_EQ(apply_vec<std::int32_t>(kLor, kInt32, {0}, {0})[0], 0);
+  EXPECT_EQ(apply_vec<std::int32_t>(kLor, kInt32, {0}, {5})[0], 1);
+}
+
+TEST(Op, BitwiseRejectsFloatingPoint) {
+  EXPECT_FALSE(op_supports(kBand, kDouble));
+  EXPECT_FALSE(op_supports(kLor, kFloat));
+  EXPECT_TRUE(op_supports(kBand, kInt64));
+  EXPECT_TRUE(op_supports(kSum, kDouble));
+  std::vector<std::byte> buf(8);
+  EXPECT_THROW(apply(kBxor, kDouble, buf, buf, 1), MpiError);
+}
+
+TEST(Op, InvalidHandlesRejected) {
+  const auto bogus_op = static_cast<Op>(0xDEADBEEFu);
+  EXPECT_FALSE(is_valid(bogus_op));
+  EXPECT_THROW(op_name(bogus_op), MpiError);
+  EXPECT_THROW(op_supports(bogus_op, kInt32), MpiError);
+  std::vector<std::byte> buf(4);
+  EXPECT_THROW(apply(bogus_op, kInt32, buf, buf, 1), MpiError);
+  const auto bogus_dt = static_cast<Datatype>(7u);
+  EXPECT_THROW(apply(kSum, bogus_dt, buf, buf, 1), MpiError);
+}
+
+TEST(Op, Names) {
+  EXPECT_EQ(op_name(kSum), "MPI_SUM");
+  EXPECT_EQ(op_name(kLor), "MPI_LOR");
+}
+
+TEST(Op, SpanSizeMismatchIsInternalError) {
+  std::vector<std::byte> small(4), large(8);
+  EXPECT_THROW(apply(kSum, kInt32, small, large, 2), InternalError);
+}
+
+TEST(Op, AllOpsCommutativeOnIntegers) {
+  // The collectives combine contributions in tree order; all provided ops
+  // must commute for results to be schedule-independent.
+  const std::vector<std::int32_t> a{7, -3, 100};
+  const std::vector<std::int32_t> b{-2, 9, 41};
+  for (Op op : {kSum, kProd, kMin, kMax, kBand, kBor, kBxor, kLand, kLor}) {
+    const auto ab = apply_vec<std::int32_t>(op, kInt32, a, b);
+    const auto ba = apply_vec<std::int32_t>(op, kInt32, b, a);
+    EXPECT_EQ(ab, ba) << op_name(op);
+  }
+}
+
+}  // namespace
+}  // namespace fastfit::mpi

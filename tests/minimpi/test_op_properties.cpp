@@ -1,0 +1,140 @@
+// Exhaustive (op x datatype) reduction sweep: every supported pair must
+// agree with a scalar reference computation on random inputs, and every
+// unsupported pair must be rejected — the full surface a corrupted `op`
+// or `datatype` handle can land on.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "minimpi/datatype.hpp"
+#include "minimpi/op.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+constexpr Op kAllOps[] = {kSum, kProd, kMin, kMax, kBand,
+                          kBor, kBxor, kLand, kLor};
+constexpr Datatype kAllTypes[] = {kChar, kByte, kInt32, kUint32,
+                                  kInt64, kUint64, kFloat, kDouble};
+
+template <typename T>
+T reference(Op op, T a, T b) {
+  if (op == kSum) return static_cast<T>(b + a);
+  if (op == kProd) return static_cast<T>(b * a);
+  if (op == kMin) return std::min(a, b);
+  if (op == kMax) return std::max(a, b);
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    if (op == kBand) return static_cast<T>(static_cast<U>(b) & static_cast<U>(a));
+    if (op == kBor) return static_cast<T>(static_cast<U>(b) | static_cast<U>(a));
+    if (op == kBxor) return static_cast<T>(static_cast<U>(b) ^ static_cast<U>(a));
+    if (op == kLand) return static_cast<T>((b != 0) && (a != 0));
+    if (op == kLor) return static_cast<T>((b != 0) || (a != 0));
+  }
+  ADD_FAILURE() << "reference: unsupported combination";
+  return T{};
+}
+
+template <typename T>
+void check_pair(Op op, Datatype dtype, RngStream& rng) {
+  constexpr std::size_t kCount = 16;
+  std::vector<T> incoming(kCount);
+  std::vector<T> accum(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    incoming[i] = static_cast<T>(rng.uniform_u64(0, 120));
+    accum[i] = static_cast<T>(rng.uniform_u64(0, 120));
+  }
+  std::vector<T> expected(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    expected[i] = reference<T>(op, incoming[i], accum[i]);
+  }
+  std::vector<std::byte> in_bytes(kCount * sizeof(T));
+  std::vector<std::byte> acc_bytes(kCount * sizeof(T));
+  std::memcpy(in_bytes.data(), incoming.data(), in_bytes.size());
+  std::memcpy(acc_bytes.data(), accum.data(), acc_bytes.size());
+  apply(op, dtype, in_bytes, acc_bytes, kCount);
+  std::vector<T> actual(kCount);
+  std::memcpy(actual.data(), acc_bytes.data(), acc_bytes.size());
+  EXPECT_EQ(actual, expected) << op_name(op) << " over "
+                              << datatype_name(dtype);
+}
+
+TEST(OpProperties, EverySupportedPairMatchesReference) {
+  RngStream rng(90210, "op-sweep");
+  for (Op op : kAllOps) {
+    for (Datatype dtype : kAllTypes) {
+      if (!op_supports(op, dtype)) continue;
+      if (dtype == kChar) check_pair<char>(op, dtype, rng);
+      else if (dtype == kByte) check_pair<unsigned char>(op, dtype, rng);
+      else if (dtype == kInt32) check_pair<std::int32_t>(op, dtype, rng);
+      else if (dtype == kUint32) check_pair<std::uint32_t>(op, dtype, rng);
+      else if (dtype == kInt64) check_pair<std::int64_t>(op, dtype, rng);
+      else if (dtype == kUint64) check_pair<std::uint64_t>(op, dtype, rng);
+      else if (dtype == kFloat) check_pair<float>(op, dtype, rng);
+      else if (dtype == kDouble) check_pair<double>(op, dtype, rng);
+    }
+  }
+}
+
+TEST(OpProperties, EveryUnsupportedPairRejected) {
+  std::vector<std::byte> buf(8);
+  int rejected = 0;
+  for (Op op : kAllOps) {
+    for (Datatype dtype : kAllTypes) {
+      if (op_supports(op, dtype)) continue;
+      EXPECT_THROW(apply(op, dtype, buf, buf, 1), MpiError)
+          << op_name(op) << " over " << datatype_name(dtype);
+      ++rejected;
+    }
+  }
+  // Exactly the 5 bitwise/logical ops over the 2 floating types.
+  EXPECT_EQ(rejected, 10);
+}
+
+TEST(OpProperties, IdentityElements) {
+  // accum = identity, incoming = x  =>  result = x, for each op's
+  // identity element.
+  RngStream rng(777, "identity");
+  for (int round = 0; round < 20; ++round) {
+    const auto x = static_cast<std::int64_t>(rng.uniform_u64(0, 1000));
+    const auto apply_one = [&](Op op, std::int64_t init) {
+      std::vector<std::byte> in(sizeof(std::int64_t));
+      std::vector<std::byte> acc(sizeof(std::int64_t));
+      std::memcpy(in.data(), &x, sizeof(x));
+      std::memcpy(acc.data(), &init, sizeof(init));
+      apply(op, kInt64, in, acc, 1);
+      std::int64_t out;
+      std::memcpy(&out, acc.data(), sizeof(out));
+      return out;
+    };
+    EXPECT_EQ(apply_one(kSum, 0), x);
+    EXPECT_EQ(apply_one(kProd, 1), x);
+    EXPECT_EQ(apply_one(kMax, std::numeric_limits<std::int64_t>::min()), x);
+    EXPECT_EQ(apply_one(kMin, std::numeric_limits<std::int64_t>::max()), x);
+    EXPECT_EQ(apply_one(kBor, 0), x);
+    EXPECT_EQ(apply_one(kBxor, 0), x);
+    EXPECT_EQ(apply_one(kBand, -1), x);
+  }
+}
+
+TEST(OpProperties, AssociativityOnIntegers) {
+  RngStream rng(888, "assoc");
+  for (Op op : {kSum, kProd, kMin, kMax, kBand, kBor, kBxor, kLand, kLor}) {
+    for (int round = 0; round < 10; ++round) {
+      const auto a = static_cast<std::int32_t>(rng.uniform_u64(0, 50));
+      const auto b = static_cast<std::int32_t>(rng.uniform_u64(0, 50));
+      const auto c = static_cast<std::int32_t>(rng.uniform_u64(0, 50));
+      EXPECT_EQ(reference<std::int32_t>(
+                    op, reference<std::int32_t>(op, a, b), c),
+                reference<std::int32_t>(
+                    op, a, reference<std::int32_t>(op, b, c)))
+          << op_name(op);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastfit::mpi

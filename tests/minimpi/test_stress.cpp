@@ -1,0 +1,85 @@
+// Stress and scale: the substrate is created and destroyed thousands of
+// times per campaign; it must not leak synchronization state between
+// worlds, and it must hold up at larger rank counts than the benchmarks
+// default to.
+
+#include <gtest/gtest.h>
+
+#include "minimpi/mpi.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Stress, TwoHundredSequentialWorlds) {
+  for (int round = 0; round < 200; ++round) {
+    WorldOptions o;
+    o.nranks = 4;
+    o.watchdog = 2000ms;
+    o.seed = static_cast<std::uint64_t>(round);
+    World world(o);
+    const auto result = world.run([round](Mpi& mpi) {
+      const auto v = mpi.allreduce_value<std::int32_t>(round, kSum);
+      ASSERT_EQ(v, round * 4);
+    });
+    ASSERT_TRUE(result.clean()) << "round " << round;
+  }
+}
+
+TEST(Stress, SixtyFourRankCollectives) {
+  WorldOptions o;
+  o.nranks = 64;
+  o.watchdog = 20000ms;
+  World world(o);
+  EXPECT_TRUE(world.run([](Mpi& mpi) {
+    const int n = mpi.size();
+    mpi.barrier();
+    const auto sum = mpi.allreduce_value<std::int64_t>(mpi.rank(), kSum);
+    ASSERT_EQ(sum, static_cast<std::int64_t>(n) * (n - 1) / 2);
+    RegisteredBuffer<std::int32_t> mine(mpi.registry(), 1, mpi.rank());
+    RegisteredBuffer<std::int32_t> all(mpi.registry(),
+                                       static_cast<std::size_t>(n));
+    mpi.allgather(mine.data(), 1, kInt32, all.data(), 1, kInt32);
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r)], r);
+    }
+  }).clean());
+}
+
+TEST(Stress, FailuresInConsecutiveWorldsStayContained) {
+  // Alternate failing and clean worlds: a poisoned world must not bleed
+  // into its successor.
+  for (int round = 0; round < 50; ++round) {
+    WorldOptions o;
+    o.nranks = 4;
+    o.watchdog = 500ms;
+    World world(o);
+    const bool fail_this_round = (round % 2 == 0);
+    const auto result = world.run([fail_this_round](Mpi& mpi) {
+      if (fail_this_round && mpi.world_rank() == 1) {
+        throw AppError("scripted failure");
+      }
+      mpi.barrier();
+    });
+    ASSERT_EQ(result.clean(), !fail_this_round) << "round " << round;
+  }
+}
+
+TEST(Stress, DeepCollectiveSequences) {
+  // 500 collectives back to back: the tag sequence space must not
+  // collide or wrap into confusion.
+  WorldOptions o;
+  o.nranks = 4;
+  o.watchdog = 20000ms;
+  World world(o);
+  EXPECT_TRUE(world.run([](Mpi& mpi) {
+    for (std::int32_t i = 0; i < 500; ++i) {
+      const auto v = mpi.allreduce_value(i, kMax);
+      ASSERT_EQ(v, i);
+    }
+  }).clean());
+}
+
+}  // namespace
+}  // namespace fastfit::mpi

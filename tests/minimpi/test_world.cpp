@@ -1,0 +1,180 @@
+#include "minimpi/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "minimpi/mpi.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+WorldOptions small_world(int n) {
+  WorldOptions opts;
+  opts.nranks = n;
+  opts.watchdog = 2000ms;
+  return opts;
+}
+
+TEST(World, RunsEveryRankExactlyOnce) {
+  World world(small_world(8));
+  std::atomic<int> visits{0};
+  std::atomic<std::uint32_t> rank_mask{0};
+  const auto result = world.run([&](Mpi& mpi) {
+    visits.fetch_add(1);
+    rank_mask.fetch_or(1u << mpi.world_rank());
+  });
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(visits.load(), 8);
+  EXPECT_EQ(rank_mask.load(), 0xFFu);
+}
+
+TEST(World, RanksAndSizes) {
+  World world(small_world(5));
+  world.run([&](Mpi& mpi) {
+    EXPECT_EQ(mpi.size(), 5);
+    EXPECT_EQ(mpi.rank(), mpi.world_rank());
+  });
+}
+
+TEST(World, RejectsInvalidRankCount) {
+  WorldOptions opts;
+  opts.nranks = 0;
+  EXPECT_THROW(World w(opts), ConfigError);
+}
+
+TEST(World, SingleUse) {
+  World world(small_world(2));
+  world.run([](Mpi&) {});
+  EXPECT_THROW(world.run([](Mpi&) {}), InternalError);
+}
+
+TEST(World, AppErrorCapturedAsAppDetected) {
+  World world(small_world(4));
+  const auto result = world.run([&](Mpi& mpi) {
+    if (mpi.world_rank() == 2) throw AppError("checksum mismatch");
+  });
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.event->type, EventType::AppDetected);
+  EXPECT_EQ(result.event->rank, 2);
+  EXPECT_NE(result.event->message.find("checksum"), std::string::npos);
+}
+
+TEST(World, MpiErrorCapturedWithCode) {
+  World world(small_world(2));
+  const auto result = world.run([&](Mpi& mpi) {
+    if (mpi.world_rank() == 0) {
+      throw MpiError(MpiErrc::InvalidDatatype, "corrupted");
+    }
+  });
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.event->type, EventType::MpiErr);
+  ASSERT_TRUE(result.event->mpi_code.has_value());
+  EXPECT_EQ(*result.event->mpi_code, MpiErrc::InvalidDatatype);
+}
+
+TEST(World, SegFaultCaptured) {
+  World world(small_world(2));
+  const auto result = world.run([&](Mpi& mpi) {
+    int unregistered = 0;
+    if (mpi.world_rank() == 1) {
+      mpi.registry().check(&unregistered, sizeof(int));
+    }
+  });
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.event->type, EventType::SegFault);
+}
+
+TEST(World, PoisonUnblocksPeersWaitingOnCollective) {
+  // Rank 0 dies before the barrier; everyone else is released promptly
+  // with the initiating event (not a timeout) reported.
+  WorldOptions opts = small_world(4);
+  opts.watchdog = 10000ms;  // a hang here would stall the test visibly
+  World world(opts);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = world.run([&](Mpi& mpi) {
+    if (mpi.world_rank() == 0) throw AppError("early death");
+    mpi.barrier();
+  });
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.event->type, EventType::AppDetected);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5000ms);
+}
+
+TEST(World, TimeoutCapturedAsInfLoop) {
+  WorldOptions opts = small_world(2);
+  opts.watchdog = 50ms;
+  World world(opts);
+  const auto result = world.run([&](Mpi& mpi) {
+    if (mpi.world_rank() == 0) mpi.barrier();  // rank 1 never joins
+  });
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.event->type, EventType::Timeout);
+}
+
+TEST(World, FirstEventWins) {
+  World world(small_world(4));
+  const auto result = world.run([&](Mpi& mpi) {
+    if (mpi.world_rank() == 3) throw AppError("first");
+    // Other ranks fail later (after a barrier attempt that aborts).
+    mpi.barrier();
+    throw MpiError(MpiErrc::Internal, "should never initiate");
+  });
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.event->type, EventType::AppDetected);
+  EXPECT_EQ(result.event->rank, 3);
+}
+
+TEST(World, InternalErrorPropagatesToCaller) {
+  World world(small_world(2));
+  EXPECT_THROW(world.run([&](Mpi& mpi) {
+    if (mpi.world_rank() == 0) throw InternalError("library bug");
+  }),
+               InternalError);
+}
+
+TEST(World, CheckDeadlineThrowsPastWatchdog) {
+  WorldOptions opts = small_world(1);
+  opts.watchdog = 1ms;
+  World world(opts);
+  const auto result = world.run([&](Mpi& mpi) {
+    std::this_thread::sleep_for(20ms);
+    mpi.check_deadline();
+  });
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.event->type, EventType::Timeout);
+}
+
+TEST(World, CommWorldGroupIsEveryone) {
+  World world(small_world(6));
+  const auto& group = world.group_of(kCommWorld);
+  ASSERT_EQ(group.size(), 6u);
+  for (int r = 0; r < 6; ++r) EXPECT_EQ(group[static_cast<std::size_t>(r)], r);
+  EXPECT_EQ(world.comm_rank_of(kCommWorld, 4), 4);
+}
+
+TEST(World, InvalidCommHandleRejected) {
+  World world(small_world(2));
+  EXPECT_THROW(world.group_of(static_cast<Comm>(0x1234u)), MpiError);
+  EXPECT_THROW(world.group_of(make_comm(57)), MpiError);
+}
+
+TEST(World, RegisterCommIdempotentOnKey) {
+  World world(small_world(4));
+  const Comm a = world.register_comm("sub", {0, 2});
+  const Comm b = world.register_comm("sub", {0, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(world.comm_rank_of(a, 2), 1);
+  EXPECT_EQ(world.comm_rank_of(a, 1), -1);
+}
+
+TEST(World, RegisterCommInconsistentGroupIsCommError) {
+  World world(small_world(4));
+  world.register_comm("sub", {0, 2});
+  EXPECT_THROW(world.register_comm("sub", {0, 3}), MpiError);
+}
+
+}  // namespace
+}  // namespace fastfit::mpi

@@ -1,0 +1,151 @@
+// The pluggable-classifier surface: factory, baselines, and the claim
+// that the learning machinery is not tied to the random forest.
+
+#include "ml/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::ml {
+namespace {
+
+FeatureVec fv(double type, double phase, double errhal, double ninv,
+              double depth, double nstack) {
+  return {type, phase, errhal, ninv, depth, nstack};
+}
+
+Dataset structured(std::size_t n, std::uint64_t seed) {
+  Dataset data(3);
+  RngStream rng(seed, "clf-data");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double errhal = rng.bernoulli(0.4) ? 1.0 : 0.0;
+    const double depth = 1.0 + rng.index(6);
+    std::size_t label = errhal > 0.5 ? 2 : (depth >= 4 ? 1 : 0);
+    if (rng.bernoulli(0.05)) label = rng.index(3);
+    data.add(fv(rng.index(5), rng.index(4), errhal, 1.0 + rng.index(50),
+                depth, 1.0 + rng.index(4)),
+             label);
+  }
+  return data;
+}
+
+TEST(Classifier, FactoryKnowsAllNames) {
+  ClassifierConfig config;
+  for (const auto& name : classifier_names()) {
+    const auto model = make_classifier(name, config);
+    EXPECT_EQ(model->name(), name);
+  }
+  EXPECT_THROW(make_classifier("svm", config), ConfigError);
+}
+
+TEST(Classifier, UntrainedModelsRefuseToPredict) {
+  ClassifierConfig config;
+  for (const auto& name : {"random-forest", "knn", "naive-bayes"}) {
+    const auto model = make_classifier(name, config);
+    EXPECT_THROW(model->predict(fv(0, 0, 0, 0, 0, 0)), InternalError)
+        << name;
+  }
+}
+
+class ModelSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelSweep, BeatsMajorityOnStructuredData) {
+  const auto data = structured(600, 11);
+  const auto [train, test] = data.split(0.6, 3, 0);
+  ClassifierConfig config;
+  config.seed = 5;
+  auto model = make_classifier(GetParam(), config);
+  model->train(train);
+  const auto matrix = evaluate(*model, test);
+
+  auto majority = make_classifier("majority", config);
+  majority->train(train);
+  const auto baseline = evaluate(*majority, test);
+
+  EXPECT_GT(matrix.accuracy(), baseline.accuracy() + 0.1) << GetParam();
+  EXPECT_GT(matrix.accuracy(), 0.7) << GetParam();
+}
+
+TEST_P(ModelSweep, RetrainReplacesTheModel) {
+  ClassifierConfig config;
+  // Two pure datasets with different constant labels: after retraining,
+  // predictions must follow the new data.
+  Dataset zeros(2);
+  Dataset ones(2);
+  for (int i = 0; i < 20; ++i) {
+    zeros.add(fv(i, 0, 0, 0, 0, 0), 0);
+    ones.add(fv(i, 0, 0, 0, 0, 0), 1);
+  }
+  auto model = make_classifier(GetParam(), config);
+  model->train(zeros);
+  EXPECT_EQ(model->predict(fv(3, 0, 0, 0, 0, 0)), 0u);
+  model->train(ones);
+  EXPECT_EQ(model->predict(fv(3, 0, 0, 0, 0, 0)), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelSweep,
+                         ::testing::Values("random-forest", "knn",
+                                           "naive-bayes"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Classifier, KnnHandlesScaleImbalance) {
+  // One informative binary feature next to a huge-scale noise feature:
+  // without normalization the noise would drown the signal.
+  Dataset data(2);
+  RngStream rng(7, "scale");
+  for (int i = 0; i < 300; ++i) {
+    const double errhal = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    data.add(fv(0, 0, errhal, rng.uniform() * 1e6, 0, 0),
+             errhal > 0.5 ? 1 : 0);
+  }
+  const auto [train, test] = data.split(0.5, 9, 0);
+  ClassifierConfig config;
+  config.k = 3;
+  auto model = make_classifier("knn", config);
+  model->train(train);
+  EXPECT_GT(evaluate(*model, test).accuracy(), 0.95);
+}
+
+TEST(Classifier, NaiveBayesRecoversGaussianClasses) {
+  Dataset data(2);
+  RngStream rng(13, "nb");
+  for (int i = 0; i < 500; ++i) {
+    const bool high = rng.bernoulli(0.5);
+    data.add(fv(0, 0, 0, 0, (high ? 8.0 : 2.0) + rng.normal(), 0),
+             high ? 1 : 0);
+  }
+  const auto [train, test] = data.split(0.5, 17, 0);
+  auto model = make_classifier("naive-bayes", ClassifierConfig{});
+  model->train(train);
+  EXPECT_GT(evaluate(*model, test).accuracy(), 0.95);
+}
+
+TEST(Classifier, RepeatedSplitEvalWorksForEveryModel) {
+  const auto data = structured(200, 21);
+  for (const auto& name : classifier_names()) {
+    const auto rounds =
+        repeated_random_split_eval(name, ClassifierConfig{}, data, 3);
+    ASSERT_EQ(rounds.size(), 3u) << name;
+    for (const auto& matrix : rounds) EXPECT_EQ(matrix.total(), 100u);
+  }
+}
+
+TEST(Classifier, MajorityPredictsTrainingMode) {
+  Dataset data(3);
+  for (int i = 0; i < 5; ++i) data.add(fv(i, 0, 0, 0, 0, 0), 2);
+  data.add(fv(9, 0, 0, 0, 0, 0), 0);
+  auto model = make_classifier("majority", ClassifierConfig{});
+  model->train(data);
+  EXPECT_EQ(model->predict(fv(123, 4, 5, 6, 7, 8)), 2u);
+}
+
+}  // namespace
+}  // namespace fastfit::ml

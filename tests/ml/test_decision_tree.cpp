@@ -1,0 +1,157 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::ml {
+namespace {
+
+FeatureVec fv(double type, double phase, double errhal, double ninv,
+              double depth, double nstack) {
+  return {type, phase, errhal, ninv, depth, nstack};
+}
+
+TEST(DecisionTree, FitsTriviallySeparableData) {
+  Dataset data(2);
+  for (int i = 0; i < 20; ++i) {
+    data.add(fv(0, 0, 0, i, 1, 1), 0);
+    data.add(fv(0, 0, 1, i, 1, 1), 1);  // label == errhal flag
+  }
+  const auto tree = DecisionTree::fit(data, {}, TreeConfig{});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(tree.predict(fv(0, 0, 0, i, 1, 1)), 0u);
+    EXPECT_EQ(tree.predict(fv(0, 0, 1, i, 1, 1)), 1u);
+  }
+  // All impurity decrease should land on the ErrHal feature.
+  const auto& imp = tree.impurity_decrease();
+  EXPECT_GT(imp[static_cast<std::size_t>(Feature::ErrHal)], 0.0);
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    if (f != static_cast<std::size_t>(Feature::ErrHal)) {
+      EXPECT_EQ(imp[f], 0.0) << to_string(static_cast<Feature>(f));
+    }
+  }
+}
+
+TEST(DecisionTree, PureDatasetYieldsSingleLeaf) {
+  Dataset data(3);
+  for (int i = 0; i < 10; ++i) data.add(fv(i, 0, 0, 0, 0, 0), 2);
+  const auto tree = DecisionTree::fit(data, {}, TreeConfig{});
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(fv(99, 9, 9, 9, 9, 9)), 2u);
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  Dataset data(2);
+  RngStream rng(3, "tree");
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform();
+    data.add(fv(x, rng.uniform(), 0, 0, 0, 0), x > 0.5 ? 1 : 0);
+  }
+  TreeConfig config;
+  config.max_depth = 2;
+  const auto tree = DecisionTree::fit(data, {}, config);
+  EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  Dataset data(2);
+  data.add(fv(0, 0, 0, 0, 0, 0), 0);
+  data.add(fv(1, 0, 0, 0, 0, 0), 1);
+  TreeConfig config;
+  config.min_samples_leaf = 2;
+  const auto tree = DecisionTree::fit(data, {}, config);
+  // Cannot split without violating the leaf minimum -> single leaf.
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, GreedyCartCannotSplitPureXor) {
+  // A property of greedy CART: on perfectly balanced XOR data every single
+  // split has zero Gini gain, so no split fires and a single leaf remains.
+  // (The forest compensates through bootstrap imbalance in practice.)
+  Dataset data(2);
+  for (int i = 0; i < 25; ++i) {
+    data.add(fv(0, 0, 0, 0, 0, 0), 0);
+    data.add(fv(1, 1, 0, 0, 0, 0), 0);
+    data.add(fv(0, 1, 0, 0, 0, 0), 1);
+    data.add(fv(1, 0, 0, 0, 0, 0), 1);
+  }
+  const auto tree = DecisionTree::fit(data, {}, TreeConfig{});
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, ImbalancedXorIsLearnable) {
+  // Break the tie and the greedy splitter finds the interaction.
+  Dataset data(2);
+  for (int i = 0; i < 30; ++i) data.add(fv(0, 0, 0, 0, 0, 0), 0);
+  for (int i = 0; i < 25; ++i) data.add(fv(1, 1, 0, 0, 0, 0), 0);
+  for (int i = 0; i < 25; ++i) data.add(fv(0, 1, 0, 0, 0, 0), 1);
+  for (int i = 0; i < 25; ++i) data.add(fv(1, 0, 0, 0, 0, 0), 1);
+  const auto tree = DecisionTree::fit(data, {}, TreeConfig{});
+  EXPECT_EQ(tree.predict(fv(0, 0, 0, 0, 0, 0)), 0u);
+  EXPECT_EQ(tree.predict(fv(1, 1, 0, 0, 0, 0)), 0u);
+  EXPECT_EQ(tree.predict(fv(0, 1, 0, 0, 0, 0)), 1u);
+  EXPECT_EQ(tree.predict(fv(1, 0, 0, 0, 0, 0)), 1u);
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, RenderShowsFeatureNamesAndClasses) {
+  Dataset data(2);
+  for (int i = 0; i < 10; ++i) {
+    data.add(fv(0, 0, 0, 2, 0, 0), 0);
+    data.add(fv(0, 0, 0, 9, 0, 0), 1);
+  }
+  const auto tree = DecisionTree::fit(data, {}, TreeConfig{});
+  const auto text = tree.render({"low", "high"});
+  EXPECT_NE(text.find("nInv"), std::string::npos);
+  EXPECT_NE(text.find("low"), std::string::npos);
+  EXPECT_NE(text.find("high"), std::string::npos);
+}
+
+TEST(DecisionTree, EmptyDatasetRejected) {
+  Dataset data(2);
+  EXPECT_THROW(DecisionTree::fit(data, {}, TreeConfig{}), InternalError);
+}
+
+TEST(DecisionTree, IndexSubsetRestrictsTraining) {
+  Dataset data(2);
+  data.add(fv(0, 0, 0, 0, 0, 0), 0);
+  data.add(fv(1, 0, 0, 0, 0, 0), 1);
+  data.add(fv(2, 0, 0, 0, 0, 0), 1);
+  // Train on samples {0, 0, 0} only: everything predicts label 0.
+  const auto tree = DecisionTree::fit(data, {0, 0, 0}, TreeConfig{});
+  EXPECT_EQ(tree.predict(fv(2, 0, 0, 0, 0, 0)), 0u);
+}
+
+TEST(Dataset, SplitPreservesAllSamples) {
+  Dataset data(2);
+  for (int i = 0; i < 100; ++i) data.add(fv(i, 0, 0, 0, 0, 0), i % 2);
+  const auto [train, test] = data.split(0.7, 11, 0);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+}
+
+TEST(Dataset, SplitRoundsDiffer) {
+  Dataset data(2);
+  for (int i = 0; i < 50; ++i) data.add(fv(i, 0, 0, 0, 0, 0), i % 2);
+  const auto [t0, v0] = data.split(0.5, 11, 0);
+  const auto [t1, v1] = data.split(0.5, 11, 1);
+  bool different = false;
+  for (std::size_t i = 0; i < t0.size() && !different; ++i) {
+    different = t0[i].x != t1[i].x;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Dataset, MajorityLabel) {
+  Dataset data(3);
+  data.add(fv(0, 0, 0, 0, 0, 0), 2);
+  data.add(fv(0, 0, 0, 0, 0, 0), 2);
+  data.add(fv(0, 0, 0, 0, 0, 0), 1);
+  EXPECT_EQ(data.majority_label(), 2u);
+  EXPECT_THROW(data.add(fv(0, 0, 0, 0, 0, 0), 3), InternalError);
+}
+
+}  // namespace
+}  // namespace fastfit::ml

@@ -1,0 +1,156 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::ml {
+namespace {
+
+FeatureVec fv(double type, double phase, double errhal, double ninv,
+              double depth, double nstack) {
+  return {type, phase, errhal, ninv, depth, nstack};
+}
+
+/// A synthetic sensitivity-like dataset: the label depends on ErrHal and
+/// StackDep with noise — the structure the paper's correlations suggest.
+Dataset synthetic(std::size_t n, std::uint64_t seed) {
+  Dataset data(3);
+  RngStream rng(seed, "synthetic");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double errhal = rng.bernoulli(0.4) ? 1.0 : 0.0;
+    const double depth = 1.0 + rng.index(6);
+    const double ninv = 1.0 + rng.index(100);
+    const double type = rng.index(5);
+    const double phase = rng.index(4);
+    const double nstack = 1.0 + rng.index(4);
+    std::size_t label;
+    if (errhal > 0.5) {
+      label = 2;
+    } else if (depth >= 4) {
+      label = 1;
+    } else {
+      label = 0;
+    }
+    if (rng.bernoulli(0.08)) label = rng.index(3);  // label noise
+    data.add(fv(type, phase, errhal, ninv, depth, nstack), label);
+  }
+  return data;
+}
+
+TEST(RandomForest, BeatsMajorityBaselineOnStructuredData) {
+  const auto data = synthetic(600, 7);
+  const auto [train, test] = data.split(0.6, 7, 0);
+  ForestConfig config;
+  config.n_trees = 32;
+  config.seed = 5;
+  const auto forest = RandomForest::train(train, config);
+  const auto matrix = evaluate(forest, test);
+  EXPECT_GT(matrix.accuracy(), matrix.majority_baseline() + 0.15);
+  EXPECT_GT(matrix.accuracy(), 0.75);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  const auto data = synthetic(200, 3);
+  ForestConfig config;
+  config.n_trees = 8;
+  config.seed = 99;
+  const auto f1 = RandomForest::train(data, config);
+  const auto f2 = RandomForest::train(data, config);
+  RngStream rng(1, "probe");
+  for (int i = 0; i < 50; ++i) {
+    const auto x = fv(rng.index(5), rng.index(4), rng.bernoulli(0.5),
+                      rng.index(100), rng.index(8), rng.index(4));
+    EXPECT_EQ(f1.predict(x), f2.predict(x));
+  }
+}
+
+TEST(RandomForest, FeatureImportanceIdentifiesDrivers) {
+  const auto data = synthetic(800, 13);
+  ForestConfig config;
+  config.n_trees = 48;
+  config.seed = 21;
+  const auto forest = RandomForest::train(data, config);
+  const auto importance = forest.feature_importance();
+  double sum = 0.0;
+  for (double v : importance) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // ErrHal and StackDep generate the labels; each must dominate the pure
+  // noise features.
+  const double errhal = importance[static_cast<std::size_t>(Feature::ErrHal)];
+  const double depth = importance[static_cast<std::size_t>(Feature::StackDep)];
+  const double type = importance[static_cast<std::size_t>(Feature::Type)];
+  const double phase = importance[static_cast<std::size_t>(Feature::Phase)];
+  EXPECT_GT(errhal, type);
+  EXPECT_GT(errhal, phase);
+  EXPECT_GT(depth, type);
+  EXPECT_GT(depth, phase);
+}
+
+TEST(RandomForest, MajorityVoteOverridesOutlierTrees) {
+  const auto data = synthetic(300, 5);
+  ForestConfig config;
+  config.n_trees = 33;
+  config.seed = 8;
+  const auto forest = RandomForest::train(data, config);
+  EXPECT_EQ(forest.tree_count(), 33u);
+  // Vote agrees with the plurality of member trees on every probe.
+  RngStream rng(2, "probe");
+  for (int i = 0; i < 20; ++i) {
+    const auto x = fv(rng.index(5), rng.index(4), rng.bernoulli(0.5),
+                      rng.index(100), rng.index(8), rng.index(4));
+    std::vector<int> votes(3, 0);
+    for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+      ++votes[forest.tree(t).predict(x)];
+    }
+    const auto winner = static_cast<std::size_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+    EXPECT_EQ(forest.predict(x), winner);
+  }
+}
+
+TEST(RandomForest, RepeatedRandomSplitEvalProducesRounds) {
+  const auto data = synthetic(300, 17);
+  ForestConfig config;
+  config.n_trees = 16;
+  config.seed = 4;
+  const auto rounds = repeated_random_split_eval(data, config, 5);
+  ASSERT_EQ(rounds.size(), 5u);
+  for (const auto& matrix : rounds) {
+    EXPECT_EQ(matrix.total(), 150u);
+    EXPECT_GT(matrix.accuracy(), 0.5);
+  }
+}
+
+TEST(RandomForest, RejectsDegenerateInputs) {
+  Dataset empty(2);
+  EXPECT_THROW(RandomForest::train(empty, ForestConfig{}), InternalError);
+  Dataset one(2);
+  one.add(fv(0, 0, 0, 0, 0, 0), 0);
+  ForestConfig no_trees;
+  no_trees.n_trees = 0;
+  EXPECT_THROW(RandomForest::train(one, no_trees), InternalError);
+}
+
+TEST(RandomForest, SingleSampleDatasetPredictsThatLabel) {
+  Dataset one(4);
+  one.add(fv(1, 2, 3, 4, 5, 6), 3);
+  const auto forest = RandomForest::train(one, ForestConfig{});
+  EXPECT_EQ(forest.predict(fv(0, 0, 0, 0, 0, 0)), 3u);
+}
+
+TEST(RandomForest, RenderTreeProducesFigFourStyleText) {
+  const auto data = synthetic(200, 31);
+  ForestConfig config;
+  config.n_trees = 4;
+  config.seed = 2;
+  const auto forest = RandomForest::train(data, config);
+  const auto text =
+      forest.render_tree(0, {"low", "med", "high"});
+  EXPECT_FALSE(text.empty());
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastfit::ml

@@ -1,0 +1,96 @@
+// Byte attribution per collective kind (what mpiP would report), plus the
+// comm-trace rendering used in reports.
+
+#include <gtest/gtest.h>
+
+#include "minimpi/datatype.hpp"
+#include "profile/profiler.hpp"
+#include "trace/comm_trace.hpp"
+
+namespace fastfit::profile {
+namespace {
+
+mpi::CollectiveCall call_of(mpi::CollectiveKind kind, std::int32_t count,
+                            mpi::Datatype dtype = mpi::kDouble) {
+  mpi::CollectiveCall call;
+  call.kind = kind;
+  call.count = count;
+  call.datatype = dtype;
+  call.recvcount = count;
+  call.recvdatatype = dtype;
+  return call;
+}
+
+TEST(Contribution, ScalarKinds) {
+  EXPECT_EQ(contribution_bytes(call_of(mpi::CollectiveKind::Barrier, 0), 8),
+            0u);
+  EXPECT_EQ(contribution_bytes(call_of(mpi::CollectiveKind::Bcast, 4), 8),
+            32u);
+  EXPECT_EQ(contribution_bytes(call_of(mpi::CollectiveKind::Reduce, 4), 8),
+            32u);
+  EXPECT_EQ(
+      contribution_bytes(call_of(mpi::CollectiveKind::Allreduce, 4), 8),
+      32u);
+  EXPECT_EQ(contribution_bytes(call_of(mpi::CollectiveKind::Scan, 4), 8),
+            32u);
+}
+
+TEST(Contribution, CommSizeScaledKinds) {
+  EXPECT_EQ(contribution_bytes(call_of(mpi::CollectiveKind::Alltoall, 4), 8),
+            4u * 8u * 8u);
+  EXPECT_EQ(contribution_bytes(
+                call_of(mpi::CollectiveKind::ReduceScatterBlock, 4), 8),
+            4u * 8u * 8u);
+  // Per-rank kinds do not scale.
+  EXPECT_EQ(
+      contribution_bytes(call_of(mpi::CollectiveKind::Allgather, 4), 8),
+      32u);
+  EXPECT_EQ(contribution_bytes(call_of(mpi::CollectiveKind::Gather, 4), 8),
+            32u);
+}
+
+TEST(Contribution, VectorKindsSumTheArrays) {
+  std::vector<std::int32_t> counts{1, 2, 3, 4};
+  std::vector<std::int32_t> displs{0, 1, 3, 6};
+  auto call = call_of(mpi::CollectiveKind::Alltoallv, 0, mpi::kInt32);
+  call.sendcounts = &counts;
+  call.sdispls = &displs;
+  EXPECT_EQ(contribution_bytes(call, 4), 10u * 4u);
+
+  auto scatterv = call_of(mpi::CollectiveKind::Scatterv, 0, mpi::kInt32);
+  scatterv.sendcounts = &counts;
+  scatterv.sdispls = &displs;
+  EXPECT_EQ(contribution_bytes(scatterv, 4), 10u * 4u);
+  // Non-root scatterv (no arrays): attributed by recv side.
+  auto nonroot = call_of(mpi::CollectiveKind::Scatterv, 0, mpi::kInt32);
+  nonroot.recvcount = 3;
+  nonroot.recvdatatype = mpi::kInt32;
+  EXPECT_EQ(contribution_bytes(nonroot, 4), 12u);
+}
+
+TEST(CommTraceRender, ListsEventsWithRoles) {
+  trace::CommTrace comm_trace;
+  comm_trace.record(
+      trace::CommEvent{mpi::CollectiveKind::Reduce, 0xAB, 64, true});
+  comm_trace.record(
+      trace::CommEvent{mpi::CollectiveKind::Barrier, 0xCD, 0, false});
+  const auto text = comm_trace.render();
+  EXPECT_NE(text.find("MPI_Reduce"), std::string::npos);
+  EXPECT_NE(text.find("(root)"), std::string::npos);
+  EXPECT_NE(text.find("MPI_Barrier"), std::string::npos);
+  EXPECT_EQ(comm_trace.size(), 2u);
+}
+
+TEST(CommTraceRender, FingerprintIgnoresBytesButNotRole) {
+  trace::CommTrace a;
+  trace::CommTrace b;
+  trace::CommTrace c;
+  a.record(trace::CommEvent{mpi::CollectiveKind::Gatherv, 1, 64, false});
+  b.record(trace::CommEvent{mpi::CollectiveKind::Gatherv, 1, 128, false});
+  c.record(trace::CommEvent{mpi::CollectiveKind::Gatherv, 1, 64, true});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());  // ragged payloads collapse
+  EXPECT_NE(a.fingerprint(), c.fingerprint());  // role still distinguishes
+}
+
+}  // namespace
+}  // namespace fastfit::profile

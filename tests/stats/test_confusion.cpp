@@ -1,0 +1,69 @@
+#include "stats/confusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace fastfit::stats {
+namespace {
+
+TEST(Confusion, EmptyMatrix) {
+  ConfusionMatrix m(3);
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(m.accuracy(), 0.0);
+  EXPECT_EQ(m.recall(0), 0.0);
+  EXPECT_EQ(m.precision(0), 0.0);
+  EXPECT_EQ(m.majority_baseline(), 0.0);
+}
+
+TEST(Confusion, PerfectPredictor) {
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 10; ++i) m.add(i % 2, i % 2);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.precision(0), 1.0);
+}
+
+TEST(Confusion, KnownMixedCase) {
+  ConfusionMatrix m(2);
+  // actual 0: 3 correct, 1 wrong; actual 1: 2 correct, 2 wrong.
+  m.add(0, 0); m.add(0, 0); m.add(0, 0); m.add(0, 1);
+  m.add(1, 1); m.add(1, 1); m.add(1, 0); m.add(1, 0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(m.recall(0), 0.75);
+  EXPECT_DOUBLE_EQ(m.recall(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.precision(0), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(m.precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.support(0), 4u);
+  EXPECT_DOUBLE_EQ(m.majority_baseline(), 0.5);
+}
+
+TEST(Confusion, MajorityBaselineSkewed) {
+  ConfusionMatrix m(3);
+  for (int i = 0; i < 9; ++i) m.add(0, 1);
+  m.add(2, 2);
+  EXPECT_DOUBLE_EQ(m.majority_baseline(), 0.9);
+}
+
+TEST(Confusion, OutOfRangeThrows) {
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.add(2, 0), InternalError);
+  EXPECT_THROW(m.add(0, 2), InternalError);
+  EXPECT_THROW(m.count(0, 5), InternalError);
+  EXPECT_THROW(ConfusionMatrix(0), InternalError);
+}
+
+TEST(Confusion, RenderContainsNamesAndAccuracy) {
+  ConfusionMatrix m(2);
+  m.add(0, 0);
+  m.add(1, 0);
+  const auto text = m.render({"SUCCESS", "SEG_FAULT"});
+  EXPECT_NE(text.find("SUCCESS"), std::string::npos);
+  EXPECT_NE(text.find("SEG_FAULT"), std::string::npos);
+  EXPECT_NE(text.find("overall accuracy"), std::string::npos);
+  EXPECT_THROW(m.render({"one"}), InternalError);
+}
+
+}  // namespace
+}  // namespace fastfit::stats

@@ -1,0 +1,77 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::stats {
+namespace {
+
+TEST(Correlation, PerfectPositive) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(eq1_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+  EXPECT_NEAR(eq1_correlation(x, y), 0.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearHalf) {
+  fastfit::RngStream rng(4, "corr");
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  // Paper: Eq-1 value of 0.5 means "feature does not affect sensitivity".
+  EXPECT_NEAR(eq1_correlation(x, y), 0.5, 0.02);
+}
+
+TEST(Correlation, ConstantSeriesReportsNoSignal) {
+  const std::vector<double> x{3, 3, 3, 3};
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_EQ(pearson(x, y), 0.0);
+  EXPECT_EQ(eq1_correlation(x, y), 0.5);
+}
+
+TEST(Correlation, Eq1AlwaysInUnitInterval) {
+  fastfit::RngStream rng(5, "bounds");
+  for (int rep = 0; rep < 100; ++rep) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 30; ++i) {
+      x.push_back(rng.normal());
+      y.push_back(rng.normal() + 0.5 * x.back());
+    }
+    const double c = eq1_correlation(x, y);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(Correlation, Symmetric) {
+  const std::vector<double> x{1, 5, 2, 8, 3};
+  const std::vector<double> y{2, 3, 9, 1, 4};
+  EXPECT_DOUBLE_EQ(pearson(x, y), pearson(y, x));
+}
+
+TEST(Correlation, InvariantUnderAffineTransform) {
+  const std::vector<double> x{1, 5, 2, 8, 3};
+  const std::vector<double> y{2, 3, 9, 1, 4};
+  std::vector<double> x2;
+  for (double v : x) x2.push_back(3.0 * v + 7.0);
+  EXPECT_NEAR(pearson(x, y), pearson(x2, y), 1e-12);
+}
+
+TEST(Correlation, ErrorsOnBadInput) {
+  EXPECT_THROW(pearson({1, 2}, {1}), InternalError);
+  EXPECT_THROW(pearson({}, {}), InternalError);
+}
+
+}  // namespace
+}  // namespace fastfit::stats

@@ -1,0 +1,80 @@
+#include "stats/gaussian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fastfit::stats {
+namespace {
+
+TEST(Gaussian, FitRecoversParameters) {
+  fastfit::RngStream rng(77, "gauss");
+  std::vector<double> xs;
+  // The paper's Fig 3 example: error rates ~ N(29.58, 7.69).
+  for (int i = 0; i < 20000; ++i) xs.push_back(29.58 + 7.69 * rng.normal());
+  const auto fit = fit_gaussian(xs);
+  EXPECT_NEAR(fit.mean, 29.58, 0.3);
+  EXPECT_NEAR(fit.stddev, 7.69, 0.3);
+}
+
+TEST(Gaussian, FitNeedsTwoObservations) {
+  EXPECT_THROW(fit_gaussian({}), InternalError);
+  EXPECT_THROW(fit_gaussian({1.0}), InternalError);
+}
+
+TEST(Gaussian, PdfPeaksAtMean) {
+  const GaussianFit fit{10.0, 2.0};
+  EXPECT_GT(fit.pdf(10.0), fit.pdf(8.0));
+  EXPECT_GT(fit.pdf(10.0), fit.pdf(12.0));
+  EXPECT_NEAR(fit.pdf(8.0), fit.pdf(12.0), 1e-12);  // symmetry
+}
+
+TEST(Gaussian, CdfMonotoneWithKnownAnchors) {
+  const GaussianFit fit{0.0, 1.0};
+  EXPECT_NEAR(fit.cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(fit.cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(fit.cdf(-1.96), 0.025, 1e-3);
+  EXPECT_LT(fit.cdf(-1.0), fit.cdf(1.0));
+}
+
+TEST(Gaussian, DegenerateStddevIsStepFunction) {
+  const GaussianFit fit{5.0, 0.0};
+  EXPECT_EQ(fit.cdf(4.999), 0.0);
+  EXPECT_EQ(fit.cdf(5.0), 1.0);
+}
+
+TEST(Gaussian, ChiSquaredSmallForGaussianData) {
+  fastfit::RngStream rng(9, "gof");
+  std::vector<double> xs;
+  Histogram hist(0.0, 60.0, 12);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = 30.0 + 5.0 * rng.normal();
+    xs.push_back(x);
+    hist.add(x);
+  }
+  const auto fit = fit_gaussian(xs);
+  const auto gof = chi_squared_gof(hist, fit);
+  ASSERT_GT(gof.degrees_of_freedom, 0u);
+  // For a true Gaussian the statistic should be near its dof; allow slack.
+  EXPECT_LT(gof.statistic,
+            3.0 * static_cast<double>(gof.degrees_of_freedom) + 10.0);
+}
+
+TEST(Gaussian, ChiSquaredLargeForBimodalData) {
+  fastfit::RngStream rng(10, "gof2");
+  std::vector<double> xs;
+  Histogram hist(0.0, 60.0, 12);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = (i % 2 ? 10.0 : 50.0) + rng.normal();
+    xs.push_back(x);
+    hist.add(x);
+  }
+  const auto fit = fit_gaussian(xs);
+  const auto gof = chi_squared_gof(hist, fit);
+  EXPECT_GT(gof.statistic,
+            10.0 * static_cast<double>(gof.degrees_of_freedom + 1));
+}
+
+}  // namespace
+}  // namespace fastfit::stats

@@ -1,0 +1,82 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace fastfit::stats {
+namespace {
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 100.0, 20);
+  EXPECT_EQ(h.bins(), 20u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(19), 95.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(19), 100.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.99);
+  h.add(5.0);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(15.0);
+  h.add(10.0);  // hi itself clamps into the last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, NonFiniteObservationsClampSafely) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 2u);  // NaN and -inf
+  EXPECT_EQ(h.count(9), 1u);  // +inf
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(2.5);
+  h.add(2.6);
+  h.add(0.5);
+  EXPECT_EQ(h.mode_bin(), 2u);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InternalError);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InternalError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), InternalError);
+}
+
+TEST(Histogram, CountOutOfRangeThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), InternalError);
+  EXPECT_THROW(h.bin_lo(2), InternalError);
+}
+
+TEST(Histogram, RenderMentionsLabelAndTotal) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.2);
+  const auto text = h.render("error rate");
+  EXPECT_NE(text.find("error rate"), std::string::npos);
+  EXPECT_NE(text.find("1 observations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastfit::stats

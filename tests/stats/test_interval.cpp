@@ -1,0 +1,86 @@
+#include "stats/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace fastfit::stats {
+namespace {
+
+TEST(Interval, WilsonCoversTheMle) {
+  for (std::size_t errors : {0u, 3u, 50u, 97u, 100u}) {
+    const auto ci = wilson_interval(errors, 100);
+    const double p = errors / 100.0;
+    EXPECT_TRUE(ci.contains(p)) << errors;
+    EXPECT_GE(ci.lo, 0.0);
+    EXPECT_LE(ci.hi, 1.0);
+  }
+}
+
+TEST(Interval, WilsonNarrowsWithTrials) {
+  const auto small = wilson_interval(3, 10);
+  const auto medium = wilson_interval(30, 100);
+  const auto large = wilson_interval(300, 1000);
+  EXPECT_GT(small.width(), medium.width());
+  EXPECT_GT(medium.width(), large.width());
+}
+
+TEST(Interval, WilsonAtHundredTrialsIsUsablyTight) {
+  // The paper's "100 tests suffice" claim in numbers: at p=0.3 the 95%
+  // interval spans roughly ±9 points — tight enough to separate the
+  // paper's low/med/high levels.
+  const auto ci = wilson_interval(30, 100);
+  EXPECT_LT(ci.width(), 0.20);
+  EXPECT_GT(ci.width(), 0.10);
+}
+
+TEST(Interval, WilsonBoundaryBehaviour) {
+  const auto zero = wilson_interval(0, 20);
+  EXPECT_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const auto one = wilson_interval(20, 20);
+  EXPECT_EQ(one.hi, 1.0);
+  EXPECT_LT(one.lo, 1.0);
+}
+
+TEST(Interval, WilsonRejectsBadInput) {
+  EXPECT_THROW(wilson_interval(1, 0), InternalError);
+  EXPECT_THROW(wilson_interval(5, 4), InternalError);
+}
+
+TEST(Interval, BootstrapCoversTrueMean) {
+  RngStream data_rng(1, "boot-data");
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(5.0 + data_rng.normal());
+  RngStream rng(2, "boot");
+  const auto ci = bootstrap_mean_ci(xs, 0.95, 500, rng);
+  EXPECT_TRUE(ci.contains(5.0));
+  EXPECT_LT(ci.width(), 0.5);
+}
+
+TEST(Interval, BootstrapOnConstantSampleIsDegenerate) {
+  RngStream rng(3, "boot");
+  const auto ci = bootstrap_mean_ci({2.0, 2.0, 2.0, 2.0}, 0.95, 100, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 2.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 2.0);
+}
+
+TEST(Interval, BootstrapRejectsBadInput) {
+  RngStream rng(4, "boot");
+  EXPECT_THROW(bootstrap_mean_ci({}, 0.95, 100, rng), InternalError);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 1.5, 100, rng), InternalError);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 0.95, 1, rng), InternalError);
+}
+
+TEST(Interval, BootstrapDeterministicPerStream) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  RngStream r1(5, "boot");
+  RngStream r2(5, "boot");
+  const auto a = bootstrap_mean_ci(xs, 0.9, 200, r1);
+  const auto b = bootstrap_mean_ci(xs, 0.9, 200, r2);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace fastfit::stats

@@ -1,0 +1,63 @@
+#include "stats/levels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace fastfit::stats {
+namespace {
+
+TEST(Levels, EvenThresholds) {
+  const auto t2 = even_thresholds(2);
+  ASSERT_EQ(t2.size(), 1u);
+  EXPECT_DOUBLE_EQ(t2[0], 0.5);
+  const auto t4 = even_thresholds(4);
+  ASSERT_EQ(t4.size(), 3u);
+  EXPECT_DOUBLE_EQ(t4[0], 0.25);
+  EXPECT_DOUBLE_EQ(t4[1], 0.5);
+  EXPECT_DOUBLE_EQ(t4[2], 0.75);
+  EXPECT_THROW(even_thresholds(1), InternalError);
+}
+
+TEST(Levels, FourLevelQuantizationMatchesPaperExample) {
+  // Paper Sec III-C: Low 0-25%, Medium-low 25-50%, Medium-high 50-75%,
+  // High 75-100%.
+  const auto t = even_thresholds(4);
+  EXPECT_EQ(level_of(0.0, t), 0u);
+  EXPECT_EQ(level_of(0.24, t), 0u);
+  EXPECT_EQ(level_of(0.25, t), 1u);
+  EXPECT_EQ(level_of(0.49, t), 1u);
+  EXPECT_EQ(level_of(0.5, t), 2u);
+  EXPECT_EQ(level_of(0.75, t), 3u);
+  EXPECT_EQ(level_of(1.0, t), 3u);
+}
+
+TEST(Levels, SkewedSchemeOfFigures8And11) {
+  const auto t = skewed_low_med_high();
+  EXPECT_EQ(level_of(0.10, t), 0u);  // low: < 15%
+  EXPECT_EQ(level_of(0.15, t), 1u);  // med: 15-85%
+  EXPECT_EQ(level_of(0.50, t), 1u);
+  EXPECT_EQ(level_of(0.85, t), 2u);  // high: > 85%
+  EXPECT_EQ(level_of(0.99, t), 2u);
+}
+
+TEST(Levels, EmptyThresholdsThrows) {
+  EXPECT_THROW(level_of(0.5, {}), InternalError);
+}
+
+TEST(Levels, LevelNames) {
+  EXPECT_EQ(level_names(2), (std::vector<std::string>{"low", "high"}));
+  EXPECT_EQ(level_names(3), (std::vector<std::string>{"low", "med", "high"}));
+  EXPECT_EQ(level_names(4)[1], "med-low");
+  EXPECT_EQ(level_names(5)[4], "L4");
+}
+
+TEST(Levels, LevelIndexAlwaysWithinRange) {
+  const auto t = even_thresholds(3);
+  for (double r = -0.5; r <= 1.5; r += 0.01) {
+    EXPECT_LT(level_of(r, t), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace fastfit::stats

@@ -1,0 +1,89 @@
+#include "support/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace fastfit {
+namespace {
+
+std::span<std::byte> as_span(std::array<std::byte, 4>& a) {
+  return std::span<std::byte>(a.data(), a.size());
+}
+
+TEST(Bitops, FlipChangesExactlyOneBit) {
+  std::array<std::byte, 4> buf{};
+  const auto before = buf;
+  flip_bit(as_span(buf), 13);
+  EXPECT_EQ(hamming_distance(std::span<const std::byte>(before),
+                             std::span<const std::byte>(buf)),
+            1u);
+}
+
+TEST(Bitops, FlipIsInvolution) {
+  std::array<std::byte, 4> buf{std::byte{0xDE}, std::byte{0xAD},
+                               std::byte{0xBE}, std::byte{0xEF}};
+  const auto before = buf;
+  for (std::size_t bit = 0; bit < 32; ++bit) {
+    flip_bit(as_span(buf), bit);
+    flip_bit(as_span(buf), bit);
+    EXPECT_EQ(buf, before) << "bit " << bit;
+  }
+}
+
+TEST(Bitops, FlipOutOfRangeThrows) {
+  std::array<std::byte, 4> buf{};
+  EXPECT_THROW(flip_bit(as_span(buf), 32), InternalError);
+}
+
+TEST(Bitops, BitWidth) {
+  std::array<std::byte, 4> buf{};
+  EXPECT_EQ(bit_width_of(std::span<const std::byte>(buf)), 32u);
+}
+
+TEST(Bitops, WithFlippedBitScalar) {
+  const std::uint32_t x = 0;
+  EXPECT_EQ(with_flipped_bit(x, 0), 1u);
+  EXPECT_EQ(with_flipped_bit(x, 31), 0x80000000u);
+  EXPECT_EQ(with_flipped_bit(with_flipped_bit(x, 17), 17), x);
+}
+
+TEST(Bitops, WithFlippedBitSignBitOfInt32MakesNegative) {
+  const std::int32_t count = 1024;
+  EXPECT_LT(with_flipped_bit(count, 31), 0);
+}
+
+TEST(Bitops, WithFlippedBitHighBitOfCountMakesHuge) {
+  const std::int32_t count = 8;
+  EXPECT_GT(with_flipped_bit(count, 30), 1 << 29);
+}
+
+TEST(Bitops, PopcountCountsSetBits) {
+  std::array<std::byte, 2> buf{std::byte{0xF0}, std::byte{0x01}};
+  EXPECT_EQ(popcount(std::span<const std::byte>(buf)), 5u);
+}
+
+TEST(Bitops, HammingDistanceSizeMismatchThrows) {
+  std::array<std::byte, 2> a{};
+  std::array<std::byte, 3> b{};
+  EXPECT_THROW(hamming_distance(std::span<const std::byte>(a),
+                                std::span<const std::byte>(b)),
+               InternalError);
+}
+
+TEST(Bitops, DoubleBitFlipPerturbsValue) {
+  const double x = 3.14159;
+  int changed = 0;
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    if (with_flipped_bit(x, bit) != x) ++changed;
+  }
+  // Every bit flip of a finite non-zero double changes its value (some
+  // produce NaN, which compares unequal as desired).
+  EXPECT_EQ(changed, 64);
+}
+
+}  // namespace
+}  // namespace fastfit

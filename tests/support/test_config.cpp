@@ -1,0 +1,85 @@
+#include "support/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace fastfit {
+namespace {
+
+TEST(Config, Defaults) {
+  const auto cfg = InjectionConfig::from_map({});
+  EXPECT_EQ(cfg.num_inj, 100u);
+  EXPECT_FALSE(cfg.inv_id.has_value());
+  EXPECT_FALSE(cfg.call_id.has_value());
+  EXPECT_FALSE(cfg.rank_id.has_value());
+  EXPECT_FALSE(cfg.param_id.has_value());
+}
+
+TEST(Config, ParsesAllTableTwoVariables) {
+  const auto cfg = InjectionConfig::from_map({{"NUM_INJ", "250"},
+                                              {"INV_ID", "17"},
+                                              {"CALL_ID", "3"},
+                                              {"RANK_ID", "31"},
+                                              {"PARAM_ID", "4"},
+                                              {"FASTFIT_SEED", "99"}});
+  EXPECT_EQ(cfg.num_inj, 250u);
+  EXPECT_EQ(cfg.inv_id, 17u);
+  EXPECT_EQ(cfg.call_id, 3u);
+  EXPECT_EQ(cfg.rank_id, 31u);
+  EXPECT_EQ(cfg.param_id, 4);
+  EXPECT_EQ(cfg.seed, 99u);
+}
+
+TEST(Config, RejectsUnknownKey) {
+  EXPECT_THROW(InjectionConfig::from_map({{"BOGUS", "1"}}), ConfigError);
+}
+
+TEST(Config, RejectsNonNumeric) {
+  EXPECT_THROW(InjectionConfig::from_map({{"NUM_INJ", "ten"}}), ConfigError);
+  EXPECT_THROW(InjectionConfig::from_map({{"NUM_INJ", ""}}), ConfigError);
+  EXPECT_THROW(InjectionConfig::from_map({{"NUM_INJ", "-5"}}), ConfigError);
+}
+
+TEST(Config, RejectsZeroTrials) {
+  EXPECT_THROW(InjectionConfig::from_map({{"NUM_INJ", "0"}}), ConfigError);
+}
+
+TEST(Config, EnforcesTableTwoFieldWidths) {
+  // The paper allots 3 decimal digits to INV_ID / CALL_ID and 1 to PARAM_ID.
+  EXPECT_NO_THROW(InjectionConfig::from_map({{"INV_ID", "999"}}));
+  EXPECT_THROW(InjectionConfig::from_map({{"INV_ID", "1000"}}), ConfigError);
+  EXPECT_THROW(InjectionConfig::from_map({{"CALL_ID", "1000"}}), ConfigError);
+  EXPECT_NO_THROW(InjectionConfig::from_map({{"PARAM_ID", "9"}}));
+  EXPECT_THROW(InjectionConfig::from_map({{"PARAM_ID", "10"}}), ConfigError);
+}
+
+TEST(Config, RejectsOverflow) {
+  EXPECT_THROW(InjectionConfig::from_map({{"NUM_INJ", "99999999999999999999"}}),
+               ConfigError);
+}
+
+TEST(Config, RoundTripsThroughMap) {
+  auto cfg = InjectionConfig::from_map(
+      {{"NUM_INJ", "50"}, {"CALL_ID", "7"}, {"PARAM_ID", "2"}});
+  const auto cfg2 = InjectionConfig::from_map(cfg.to_map());
+  EXPECT_EQ(cfg2.num_inj, 50u);
+  EXPECT_EQ(cfg2.call_id, 7u);
+  EXPECT_EQ(cfg2.param_id, 2);
+  EXPECT_FALSE(cfg2.inv_id.has_value());
+}
+
+TEST(Config, FromEnvironmentReadsTableTwoNames) {
+  ::setenv("NUM_INJ", "33", 1);
+  ::setenv("RANK_ID", "5", 1);
+  const auto cfg = InjectionConfig::from_environment();
+  EXPECT_EQ(cfg.num_inj, 33u);
+  EXPECT_EQ(cfg.rank_id, 5u);
+  ::unsetenv("NUM_INJ");
+  ::unsetenv("RANK_ID");
+}
+
+}  // namespace
+}  // namespace fastfit

@@ -1,0 +1,62 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastfit {
+namespace {
+
+TEST(Error, MpiErrorCarriesCodeAndName) {
+  const MpiError e(MpiErrc::InvalidDatatype, "handle 0xdead");
+  EXPECT_EQ(e.code(), MpiErrc::InvalidDatatype);
+  EXPECT_NE(std::string(e.what()).find("MPI_ERR_TYPE"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("0xdead"), std::string::npos);
+}
+
+TEST(Error, AllMpiErrcNamesAreDistinct) {
+  const MpiErrc codes[] = {
+      MpiErrc::InvalidComm,   MpiErrc::InvalidDatatype, MpiErrc::InvalidOp,
+      MpiErrc::InvalidCount,  MpiErrc::InvalidRoot,     MpiErrc::InvalidBuffer,
+      MpiErrc::InvalidTag,    MpiErrc::InvalidRank,     MpiErrc::TypeMismatch,
+      MpiErrc::CountMismatch, MpiErrc::Truncate,        MpiErrc::Internal};
+  for (std::size_t i = 0; i < std::size(codes); ++i) {
+    for (std::size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(to_string(codes[i]), to_string(codes[j]));
+    }
+  }
+}
+
+TEST(Error, HierarchyUnderFaultEvent) {
+  // Outcome classification relies on every failure mode deriving from
+  // FaultEvent (and on WorldAborted being distinguishable).
+  EXPECT_THROW(throw MpiError(MpiErrc::InvalidOp, "x"), FaultEvent);
+  EXPECT_THROW(throw SimSegFault(0x1000, 64, "oob"), FaultEvent);
+  EXPECT_THROW(throw AppError("inconsistent state"), FaultEvent);
+  EXPECT_THROW(throw SimTimeout("hang"), FaultEvent);
+  EXPECT_THROW(throw WorldAborted("peer died"), FaultEvent);
+}
+
+TEST(Error, ConfigAndInternalAreNotFaultEvents) {
+  try {
+    throw ConfigError("bad knob");
+  } catch (const FaultEvent&) {
+    FAIL() << "ConfigError must not classify as a fault";
+  } catch (const FastFitError&) {
+    SUCCEED();
+  }
+  try {
+    throw InternalError("bug");
+  } catch (const FaultEvent&) {
+    FAIL() << "InternalError must not classify as a fault";
+  } catch (const FastFitError&) {
+    SUCCEED();
+  }
+}
+
+TEST(Error, SimSegFaultCarriesAccessDetails) {
+  const SimSegFault e(0xABCD, 128, "write past buffer");
+  EXPECT_EQ(e.address(), 0xABCDu);
+  EXPECT_EQ(e.length(), 128u);
+}
+
+}  // namespace
+}  // namespace fastfit

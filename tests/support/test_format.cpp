@@ -1,0 +1,35 @@
+#include "support/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastfit {
+namespace {
+
+TEST(Format, Join) {
+  EXPECT_EQ(join(std::vector<int>{1, 2, 3}, ", "), "1, 2, 3");
+  EXPECT_EQ(join(std::vector<int>{}, ", "), "");
+  EXPECT_EQ(join(std::vector<std::string>{"a"}, "|"), "a");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(0.9724), "97.24%");
+  EXPECT_EQ(percent(0.5, 0), "50%");
+  EXPECT_EQ(percent(1.0), "100.00%");
+  EXPECT_EQ(percent(0.0), "0.00%");
+}
+
+TEST(Format, Pad) {
+  EXPECT_EQ(pad("ab", 5), "ab   ");
+  EXPECT_EQ(pad("abcdef", 3), "abcdef");
+}
+
+TEST(Format, AsciiBarProportionalAndClamped) {
+  EXPECT_EQ(ascii_bar(0.0, 10), "");
+  EXPECT_EQ(ascii_bar(1.0, 10).size(), 10u);
+  EXPECT_EQ(ascii_bar(0.5, 10).size(), 5u);
+  EXPECT_EQ(ascii_bar(2.0, 10).size(), 10u);   // clamped
+  EXPECT_EQ(ascii_bar(-1.0, 10).size(), 0u);   // clamped
+}
+
+}  // namespace
+}  // namespace fastfit

@@ -1,0 +1,136 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace fastfit {
+namespace {
+
+TEST(Rng, SameSeedNameIndexReproduces) {
+  RngStream a(42, "trial", 7);
+  RngStream b(42, "trial", 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_u64(0, 1'000'000), b.uniform_u64(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentNamesDiverge) {
+  RngStream a(42, "trial", 0);
+  RngStream b(42, "verify", 0);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.uniform_u64(0, 1ULL << 62) == b.uniform_u64(0, 1ULL << 62)) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, DifferentIndicesDiverge) {
+  RngStream a(42, "trial", 0);
+  RngStream b(42, "trial", 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.uniform_u64(0, 1ULL << 62) == b.uniform_u64(0, 1ULL << 62)) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformBoundsInclusive) {
+  RngStream rng(1, "bounds");
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_u64(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformLoGreaterThanHiThrows) {
+  RngStream rng(1, "bad");
+  EXPECT_THROW(rng.uniform_u64(5, 3), InternalError);
+}
+
+TEST(Rng, IndexCoversRange) {
+  RngStream rng(9, "index");
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_THROW(rng.index(0), InternalError);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnit) {
+  RngStream rng(3, "unit");
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRespectsProbabilityRoughly) {
+  RngStream rng(5, "coin");
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, NormalHasUnitishMoments) {
+  RngStream rng(7, "normal");
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  RngStream rng(11, "shuffle");
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  RngStream rng(13, "sample");
+  for (int rep = 0; rep < 50; ++rep) {
+    auto s = rng.sample_without_replacement(20, 8);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 8u);
+    for (auto i : s) EXPECT_LT(i, 20u);
+  }
+}
+
+TEST(Rng, SampleKEqualsNIsFullSet) {
+  RngStream rng(13, "sample");
+  auto s = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Rng, SampleKGreaterThanNThrows) {
+  RngStream rng(13, "sample");
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), InternalError);
+}
+
+TEST(Rng, Fnv1aStableAndDistinct) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+}  // namespace
+}  // namespace fastfit

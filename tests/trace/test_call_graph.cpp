@@ -1,0 +1,63 @@
+#include "trace/call_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastfit::trace {
+namespace {
+
+TEST(CallGraph, RecordsEdgeCounts) {
+  CallGraph g;
+  g.add_call("main", "solve");
+  g.add_call("main", "solve");
+  g.add_call("solve", "smooth");
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.calls("main", "solve"), 2u);
+  EXPECT_EQ(g.calls("solve", "smooth"), 1u);
+  EXPECT_EQ(g.calls("main", "smooth"), 0u);
+}
+
+TEST(CallGraph, EqualGraphsEqualFingerprints) {
+  CallGraph a, b;
+  for (auto* g : {&a, &b}) {
+    g->add_call("main", "f");
+    g->add_call("f", "g");
+    g->add_call("f", "g");
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CallGraph, CountsAffectFingerprint) {
+  CallGraph a, b;
+  a.add_call("main", "f");
+  b.add_call("main", "f");
+  b.add_call("main", "f");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CallGraph, EdgesAffectFingerprint) {
+  CallGraph a, b;
+  a.add_call("main", "f");
+  b.add_call("main", "g");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CallGraph, InsertionOrderIrrelevant) {
+  CallGraph a, b;
+  a.add_call("x", "y");
+  a.add_call("p", "q");
+  b.add_call("p", "q");
+  b.add_call("x", "y");
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CallGraph, DotRenderingContainsEdges) {
+  CallGraph g;
+  g.add_call("main", "solve");
+  const auto dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"main\" -> \"solve\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastfit::trace

@@ -1,0 +1,101 @@
+#include "trace/rank_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/similarity.hpp"
+
+namespace fastfit::trace {
+namespace {
+
+TEST(RankContext, FunctionScopeFeedsStackAndGraph) {
+  RankContext ctx;
+  {
+    FunctionScope outer(ctx, "solve");
+    EXPECT_EQ(ctx.stack().depth(), 1u);
+    {
+      FunctionScope inner(ctx, "smooth");
+      EXPECT_EQ(ctx.stack().depth(), 2u);
+    }
+  }
+  EXPECT_EQ(ctx.stack().depth(), 0u);
+  EXPECT_EQ(ctx.graph().calls("main", "solve"), 1u);
+  EXPECT_EQ(ctx.graph().calls("solve", "smooth"), 1u);
+}
+
+TEST(RankContext, ErrorHandlingScopeNests) {
+  RankContext ctx;
+  EXPECT_FALSE(ctx.in_error_handler());
+  {
+    ErrorHandlingScope outer(ctx);
+    EXPECT_TRUE(ctx.in_error_handler());
+    {
+      ErrorHandlingScope inner(ctx);
+      EXPECT_TRUE(ctx.in_error_handler());
+    }
+    EXPECT_TRUE(ctx.in_error_handler());
+  }
+  EXPECT_FALSE(ctx.in_error_handler());
+}
+
+TEST(RankContext, PhaseTransitions) {
+  RankContext ctx;
+  EXPECT_EQ(ctx.phase(), ExecPhase::Init);
+  ctx.set_phase(ExecPhase::Compute);
+  EXPECT_EQ(ctx.phase(), ExecPhase::Compute);
+  EXPECT_STREQ(to_string(ExecPhase::Input), "input");
+  EXPECT_STREQ(to_string(ExecPhase::End), "end");
+}
+
+TEST(Similarity, IdenticalContextsCollapse) {
+  ContextRegistry reg(4);
+  for (int r = 0; r < 4; ++r) {
+    auto& ctx = reg.of(r);
+    FunctionScope scope(ctx, "work");
+    ctx.comm_trace().record(
+        CommEvent{mpi::CollectiveKind::Allreduce, 42, 64, false});
+  }
+  const auto classes = equivalence_classes(reg);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0].ranks, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(classes[0].representative(), 0);
+}
+
+TEST(Similarity, RootRoleSplitsClasses) {
+  ContextRegistry reg(4);
+  for (int r = 0; r < 4; ++r) {
+    auto& ctx = reg.of(r);
+    FunctionScope scope(ctx, "work");
+    ctx.comm_trace().record(
+        CommEvent{mpi::CollectiveKind::Reduce, 42, 64, r == 0});
+  }
+  const auto classes = equivalence_classes(reg);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].ranks, (std::vector<int>{0}));
+  EXPECT_EQ(classes[1].ranks, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Similarity, CallGraphDifferenceSplitsClasses) {
+  ContextRegistry reg(3);
+  for (int r = 0; r < 3; ++r) {
+    auto& ctx = reg.of(r);
+    FunctionScope scope(ctx, r == 1 ? "special_path" : "work");
+  }
+  const auto classes = equivalence_classes(reg);
+  ASSERT_EQ(classes.size(), 2u);
+}
+
+TEST(Similarity, CommTraceOrderMatters) {
+  ContextRegistry reg(2);
+  reg.of(0).comm_trace().record(
+      CommEvent{mpi::CollectiveKind::Bcast, 1, 8, false});
+  reg.of(0).comm_trace().record(
+      CommEvent{mpi::CollectiveKind::Barrier, 2, 0, false});
+  reg.of(1).comm_trace().record(
+      CommEvent{mpi::CollectiveKind::Barrier, 2, 0, false});
+  reg.of(1).comm_trace().record(
+      CommEvent{mpi::CollectiveKind::Bcast, 1, 8, false});
+  EXPECT_EQ(equivalence_classes(reg).size(), 2u);
+}
+
+}  // namespace
+}  // namespace fastfit::trace

@@ -1,0 +1,246 @@
+// fastfit — the command-line front end of the tool.
+//
+//   fastfit list
+//       Bundled workloads, prediction models, fault models.
+//
+//   fastfit profile <workload> [--ranks N] [--save FILE]
+//       Phase 1 only: golden + profiling run, the mpiP-style
+//       communication report, and the pruning statistics. --save persists
+//       the enumeration (profiling is a one-time cost; Sec IV-B).
+//
+//   fastfit study <workload> [--ranks N] [--trials T] [--threshold X]
+//                 [--fault-model NAME] [--no-ml]
+//                 [--seed S] [--csv FILE] [--json FILE]
+//       The full three-phase sensitivity study, with optional CSV/JSON
+//       export of the results.
+//
+//   fastfit p2p <workload> [--ranks N] [--trials T] [--points K]
+//       The point-to-point extension study (Sec VIII future work):
+//       pruning statistics and per-parameter response distributions for
+//       the workload's send/recv calls.
+//
+// Exit codes: 0 success, 1 usage error, 2 execution error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "core/export.hpp"
+#include "core/fastfit.hpp"
+#include "core/p2p_study.hpp"
+#include "core/report.hpp"
+#include "ml/classifier.hpp"
+#include "profile/queries.hpp"
+#include "stats/levels.hpp"
+#include "support/format.hpp"
+
+using namespace fastfit;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fastfit list\n"
+               "  fastfit profile <workload> [--ranks N]\n"
+               "  fastfit study <workload> [--ranks N] [--trials T]\n"
+               "                [--threshold X] [--fault-model NAME]\n"
+               "                [--no-ml] [--seed S] [--csv FILE] [--json "
+               "FILE]\n"
+               "  fastfit p2p <workload> [--ranks N] [--trials T] "
+               "[--points K]\n");
+  return 1;
+}
+
+/// Minimal flag parser: --key value pairs plus boolean switches.
+struct Args {
+  std::map<std::string, std::string> values;
+  bool parse(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) return false;
+      key = key.substr(2);
+      if (key == "no-ml") {
+        values[key] = "1";
+      } else {
+        if (i + 1 >= argc) return false;
+        values[key] = argv[++i];
+      }
+    }
+    return true;
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  bool has(const std::string& key) const { return values.count(key) > 0; }
+};
+
+inject::FaultModel parse_fault_model(const std::string& name) {
+  for (std::size_t m = 0; m < inject::kNumFaultModels; ++m) {
+    const auto model = static_cast<inject::FaultModel>(m);
+    if (name == to_string(model)) return model;
+  }
+  throw ConfigError("unknown fault model: " + name);
+}
+
+int cmd_list() {
+  std::printf("workloads:      %s\n",
+              join(apps::workload_names(), ", ").c_str());
+  std::printf("models:         %s\n",
+              join(ml::classifier_names(), ", ").c_str());
+  std::string fault_models;
+  for (std::size_t m = 0; m < inject::kNumFaultModels; ++m) {
+    if (m) fault_models += ", ";
+    fault_models += to_string(static_cast<inject::FaultModel>(m));
+  }
+  std::printf("fault models:   %s\n", fault_models.c_str());
+  return 0;
+}
+
+int cmd_profile(const std::string& workload_name, const Args& args) {
+  const auto workload = apps::make_workload(workload_name);
+  core::CampaignOptions options;
+  options.nranks = std::atoi(args.get("ranks", "16").c_str());
+  core::Campaign campaign(*workload, options);
+  campaign.profile();
+
+  std::printf("%s\n", profile::mpip_report(campaign.profiler()).c_str());
+  const auto& s = campaign.stats();
+  std::printf("equivalence classes: %zu of %d ranks\n",
+              s.equivalence_classes, s.nranks);
+  std::printf("injection points:    %llu total -> %llu after semantic "
+              "pruning (%s) -> %llu after context pruning (%s)\n",
+              static_cast<unsigned long long>(s.total_points),
+              static_cast<unsigned long long>(s.after_semantic),
+              percent(s.semantic_reduction()).c_str(),
+              static_cast<unsigned long long>(s.after_context),
+              percent(s.context_reduction()).c_str());
+  if (args.has("save")) {
+    core::write_file(args.get("save", ""),
+                     core::to_text(campaign.enumeration()));
+    std::printf("saved enumeration to %s\n", args.get("save", "").c_str());
+  }
+  return 0;
+}
+
+int cmd_study(const std::string& workload_name, const Args& args) {
+  const auto workload = apps::make_workload(workload_name);
+  core::FastFitOptions options;
+  options.campaign.nranks = std::atoi(args.get("ranks", "16").c_str());
+  options.campaign.trials_per_point =
+      static_cast<std::uint32_t>(std::atoi(args.get("trials", "12").c_str()));
+  options.campaign.seed =
+      std::strtoull(args.get("seed", "258398418711").c_str(), nullptr, 10);
+  options.campaign.fault_model =
+      parse_fault_model(args.get("fault-model", "single-bit-flip"));
+  options.use_ml = !args.has("no-ml");
+  options.ml.accuracy_threshold =
+      std::atof(args.get("threshold", "0.65").c_str());
+
+  core::FastFit study(*workload, options);
+  const auto result = study.run();
+
+  const auto& s = result.stats;
+  std::printf("pruning: %llu -> %llu (%s) -> %llu (%s); ML predicted %s; "
+              "total reduction %s\n\n",
+              static_cast<unsigned long long>(s.total_points),
+              static_cast<unsigned long long>(s.after_semantic),
+              percent(s.semantic_reduction()).c_str(),
+              static_cast<unsigned long long>(s.after_context),
+              percent(s.context_reduction()).c_str(),
+              percent(result.ml_reduction).c_str(),
+              percent(result.total_reduction()).c_str());
+
+  std::vector<std::pair<std::string,
+                        std::array<double, inject::kNumOutcomes>>>
+      rows;
+  for (auto kind : core::kinds_present(result.measured)) {
+    rows.emplace_back(mpi::to_string(kind),
+                      core::outcome_distribution(result.measured, kind));
+  }
+  rows.emplace_back("ALL", core::outcome_distribution(result.measured));
+  std::printf("%s\n", core::render_outcome_table(rows).c_str());
+
+  if (args.has("csv")) {
+    core::write_file(args.get("csv", ""), core::to_csv(result.measured));
+    std::printf("wrote %s\n", args.get("csv", "").c_str());
+  }
+  if (args.has("json")) {
+    core::write_file(args.get("json", ""), core::to_json(result));
+    std::printf("wrote %s\n", args.get("json", "").c_str());
+  }
+  return 0;
+}
+
+int cmd_p2p(const std::string& workload_name, const Args& args) {
+  const auto workload = apps::make_workload(workload_name);
+  core::CampaignOptions options;
+  options.nranks = std::atoi(args.get("ranks", "16").c_str());
+  options.trials_per_point =
+      static_cast<std::uint32_t>(std::atoi(args.get("trials", "8").c_str()));
+  core::Campaign campaign(*workload, options);
+  campaign.profile();
+
+  const auto e = core::enumerate_p2p_points(campaign.profiler());
+  std::printf("p2p exploration space: %llu -> %llu (semantic) -> %llu "
+              "(context)\n",
+              static_cast<unsigned long long>(e.stats.total_points),
+              static_cast<unsigned long long>(e.stats.after_semantic),
+              static_cast<unsigned long long>(e.stats.after_context));
+  if (e.points.empty()) {
+    std::printf("%s uses no point-to-point communication\n",
+                workload_name.c_str());
+    return 0;
+  }
+  auto points = e.points;
+  const auto cap = static_cast<std::size_t>(
+      std::atoi(args.get("points", "60").c_str()));
+  if (points.size() > cap) points.resize(cap);
+  std::vector<core::P2pPointResult> results;
+  for (const auto& point : points) {
+    results.push_back(
+        core::measure_p2p(campaign, point, options.trials_per_point));
+  }
+  std::vector<std::pair<std::string,
+                        std::array<double, inject::kNumOutcomes>>>
+      rows;
+  for (auto param : {mpi::P2pParam::Buffer, mpi::P2pParam::Count,
+                     mpi::P2pParam::Datatype, mpi::P2pParam::Peer,
+                     mpi::P2pParam::Tag}) {
+    rows.emplace_back(
+        to_string(param),
+        core::p2p_outcome_distribution(results, std::nullopt, param));
+  }
+  std::printf("%s", core::render_outcome_table(rows).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "profile" || command == "study" || command == "p2p") {
+      if (argc < 3) return usage();
+      Args args;
+      if (!args.parse(argc, argv, 3)) return usage();
+      if (command == "profile") return cmd_profile(argv[2], args);
+      if (command == "p2p") return cmd_p2p(argv[2], args);
+      return cmd_study(argv[2], args);
+    }
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return usage();
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "execution failed: %s\n", e.what());
+    return 2;
+  }
+}
