@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ml_models.dir/ablation_ml_models.cpp.o"
+  "CMakeFiles/ablation_ml_models.dir/ablation_ml_models.cpp.o.d"
+  "ablation_ml_models"
+  "ablation_ml_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ml_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trials_convergence.dir/ablation_trials_convergence.cpp.o"
+  "CMakeFiles/ablation_trials_convergence.dir/ablation_trials_convergence.cpp.o.d"
+  "ablation_trials_convergence"
+  "ablation_trials_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trials_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

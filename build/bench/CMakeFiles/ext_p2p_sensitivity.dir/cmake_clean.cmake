@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_p2p_sensitivity.dir/ext_p2p_sensitivity.cpp.o"
+  "CMakeFiles/ext_p2p_sensitivity.dir/ext_p2p_sensitivity.cpp.o.d"
+  "ext_p2p_sensitivity"
+  "ext_p2p_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_p2p_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/fastfit_bench_common.dir/bench_common.cpp.o.d"
+  "libfastfit_bench_common.a"
+  "libfastfit_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

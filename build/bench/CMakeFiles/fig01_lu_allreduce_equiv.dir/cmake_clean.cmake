@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_lu_allreduce_equiv.dir/fig01_lu_allreduce_equiv.cpp.o"
+  "CMakeFiles/fig01_lu_allreduce_equiv.dir/fig01_lu_allreduce_equiv.cpp.o.d"
+  "fig01_lu_allreduce_equiv"
+  "fig01_lu_allreduce_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_lu_allreduce_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

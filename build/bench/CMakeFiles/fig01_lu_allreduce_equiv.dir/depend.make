@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_lu_allreduce_equiv.
+# This may be replaced when dependencies are built.

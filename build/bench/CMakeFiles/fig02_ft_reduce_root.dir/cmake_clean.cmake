@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_ft_reduce_root.dir/fig02_ft_reduce_root.cpp.o"
+  "CMakeFiles/fig02_ft_reduce_root.dir/fig02_ft_reduce_root.cpp.o.d"
+  "fig02_ft_reduce_root"
+  "fig02_ft_reduce_root.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_ft_reduce_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

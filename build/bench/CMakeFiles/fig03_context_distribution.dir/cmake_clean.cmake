@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_context_distribution.dir/fig03_context_distribution.cpp.o"
+  "CMakeFiles/fig03_context_distribution.dir/fig03_context_distribution.cpp.o.d"
+  "fig03_context_distribution"
+  "fig03_context_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_context_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

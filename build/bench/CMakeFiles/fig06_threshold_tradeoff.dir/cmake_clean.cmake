@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_threshold_tradeoff.dir/fig06_threshold_tradeoff.cpp.o"
+  "CMakeFiles/fig06_threshold_tradeoff.dir/fig06_threshold_tradeoff.cpp.o.d"
+  "fig06_threshold_tradeoff"
+  "fig06_threshold_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_threshold_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_npb_error_types.dir/fig07_npb_error_types.cpp.o"
+  "CMakeFiles/fig07_npb_error_types.dir/fig07_npb_error_types.cpp.o.d"
+  "fig07_npb_error_types"
+  "fig07_npb_error_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_npb_error_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

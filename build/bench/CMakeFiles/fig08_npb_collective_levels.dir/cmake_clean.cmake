@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_npb_collective_levels.dir/fig08_npb_collective_levels.cpp.o"
+  "CMakeFiles/fig08_npb_collective_levels.dir/fig08_npb_collective_levels.cpp.o.d"
+  "fig08_npb_collective_levels"
+  "fig08_npb_collective_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_npb_collective_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

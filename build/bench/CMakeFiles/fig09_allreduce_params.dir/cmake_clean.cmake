@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_allreduce_params.dir/fig09_allreduce_params.cpp.o"
+  "CMakeFiles/fig09_allreduce_params.dir/fig09_allreduce_params.cpp.o.d"
+  "fig09_allreduce_params"
+  "fig09_allreduce_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_allreduce_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

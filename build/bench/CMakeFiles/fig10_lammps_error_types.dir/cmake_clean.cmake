@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lammps_error_types.dir/fig10_lammps_error_types.cpp.o"
+  "CMakeFiles/fig10_lammps_error_types.dir/fig10_lammps_error_types.cpp.o.d"
+  "fig10_lammps_error_types"
+  "fig10_lammps_error_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lammps_error_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_lammps_collective_levels.dir/fig11_lammps_collective_levels.cpp.o"
+  "CMakeFiles/fig11_lammps_collective_levels.dir/fig11_lammps_collective_levels.cpp.o.d"
+  "fig11_lammps_collective_levels"
+  "fig11_lammps_collective_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_lammps_collective_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_correlation.dir/table4_correlation.cpp.o"
+  "CMakeFiles/table4_correlation.dir/table4_correlation.cpp.o.d"
+  "table4_correlation"
+  "table4_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

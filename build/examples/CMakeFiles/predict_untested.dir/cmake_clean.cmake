@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_untested.dir/predict_untested.cpp.o"
+  "CMakeFiles/predict_untested.dir/predict_untested.cpp.o.d"
+  "predict_untested"
+  "predict_untested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_untested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/fastfit_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/fastfit_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/ep.cpp" "src/apps/CMakeFiles/fastfit_apps.dir/ep.cpp.o" "gcc" "src/apps/CMakeFiles/fastfit_apps.dir/ep.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/fastfit_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/fastfit_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/ft.cpp" "src/apps/CMakeFiles/fastfit_apps.dir/ft.cpp.o" "gcc" "src/apps/CMakeFiles/fastfit_apps.dir/ft.cpp.o.d"
+  "/root/repo/src/apps/is.cpp" "src/apps/CMakeFiles/fastfit_apps.dir/is.cpp.o" "gcc" "src/apps/CMakeFiles/fastfit_apps.dir/is.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/fastfit_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/fastfit_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/mg.cpp" "src/apps/CMakeFiles/fastfit_apps.dir/mg.cpp.o" "gcc" "src/apps/CMakeFiles/fastfit_apps.dir/mg.cpp.o.d"
+  "/root/repo/src/apps/minimd.cpp" "src/apps/CMakeFiles/fastfit_apps.dir/minimd.cpp.o" "gcc" "src/apps/CMakeFiles/fastfit_apps.dir/minimd.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/fastfit_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/fastfit_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/workload.cpp" "src/apps/CMakeFiles/fastfit_apps.dir/workload.cpp.o" "gcc" "src/apps/CMakeFiles/fastfit_apps.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/fastfit_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fastfit_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

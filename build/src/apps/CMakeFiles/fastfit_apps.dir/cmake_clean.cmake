@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_apps.dir/cg.cpp.o"
+  "CMakeFiles/fastfit_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/fastfit_apps.dir/ep.cpp.o"
+  "CMakeFiles/fastfit_apps.dir/ep.cpp.o.d"
+  "CMakeFiles/fastfit_apps.dir/fft.cpp.o"
+  "CMakeFiles/fastfit_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/fastfit_apps.dir/ft.cpp.o"
+  "CMakeFiles/fastfit_apps.dir/ft.cpp.o.d"
+  "CMakeFiles/fastfit_apps.dir/is.cpp.o"
+  "CMakeFiles/fastfit_apps.dir/is.cpp.o.d"
+  "CMakeFiles/fastfit_apps.dir/lu.cpp.o"
+  "CMakeFiles/fastfit_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/fastfit_apps.dir/mg.cpp.o"
+  "CMakeFiles/fastfit_apps.dir/mg.cpp.o.d"
+  "CMakeFiles/fastfit_apps.dir/minimd.cpp.o"
+  "CMakeFiles/fastfit_apps.dir/minimd.cpp.o.d"
+  "CMakeFiles/fastfit_apps.dir/registry.cpp.o"
+  "CMakeFiles/fastfit_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/fastfit_apps.dir/workload.cpp.o"
+  "CMakeFiles/fastfit_apps.dir/workload.cpp.o.d"
+  "libfastfit_apps.a"
+  "libfastfit_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/fastfit_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/fastfit_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/enumerate.cpp" "src/core/CMakeFiles/fastfit_core.dir/enumerate.cpp.o" "gcc" "src/core/CMakeFiles/fastfit_core.dir/enumerate.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/fastfit_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/fastfit_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/fastfit.cpp" "src/core/CMakeFiles/fastfit_core.dir/fastfit.cpp.o" "gcc" "src/core/CMakeFiles/fastfit_core.dir/fastfit.cpp.o.d"
+  "/root/repo/src/core/ml_loop.cpp" "src/core/CMakeFiles/fastfit_core.dir/ml_loop.cpp.o" "gcc" "src/core/CMakeFiles/fastfit_core.dir/ml_loop.cpp.o.d"
+  "/root/repo/src/core/p2p_study.cpp" "src/core/CMakeFiles/fastfit_core.dir/p2p_study.cpp.o" "gcc" "src/core/CMakeFiles/fastfit_core.dir/p2p_study.cpp.o.d"
+  "/root/repo/src/core/points.cpp" "src/core/CMakeFiles/fastfit_core.dir/points.cpp.o" "gcc" "src/core/CMakeFiles/fastfit_core.dir/points.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/fastfit_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/fastfit_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/fastfit_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/fastfit_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/fastfit_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fastfit_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmpi/CMakeFiles/fastfit_pmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fastfit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fastfit_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/fastfit_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_core.dir/campaign.cpp.o"
+  "CMakeFiles/fastfit_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/fastfit_core.dir/enumerate.cpp.o"
+  "CMakeFiles/fastfit_core.dir/enumerate.cpp.o.d"
+  "CMakeFiles/fastfit_core.dir/export.cpp.o"
+  "CMakeFiles/fastfit_core.dir/export.cpp.o.d"
+  "CMakeFiles/fastfit_core.dir/fastfit.cpp.o"
+  "CMakeFiles/fastfit_core.dir/fastfit.cpp.o.d"
+  "CMakeFiles/fastfit_core.dir/ml_loop.cpp.o"
+  "CMakeFiles/fastfit_core.dir/ml_loop.cpp.o.d"
+  "CMakeFiles/fastfit_core.dir/p2p_study.cpp.o"
+  "CMakeFiles/fastfit_core.dir/p2p_study.cpp.o.d"
+  "CMakeFiles/fastfit_core.dir/points.cpp.o"
+  "CMakeFiles/fastfit_core.dir/points.cpp.o.d"
+  "CMakeFiles/fastfit_core.dir/report.cpp.o"
+  "CMakeFiles/fastfit_core.dir/report.cpp.o.d"
+  "libfastfit_core.a"
+  "libfastfit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inject/corrupt.cpp" "src/inject/CMakeFiles/fastfit_inject.dir/corrupt.cpp.o" "gcc" "src/inject/CMakeFiles/fastfit_inject.dir/corrupt.cpp.o.d"
+  "/root/repo/src/inject/fault_model.cpp" "src/inject/CMakeFiles/fastfit_inject.dir/fault_model.cpp.o" "gcc" "src/inject/CMakeFiles/fastfit_inject.dir/fault_model.cpp.o.d"
+  "/root/repo/src/inject/fault_spec.cpp" "src/inject/CMakeFiles/fastfit_inject.dir/fault_spec.cpp.o" "gcc" "src/inject/CMakeFiles/fastfit_inject.dir/fault_spec.cpp.o.d"
+  "/root/repo/src/inject/injector.cpp" "src/inject/CMakeFiles/fastfit_inject.dir/injector.cpp.o" "gcc" "src/inject/CMakeFiles/fastfit_inject.dir/injector.cpp.o.d"
+  "/root/repo/src/inject/outcome.cpp" "src/inject/CMakeFiles/fastfit_inject.dir/outcome.cpp.o" "gcc" "src/inject/CMakeFiles/fastfit_inject.dir/outcome.cpp.o.d"
+  "/root/repo/src/inject/p2p_injector.cpp" "src/inject/CMakeFiles/fastfit_inject.dir/p2p_injector.cpp.o" "gcc" "src/inject/CMakeFiles/fastfit_inject.dir/p2p_injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minimpi/CMakeFiles/fastfit_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fastfit_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_inject.dir/corrupt.cpp.o"
+  "CMakeFiles/fastfit_inject.dir/corrupt.cpp.o.d"
+  "CMakeFiles/fastfit_inject.dir/fault_model.cpp.o"
+  "CMakeFiles/fastfit_inject.dir/fault_model.cpp.o.d"
+  "CMakeFiles/fastfit_inject.dir/fault_spec.cpp.o"
+  "CMakeFiles/fastfit_inject.dir/fault_spec.cpp.o.d"
+  "CMakeFiles/fastfit_inject.dir/injector.cpp.o"
+  "CMakeFiles/fastfit_inject.dir/injector.cpp.o.d"
+  "CMakeFiles/fastfit_inject.dir/outcome.cpp.o"
+  "CMakeFiles/fastfit_inject.dir/outcome.cpp.o.d"
+  "CMakeFiles/fastfit_inject.dir/p2p_injector.cpp.o"
+  "CMakeFiles/fastfit_inject.dir/p2p_injector.cpp.o.d"
+  "libfastfit_inject.a"
+  "libfastfit_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

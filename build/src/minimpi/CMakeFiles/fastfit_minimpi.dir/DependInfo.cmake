@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/coll_gatherall.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_gatherall.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_gatherall.cpp.o.d"
+  "/root/repo/src/minimpi/coll_reduce.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_reduce.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_reduce.cpp.o.d"
+  "/root/repo/src/minimpi/coll_rooted.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_rooted.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_rooted.cpp.o.d"
+  "/root/repo/src/minimpi/coll_sync.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_sync.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_sync.cpp.o.d"
+  "/root/repo/src/minimpi/coll_variants.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_variants.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_variants.cpp.o.d"
+  "/root/repo/src/minimpi/coll_vector.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_vector.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/coll_vector.cpp.o.d"
+  "/root/repo/src/minimpi/datatype.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/datatype.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/minimpi/hooks.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/hooks.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/hooks.cpp.o.d"
+  "/root/repo/src/minimpi/mailbox.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/mailbox.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/mailbox.cpp.o.d"
+  "/root/repo/src/minimpi/memory.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/memory.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/memory.cpp.o.d"
+  "/root/repo/src/minimpi/mpi.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/mpi.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/mpi.cpp.o.d"
+  "/root/repo/src/minimpi/op.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/op.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/op.cpp.o.d"
+  "/root/repo/src/minimpi/types.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/types.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/types.cpp.o.d"
+  "/root/repo/src/minimpi/validate.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/validate.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/validate.cpp.o.d"
+  "/root/repo/src/minimpi/world.cpp" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/world.cpp.o" "gcc" "src/minimpi/CMakeFiles/fastfit_minimpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_minimpi.dir/coll_gatherall.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/coll_gatherall.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/coll_reduce.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/coll_reduce.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/coll_rooted.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/coll_rooted.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/coll_sync.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/coll_sync.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/coll_variants.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/coll_variants.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/coll_vector.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/coll_vector.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/datatype.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/hooks.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/hooks.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/mailbox.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/memory.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/memory.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/mpi.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/mpi.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/op.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/op.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/types.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/types.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/validate.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/validate.cpp.o.d"
+  "CMakeFiles/fastfit_minimpi.dir/world.cpp.o"
+  "CMakeFiles/fastfit_minimpi.dir/world.cpp.o.d"
+  "libfastfit_minimpi.a"
+  "libfastfit_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_ml.dir/classifier.cpp.o"
+  "CMakeFiles/fastfit_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/fastfit_ml.dir/dataset.cpp.o"
+  "CMakeFiles/fastfit_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/fastfit_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/fastfit_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/fastfit_ml.dir/knn.cpp.o"
+  "CMakeFiles/fastfit_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/fastfit_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/fastfit_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/fastfit_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/fastfit_ml.dir/random_forest.cpp.o.d"
+  "libfastfit_ml.a"
+  "libfastfit_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

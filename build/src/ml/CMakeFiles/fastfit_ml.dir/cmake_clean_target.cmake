@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfastfit_ml.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_pmpi.dir/chain.cpp.o"
+  "CMakeFiles/fastfit_pmpi.dir/chain.cpp.o.d"
+  "libfastfit_pmpi.a"
+  "libfastfit_pmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_pmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

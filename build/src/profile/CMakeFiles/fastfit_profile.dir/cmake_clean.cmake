@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_profile.dir/profiler.cpp.o"
+  "CMakeFiles/fastfit_profile.dir/profiler.cpp.o.d"
+  "CMakeFiles/fastfit_profile.dir/queries.cpp.o"
+  "CMakeFiles/fastfit_profile.dir/queries.cpp.o.d"
+  "libfastfit_profile.a"
+  "libfastfit_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

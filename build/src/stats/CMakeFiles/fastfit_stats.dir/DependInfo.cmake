@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/confusion.cpp" "src/stats/CMakeFiles/fastfit_stats.dir/confusion.cpp.o" "gcc" "src/stats/CMakeFiles/fastfit_stats.dir/confusion.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/fastfit_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/fastfit_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/gaussian.cpp" "src/stats/CMakeFiles/fastfit_stats.dir/gaussian.cpp.o" "gcc" "src/stats/CMakeFiles/fastfit_stats.dir/gaussian.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/fastfit_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/fastfit_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/interval.cpp" "src/stats/CMakeFiles/fastfit_stats.dir/interval.cpp.o" "gcc" "src/stats/CMakeFiles/fastfit_stats.dir/interval.cpp.o.d"
+  "/root/repo/src/stats/levels.cpp" "src/stats/CMakeFiles/fastfit_stats.dir/levels.cpp.o" "gcc" "src/stats/CMakeFiles/fastfit_stats.dir/levels.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/fastfit_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/fastfit_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_stats.dir/confusion.cpp.o"
+  "CMakeFiles/fastfit_stats.dir/confusion.cpp.o.d"
+  "CMakeFiles/fastfit_stats.dir/correlation.cpp.o"
+  "CMakeFiles/fastfit_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/fastfit_stats.dir/gaussian.cpp.o"
+  "CMakeFiles/fastfit_stats.dir/gaussian.cpp.o.d"
+  "CMakeFiles/fastfit_stats.dir/histogram.cpp.o"
+  "CMakeFiles/fastfit_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/fastfit_stats.dir/interval.cpp.o"
+  "CMakeFiles/fastfit_stats.dir/interval.cpp.o.d"
+  "CMakeFiles/fastfit_stats.dir/levels.cpp.o"
+  "CMakeFiles/fastfit_stats.dir/levels.cpp.o.d"
+  "CMakeFiles/fastfit_stats.dir/summary.cpp.o"
+  "CMakeFiles/fastfit_stats.dir/summary.cpp.o.d"
+  "libfastfit_stats.a"
+  "libfastfit_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_support.dir/config.cpp.o"
+  "CMakeFiles/fastfit_support.dir/config.cpp.o.d"
+  "CMakeFiles/fastfit_support.dir/error.cpp.o"
+  "CMakeFiles/fastfit_support.dir/error.cpp.o.d"
+  "CMakeFiles/fastfit_support.dir/format.cpp.o"
+  "CMakeFiles/fastfit_support.dir/format.cpp.o.d"
+  "CMakeFiles/fastfit_support.dir/rng.cpp.o"
+  "CMakeFiles/fastfit_support.dir/rng.cpp.o.d"
+  "libfastfit_support.a"
+  "libfastfit_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

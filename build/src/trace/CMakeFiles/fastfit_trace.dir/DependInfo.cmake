@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/call_graph.cpp" "src/trace/CMakeFiles/fastfit_trace.dir/call_graph.cpp.o" "gcc" "src/trace/CMakeFiles/fastfit_trace.dir/call_graph.cpp.o.d"
+  "/root/repo/src/trace/comm_trace.cpp" "src/trace/CMakeFiles/fastfit_trace.dir/comm_trace.cpp.o" "gcc" "src/trace/CMakeFiles/fastfit_trace.dir/comm_trace.cpp.o.d"
+  "/root/repo/src/trace/rank_context.cpp" "src/trace/CMakeFiles/fastfit_trace.dir/rank_context.cpp.o" "gcc" "src/trace/CMakeFiles/fastfit_trace.dir/rank_context.cpp.o.d"
+  "/root/repo/src/trace/shadow_stack.cpp" "src/trace/CMakeFiles/fastfit_trace.dir/shadow_stack.cpp.o" "gcc" "src/trace/CMakeFiles/fastfit_trace.dir/shadow_stack.cpp.o.d"
+  "/root/repo/src/trace/similarity.cpp" "src/trace/CMakeFiles/fastfit_trace.dir/similarity.cpp.o" "gcc" "src/trace/CMakeFiles/fastfit_trace.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/fastfit_minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

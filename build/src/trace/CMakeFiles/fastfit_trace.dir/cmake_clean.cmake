@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit_trace.dir/call_graph.cpp.o"
+  "CMakeFiles/fastfit_trace.dir/call_graph.cpp.o.d"
+  "CMakeFiles/fastfit_trace.dir/comm_trace.cpp.o"
+  "CMakeFiles/fastfit_trace.dir/comm_trace.cpp.o.d"
+  "CMakeFiles/fastfit_trace.dir/rank_context.cpp.o"
+  "CMakeFiles/fastfit_trace.dir/rank_context.cpp.o.d"
+  "CMakeFiles/fastfit_trace.dir/shadow_stack.cpp.o"
+  "CMakeFiles/fastfit_trace.dir/shadow_stack.cpp.o.d"
+  "CMakeFiles/fastfit_trace.dir/similarity.cpp.o"
+  "CMakeFiles/fastfit_trace.dir/similarity.cpp.o.d"
+  "libfastfit_trace.a"
+  "libfastfit_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_campaign.cpp" "tests/CMakeFiles/test_core.dir/core/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_campaign.cpp.o.d"
+  "/root/repo/tests/core/test_enumerate.cpp" "tests/CMakeFiles/test_core.dir/core/test_enumerate.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_enumerate.cpp.o.d"
+  "/root/repo/tests/core/test_export.cpp" "tests/CMakeFiles/test_core.dir/core/test_export.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_export.cpp.o.d"
+  "/root/repo/tests/core/test_fastfit.cpp" "tests/CMakeFiles/test_core.dir/core/test_fastfit.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fastfit.cpp.o.d"
+  "/root/repo/tests/core/test_kitchen_sink.cpp" "tests/CMakeFiles/test_core.dir/core/test_kitchen_sink.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_kitchen_sink.cpp.o.d"
+  "/root/repo/tests/core/test_ml_loop.cpp" "tests/CMakeFiles/test_core.dir/core/test_ml_loop.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ml_loop.cpp.o.d"
+  "/root/repo/tests/core/test_ml_loop_windows.cpp" "tests/CMakeFiles/test_core.dir/core/test_ml_loop_windows.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ml_loop_windows.cpp.o.d"
+  "/root/repo/tests/core/test_p2p_study.cpp" "tests/CMakeFiles/test_core.dir/core/test_p2p_study.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_p2p_study.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_study_matrix.cpp" "tests/CMakeFiles/test_core.dir/core/test_study_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_study_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fastfit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/fastfit_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fastfit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fastfit_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/fastfit_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/fastfit_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fastfit_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fastfit_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmpi/CMakeFiles/fastfit_pmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

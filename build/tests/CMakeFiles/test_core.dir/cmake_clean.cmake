@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_campaign.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_campaign.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_enumerate.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_enumerate.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_export.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_export.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fastfit.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fastfit.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_kitchen_sink.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_kitchen_sink.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ml_loop.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ml_loop.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ml_loop_windows.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ml_loop_windows.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_p2p_study.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_p2p_study.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_study_matrix.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_study_matrix.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/inject/test_corrupt.cpp" "tests/CMakeFiles/test_inject.dir/inject/test_corrupt.cpp.o" "gcc" "tests/CMakeFiles/test_inject.dir/inject/test_corrupt.cpp.o.d"
+  "/root/repo/tests/inject/test_fault_model.cpp" "tests/CMakeFiles/test_inject.dir/inject/test_fault_model.cpp.o" "gcc" "tests/CMakeFiles/test_inject.dir/inject/test_fault_model.cpp.o.d"
+  "/root/repo/tests/inject/test_injector.cpp" "tests/CMakeFiles/test_inject.dir/inject/test_injector.cpp.o" "gcc" "tests/CMakeFiles/test_inject.dir/inject/test_injector.cpp.o.d"
+  "/root/repo/tests/inject/test_p2p_fault_models.cpp" "tests/CMakeFiles/test_inject.dir/inject/test_p2p_fault_models.cpp.o" "gcc" "tests/CMakeFiles/test_inject.dir/inject/test_p2p_fault_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fastfit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/fastfit_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/fastfit_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fastfit_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

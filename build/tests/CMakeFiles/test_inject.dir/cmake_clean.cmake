@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inject.dir/inject/test_corrupt.cpp.o"
+  "CMakeFiles/test_inject.dir/inject/test_corrupt.cpp.o.d"
+  "CMakeFiles/test_inject.dir/inject/test_fault_model.cpp.o"
+  "CMakeFiles/test_inject.dir/inject/test_fault_model.cpp.o.d"
+  "CMakeFiles/test_inject.dir/inject/test_injector.cpp.o"
+  "CMakeFiles/test_inject.dir/inject/test_injector.cpp.o.d"
+  "CMakeFiles/test_inject.dir/inject/test_p2p_fault_models.cpp.o"
+  "CMakeFiles/test_inject.dir/inject/test_p2p_fault_models.cpp.o.d"
+  "test_inject"
+  "test_inject.pdb"
+  "test_inject[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minimpi/test_coll_variants.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_coll_variants.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_coll_variants.cpp.o.d"
+  "/root/repo/tests/minimpi/test_collective_properties.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_collective_properties.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_collective_properties.cpp.o.d"
+  "/root/repo/tests/minimpi/test_collectives.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_collectives.cpp.o.d"
+  "/root/repo/tests/minimpi/test_comm_split.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_comm_split.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_comm_split.cpp.o.d"
+  "/root/repo/tests/minimpi/test_faulty_collectives.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_faulty_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_faulty_collectives.cpp.o.d"
+  "/root/repo/tests/minimpi/test_handles.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_handles.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_handles.cpp.o.d"
+  "/root/repo/tests/minimpi/test_mailbox.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_mailbox.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_mailbox.cpp.o.d"
+  "/root/repo/tests/minimpi/test_memory.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_memory.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_memory.cpp.o.d"
+  "/root/repo/tests/minimpi/test_nonblocking.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_nonblocking.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_nonblocking.cpp.o.d"
+  "/root/repo/tests/minimpi/test_op.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_op.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_op.cpp.o.d"
+  "/root/repo/tests/minimpi/test_op_properties.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_op_properties.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_op_properties.cpp.o.d"
+  "/root/repo/tests/minimpi/test_p2p.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_p2p.cpp.o.d"
+  "/root/repo/tests/minimpi/test_stress.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_stress.cpp.o.d"
+  "/root/repo/tests/minimpi/test_validation.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_validation.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_validation.cpp.o.d"
+  "/root/repo/tests/minimpi/test_world.cpp" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_world.cpp.o" "gcc" "tests/CMakeFiles/test_minimpi.dir/minimpi/test_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fastfit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/fastfit_minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

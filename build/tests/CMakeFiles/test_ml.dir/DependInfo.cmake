@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_classifier.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_classifier.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_classifier.cpp.o.d"
+  "/root/repo/tests/ml/test_decision_tree.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_decision_tree.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_decision_tree.cpp.o.d"
+  "/root/repo/tests/ml/test_random_forest.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_random_forest.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_random_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fastfit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/fastfit_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fastfit_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

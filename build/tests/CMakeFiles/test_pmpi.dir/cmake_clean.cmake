@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmpi.dir/pmpi/test_chain.cpp.o"
+  "CMakeFiles/test_pmpi.dir/pmpi/test_chain.cpp.o.d"
+  "test_pmpi"
+  "test_pmpi.pdb"
+  "test_pmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

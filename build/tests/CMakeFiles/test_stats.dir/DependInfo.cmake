@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_confusion.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_confusion.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_confusion.cpp.o.d"
+  "/root/repo/tests/stats/test_correlation.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_correlation.cpp.o.d"
+  "/root/repo/tests/stats/test_gaussian.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_gaussian.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_gaussian.cpp.o.d"
+  "/root/repo/tests/stats/test_histogram.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "/root/repo/tests/stats/test_interval.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_interval.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_interval.cpp.o.d"
+  "/root/repo/tests/stats/test_levels.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_levels.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_levels.cpp.o.d"
+  "/root/repo/tests/stats/test_summary.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_summary.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fastfit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/fastfit_minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

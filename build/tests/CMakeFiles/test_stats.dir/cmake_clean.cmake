@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_confusion.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_confusion.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_correlation.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_correlation.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_gaussian.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_gaussian.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_interval.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_interval.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_levels.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_levels.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_summary.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_summary.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

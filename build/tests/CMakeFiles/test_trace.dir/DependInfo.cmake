@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_call_graph.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_call_graph.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_call_graph.cpp.o.d"
+  "/root/repo/tests/trace/test_rank_context.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_rank_context.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_rank_context.cpp.o.d"
+  "/root/repo/tests/trace/test_shadow_stack.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_shadow_stack.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_shadow_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fastfit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fastfit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/fastfit_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fastfit_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfit.dir/fastfit_cli.cpp.o"
+  "CMakeFiles/fastfit.dir/fastfit_cli.cpp.o.d"
+  "fastfit"
+  "fastfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

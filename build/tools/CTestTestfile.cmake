@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/fastfit" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profile "/root/repo/build/tools/fastfit" "profile" "LU" "--ranks" "4")
+set_tests_properties(cli_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profile_save "/root/repo/build/tools/fastfit" "profile" "LU" "--ranks" "4" "--save" "lu_enumeration.txt")
+set_tests_properties(cli_profile_save PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_study "/root/repo/build/tools/fastfit" "study" "EP" "--ranks" "4" "--trials" "3" "--no-ml")
+set_tests_properties(cli_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_p2p "/root/repo/build/tools/fastfit" "p2p" "MG" "--ranks" "4" "--trials" "3" "--points" "20")
+set_tests_properties(cli_p2p PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_p2p_no_traffic "/root/repo/build/tools/fastfit" "p2p" "EP" "--ranks" "4")
+set_tests_properties(cli_p2p_no_traffic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/fastfit")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_workload "/root/repo/build/tools/fastfit" "profile" "BOGUS")
+set_tests_properties(cli_unknown_workload PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_fault_model "/root/repo/build/tools/fastfit" "study" "LU" "--fault-model" "nuke")
+set_tests_properties(cli_bad_fault_model PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
