@@ -25,12 +25,12 @@ std::vector<core::PointResult> measure_all_points(
   const auto workload = apps::make_workload(workload_name);
   core::Campaign campaign(*workload, bench_campaign_options());
   campaign.profile();
-  std::vector<core::PointResult> results;
+  std::vector<core::InjectionPoint> selected;
   for (const auto& point : campaign.enumeration().points) {
     if (only_param && point.param != *only_param) continue;
-    results.push_back(campaign.measure(point));
+    selected.push_back(point);
   }
-  return results;
+  return campaign.measure_many(selected);
 }
 
 }  // namespace fastfit::bench

@@ -7,10 +7,12 @@
 // core can finish the default sweep in minutes while larger machines can
 // crank them up:
 //
-//   FASTFIT_BENCH_RANKS   simulated MPI ranks        (default 16)
-//   FASTFIT_BENCH_TRIALS  trials per injection point (default 12;
-//                         the paper uses 100)
-//   FASTFIT_BENCH_SEED    campaign master seed       (default 0xF457F17)
+//   FASTFIT_BENCH_RANKS     simulated MPI ranks        (default 16)
+//   FASTFIT_BENCH_TRIALS    trials per injection point (default 12;
+//                           the paper uses 100)
+//   FASTFIT_BENCH_SEED      campaign master seed       (default 0xF457F17)
+//   FASTFIT_BENCH_PARALLEL  max concurrent trials      (default 0 = auto:
+//                           hardware_concurrency / ranks; 1 = serial)
 
 #include <cstdlib>
 #include <string>
@@ -37,12 +39,16 @@ inline std::uint32_t bench_trials() {
 inline std::uint64_t bench_seed() {
   return env_u64("FASTFIT_BENCH_SEED", 0xF457F17ULL);
 }
+inline std::size_t bench_parallel() {
+  return static_cast<std::size_t>(env_u64("FASTFIT_BENCH_PARALLEL", 0));
+}
 
 inline core::CampaignOptions bench_campaign_options() {
   core::CampaignOptions opts;
   opts.nranks = bench_ranks();
   opts.trials_per_point = bench_trials();
   opts.seed = bench_seed();
+  opts.max_parallel_trials = bench_parallel();
   return opts;
 }
 

@@ -1,0 +1,137 @@
+// Campaign trial throughput: serial loop vs the TrialExecutor at several
+// pool sizes. The whole evaluation suite (bench binaries, the ML loop,
+// traditional mode) sits on Campaign::measure_many, so trials/sec here is
+// the multiplier on everything downstream. Emits
+// BENCH_campaign_throughput.json so later changes can track the perf
+// trajectory.
+//
+// Scale knobs (see bench_common.hpp): FASTFIT_BENCH_RANKS defaults to 4
+// here — the oversubscription-relevant regime is small worlds, where the
+// auto pool (hardware_concurrency / ranks) leaves headroom for several
+// concurrent Worlds.
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "core/export.hpp"
+#include "core/trial_executor.hpp"
+
+namespace {
+
+using fastfit::core::InjectionPoint;
+using fastfit::core::PointResult;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace fastfit;
+
+  // Small-world default (overridable): the interesting regime is where
+  // the auto pool (hardware_concurrency / ranks) leaves real headroom.
+  ::setenv("FASTFIT_BENCH_RANKS", "4", /*overwrite=*/0);
+  const int ranks = bench::bench_ranks();
+  const std::uint32_t trials = bench::bench_trials();
+  const auto max_points =
+      static_cast<std::size_t>(bench::env_u64("FASTFIT_BENCH_POINTS", 10));
+
+  bench::banner("micro_campaign_throughput",
+                "(no figure) trials/sec of the campaign loop, serial vs "
+                "parallel TrialExecutor",
+                "workload EP; identical PointResults at every pool size");
+
+  core::CampaignOptions options;
+  options.nranks = ranks;
+  options.trials_per_point = trials;
+  options.seed = bench::bench_seed();
+  const auto workload = apps::make_workload("EP");
+  core::Campaign campaign(*workload, options);
+  campaign.profile();
+
+  auto points = campaign.enumeration().points;
+  if (points.size() > max_points) points.resize(max_points);
+  const auto total_trials =
+      static_cast<double>(points.size()) * static_cast<double>(trials);
+
+  // Baseline: the plain serial measure() loop.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<PointResult> serial;
+  for (const auto& point : points) serial.push_back(campaign.measure(point));
+  const double serial_sec = seconds_since(t0);
+  const double serial_tps = total_trials / serial_sec;
+  std::printf("%-28s %8.1f trials/sec  (%.2fs, %zu points x %u trials)\n",
+              "serial measure()", serial_tps, serial_sec, points.size(),
+              trials);
+  // Trials are nranks threads of mostly compute, so the achievable
+  // speedup is ~min(pool, cores / ranks); on a single-core host the
+  // honest parallel path can only break even (results must not change,
+  // so contention-slowed trials run to completion instead of being
+  // clipped by the watchdog).
+
+  const std::size_t hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> pools{1, 2, 4};
+  if (hw > 4) pools.push_back(hw);
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"campaign_throughput\",\n"
+       << "  \"workload\": \"EP\",\n"
+       << "  \"ranks\": " << ranks << ",\n"
+       << "  \"points\": " << points.size() << ",\n"
+       << "  \"trials_per_point\": " << trials << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"serial_trials_per_sec\": " << serial_tps << ",\n"
+       << "  \"parallel\": [";
+
+  bool identical = true;
+  for (std::size_t p = 0; p < pools.size(); ++p) {
+    campaign.set_max_parallel_trials(pools[p]);
+    const auto before = campaign.trials_run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto results = campaign.measure_many(points);
+    const double sec = seconds_since(t1);
+    const double tps = total_trials / sec;
+    // Executions beyond the job count are watchdog-confirmation re-runs.
+    const auto confirmations =
+        campaign.trials_run() - before - static_cast<std::uint64_t>(total_trials);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].counts != serial[i].counts) {
+        identical = false;
+        std::printf("  mismatch at point %zu (%s %s): serial", i,
+                    mpi::to_string(results[i].point.kind),
+                    mpi::to_string(results[i].point.param));
+        for (auto c : serial[i].counts) std::printf(" %u", c);
+        std::printf("  pool=%zu", pools[p]);
+        for (auto c : results[i].counts) std::printf(" %u", c);
+        std::printf("\n");
+      }
+    }
+    std::printf("%-28s %8.1f trials/sec  (%.2fs, speedup %.2fx, "
+                "%llu confirmations)\n",
+                ("measure_many(pool=" + std::to_string(pools[p]) + ")")
+                    .c_str(),
+                tps, sec, tps / serial_tps,
+                static_cast<unsigned long long>(confirmations));
+    if (p) json << ",";
+    json << "\n    {\"max_parallel_trials\": " << pools[p]
+         << ", \"trials_per_sec\": " << tps
+         << ", \"speedup\": " << tps / serial_tps
+         << ", \"timeout_confirmations\": " << confirmations << "}";
+  }
+  json << "\n  ],\n  \"results_identical_to_serial\": "
+       << (identical ? "true" : "false") << "\n}\n";
+
+  std::printf("results identical to serial: %s\n", identical ? "yes" : "NO");
+  core::write_file("BENCH_campaign_throughput.json", json.str());
+  std::printf("wrote BENCH_campaign_throughput.json\n");
+  return identical ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/trial_executor.hpp"
 #include "inject/injector.hpp"
 #include "support/error.hpp"
 
@@ -98,36 +99,94 @@ std::uint64_t Campaign::golden_digest() const {
   return golden_digest_;
 }
 
+inject::Outcome Campaign::run_trial(const InjectionPoint& point,
+                                    std::uint64_t trial) {
+  inject::FaultSpec spec;
+  spec.site_id = point.site_id;
+  spec.rank = point.rank;
+  spec.invocation = point.invocation;
+  spec.param = point.param;
+  spec.trial = trial;
+  spec.model = options_.fault_model;
+
+  inject::Injector injector(spec, options_.seed);
+  mpi::WorldOptions opts;
+  opts.nranks = options_.nranks;
+  opts.seed = options_.seed;
+  opts.watchdog = watchdog_;
+  opts.algorithms = options_.algorithms;
+  trace::ContextRegistry contexts(options_.nranks);
+  const auto job = apps::run_job(*workload_, opts, &injector, contexts);
+  trials_run_.fetch_add(1, std::memory_order_relaxed);
+  return inject::classify(job.world, job.digest, golden_digest_);
+}
+
 PointResult Campaign::measure(const InjectionPoint& point,
                               std::uint32_t trials) {
   if (!profiled_) throw InternalError("Campaign: profile() not run");
   PointResult result;
   result.point = point;
   for (std::uint32_t t = 0; t < trials; ++t) {
-    inject::FaultSpec spec;
-    spec.site_id = point.site_id;
-    spec.rank = point.rank;
-    spec.invocation = point.invocation;
-    spec.param = point.param;
-    spec.trial = trial_counter_++;
-    spec.model = options_.fault_model;
-
-    inject::Injector injector(spec, options_.seed);
-    mpi::WorldOptions opts;
-    opts.nranks = options_.nranks;
-    opts.seed = options_.seed;
-    opts.watchdog = watchdog_;
-    opts.algorithms = options_.algorithms;
-    trace::ContextRegistry contexts(options_.nranks);
-    const auto job = apps::run_job(*workload_, opts, &injector, contexts);
-    result.record(inject::classify(job.world, job.digest, golden_digest_));
-    ++trials_run_;
+    result.record(run_trial(point, t));
   }
   return result;
 }
 
 PointResult Campaign::measure(const InjectionPoint& point) {
   return measure(point, options_.trials_per_point);
+}
+
+std::size_t Campaign::parallel_trials() const noexcept {
+  return resolve_parallel_trials(options_.max_parallel_trials,
+                                 options_.nranks);
+}
+
+std::vector<PointResult> Campaign::measure_many(
+    std::span<const InjectionPoint> points, std::uint32_t trials) {
+  if (!profiled_) throw InternalError("Campaign: profile() not run");
+  std::vector<PointResult> results(points.size());
+  // One outcome slot per (point, trial) job; aggregated afterwards in
+  // trial order so the result is byte-for-byte the serial one.
+  std::vector<std::vector<inject::Outcome>> outcomes(
+      points.size(), std::vector<inject::Outcome>(trials));
+  const std::size_t pool = parallel_trials();
+  TrialExecutor executor(pool);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      executor.submit([this, &outcomes, &points, i, t] {
+        outcomes[i][t] = run_trial(points[i], t);
+      });
+    }
+  }
+  executor.wait();
+  // The watchdog is the one outcome gate that feels CPU contention: a
+  // slow-but-finishing faulted run can cross the wall-clock deadline only
+  // because `pool` Worlds shared the cores. Re-run every timed-out trial
+  // serially — alone on the machine, exactly the serial loop's conditions
+  // — and keep the confirmed outcome. Genuinely hung runs time out again
+  // (same INF_LOOP, one extra watchdog wait each), so classification is
+  // identical to the serial path at every parallelism level.
+  if (pool > 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        if (outcomes[i][t] == inject::Outcome::InfLoop) {
+          outcomes[i][t] = run_trial(points[i], t);
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    results[i].point = points[i];
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      results[i].record(outcomes[i][t]);
+    }
+  }
+  return results;
+}
+
+std::vector<PointResult> Campaign::measure_many(
+    std::span<const InjectionPoint> points) {
+  return measure_many(points, options_.trials_per_point);
 }
 
 }  // namespace fastfit::core

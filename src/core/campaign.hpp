@@ -4,8 +4,10 @@
 // per-point statistics the evaluation section reports.
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "apps/workload.hpp"
@@ -32,6 +34,12 @@ struct CampaignOptions {
   inject::FaultModel fault_model = inject::FaultModel::SingleBitFlip;
   /// Collective algorithm selection for every run of this campaign.
   mpi::CollectiveAlgorithms algorithms;
+  /// Upper bound on concurrently executing trials in measure_many. 0 means
+  /// "auto": hardware_concurrency() / nranks (min 1), since every trial
+  /// already runs nranks rank threads and the outer pool must not
+  /// oversubscribe the machine. 1 forces the serial path. Results are
+  /// identical at every setting; only wall-clock time changes.
+  std::size_t max_parallel_trials = 0;
 };
 
 /// Statistics of one injection point over its trials.
@@ -68,14 +76,41 @@ class Campaign {
   const profile::Profiler& profiler() const;
 
   /// Runs `trials` injected executions of one point and aggregates the
-  /// responses. Deterministic in (campaign seed, point, trial index).
+  /// responses. Deterministic in (campaign seed, point, trial index): the
+  /// per-trial RNG identity is derived from the point coordinates and the
+  /// trial ordinal (FaultSpec::stream_index), so the result does not
+  /// depend on what was measured before — or concurrently.
   PointResult measure(const InjectionPoint& point, std::uint32_t trials);
 
   /// Convenience: measure with the configured trials_per_point.
   PointResult measure(const InjectionPoint& point);
 
-  /// Total injected executions so far.
-  std::uint64_t trials_run() const noexcept { return trials_run_; }
+  /// Measures a batch of points, running up to max_parallel_trials
+  /// (point, trial) jobs concurrently on a TrialExecutor. Returns results
+  /// in input order, bit-identical to calling measure() on each point:
+  /// per-trial RNG identity is execution-order-free, and any trial that
+  /// hits the watchdog under contention is confirmed by an uncontended
+  /// serial re-run before being classified INF_LOOP.
+  std::vector<PointResult> measure_many(std::span<const InjectionPoint> points,
+                                        std::uint32_t trials);
+
+  /// Convenience: batch measure with the configured trials_per_point.
+  std::vector<PointResult> measure_many(
+      std::span<const InjectionPoint> points);
+
+  /// Resolved trial concurrency (the "auto" default made concrete).
+  std::size_t parallel_trials() const noexcept;
+
+  /// Adjusts the trial concurrency of later measure_many calls; results
+  /// are unaffected. Not safe to call while a measure_many is running.
+  void set_max_parallel_trials(std::size_t max_parallel) noexcept {
+    options_.max_parallel_trials = max_parallel;
+  }
+
+  /// Total injected executions so far (a statistic, not an RNG input).
+  std::uint64_t trials_run() const noexcept {
+    return trials_run_.load(std::memory_order_relaxed);
+  }
 
   std::uint64_t golden_digest() const;
   std::chrono::milliseconds watchdog() const { return watchdog_; }
@@ -91,8 +126,11 @@ class Campaign {
   std::unique_ptr<trace::ContextRegistry> contexts_;
   std::unique_ptr<profile::Profiler> profiler_;
   Enumeration enumeration_;
-  std::uint64_t trials_run_ = 0;
-  std::uint64_t trial_counter_ = 0;
+  std::atomic<std::uint64_t> trials_run_{0};
+
+  /// One injected execution: fresh Injector + World + ContextRegistry.
+  /// Thread-safe after profile(): touches only immutable campaign state.
+  inject::Outcome run_trial(const InjectionPoint& point, std::uint64_t trial);
 };
 
 }  // namespace fastfit::core

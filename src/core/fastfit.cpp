@@ -34,9 +34,7 @@ FastFitResult FastFit::run() {
     result.model = std::move(ml.model);
   } else {
     // Traditional mode: measure every structurally surviving point.
-    for (const auto& point : campaign_.enumeration().points) {
-      result.measured.push_back(campaign_.measure(point));
-    }
+    result.measured = campaign_.measure_many(campaign_.enumeration().points);
   }
   return result;
 }

@@ -1,6 +1,7 @@
 #include "core/ml_loop.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -64,12 +65,14 @@ MlLoopResult run_ml_loop(Campaign& campaign,
   std::size_t cursor = 0;
   std::vector<bool> verification_hits;  // per fresh verification sample
 
+  // Whole train/verify batches go to the campaign at once so the trial
+  // executor can overlap their injected executions.
   const auto measure_next = [&](std::size_t count,
                                 std::vector<PointResult>& into) {
-    std::vector<PointResult> batch;
-    while (batch.size() < count && cursor < points.size()) {
-      batch.push_back(campaign.measure(points[cursor++]));
-    }
+    const std::size_t take = std::min(count, points.size() - cursor);
+    auto batch = campaign.measure_many(
+        std::span<const InjectionPoint>(points.data() + cursor, take));
+    cursor += take;
     for (const auto& r : batch) into.push_back(r);
     return batch;
   };

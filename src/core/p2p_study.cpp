@@ -100,12 +100,7 @@ P2pPointResult measure_p2p(Campaign& campaign, const P2pInjectionPoint& point,
     spec.invocation = point.invocation;
     spec.param = point.param;
     spec.model = campaign.options().fault_model;
-    // Deterministic per-(point, trial) stream index, independent of the
-    // collective campaign's counter.
-    std::ostringstream key;
-    key << point.site_id << ':' << point.rank << ':' << point.invocation
-        << ':' << static_cast<int>(point.param) << ':' << t;
-    spec.trial = fnv1a(key.str());
+    spec.trial = t;  // P2pFaultSpec::stream_index mixes in the coordinates
 
     inject::P2pInjector injector(spec, campaign.options().seed);
     mpi::WorldOptions opts;

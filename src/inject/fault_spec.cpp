@@ -2,7 +2,26 @@
 
 #include <sstream>
 
+#include "support/rng.hpp"
+
 namespace fastfit::inject {
+
+std::uint64_t mix_stream_index(std::uint64_t site, std::uint64_t rank,
+                               std::uint64_t invocation, std::uint64_t param,
+                               std::uint64_t trial) noexcept {
+  std::uint64_t key = 0xcbf29ce484222325ULL ^ site;
+  key = key * 0x100000001b3ULL ^ rank;
+  key = key * 0x100000001b3ULL ^ invocation;
+  key = key * 0x100000001b3ULL ^ param;
+  key = key * 0x100000001b3ULL ^ trial;
+  return splitmix64(key);
+}
+
+std::uint64_t FaultSpec::stream_index() const noexcept {
+  return mix_stream_index(site_id, static_cast<std::uint64_t>(rank),
+                          invocation, static_cast<std::uint64_t>(param),
+                          trial);
+}
 
 std::string FaultSpec::describe() const {
   std::ostringstream out;

@@ -22,13 +22,27 @@ struct FaultSpec {
   int rank = 0;                   ///< injected world rank (RANK_ID)
   std::uint64_t invocation = 0;   ///< injected invocation ordinal (INV_ID)
   mpi::Param param{};             ///< injected parameter (PARAM_ID)
-  std::uint64_t trial = 0;        ///< trial index; selects the flipped bit
+  std::uint64_t trial = 0;        ///< per-point trial ordinal
   FaultModel model = FaultModel::SingleBitFlip;  ///< fault manifestation
 
   bool operator==(const FaultSpec&) const = default;
 
+  /// RNG stream index for this trial, mixed from *all* the injection
+  /// coordinates — (site, rank, invocation, param, trial) — rather than
+  /// the trial ordinal alone. Together with the campaign master seed this
+  /// makes the flipped bit a pure function of (seed, point, trial index):
+  /// trial t of a point draws the same bits no matter what other points
+  /// were measured before it or on which thread it runs.
+  std::uint64_t stream_index() const noexcept;
+
   /// Human-readable one-liner for logs and reports.
   std::string describe() const;
 };
+
+/// Shared coordinate-mixing helper behind FaultSpec::stream_index and its
+/// p2p counterpart: FNV-style folding plus a SplitMix finalizer.
+std::uint64_t mix_stream_index(std::uint64_t site, std::uint64_t rank,
+                               std::uint64_t invocation, std::uint64_t param,
+                               std::uint64_t trial) noexcept;
 
 }  // namespace fastfit::inject

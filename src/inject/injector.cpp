@@ -16,7 +16,7 @@ void Injector::on_enter(mpi::CollectiveCall& call, mpi::Mpi& mpi) {
   if (call.invocation != spec_.invocation) return;
 
   fired_.store(true);
-  RngStream rng(seed_, "bitflip", spec_.trial);
+  RngStream rng(seed_, "bitflip", spec_.stream_index());
   if (!corrupt_parameter(call, spec_.param, spec_.model, rng, mpi)) {
     fizzled_.store(true);
   }

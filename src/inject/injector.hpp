@@ -16,8 +16,8 @@ namespace fastfit::inject {
 class Injector final : public mpi::ToolHooks {
  public:
   /// `seed` is the campaign master seed; the flipped bit is drawn from the
-  /// ("bitflip", spec.trial) stream so trial t is reproducible in
-  /// isolation.
+  /// ("bitflip", spec.stream_index()) stream, so trial t of a point is
+  /// reproducible in isolation and independent of campaign execution order.
   Injector(FaultSpec spec, std::uint64_t seed);
 
   void on_enter(mpi::CollectiveCall& call, mpi::Mpi& mpi) override;

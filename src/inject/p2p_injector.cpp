@@ -2,11 +2,18 @@
 
 #include <sstream>
 
+#include "inject/fault_spec.hpp"
 #include "minimpi/datatype.hpp"
 #include "minimpi/mpi.hpp"
 #include "support/error.hpp"
 
 namespace fastfit::inject {
+
+std::uint64_t P2pFaultSpec::stream_index() const noexcept {
+  return mix_stream_index(site_id, static_cast<std::uint64_t>(rank),
+                          invocation, static_cast<std::uint64_t>(param),
+                          trial);
+}
 
 std::string P2pFaultSpec::describe() const {
   std::ostringstream out;
@@ -66,7 +73,7 @@ void P2pInjector::on_p2p(mpi::P2pCall& call, mpi::Mpi& mpi) {
   if (call.invocation != spec_.invocation) return;
 
   fired_.store(true);
-  RngStream rng(seed_, "p2p-bitflip", spec_.trial);
+  RngStream rng(seed_, "p2p-bitflip", spec_.stream_index());
   if (!corrupt_p2p_parameter(call, spec_.param, spec_.model, rng, mpi)) {
     fizzled_.store(true);
   }

@@ -23,6 +23,11 @@ struct P2pFaultSpec {
   FaultModel model = FaultModel::SingleBitFlip;
 
   bool operator==(const P2pFaultSpec&) const = default;
+
+  /// RNG stream index mixed from all the coordinates; see
+  /// FaultSpec::stream_index for the determinism contract.
+  std::uint64_t stream_index() const noexcept;
+
   std::string describe() const;
 };
 

@@ -52,6 +52,10 @@ InjectionConfig InjectionConfig::from_map(
     } else if (key == "FASTFIT_SEED") {
       cfg.seed = parse_u64(key, value,
                            std::numeric_limits<std::uint64_t>::max());
+    } else if (key == "FASTFIT_PARALLEL_TRIALS") {
+      // Generous ceiling: campaigns beyond a few thousand concurrent
+      // Worlds are a configuration mistake, not a machine.
+      cfg.parallel_trials = parse_u64(key, value, 4096);
     } else {
       throw ConfigError("unknown configuration key: " + key);
     }
@@ -62,7 +66,8 @@ InjectionConfig InjectionConfig::from_map(
 InjectionConfig InjectionConfig::from_environment() {
   std::map<std::string, std::string> kv;
   for (const char* name : {"NUM_INJ", "INV_ID", "CALL_ID", "RANK_ID",
-                           "PARAM_ID", "FASTFIT_SEED"}) {
+                           "PARAM_ID", "FASTFIT_SEED",
+                           "FASTFIT_PARALLEL_TRIALS"}) {
     if (const char* value = std::getenv(name)) kv.emplace(name, value);
   }
   return from_map(kv);
@@ -76,6 +81,9 @@ std::map<std::string, std::string> InjectionConfig::to_map() const {
   if (rank_id) kv["RANK_ID"] = std::to_string(*rank_id);
   if (param_id) kv["PARAM_ID"] = std::to_string(*param_id);
   kv["FASTFIT_SEED"] = std::to_string(seed);
+  if (parallel_trials != 0) {
+    kv["FASTFIT_PARALLEL_TRIALS"] = std::to_string(parallel_trials);
+  }
   return kv;
 }
 

@@ -31,9 +31,13 @@ struct InjectionConfig {
   std::optional<std::uint32_t> rank_id;   ///< target rank
   std::optional<std::uint8_t> param_id;   ///< target parameter (1 digit)
   std::uint64_t seed = 0x5eedfa57f17ULL;  ///< campaign master seed
+  /// Max concurrently executing trials (our extension, not in Table II).
+  /// 0 = auto (hardware_concurrency / nranks), 1 = serial.
+  std::uint64_t parallel_trials = 0;
 
   /// Parses a config from a key/value map using the Table II names
-  /// (NUM_INJ, INV_ID, CALL_ID, RANK_ID, PARAM_ID, plus FASTFIT_SEED).
+  /// (NUM_INJ, INV_ID, CALL_ID, RANK_ID, PARAM_ID, plus FASTFIT_SEED and
+  /// FASTFIT_PARALLEL_TRIALS).
   /// Unknown keys are rejected; malformed values raise ConfigError.
   static InjectionConfig from_map(
       const std::map<std::string, std::string>& kv);

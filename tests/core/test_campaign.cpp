@@ -115,6 +115,31 @@ TEST(Campaign, SameSeedSameCampaignStatistics) {
   EXPECT_EQ(r1.counts, r2.counts);
 }
 
+TEST(Campaign, MeasureIsIndependentOfCampaignHistory) {
+  // The determinism contract in campaign.hpp: measure(point, n) yields the
+  // same PointResult regardless of what was measured before it. (An older
+  // implementation threaded a shared trial counter into the RNG, so a
+  // point's result depended on every preceding measurement.)
+  const auto workload = apps::make_workload("LU");
+  Campaign fresh(*workload, small_options());
+  Campaign busy(*workload, small_options());
+  fresh.profile();
+  busy.profile();
+  const auto& points = fresh.enumeration().points;
+  ASSERT_GE(points.size(), 3u);
+
+  // `busy` measures two other points first; `fresh` goes straight to the
+  // point under test.
+  busy.measure(points[1], 5);
+  busy.measure(points[2], 9);
+  const auto direct = fresh.measure(points[0], 8);
+  const auto after_history = busy.measure(points[0], 8);
+  EXPECT_EQ(direct.counts, after_history.counts);
+
+  // Re-measuring the same point in the same campaign also reproduces.
+  EXPECT_EQ(fresh.measure(points[0], 8).counts, direct.counts);
+}
+
 TEST(Campaign, GoldenDigestStableAcrossCampaigns) {
   const auto workload = apps::make_workload("MG");
   Campaign c1(*workload, small_options());

@@ -71,6 +71,32 @@ TEST(Config, RoundTripsThroughMap) {
   EXPECT_FALSE(cfg2.inv_id.has_value());
 }
 
+TEST(Config, ParallelTrialsDefaultsToAuto) {
+  const auto cfg = InjectionConfig::from_map({});
+  EXPECT_EQ(cfg.parallel_trials, 0u);  // 0 = auto-sized pool
+}
+
+TEST(Config, ParsesAndValidatesParallelTrials) {
+  const auto cfg =
+      InjectionConfig::from_map({{"FASTFIT_PARALLEL_TRIALS", "4"}});
+  EXPECT_EQ(cfg.parallel_trials, 4u);
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_PARALLEL_TRIALS", "-1"}}),
+               ConfigError);
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_PARALLEL_TRIALS", "two"}}),
+               ConfigError);
+  EXPECT_THROW(
+      InjectionConfig::from_map({{"FASTFIT_PARALLEL_TRIALS", "5000"}}),
+      ConfigError);
+}
+
+TEST(Config, ParallelTrialsRoundTripsThroughMap) {
+  auto cfg = InjectionConfig::from_map({{"FASTFIT_PARALLEL_TRIALS", "8"}});
+  const auto cfg2 = InjectionConfig::from_map(cfg.to_map());
+  EXPECT_EQ(cfg2.parallel_trials, 8u);
+  // The auto default is not emitted, keeping Table II maps minimal.
+  EXPECT_EQ(InjectionConfig{}.to_map().count("FASTFIT_PARALLEL_TRIALS"), 0u);
+}
+
 TEST(Config, FromEnvironmentReadsTableTwoNames) {
   ::setenv("NUM_INJ", "33", 1);
   ::setenv("RANK_ID", "5", 1);

@@ -9,7 +9,7 @@
 //       the enumeration (profiling is a one-time cost; Sec IV-B).
 //
 //   fastfit study <workload> [--ranks N] [--trials T] [--threshold X]
-//                 [--fault-model NAME] [--no-ml]
+//                 [--fault-model NAME] [--no-ml] [--parallel-trials P]
 //                 [--seed S] [--csv FILE] [--json FILE]
 //       The full three-phase sensitivity study, with optional CSV/JSON
 //       export of the results.
@@ -35,6 +35,7 @@
 #include "ml/classifier.hpp"
 #include "profile/queries.hpp"
 #include "stats/levels.hpp"
+#include "support/config.hpp"
 #include "support/format.hpp"
 
 using namespace fastfit;
@@ -48,8 +49,8 @@ int usage() {
                "  fastfit profile <workload> [--ranks N]\n"
                "  fastfit study <workload> [--ranks N] [--trials T]\n"
                "                [--threshold X] [--fault-model NAME]\n"
-               "                [--no-ml] [--seed S] [--csv FILE] [--json "
-               "FILE]\n"
+               "                [--no-ml] [--parallel-trials P]\n"
+               "                [--seed S] [--csv FILE] [--json FILE]\n"
                "  fastfit p2p <workload> [--ranks N] [--trials T] "
                "[--points K]\n");
   return 1;
@@ -78,6 +79,14 @@ struct Args {
   }
   bool has(const std::string& key) const { return values.count(key) > 0; }
 };
+
+/// Validates --parallel-trials through the InjectionConfig parser (same
+/// rules as the FASTFIT_PARALLEL_TRIALS environment variable).
+std::size_t parse_parallel_trials(const std::string& value) {
+  const auto cfg =
+      InjectionConfig::from_map({{"FASTFIT_PARALLEL_TRIALS", value}});
+  return static_cast<std::size_t>(cfg.parallel_trials);
+}
 
 inject::FaultModel parse_fault_model(const std::string& name) {
   for (std::size_t m = 0; m < inject::kNumFaultModels; ++m) {
@@ -140,6 +149,10 @@ int cmd_study(const std::string& workload_name, const Args& args) {
   options.use_ml = !args.has("no-ml");
   options.ml.accuracy_threshold =
       std::atof(args.get("threshold", "0.65").c_str());
+  if (args.has("parallel-trials")) {
+    options.campaign.max_parallel_trials =
+        parse_parallel_trials(args.get("parallel-trials", "0"));
+  }
 
   core::FastFit study(*workload, options);
   const auto result = study.run();
