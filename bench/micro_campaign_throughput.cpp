@@ -127,7 +127,45 @@ int main() {
          << ", \"speedup\": " << tps / serial_tps
          << ", \"timeout_confirmations\": " << confirmations << "}";
   }
-  json << "\n  ],\n  \"results_identical_to_serial\": "
+  // Journal write-through overhead: the same serial batch with a durable
+  // trial journal attached (every outcome fsync-batched to disk), then a
+  // pure replay pass where every trial is served from the journal instead
+  // of executed — the resume-path fast case.
+  campaign.set_max_parallel_trials(1);
+  const std::string journal_path = "BENCH_campaign_journal.jsonl";
+  std::remove(journal_path.c_str());
+  campaign.attach_journal(journal_path, core::JournalMode::Create);
+  const auto t2 = std::chrono::steady_clock::now();
+  const auto journaled = campaign.measure_many(points);
+  const double journal_sec = seconds_since(t2);
+  const double journal_tps = total_trials / journal_sec;
+  const auto t3 = std::chrono::steady_clock::now();
+  const auto replayed = campaign.measure_many(points);
+  const double replay_sec = seconds_since(t3);
+  const double replay_tps = total_trials / replay_sec;
+  campaign.detach_journal();
+  std::remove(journal_path.c_str());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (journaled[i].counts != serial[i].counts ||
+        replayed[i].counts != serial[i].counts) {
+      identical = false;
+      std::printf("  journal mismatch at point %zu\n", i);
+    }
+  }
+  std::printf("%-28s %8.1f trials/sec  (%.2fs, %.1f%% overhead vs "
+              "journal-off)\n",
+              "serial + journal", journal_tps, journal_sec,
+              100.0 * (serial_tps - journal_tps) / serial_tps);
+  std::printf("%-28s %8.1f trials/sec  (%.2fs, pure replay)\n",
+              "serial + journal replay", replay_tps, replay_sec);
+
+  json << "\n  ],\n  \"journal\": {"
+       << "\"off_trials_per_sec\": " << serial_tps
+       << ", \"on_trials_per_sec\": " << journal_tps
+       << ", \"replay_trials_per_sec\": " << replay_tps
+       << ", \"write_through_overhead\": "
+       << (serial_tps - journal_tps) / serial_tps << "},\n"
+       << "  \"results_identical_to_serial\": "
        << (identical ? "true" : "false") << "\n}\n";
 
   std::printf("results identical to serial: %s\n", identical ? "yes" : "NO");

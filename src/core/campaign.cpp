@@ -1,6 +1,9 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <mutex>
+#include <thread>
 
 #include "core/trial_executor.hpp"
 #include "inject/injector.hpp"
@@ -9,6 +12,24 @@
 namespace fastfit::core {
 
 using namespace std::chrono_literals;
+
+namespace {
+
+// Watchdog calibration: the fault-free path must fit comfortably, a hung
+// job must be detected promptly.
+constexpr std::chrono::milliseconds kWatchdogFloor = 150ms;
+constexpr int kWatchdogMultiplier = 12;
+
+// Outcome-slot sentinels for measure_impl's (point, trial) matrix.
+constexpr int kPending = -1;  ///< not yet executed
+constexpr int kSkipped = -2;  ///< abandoned after the point quarantined
+
+std::string algorithms_id(const mpi::CollectiveAlgorithms& algorithms) {
+  return std::to_string(static_cast<int>(algorithms.allreduce)) + '/' +
+         std::to_string(static_cast<int>(algorithms.bcast));
+}
+
+}  // namespace
 
 double PointResult::error_rate() const {
   if (trials == 0) return 0.0;
@@ -37,39 +58,54 @@ Campaign::Campaign(const apps::Workload& workload, CampaignOptions options)
   if (options_.trials_per_point == 0) {
     throw ConfigError("Campaign: trials_per_point must be positive");
   }
+  if (options_.watchdog_escalation < 1) {
+    throw ConfigError("Campaign: watchdog_escalation must be >= 1");
+  }
+  if (options_.watchdog_storm_fraction <= 0.0 ||
+      options_.watchdog_storm_fraction > 1.0) {
+    throw ConfigError("Campaign: watchdog_storm_fraction must be in (0, 1]");
+  }
+}
+
+std::pair<std::uint64_t, std::chrono::milliseconds> Campaign::run_golden(
+    std::chrono::milliseconds watchdog_budget) {
+  mpi::WorldOptions opts;
+  opts.nranks = options_.nranks;
+  opts.seed = options_.seed;
+  opts.algorithms = options_.algorithms;
+  opts.watchdog = watchdog_budget;
+  trace::ContextRegistry contexts(options_.nranks);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto golden = apps::run_job(*workload_, opts, nullptr, contexts);
+  const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  if (!golden.world.clean()) {
+    throw InternalError("Campaign: golden run failed: " +
+                        golden.world.event->message);
+  }
+  return {golden.digest, wall};
 }
 
 void Campaign::profile() {
   if (profiled_) throw InternalError("Campaign::profile: already profiled");
 
   // Golden (fault-free, un-instrumented) run: digest + wall time.
-  mpi::WorldOptions golden_opts;
-  golden_opts.nranks = options_.nranks;
-  golden_opts.seed = options_.seed;
-  golden_opts.algorithms = options_.algorithms;
-  golden_opts.watchdog = options_.watchdog.value_or(30'000ms);
-  trace::ContextRegistry golden_contexts(options_.nranks);
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto golden =
-      apps::run_job(*workload_, golden_opts, nullptr, golden_contexts);
-  const auto golden_wall = std::chrono::duration_cast<std::chrono::milliseconds>(
-      std::chrono::steady_clock::now() - t0);
-  if (!golden.world.clean()) {
-    throw InternalError("Campaign: golden run failed: " +
-                        golden.world.event->message);
-  }
-  golden_digest_ = golden.digest;
+  const auto [digest, golden_wall] =
+      run_golden(options_.watchdog.value_or(30'000ms));
+  golden_digest_ = digest;
 
-  // Watchdog for injected runs: a hung job must be detected promptly, but
-  // the fault-free path must fit comfortably.
   watchdog_ = options_.watchdog.value_or(
-      std::max<std::chrono::milliseconds>(150ms, golden_wall * 12));
+      std::max(kWatchdogFloor, golden_wall * kWatchdogMultiplier));
 
   // Profiling run (paper Fig 5 phase 1): same problem as the injection
   // runs, so the features transfer.
   contexts_ = std::make_unique<trace::ContextRegistry>(options_.nranks);
   profiler_ = std::make_unique<profile::Profiler>(*contexts_);
-  mpi::WorldOptions profile_opts = golden_opts;
+  mpi::WorldOptions profile_opts;
+  profile_opts.nranks = options_.nranks;
+  profile_opts.seed = options_.seed;
+  profile_opts.algorithms = options_.algorithms;
+  profile_opts.watchdog = options_.watchdog.value_or(30'000ms);
   const auto profiled =
       apps::run_job(*workload_, profile_opts, profiler_.get(), *contexts_);
   if (!profiled.world.clean()) {
@@ -99,8 +135,52 @@ std::uint64_t Campaign::golden_digest() const {
   return golden_digest_;
 }
 
+void Campaign::attach_journal(const std::string& path, JournalMode mode) {
+  if (!profiled_) {
+    throw InternalError("Campaign::attach_journal: profile() not run");
+  }
+  if (measuring()) {
+    throw InternalError("Campaign::attach_journal: a measure is running");
+  }
+  JournalHeader header;
+  header.workload = workload_->name();
+  header.seed = options_.seed;
+  header.nranks = options_.nranks;
+  header.trials_per_point = options_.trials_per_point;
+  header.fault_model = to_string(options_.fault_model);
+  header.algorithms = algorithms_id(options_.algorithms);
+  header.golden_digest = golden_digest_;
+  journal_ = mode == JournalMode::Resume ? TrialJournal::resume(path, header)
+                                         : TrialJournal::create(path, header);
+}
+
+void Campaign::detach_journal() {
+  if (!journal_) return;
+  journal_->flush();
+  journal_.reset();
+}
+
+void Campaign::set_max_parallel_trials(std::size_t max_parallel) {
+  if (measuring()) {
+    throw InternalError(
+        "Campaign::set_max_parallel_trials: a measure is running");
+  }
+  options_.max_parallel_trials = max_parallel;
+}
+
+CampaignHealth Campaign::health() const noexcept {
+  CampaignHealth h;
+  h.total_retries = total_retries_.load(std::memory_order_relaxed);
+  h.quarantined_points = quarantined_points_.load(std::memory_order_relaxed);
+  h.watchdog_confirmations = confirmations_.load(std::memory_order_relaxed);
+  h.watchdog_recalibrations = recalibrations_.load(std::memory_order_relaxed);
+  h.replayed_trials = replayed_trials_.load(std::memory_order_relaxed);
+  return h;
+}
+
 inject::Outcome Campaign::run_trial(const InjectionPoint& point,
-                                    std::uint64_t trial) {
+                                    std::uint64_t trial,
+                                    std::chrono::milliseconds watchdog) {
   inject::FaultSpec spec;
   spec.site_id = point.site_id;
   spec.rank = point.rank;
@@ -113,7 +193,7 @@ inject::Outcome Campaign::run_trial(const InjectionPoint& point,
   mpi::WorldOptions opts;
   opts.nranks = options_.nranks;
   opts.seed = options_.seed;
-  opts.watchdog = watchdog_;
+  opts.watchdog = watchdog;
   opts.algorithms = options_.algorithms;
   trace::ContextRegistry contexts(options_.nranks);
   const auto job = apps::run_job(*workload_, opts, &injector, contexts);
@@ -121,19 +201,32 @@ inject::Outcome Campaign::run_trial(const InjectionPoint& point,
   return inject::classify(job.world, job.digest, golden_digest_);
 }
 
-PointResult Campaign::measure(const InjectionPoint& point,
-                              std::uint32_t trials) {
-  if (!profiled_) throw InternalError("Campaign: profile() not run");
-  PointResult result;
-  result.point = point;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    result.record(run_trial(point, t));
+Campaign::TrialAttempt Campaign::run_trial_guarded(
+    const InjectionPoint& point, std::uint64_t trial,
+    std::chrono::milliseconds watchdog) {
+  TrialAttempt attempt;
+  for (std::uint32_t tries = 0;; ++tries) {
+    try {
+      attempt.outcome = run_trial(point, trial, watchdog);
+      attempt.ok = true;
+      return attempt;
+    } catch (const std::exception& e) {
+      attempt.error = e.what();
+    } catch (...) {
+      attempt.error = "unknown internal error";
+    }
+    if (tries >= options_.max_trial_retries) {
+      attempt.ok = false;
+      return attempt;
+    }
+    ++attempt.retries;
+    total_retries_.fetch_add(1, std::memory_order_relaxed);
+    // Exponential backoff: transient failures (OOM pressure, fd
+    // exhaustion) need breathing room, not an immediate identical retry.
+    const auto backoff = std::min<std::chrono::milliseconds>(
+        250ms, std::chrono::milliseconds(5) * (1u << std::min(tries, 6u)));
+    std::this_thread::sleep_for(backoff);
   }
-  return result;
-}
-
-PointResult Campaign::measure(const InjectionPoint& point) {
-  return measure(point, options_.trials_per_point);
 }
 
 std::size_t Campaign::parallel_trials() const noexcept {
@@ -141,47 +234,179 @@ std::size_t Campaign::parallel_trials() const noexcept {
                                  options_.nranks);
 }
 
-std::vector<PointResult> Campaign::measure_many(
-    std::span<const InjectionPoint> points, std::uint32_t trials) {
+std::vector<PointResult> Campaign::measure_impl(
+    std::span<const InjectionPoint> points, std::uint32_t trials,
+    std::size_t pool) {
   if (!profiled_) throw InternalError("Campaign: profile() not run");
+  measuring_.fetch_add(1, std::memory_order_acq_rel);
+  struct MeasuringGuard {
+    std::atomic<int>& flag;
+    ~MeasuringGuard() { flag.fetch_sub(1, std::memory_order_acq_rel); }
+  } measuring_guard{measuring_};
+
   std::vector<PointResult> results(points.size());
   // One outcome slot per (point, trial) job; aggregated afterwards in
   // trial order so the result is byte-for-byte the serial one.
-  std::vector<std::vector<inject::Outcome>> outcomes(
-      points.size(), std::vector<inject::Outcome>(trials));
-  const std::size_t pool = parallel_trials();
-  TrialExecutor executor(pool);
+  std::vector<std::vector<int>> outcomes(points.size(),
+                                         std::vector<int>(trials, kPending));
+  std::vector<std::vector<std::uint8_t>> replayed(
+      points.size(), std::vector<std::uint8_t>(trials, 0));
+
+  // Per-point supervision state. deque: stable addresses, no moves — the
+  // elements hold atomics.
+  struct PointState {
+    std::atomic<bool> quarantined{false};
+    std::atomic<std::uint32_t> retries{0};
+    std::mutex error_mutex;
+    std::string last_error;
+  };
+  std::deque<PointState> state(points.size());
+
+  std::vector<std::string> keys(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      executor.submit([this, &outcomes, &points, i, t] {
-        outcomes[i][t] = run_trial(points[i], t);
-      });
-    }
+    keys[i] = point_key(points[i]);
   }
-  executor.wait();
-  // The watchdog is the one outcome gate that feels CPU contention: a
-  // slow-but-finishing faulted run can cross the wall-clock deadline only
-  // because `pool` Worlds shared the cores. Re-run every timed-out trial
-  // serially — alone on the machine, exactly the serial loop's conditions
-  // — and keep the confirmed outcome. Genuinely hung runs time out again
-  // (same INF_LOOP, one extra watchdog wait each), so classification is
-  // identical to the serial path at every parallelism level.
-  if (pool > 1) {
+
+  // Phase 0: replay journaled outcomes; only the gaps execute.
+  if (journal_) {
     for (std::size_t i = 0; i < points.size(); ++i) {
       for (std::uint32_t t = 0; t < trials; ++t) {
-        if (outcomes[i][t] == inject::Outcome::InfLoop) {
-          outcomes[i][t] = run_trial(points[i], t);
+        if (const auto o = journal_->lookup(keys[i], t)) {
+          outcomes[i][t] = static_cast<int>(*o);
+          replayed[i][t] = 1;
+          replayed_trials_.fetch_add(1, std::memory_order_relaxed);
         }
       }
     }
   }
+
+  // Phase 1: concurrent guarded execution of the missing trials.
+  std::atomic<std::uint64_t> fresh{0};
+  std::atomic<std::uint64_t> fresh_timeouts{0};
+  {
+    TrialExecutor executor(pool);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        if (outcomes[i][t] != kPending) continue;
+        executor.submit([this, &outcomes, &state, &points, &fresh,
+                         &fresh_timeouts, i, t] {
+          auto& st = state[i];
+          if (st.quarantined.load(std::memory_order_acquire)) {
+            outcomes[i][t] = kSkipped;
+            return;
+          }
+          const auto attempt = run_trial_guarded(points[i], t, watchdog_);
+          st.retries.fetch_add(attempt.retries, std::memory_order_relaxed);
+          if (!attempt.ok) {
+            {
+              std::lock_guard lock(st.error_mutex);
+              st.last_error = attempt.error;
+            }
+            st.quarantined.store(true, std::memory_order_release);
+            outcomes[i][t] = kSkipped;
+            return;
+          }
+          fresh.fetch_add(1, std::memory_order_relaxed);
+          if (attempt.outcome == inject::Outcome::InfLoop) {
+            fresh_timeouts.fetch_add(1, std::memory_order_relaxed);
+          }
+          outcomes[i][t] = static_cast<int>(attempt.outcome);
+        });
+      }
+    }
+    executor.wait();
+  }
+
+  // Phase 2: watchdog-storm response. When most of a batch times out the
+  // likely cause is an overloaded machine (or a stale calibration), not a
+  // sudden epidemic of genuine hangs: re-measure the golden wall time,
+  // recalibrate the watchdog from it, and degrade trial parallelism
+  // toward serial. The escalated re-confirmation below then reclassifies
+  // with the fresh budget.
+  const auto fresh_count = fresh.load(std::memory_order_relaxed);
+  const auto timeout_count = fresh_timeouts.load(std::memory_order_relaxed);
+  if (pool > 1 && fresh_count > 0 &&
+      static_cast<double>(timeout_count) >
+          options_.watchdog_storm_fraction *
+              static_cast<double>(fresh_count)) {
+    const auto budget = std::max<std::chrono::milliseconds>(
+        30'000ms, watchdog_ * options_.watchdog_escalation);
+    const auto [digest, wall] = run_golden(budget);
+    if (digest != golden_digest_) {
+      throw InternalError("Campaign: recalibration golden digest diverged");
+    }
+    watchdog_ = std::max(kWatchdogFloor, wall * kWatchdogMultiplier);
+    options_.max_parallel_trials = std::max<std::size_t>(1, pool / 2);
+    recalibrations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Phase 3: the watchdog is the one outcome gate that feels CPU
+  // contention: a slow-but-finishing faulted run can cross the wall-clock
+  // deadline only because concurrent Worlds shared the cores. Re-run
+  // every freshly timed-out trial serially — alone on the machine, with
+  // an escalated budget — and keep the confirmed outcome. Genuinely hung
+  // runs time out again (same INF_LOOP), so classification is identical
+  // at every parallelism level. Journal-replayed INF_LOOPs were already
+  // confirmed when first recorded.
+  const auto escalated = watchdog_ * options_.watchdog_escalation;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    results[i].point = points[i];
     for (std::uint32_t t = 0; t < trials; ++t) {
-      results[i].record(outcomes[i][t]);
+      if (outcomes[i][t] != static_cast<int>(inject::Outcome::InfLoop) ||
+          replayed[i][t]) {
+        continue;
+      }
+      const auto attempt = run_trial_guarded(points[i], t, escalated);
+      confirmations_.fetch_add(1, std::memory_order_relaxed);
+      state[i].retries.fetch_add(attempt.retries, std::memory_order_relaxed);
+      // A confirmation that fails internally keeps the original outcome:
+      // the trial did produce one, and quarantining here would discard it.
+      if (attempt.ok) outcomes[i][t] = static_cast<int>(attempt.outcome);
     }
   }
+
+  // Phase 4: aggregate in trial order and write through to the journal.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    results[i].point = points[i];
+    auto& st = state[i];
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const int o = outcomes[i][t];
+      if (o < 0) continue;  // skipped after quarantine
+      results[i].record(static_cast<inject::Outcome>(o));
+      if (journal_ && !replayed[i][t]) {
+        journal_->record_trial(keys[i], t, static_cast<inject::Outcome>(o));
+      }
+    }
+    results[i].exec.retries = st.retries.load(std::memory_order_relaxed);
+    if (st.quarantined.load(std::memory_order_acquire)) {
+      results[i].exec.quarantined = true;
+      std::lock_guard lock(st.error_mutex);
+      results[i].exec.last_error = st.last_error;
+      quarantined_points_.fetch_add(1, std::memory_order_relaxed);
+      if (journal_) {
+        journal_->record_quarantine(keys[i], results[i].exec.retries,
+                                    results[i].exec.last_error);
+      }
+    }
+  }
+  if (journal_) journal_->flush();
   return results;
+}
+
+PointResult Campaign::measure(const InjectionPoint& point,
+                              std::uint32_t trials) {
+  const InjectionPoint points[1] = {point};
+  auto results = measure_impl(
+      std::span<const InjectionPoint>(points, 1), trials, /*pool=*/1);
+  return std::move(results.front());
+}
+
+PointResult Campaign::measure(const InjectionPoint& point) {
+  return measure(point, options_.trials_per_point);
+}
+
+std::vector<PointResult> Campaign::measure_many(
+    std::span<const InjectionPoint> points, std::uint32_t trials) {
+  return measure_impl(points, trials, parallel_trials());
 }
 
 std::vector<PointResult> Campaign::measure_many(

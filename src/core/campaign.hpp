@@ -2,16 +2,31 @@
 
 // Campaign execution: golden run, per-trial fault injection, and the
 // per-point statistics the evaluation section reports.
+//
+// The campaign engine is crash-resilient in three coordinated layers:
+//  (1) a durable trial journal (core/journal.hpp) that measure() /
+//      measure_many() write through and resume from,
+//  (2) a retrying trial guard that contains internal (non-fault)
+//      exceptions: a trial that keeps failing quarantines its point
+//      instead of tearing down the campaign, and
+//  (3) watchdog escalation: INF_LOOP outcomes are re-confirmed
+//      uncontended with an escalated budget, and a watchdog "storm"
+//      (most of a batch timing out — an overloaded machine, not a
+//      thousand genuine hangs) triggers golden-wall recalibration and
+//      degrades trial parallelism toward serial.
 
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "apps/workload.hpp"
 #include "core/enumerate.hpp"
+#include "core/journal.hpp"
 #include "core/points.hpp"
 #include "inject/fault_spec.hpp"
 #include "inject/outcome.hpp"
@@ -40,6 +55,28 @@ struct CampaignOptions {
   /// oversubscribe the machine. 1 forces the serial path. Results are
   /// identical at every setting; only wall-clock time changes.
   std::size_t max_parallel_trials = 0;
+  /// Trial guard: how many times an internal (non-fault) trial failure is
+  /// retried with exponential backoff before the point is quarantined.
+  /// (FASTFIT_MAX_TRIAL_RETRIES; 0 disables retries.)
+  std::uint32_t max_trial_retries = 2;
+  /// Watchdog multiplier for the uncontended INF_LOOP re-confirmation run
+  /// and for the golden recalibration budget. Must be >= 1.
+  /// (FASTFIT_WATCHDOG_ESCALATION.)
+  std::uint32_t watchdog_escalation = 4;
+  /// If more than this fraction of a measure_many batch's freshly-run
+  /// trials hit the watchdog, the machine is assumed overloaded: the
+  /// campaign re-measures the golden wall time, recalibrates the
+  /// watchdog, and halves trial parallelism instead of mass-classifying
+  /// INF_LOOP. Must be in (0, 1].
+  double watchdog_storm_fraction = 0.5;
+};
+
+/// Supervision record of one point's execution (not part of the paper's
+/// response statistics; the campaign's own health).
+struct ExecStats {
+  std::uint32_t retries = 0;  ///< internal-error retries consumed
+  bool quarantined = false;   ///< the trial guard gave up on this point
+  std::string last_error;     ///< what() of the last internal error
 };
 
 /// Statistics of one injection point over its trials.
@@ -47,6 +84,7 @@ struct PointResult {
   InjectionPoint point;
   std::array<std::uint32_t, inject::kNumOutcomes> counts{};
   std::uint32_t trials = 0;
+  ExecStats exec;
 
   void record(inject::Outcome outcome) {
     ++counts[static_cast<std::size_t>(outcome)];
@@ -58,6 +96,26 @@ struct PointResult {
   double fraction(inject::Outcome outcome) const;
   /// Most frequent response (ties to the lower enum value).
   inject::Outcome dominant() const;
+};
+
+/// Aggregate campaign health: what the resilience machinery had to do.
+/// All zeros on a healthy machine.
+struct CampaignHealth {
+  std::uint64_t total_retries = 0;           ///< guarded-trial retries
+  std::uint64_t quarantined_points = 0;      ///< points given up on
+  std::uint64_t watchdog_confirmations = 0;  ///< escalated INF_LOOP re-runs
+  std::uint64_t watchdog_recalibrations = 0; ///< storm-triggered recalibrations
+  std::uint64_t replayed_trials = 0;         ///< trials served from the journal
+
+  /// True when no point was quarantined (retries and confirmations are
+  /// routine; quarantine means lost coverage).
+  bool clean() const noexcept { return quarantined_points == 0; }
+};
+
+/// Journal attachment mode (see Campaign::attach_journal).
+enum class JournalMode {
+  Create,  ///< fresh journal; refuses to clobber an existing file
+  Resume,  ///< validate + replay an existing journal (create if missing)
 };
 
 /// One fault-injection campaign over one workload: owns the profiling
@@ -75,11 +133,29 @@ class Campaign {
   const PruningStats& stats() const { return enumeration().stats; }
   const profile::Profiler& profiler() const;
 
+  /// Attaches a durable trial journal at `path`. Requires profile():
+  /// the journal header pins the campaign identity including the golden
+  /// digest, and Resume refuses a journal whose identity differs from
+  /// this campaign (changed seed, workload, fault model, algorithms,
+  /// nranks, or golden digest). After attaching, measure()/measure_many()
+  /// replay journaled trials instead of executing them and append every
+  /// fresh outcome, so a killed campaign resumes bit-identically.
+  void attach_journal(const std::string& path, JournalMode mode);
+
+  /// Flushes and closes the journal (also done on destruction).
+  void detach_journal();
+
+  /// The attached journal, or nullptr.
+  TrialJournal* journal() noexcept { return journal_.get(); }
+  const TrialJournal* journal() const noexcept { return journal_.get(); }
+
   /// Runs `trials` injected executions of one point and aggregates the
   /// responses. Deterministic in (campaign seed, point, trial index): the
   /// per-trial RNG identity is derived from the point coordinates and the
   /// trial ordinal (FaultSpec::stream_index), so the result does not
-  /// depend on what was measured before — or concurrently.
+  /// depend on what was measured before — or concurrently. Trials run
+  /// serially; internal failures are retried and, on exhaustion, the
+  /// point is quarantined (see PointResult::exec) rather than thrown.
   PointResult measure(const InjectionPoint& point, std::uint32_t trials);
 
   /// Convenience: measure with the configured trials_per_point.
@@ -89,8 +165,9 @@ class Campaign {
   /// (point, trial) jobs concurrently on a TrialExecutor. Returns results
   /// in input order, bit-identical to calling measure() on each point:
   /// per-trial RNG identity is execution-order-free, and any trial that
-  /// hits the watchdog under contention is confirmed by an uncontended
-  /// serial re-run before being classified INF_LOOP.
+  /// hits the watchdog is confirmed by an uncontended re-run with an
+  /// escalated (watchdog_escalation ×) budget before being classified
+  /// INF_LOOP.
   std::vector<PointResult> measure_many(std::span<const InjectionPoint> points,
                                         std::uint32_t trials);
 
@@ -102,15 +179,22 @@ class Campaign {
   std::size_t parallel_trials() const noexcept;
 
   /// Adjusts the trial concurrency of later measure_many calls; results
-  /// are unaffected. Not safe to call while a measure_many is running.
-  void set_max_parallel_trials(std::size_t max_parallel) noexcept {
-    options_.max_parallel_trials = max_parallel;
+  /// are unaffected. Throws InternalError if a measure is in flight —
+  /// the knob races with the running pool's sizing otherwise.
+  void set_max_parallel_trials(std::size_t max_parallel);
+
+  /// True while a measure()/measure_many() call is executing (any thread).
+  bool measuring() const noexcept {
+    return measuring_.load(std::memory_order_acquire) != 0;
   }
 
   /// Total injected executions so far (a statistic, not an RNG input).
   std::uint64_t trials_run() const noexcept {
     return trials_run_.load(std::memory_order_relaxed);
   }
+
+  /// Snapshot of the campaign's resilience counters.
+  CampaignHealth health() const noexcept;
 
   std::uint64_t golden_digest() const;
   std::chrono::milliseconds watchdog() const { return watchdog_; }
@@ -126,11 +210,41 @@ class Campaign {
   std::unique_ptr<trace::ContextRegistry> contexts_;
   std::unique_ptr<profile::Profiler> profiler_;
   Enumeration enumeration_;
+  std::unique_ptr<TrialJournal> journal_;
   std::atomic<std::uint64_t> trials_run_{0};
+  std::atomic<std::uint64_t> total_retries_{0};
+  std::atomic<std::uint64_t> quarantined_points_{0};
+  std::atomic<std::uint64_t> confirmations_{0};
+  std::atomic<std::uint64_t> recalibrations_{0};
+  std::atomic<std::uint64_t> replayed_trials_{0};
+  std::atomic<int> measuring_{0};
 
   /// One injected execution: fresh Injector + World + ContextRegistry.
   /// Thread-safe after profile(): touches only immutable campaign state.
-  inject::Outcome run_trial(const InjectionPoint& point, std::uint64_t trial);
+  inject::Outcome run_trial(const InjectionPoint& point, std::uint64_t trial,
+                            std::chrono::milliseconds watchdog);
+
+  /// Supervised execution of one trial: retries internal (non-fault)
+  /// failures with exponential backoff up to max_trial_retries.
+  struct TrialAttempt {
+    bool ok = false;
+    inject::Outcome outcome{};
+    std::uint32_t retries = 0;
+    std::string error;
+  };
+  TrialAttempt run_trial_guarded(const InjectionPoint& point,
+                                 std::uint64_t trial,
+                                 std::chrono::milliseconds watchdog);
+
+  /// Fault-free run: returns (digest, wall time). Used by profile() and
+  /// by watchdog-storm recalibration.
+  std::pair<std::uint64_t, std::chrono::milliseconds> run_golden(
+      std::chrono::milliseconds watchdog_budget);
+
+  /// Shared implementation of measure / measure_many at a given pool size.
+  std::vector<PointResult> measure_impl(
+      std::span<const InjectionPoint> points, std::uint32_t trials,
+      std::size_t pool);
 };
 
 }  // namespace fastfit::core

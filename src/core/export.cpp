@@ -57,7 +57,7 @@ std::string to_csv(const std::vector<PointResult>& results) {
   out << "site,kind,param,rank,invocation,phase,errhal,n_inv,stack_depth,"
          "n_diff_stack,trials";
   for (const auto& name : inject::outcome_names()) out << ',' << name;
-  out << ",error_rate\n";
+  out << ",error_rate,retries,quarantined\n";
   for (const auto& r : results) {
     const auto& p = r.point;
     out << csv_quote(p.site_location) << ',' << mpi::to_string(p.kind) << ','
@@ -68,7 +68,8 @@ std::string to_csv(const std::vector<PointResult>& results) {
     for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
       out << ',' << r.counts[o];
     }
-    out << ',' << r.error_rate() << '\n';
+    out << ',' << r.error_rate() << ',' << r.exec.retries << ','
+        << (r.exec.quarantined ? 1 : 0) << '\n';
   }
   return out.str();
 }
@@ -95,7 +96,12 @@ std::string to_json(const FastFitResult& result) {
       if (o) out << ", ";
       out << '"' << inject::outcome_names()[o] << "\": " << r.counts[o];
     }
-    out << "}, \"errorRate\": " << r.error_rate() << '}';
+    out << "}, \"errorRate\": " << r.error_rate();
+    // Only emitted when set: a resumed campaign must produce output
+    // byte-identical to the uninterrupted one, and on a healthy machine
+    // no point is ever quarantined.
+    if (r.exec.quarantined) out << ", \"quarantined\": true";
+    out << '}';
     out << (i + 1 < result.measured.size() ? ",\n" : "\n");
   }
   out << "  ],\n";

@@ -18,6 +18,11 @@ FastFitResult FastFit::run() {
   ran_ = true;
 
   campaign_.profile();
+  if (!options_.journal.empty()) {
+    campaign_.attach_journal(options_.journal, options_.resume
+                                                   ? JournalMode::Resume
+                                                   : JournalMode::Create);
+  }
 
   FastFitResult result;
   result.stats = campaign_.stats();
@@ -36,6 +41,8 @@ FastFitResult FastFit::run() {
     // Traditional mode: measure every structurally surviving point.
     result.measured = campaign_.measure_many(campaign_.enumeration().points);
   }
+  campaign_.detach_journal();
+  result.health = campaign_.health();
   return result;
 }
 

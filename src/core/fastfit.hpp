@@ -23,6 +23,12 @@ struct FastFitOptions {
   /// NPB spaces are already small after structural pruning).
   bool use_ml = true;
   MlLoopConfig ml;
+  /// Durable trial journal path (empty = no journal). Attached after
+  /// profiling, so the journal header can pin the golden digest.
+  std::string journal;
+  /// Resume from an existing journal at `journal` instead of refusing to
+  /// overwrite it (see Campaign::attach_journal / docs/resilience.md).
+  bool resume = false;
 };
 
 struct FastFitResult {
@@ -34,6 +40,9 @@ struct FastFitResult {
   bool threshold_reached = false;
   std::size_t ml_rounds = 0;
   std::optional<ml::RandomForest> model;
+  /// What the resilience machinery had to do (see CampaignHealth); the
+  /// CLI maps health.clean() to its exit code.
+  CampaignHealth health;
 
   /// Table III "Total" column: overall fraction of the exploration space
   /// whose response was obtained without direct injection.

@@ -66,7 +66,21 @@ MlLoopResult run_ml_loop(Campaign& campaign,
   std::vector<bool> verification_hits;  // per fresh verification sample
 
   // Whole train/verify batches go to the campaign at once so the trial
-  // executor can overlap their injected executions.
+  // executor can overlap their injected executions. Quarantined points
+  // (the trial guard gave up — see docs/resilience.md) are reported but
+  // excluded from training and verification: their truncated trial counts
+  // would teach the model from unrepresentative statistics. Labels of
+  // healthy points are checkpointed through the campaign journal, so a
+  // resumed run both restores the training set and cross-checks that it
+  // reproduces the original labels.
+  const auto usable = [](const PointResult& r) {
+    return !r.exec.quarantined && r.trials > 0;
+  };
+  const auto checkpoint_label = [&](const PointResult& r, std::size_t label) {
+    if (auto* journal = campaign.journal()) {
+      journal->check_or_record_label(point_key(r.point), label);
+    }
+  };
   const auto measure_next = [&](std::size_t count,
                                 std::vector<PointResult>& into) {
     const std::size_t take = std::min(count, points.size() - cursor);
@@ -81,8 +95,10 @@ MlLoopResult run_ml_loop(Campaign& campaign,
     ++result.rounds;
     // Measure a training batch and fold it in.
     for (const auto& r : measure_next(config.train_batch, result.measured)) {
-      train.add(r.point.features(), label_of(r, config.mode,
-                                             config.thresholds));
+      if (!usable(r)) continue;
+      const auto label = label_of(r, config.mode, config.thresholds);
+      checkpoint_label(r, label);
+      train.add(r.point.features(), label);
     }
     if (train.empty() || cursor >= points.size()) break;
 
@@ -95,16 +111,21 @@ MlLoopResult run_ml_loop(Campaign& campaign,
     const auto verify_batch =
         measure_next(config.verify_batch, result.measured);
     if (verify_batch.empty()) break;
+    std::size_t fresh_hits = 0;
     for (const auto& r : verify_batch) {
+      if (!usable(r)) continue;
       const auto actual = label_of(r, config.mode, config.thresholds);
+      checkpoint_label(r, actual);
       verification_hits.push_back(
           result.model->predict(r.point.features()) == actual);
+      ++fresh_hits;
       train.add(r.point.features(), actual);  // verification data is not wasted
     }
+    if (verification_hits.empty()) continue;
     // Sliding-window accuracy over the freshest verification samples.
     const std::size_t window =
         config.verify_window == 0
-            ? verify_batch.size()
+            ? std::max<std::size_t>(fresh_hits, 1)
             : std::min(config.verify_window, verification_hits.size());
     std::size_t correct = 0;
     for (std::size_t i = verification_hits.size() - window;

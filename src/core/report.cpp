@@ -146,4 +146,31 @@ std::string render_level_table(
   return out.str();
 }
 
+std::string render_health(const CampaignHealth& health) {
+  std::ostringstream out;
+  out << "Campaign health: "
+      << (health.clean() ? "clean" : "completed with quarantined points")
+      << '\n';
+  if (health.replayed_trials > 0) {
+    out << "  trials replayed from journal: " << health.replayed_trials
+        << '\n';
+  }
+  if (health.total_retries > 0) {
+    out << "  internal-error retries:       " << health.total_retries << '\n';
+  }
+  if (health.quarantined_points > 0) {
+    out << "  quarantined points:           " << health.quarantined_points
+        << '\n';
+  }
+  if (health.watchdog_confirmations > 0) {
+    out << "  watchdog re-confirmations:    " << health.watchdog_confirmations
+        << '\n';
+  }
+  if (health.watchdog_recalibrations > 0) {
+    out << "  watchdog recalibrations:      " << health.watchdog_recalibrations
+        << '\n';
+  }
+  return out.str();
+}
+
 }  // namespace fastfit::core

@@ -57,4 +57,9 @@ std::string render_level_table(
     const std::vector<std::pair<std::string, std::vector<double>>>& rows,
     const std::vector<std::string>& level_labels);
 
+/// Campaign health summary: what the resilience machinery had to do
+/// (retries, quarantines, watchdog escalations/recalibrations, journal
+/// replays). One line when the campaign was perfectly healthy.
+std::string render_health(const CampaignHealth& health);
+
 }  // namespace fastfit::core

@@ -56,6 +56,16 @@ InjectionConfig InjectionConfig::from_map(
       // Generous ceiling: campaigns beyond a few thousand concurrent
       // Worlds are a configuration mistake, not a machine.
       cfg.parallel_trials = parse_u64(key, value, 4096);
+    } else if (key == "FASTFIT_JOURNAL") {
+      if (value.empty()) throw ConfigError("FASTFIT_JOURNAL: empty path");
+      cfg.journal = value;
+    } else if (key == "FASTFIT_MAX_TRIAL_RETRIES") {
+      cfg.max_trial_retries = parse_u64(key, value, 100);
+    } else if (key == "FASTFIT_WATCHDOG_ESCALATION") {
+      cfg.watchdog_escalation = parse_u64(key, value, 64);
+      if (cfg.watchdog_escalation == 0) {
+        throw ConfigError("FASTFIT_WATCHDOG_ESCALATION: must be >= 1");
+      }
     } else {
       throw ConfigError("unknown configuration key: " + key);
     }
@@ -67,7 +77,9 @@ InjectionConfig InjectionConfig::from_environment() {
   std::map<std::string, std::string> kv;
   for (const char* name : {"NUM_INJ", "INV_ID", "CALL_ID", "RANK_ID",
                            "PARAM_ID", "FASTFIT_SEED",
-                           "FASTFIT_PARALLEL_TRIALS"}) {
+                           "FASTFIT_PARALLEL_TRIALS", "FASTFIT_JOURNAL",
+                           "FASTFIT_MAX_TRIAL_RETRIES",
+                           "FASTFIT_WATCHDOG_ESCALATION"}) {
     if (const char* value = std::getenv(name)) kv.emplace(name, value);
   }
   return from_map(kv);
@@ -83,6 +95,13 @@ std::map<std::string, std::string> InjectionConfig::to_map() const {
   kv["FASTFIT_SEED"] = std::to_string(seed);
   if (parallel_trials != 0) {
     kv["FASTFIT_PARALLEL_TRIALS"] = std::to_string(parallel_trials);
+  }
+  if (!journal.empty()) kv["FASTFIT_JOURNAL"] = journal;
+  if (max_trial_retries != 2) {
+    kv["FASTFIT_MAX_TRIAL_RETRIES"] = std::to_string(max_trial_retries);
+  }
+  if (watchdog_escalation != 4) {
+    kv["FASTFIT_WATCHDOG_ESCALATION"] = std::to_string(watchdog_escalation);
   }
   return kv;
 }

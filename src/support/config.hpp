@@ -34,10 +34,19 @@ struct InjectionConfig {
   /// Max concurrently executing trials (our extension, not in Table II).
   /// 0 = auto (hardware_concurrency / nranks), 1 = serial.
   std::uint64_t parallel_trials = 0;
+  /// Durable trial journal path (FASTFIT_JOURNAL); empty = no journal.
+  std::string journal;
+  /// Internal-failure retries per trial before the point is quarantined
+  /// (FASTFIT_MAX_TRIAL_RETRIES); 0 disables retries.
+  std::uint64_t max_trial_retries = 2;
+  /// Watchdog multiplier for the uncontended INF_LOOP re-confirmation run
+  /// (FASTFIT_WATCHDOG_ESCALATION); must be >= 1.
+  std::uint64_t watchdog_escalation = 4;
 
   /// Parses a config from a key/value map using the Table II names
-  /// (NUM_INJ, INV_ID, CALL_ID, RANK_ID, PARAM_ID, plus FASTFIT_SEED and
-  /// FASTFIT_PARALLEL_TRIALS).
+  /// (NUM_INJ, INV_ID, CALL_ID, RANK_ID, PARAM_ID, plus the FASTFIT_*
+  /// extensions: FASTFIT_SEED, FASTFIT_PARALLEL_TRIALS, FASTFIT_JOURNAL,
+  /// FASTFIT_MAX_TRIAL_RETRIES, FASTFIT_WATCHDOG_ESCALATION).
   /// Unknown keys are rejected; malformed values raise ConfigError.
   static InjectionConfig from_map(
       const std::map<std::string, std::string>& kv);

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "apps/registry.hpp"
+#include "apps/workload.hpp"
 #include "core/campaign.hpp"
 
 namespace fastfit::core {
@@ -138,6 +141,57 @@ TEST(Campaign, MeasureIsIndependentOfCampaignHistory) {
 
   // Re-measuring the same point in the same campaign also reproduces.
   EXPECT_EQ(fresh.measure(points[0], 8).counts, direct.counts);
+}
+
+// A workload whose ranks spin on an externally released gate, keeping a
+// measure() call verifiably in flight for as long as the test needs.
+class GatedWorkload final : public apps::Workload {
+ public:
+  std::string name() const override { return "gated"; }
+
+  std::uint64_t run_rank(apps::AppContext& ctx) const override {
+    while (!gate.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ctx.trace.set_phase(trace::ExecPhase::Compute);
+    trace::FunctionScope scope(ctx.trace, "kernel");
+    const double total =
+        ctx.mpi.allreduce_value(1.0 + ctx.mpi.rank(), mpi::kSum);
+    return apps::digest_doubles(std::span<const double>(&total, 1), 9);
+  }
+
+  mutable std::atomic<bool> gate{true};
+};
+
+TEST(Campaign, SetMaxParallelTrialsThrowsWhileMeasuring) {
+  GatedWorkload workload;
+  CampaignOptions opts;
+  opts.nranks = 2;
+  opts.trials_per_point = 2;
+  opts.seed = 7;
+  opts.max_parallel_trials = 1;
+  opts.watchdog = 30'000ms;  // the gate must not read as a hang
+  Campaign campaign(workload, opts);
+  campaign.profile();
+  ASSERT_FALSE(campaign.enumeration().points.empty());
+  EXPECT_FALSE(campaign.measuring());
+
+  workload.gate.store(false, std::memory_order_release);
+  std::thread measurer([&] {
+    campaign.measure(campaign.enumeration().points[0], 1);
+  });
+  while (!campaign.measuring()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The documented race: resizing the pool mid-measure. Now an error.
+  EXPECT_THROW(campaign.set_max_parallel_trials(4), InternalError);
+  workload.gate.store(true, std::memory_order_release);
+  measurer.join();
+
+  // Between measures the knob works, and the next measure honours it.
+  EXPECT_FALSE(campaign.measuring());
+  campaign.set_max_parallel_trials(2);
+  EXPECT_EQ(campaign.parallel_trials(), 2u);
 }
 
 TEST(Campaign, GoldenDigestStableAcrossCampaigns) {

@@ -1,0 +1,286 @@
+// Crash-resilient campaign execution: the retrying trial guard with
+// quarantine, kill-and-resume through the trial journal, and watchdog
+// escalation / storm recalibration (docs/resilience.md).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
+
+#include "apps/registry.hpp"
+#include "apps/workload.hpp"
+#include "core/campaign.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+// A small SPMD kernel (bcast + allreduce) whose failure behaviour the
+// test controls from outside:
+//  - `fail_budget` > 0: rank 0 throws a std::runtime_error at job start —
+//    an *internal* error (not a simulated fault), the kind the trial
+//    guard must retry and quarantine.
+//  - `hang_from`/`hang_until`: rank 0 skips the collectives for jobs
+//    whose ordinal falls in [hang_from, hang_until], so its peers block
+//    until the watchdog fires — a deterministic INF_LOOP storm.
+// Job ordinals count every World execution (golden = 1, profiling = 2,
+// trials from 3), assigned by rank 0 at entry.
+class SupervisedWorkload final : public apps::Workload {
+ public:
+  std::string name() const override { return "supervised"; }
+
+  std::uint64_t run_rank(apps::AppContext& ctx) const override {
+    auto& mpi = ctx.mpi;
+    auto& tr = ctx.trace;
+    bool hang = false;
+    if (mpi.rank() == 0) {
+      const auto job = jobs.fetch_add(1, std::memory_order_relaxed) + 1;
+      int budget = fail_budget.load(std::memory_order_relaxed);
+      while (budget > 0 &&
+             !fail_budget.compare_exchange_weak(budget, budget - 1)) {
+      }
+      if (budget > 0) throw std::runtime_error("synthetic internal flake");
+      hang = job >= hang_from.load(std::memory_order_relaxed) &&
+             job <= hang_until.load(std::memory_order_relaxed);
+    }
+
+    tr.set_phase(trace::ExecPhase::Compute);
+    trace::FunctionScope scope(tr, "kernel");
+    if (hang) return 0;  // silent early exit: peers wait until the watchdog
+    const double seeded = mpi.bcast_value(
+        mpi.rank() == 0 ? static_cast<double>(ctx.input_seed % 97) : 0.0, 0);
+    const double total =
+        mpi.allreduce_value(seeded + mpi.rank(), mpi::kSum);
+    const double values[2] = {seeded, total};
+    return apps::digest_doubles(values, 9);
+  }
+
+  mutable std::atomic<int> jobs{0};
+  mutable std::atomic<int> fail_budget{0};
+  mutable std::atomic<int> hang_from{0};
+  mutable std::atomic<int> hang_until{-1};
+};
+
+CampaignOptions supervised_options() {
+  CampaignOptions opts;
+  opts.nranks = 4;
+  opts.trials_per_point = 4;
+  opts.seed = 101;
+  opts.max_parallel_trials = 1;
+  return opts;
+}
+
+std::string temp_journal(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "fastfit_resilience_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// A send-buffer bit flip corrupts data but can never hang a collective,
+// so the escalated re-run of a hang-window trial classifies as
+// SUCCESS/WRONG_ANS — never a genuine INF_LOOP.
+InjectionPoint sendbuf_point(const Campaign& campaign) {
+  const auto& points = campaign.enumeration().points;
+  const auto it =
+      std::find_if(points.begin(), points.end(), [](const InjectionPoint& p) {
+        return p.param == mpi::Param::SendBuf;
+      });
+  EXPECT_NE(it, points.end());
+  return *it;
+}
+
+TEST(Resilience, InternalErrorIsRetriedNotFatal) {
+  SupervisedWorkload workload;
+  auto opts = supervised_options();
+  opts.max_trial_retries = 2;
+  Campaign campaign(workload, opts);
+  campaign.profile();
+  ASSERT_FALSE(campaign.enumeration().points.empty());
+
+  // One synthetic flake: the first attempt of the first trial fails, its
+  // retry succeeds, and the point's statistics are complete.
+  workload.fail_budget.store(1);
+  const auto result = campaign.measure(campaign.enumeration().points[0], 3);
+  EXPECT_EQ(result.trials, 3u);
+  EXPECT_FALSE(result.exec.quarantined);
+  EXPECT_EQ(result.exec.retries, 1u);
+  EXPECT_EQ(campaign.health().total_retries, 1u);
+  EXPECT_EQ(campaign.health().quarantined_points, 0u);
+  EXPECT_TRUE(campaign.health().clean());
+}
+
+TEST(Resilience, ExhaustedRetriesQuarantineThePointOnly) {
+  SupervisedWorkload workload;
+  auto opts = supervised_options();
+  opts.max_trial_retries = 0;  // quarantine on the first internal error
+  Campaign campaign(workload, opts);
+  campaign.profile();
+  const auto& points = campaign.enumeration().points;
+  ASSERT_GE(points.size(), 2u);
+
+  // Exactly one job fails: with serial execution that is point 0's first
+  // trial. Point 0 must be quarantined, point 1 measured in full, and the
+  // campaign must not abort.
+  workload.fail_budget.store(1);
+  const InjectionPoint batch[2] = {points[0], points[1]};
+  const auto results = campaign.measure_many(
+      std::span<const InjectionPoint>(batch, 2), 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].exec.quarantined);
+  EXPECT_EQ(results[0].trials, 0u);  // remaining trials were skipped
+  EXPECT_EQ(results[0].exec.last_error, "synthetic internal flake");
+  EXPECT_FALSE(results[1].exec.quarantined);
+  EXPECT_EQ(results[1].trials, 2u);
+  EXPECT_EQ(campaign.health().quarantined_points, 1u);
+  EXPECT_FALSE(campaign.health().clean());
+}
+
+TEST(Resilience, QuarantineIsRecordedInTheJournal) {
+  SupervisedWorkload workload;
+  auto opts = supervised_options();
+  opts.max_trial_retries = 0;
+  Campaign campaign(workload, opts);
+  campaign.profile();
+  const auto path = temp_journal("quarantine");
+  campaign.attach_journal(path, JournalMode::Create);
+  workload.fail_budget.store(1);
+  const auto result = campaign.measure(campaign.enumeration().points[0], 2);
+  ASSERT_TRUE(result.exec.quarantined);
+  const auto record =
+      campaign.journal()->quarantine(point_key(result.point));
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->error, "synthetic internal flake");
+}
+
+TEST(Resilience, KillAndResumeIsBitIdentical) {
+  // The tentpole contract: a campaign killed at an arbitrary trial —
+  // including mid-write, leaving a torn final journal line — and resumed
+  // from its journal produces per-point outcome counts identical to an
+  // uninterrupted campaign.
+  const auto workload = apps::make_workload("LU");
+  CampaignOptions opts;
+  opts.nranks = 8;
+  opts.trials_per_point = 5;
+  opts.seed = 77;
+
+  Campaign baseline(*workload, opts);
+  baseline.profile();
+  const auto& points = baseline.enumeration().points;
+  ASSERT_GE(points.size(), 4u);
+  const std::span<const InjectionPoint> batch(points.data(), 4);
+  const auto expected = baseline.measure_many(batch, 5);
+
+  const auto path = temp_journal("kill_resume");
+  {
+    // "Killed" campaign: measures only half the batch before dying.
+    Campaign partial(*workload, opts);
+    partial.profile();
+    partial.attach_journal(path, JournalMode::Create);
+    partial.measure_many(batch.subspan(0, 2), 5);
+    partial.detach_journal();
+  }
+  {
+    // Simulate SIGKILL mid-write: chop bytes off the journal tail.
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, 16L);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path.c_str(), size - 9), 0);
+  }
+
+  Campaign resumed(*workload, opts);
+  resumed.profile();
+  resumed.attach_journal(path, JournalMode::Resume);
+  EXPECT_GT(resumed.journal()->loaded_trials(), 0u);
+  const auto results = resumed.measure_many(batch, 5);
+  EXPECT_GT(resumed.health().replayed_trials, 0u);
+
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].counts, expected[i].counts) << "point " << i;
+    EXPECT_EQ(results[i].trials, expected[i].trials) << "point " << i;
+  }
+}
+
+TEST(Resilience, ResumeRefusesChangedSeed) {
+  const auto workload = apps::make_workload("LU");
+  CampaignOptions opts;
+  opts.nranks = 8;
+  opts.trials_per_point = 4;
+  opts.seed = 77;
+  const auto path = temp_journal("changed_seed");
+  {
+    Campaign campaign(*workload, opts);
+    campaign.profile();
+    campaign.attach_journal(path, JournalMode::Create);
+  }
+  opts.seed = 78;
+  Campaign other(*workload, opts);
+  other.profile();
+  EXPECT_THROW(other.attach_journal(path, JournalMode::Resume), ConfigError);
+  // Create also refuses to clobber the existing journal.
+  EXPECT_THROW(other.attach_journal(path, JournalMode::Create), ConfigError);
+}
+
+TEST(Resilience, WatchdogStormTriggersRecalibration) {
+  SupervisedWorkload workload;
+  auto opts = supervised_options();
+  opts.max_parallel_trials = 2;
+  Campaign campaign(workload, opts);
+  campaign.profile();  // jobs 1 (golden) and 2 (profiling)
+  ASSERT_FALSE(campaign.enumeration().points.empty());
+
+  // Both first-pass trials (jobs 3 and 4) hang: 100% of the batch hits
+  // the watchdog, which must be read as "overloaded machine", not as two
+  // genuine infinite loops. The campaign re-measures the golden wall
+  // time (job 5, outside the hang window), recalibrates, degrades
+  // parallelism, and re-confirms both trials uncontended (jobs 6 and 7,
+  // also outside the window) — so no INF_LOOP survives.
+  workload.hang_from.store(3);
+  workload.hang_until.store(4);
+  const InjectionPoint point = sendbuf_point(campaign);
+  const auto result =
+      campaign.measure_many(std::span<const InjectionPoint>(&point, 1), 2);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].trials, 2u);
+  EXPECT_EQ(result[0].counts[static_cast<std::size_t>(
+                inject::Outcome::InfLoop)],
+            0u);
+  const auto health = campaign.health();
+  EXPECT_EQ(health.watchdog_recalibrations, 1u);
+  EXPECT_EQ(health.watchdog_confirmations, 2u);
+  EXPECT_EQ(campaign.parallel_trials(), 1u);  // degraded toward serial
+}
+
+TEST(Resilience, SerialInfLoopIsConfirmedWithEscalatedBudget) {
+  SupervisedWorkload workload;
+  auto opts = supervised_options();  // serial: pool = 1, no storm response
+  Campaign campaign(workload, opts);
+  campaign.profile();
+
+  // Job 3 (the only first-pass trial) hangs; the escalated re-run (job 4)
+  // does not. Serial and parallel campaigns must classify identically, so
+  // the confirmation pass runs at every pool size.
+  workload.hang_from.store(3);
+  workload.hang_until.store(3);
+  const auto result = campaign.measure(sendbuf_point(campaign), 1);
+  EXPECT_EQ(result.trials, 1u);
+  EXPECT_EQ(result.counts[static_cast<std::size_t>(inject::Outcome::InfLoop)],
+            0u);
+  const auto health = campaign.health();
+  EXPECT_EQ(health.watchdog_confirmations, 1u);
+  EXPECT_EQ(health.watchdog_recalibrations, 0u);
+}
+
+}  // namespace
+}  // namespace fastfit::core

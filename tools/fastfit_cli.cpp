@@ -11,15 +11,23 @@
 //   fastfit study <workload> [--ranks N] [--trials T] [--threshold X]
 //                 [--fault-model NAME] [--no-ml] [--parallel-trials P]
 //                 [--seed S] [--csv FILE] [--json FILE]
+//                 [--journal FILE] [--resume]
+//                 [--max-trial-retries R] [--watchdog-escalation M]
 //       The full three-phase sensitivity study, with optional CSV/JSON
-//       export of the results.
+//       export of the results. --journal records every completed trial in
+//       a durable journal; --resume continues a killed campaign from it,
+//       bit-identically (see docs/resilience.md). The FASTFIT_JOURNAL,
+//       FASTFIT_MAX_TRIAL_RETRIES, and FASTFIT_WATCHDOG_ESCALATION
+//       environment variables are the flagless equivalents.
 //
 //   fastfit p2p <workload> [--ranks N] [--trials T] [--points K]
 //       The point-to-point extension study (Sec VIII future work):
 //       pruning statistics and per-parameter response distributions for
 //       the workload's send/recv calls.
 //
-// Exit codes: 0 success, 1 usage error, 2 execution error.
+// Exit codes: 0 clean success, 2 study completed but with quarantined
+// points (results are partial for those points), 1 fatal (usage or
+// execution error).
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +59,9 @@ int usage() {
                "                [--threshold X] [--fault-model NAME]\n"
                "                [--no-ml] [--parallel-trials P]\n"
                "                [--seed S] [--csv FILE] [--json FILE]\n"
+               "                [--journal FILE] [--resume]\n"
+               "                [--max-trial-retries R]\n"
+               "                [--watchdog-escalation M]\n"
                "  fastfit p2p <workload> [--ranks N] [--trials T] "
                "[--points K]\n");
   return 1;
@@ -64,7 +75,7 @@ struct Args {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) return false;
       key = key.substr(2);
-      if (key == "no-ml") {
+      if (key == "no-ml" || key == "resume") {
         values[key] = "1";
       } else {
         if (i + 1 >= argc) return false;
@@ -154,6 +165,32 @@ int cmd_study(const std::string& workload_name, const Args& args) {
         parse_parallel_trials(args.get("parallel-trials", "0"));
   }
 
+  // Resilience knobs: flags override the FASTFIT_* environment (both are
+  // validated by the InjectionConfig parser, so limits match).
+  const auto env = InjectionConfig::from_environment();
+  options.journal = env.journal;
+  options.campaign.max_trial_retries =
+      static_cast<std::uint32_t>(env.max_trial_retries);
+  options.campaign.watchdog_escalation =
+      static_cast<std::uint32_t>(env.watchdog_escalation);
+  if (args.has("journal")) options.journal = args.get("journal", "");
+  if (args.has("max-trial-retries")) {
+    options.campaign.max_trial_retries = static_cast<std::uint32_t>(
+        InjectionConfig::from_map({{"FASTFIT_MAX_TRIAL_RETRIES",
+                                    args.get("max-trial-retries", "2")}})
+            .max_trial_retries);
+  }
+  if (args.has("watchdog-escalation")) {
+    options.campaign.watchdog_escalation = static_cast<std::uint32_t>(
+        InjectionConfig::from_map({{"FASTFIT_WATCHDOG_ESCALATION",
+                                    args.get("watchdog-escalation", "4")}})
+            .watchdog_escalation);
+  }
+  options.resume = args.has("resume");
+  if (options.resume && options.journal.empty()) {
+    throw ConfigError("--resume requires --journal (or FASTFIT_JOURNAL)");
+  }
+
   core::FastFit study(*workload, options);
   const auto result = study.run();
 
@@ -177,6 +214,7 @@ int cmd_study(const std::string& workload_name, const Args& args) {
   }
   rows.emplace_back("ALL", core::outcome_distribution(result.measured));
   std::printf("%s\n", core::render_outcome_table(rows).c_str());
+  std::printf("%s", core::render_health(result.health).c_str());
 
   if (args.has("csv")) {
     core::write_file(args.get("csv", ""), core::to_csv(result.measured));
@@ -186,7 +224,7 @@ int cmd_study(const std::string& workload_name, const Args& args) {
     core::write_file(args.get("json", ""), core::to_json(result));
     std::printf("wrote %s\n", args.get("json", "").c_str());
   }
-  return 0;
+  return result.health.clean() ? 0 : 2;
 }
 
 int cmd_p2p(const std::string& workload_name, const Args& args) {
@@ -253,7 +291,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   } catch (const std::exception& e) {
+    // Internal failures inside trials are retried and quarantined by the
+    // campaign itself (exit 2 via cmd_study); anything that escapes to
+    // here is fatal.
     std::fprintf(stderr, "execution failed: %s\n", e.what());
-    return 2;
+    return 1;
   }
 }
