@@ -20,6 +20,7 @@
 #include "bench_common.hpp"
 #include "core/export.hpp"
 #include "core/trial_executor.hpp"
+#include "inject/outcome.hpp"
 
 namespace {
 
@@ -159,12 +160,107 @@ int main() {
   std::printf("%-28s %8.1f trials/sec  (%.2fs, pure replay)\n",
               "serial + journal replay", replay_tps, replay_sec);
 
+  // Hang-heavy section: time-to-classify INF_LOOP with the deterministic
+  // deadlock monitor on vs off. Root/Comm corruption on EP's rooted
+  // broadcast is the densest hang source in the enumeration; the monitor
+  // classifies each divergence-induced deadlock in milliseconds, while
+  // the timeout-only path pays the full watchdog plus the escalated
+  // re-confirmation run per hang (and risks a storm recalibration).
+  std::vector<InjectionPoint> hang_points;
+  for (const auto& point : campaign.enumeration().points) {
+    if (point.param == mpi::Param::Root || point.param == mpi::Param::Comm) {
+      hang_points.push_back(point);
+    }
+  }
+  const auto max_hang_points = static_cast<std::size_t>(
+      bench::env_u64("FASTFIT_BENCH_HANG_POINTS", 3));
+  if (hang_points.size() > max_hang_points) hang_points.resize(max_hang_points);
+  const auto hang_trials = static_cast<std::uint32_t>(
+      bench::env_u64("FASTFIT_BENCH_HANG_TRIALS", 3));
+  const auto watchdog_ms = bench::env_u64("FASTFIT_BENCH_HANG_WATCHDOG_MS",
+                                          250);
+
+  core::CampaignOptions hang_options = options;
+  hang_options.trials_per_point = hang_trials;
+  hang_options.watchdog = std::chrono::milliseconds(watchdog_ms);
+  hang_options.watchdog_escalation = 2;
+
+  double hang_sec[2] = {0.0, 0.0};
+  std::uint64_t hang_inf[2] = {0, 0};
+  std::uint64_t deterministic_deadlocks = 0;
+  std::vector<PointResult> hang_results[2];
+  for (int detect = 0; detect < 2 && !hang_points.empty(); ++detect) {
+    hang_options.deterministic_hang_detection = detect != 0;
+    core::Campaign hang_campaign(*workload, hang_options);
+    hang_campaign.profile();
+    const auto t4 = std::chrono::steady_clock::now();
+    hang_results[detect] = hang_campaign.measure_many(hang_points);
+    hang_sec[detect] = seconds_since(t4);
+    for (const auto& r : hang_results[detect]) {
+      hang_inf[detect] +=
+          r.counts[static_cast<std::size_t>(inject::Outcome::InfLoop)];
+    }
+    if (detect) {
+      deterministic_deadlocks =
+          hang_campaign.health().deterministic_deadlocks;
+    }
+    std::printf("%-28s %8.2fs  (%llu INF_LOOP of %zu trials, "
+                "%.1f ms/INF_LOOP)\n",
+                detect ? "hang campaign, monitor on" :
+                         "hang campaign, monitor off",
+                hang_sec[detect],
+                static_cast<unsigned long long>(hang_inf[detect]),
+                hang_points.size() * static_cast<std::size_t>(hang_trials),
+                hang_inf[detect] ? 1000.0 * hang_sec[detect] /
+                                       static_cast<double>(hang_inf[detect])
+                                 : 0.0);
+  }
+  for (std::size_t i = 0; i < hang_results[0].size(); ++i) {
+    if (hang_results[0][i].counts != hang_results[1][i].counts) {
+      identical = false;
+      std::printf("  hang-campaign mismatch at point %zu (monitor off vs "
+                  "on)\n", i);
+    }
+  }
+  const double hang_total =
+      static_cast<double>(hang_points.size()) * hang_trials;
+  const double off_ms_per_inf =
+      hang_inf[0] ? 1000.0 * hang_sec[0] / static_cast<double>(hang_inf[0])
+                  : 0.0;
+  const double on_ms_per_inf =
+      hang_inf[1] ? 1000.0 * hang_sec[1] / static_cast<double>(hang_inf[1])
+                  : 0.0;
+  const double classify_speedup =
+      on_ms_per_inf > 0.0 ? off_ms_per_inf / on_ms_per_inf : 0.0;
+  if (hang_inf[1] > 0) {
+    std::printf("time-to-classify speedup: %.1fx (%llu deterministic "
+                "deadlocks)\n",
+                classify_speedup,
+                static_cast<unsigned long long>(deterministic_deadlocks));
+  }
+
   json << "\n  ],\n  \"journal\": {"
        << "\"off_trials_per_sec\": " << serial_tps
        << ", \"on_trials_per_sec\": " << journal_tps
        << ", \"replay_trials_per_sec\": " << replay_tps
        << ", \"write_through_overhead\": "
        << (serial_tps - journal_tps) / serial_tps << "},\n"
+       << "  \"hang_detection\": {"
+       << "\"points\": " << hang_points.size()
+       << ", \"trials_per_point\": " << hang_trials
+       << ", \"watchdog_ms\": " << watchdog_ms
+       << ", \"inf_loops\": " << hang_inf[1]
+       << ", \"deterministic_deadlocks\": " << deterministic_deadlocks
+       << ",\n    \"off\": {\"seconds\": " << hang_sec[0]
+       << ", \"trials_per_sec\": "
+       << (hang_sec[0] > 0.0 ? hang_total / hang_sec[0] : 0.0)
+       << ", \"ms_per_inf_loop\": " << off_ms_per_inf << "}"
+       << ",\n    \"on\": {\"seconds\": " << hang_sec[1]
+       << ", \"trials_per_sec\": "
+       << (hang_sec[1] > 0.0 ? hang_total / hang_sec[1] : 0.0)
+       << ", \"ms_per_inf_loop\": " << on_ms_per_inf << "}"
+       << ",\n    \"time_to_classify_speedup\": " << classify_speedup
+       << "},\n"
        << "  \"results_identical_to_serial\": "
        << (identical ? "true" : "false") << "\n}\n";
 

@@ -57,18 +57,31 @@ std::uint64_t digest_doubles(std::span<const double> values, int decimals) {
 }
 
 JobResult run_job(const Workload& workload, const mpi::WorldOptions& options,
-                  mpi::ToolHooks* tools, trace::ContextRegistry& contexts) {
+                  mpi::ToolHooks* tools, trace::ContextRegistry& contexts,
+                  std::vector<std::shared_ptr<void>> keepalives) {
   mpi::World world(options);
   world.set_tools(tools);
-  std::vector<std::uint64_t> digests(
+  // Digests live on the heap and the rank closure shares ownership: a rank
+  // thread that outlives this frame (quarantined straggler) still writes
+  // into valid memory, never into a dead stack.
+  auto digests = std::make_shared<std::vector<std::uint64_t>>(
       static_cast<std::size_t>(options.nranks), 0);
+  world.add_keepalive(digests);
+  for (auto& keepalive : keepalives) {
+    world.add_keepalive(std::move(keepalive));
+  }
   JobResult result;
-  result.world = world.run([&](mpi::Mpi& mpi) {
-    AppContext ctx{mpi, contexts.of(mpi.world_rank()), options.seed};
-    digests[static_cast<std::size_t>(mpi.world_rank())] =
+  result.world = world.run([digests, &workload, &contexts,
+                            seed = options.seed](mpi::Mpi& mpi) {
+    trace::RankContext& trace = contexts.of(mpi.world_rank());
+    mpi.set_stack_probe([&trace]() -> mpi::Mpi::StackProbe {
+      return {trace.stack().id(), std::string(trace.stack().innermost())};
+    });
+    AppContext ctx{mpi, trace, seed};
+    (*digests)[static_cast<std::size_t>(mpi.world_rank())] =
         workload.run_rank(ctx);
   });
-  result.digest = result.world.clean() ? combine_digests(digests) : 0;
+  result.digest = result.world.clean() ? combine_digests(*digests) : 0;
   return result;
 }
 

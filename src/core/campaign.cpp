@@ -7,6 +7,7 @@
 
 #include "core/trial_executor.hpp"
 #include "inject/injector.hpp"
+#include "minimpi/quarantine.hpp"
 #include "support/error.hpp"
 
 namespace fastfit::core {
@@ -74,14 +75,28 @@ std::pair<std::uint64_t, std::chrono::milliseconds> Campaign::run_golden(
   opts.seed = options_.seed;
   opts.algorithms = options_.algorithms;
   opts.watchdog = watchdog_budget;
-  trace::ContextRegistry contexts(options_.nranks);
+  opts.hang_detection = options_.deterministic_hang_detection;
+  auto contexts = std::make_shared<trace::ContextRegistry>(options_.nranks);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto golden = apps::run_job(*workload_, opts, nullptr, contexts);
+  const auto golden =
+      apps::run_job(*workload_, opts, nullptr, *contexts, {contexts});
   const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - t0);
   if (!golden.world.clean()) {
     throw InternalError("Campaign: golden run failed: " +
                         golden.world.event->message);
+  }
+  // Uninjected runs get the strict leak audit: with no fault to explain
+  // them, a leaked thread, a still-registered region, or a queued message
+  // is a harness bug, full stop.
+  if (golden.world.leaked_threads > 0 || golden.world.leaked_regions > 0 ||
+      golden.world.undelivered_messages > 0) {
+    throw InternalError(
+        "Campaign: golden run leaked (" +
+        std::to_string(golden.world.leaked_threads) + " thread(s), " +
+        std::to_string(golden.world.leaked_regions) + " region(s), " +
+        std::to_string(golden.world.undelivered_messages) +
+        " undelivered message(s))");
   }
   return {golden.digest, wall};
 }
@@ -99,21 +114,33 @@ void Campaign::profile() {
 
   // Profiling run (paper Fig 5 phase 1): same problem as the injection
   // runs, so the features transfer.
-  contexts_ = std::make_unique<trace::ContextRegistry>(options_.nranks);
-  profiler_ = std::make_unique<profile::Profiler>(*contexts_);
+  contexts_ = std::make_shared<trace::ContextRegistry>(options_.nranks);
+  profiler_ = std::make_shared<profile::Profiler>(*contexts_);
   mpi::WorldOptions profile_opts;
   profile_opts.nranks = options_.nranks;
   profile_opts.seed = options_.seed;
   profile_opts.algorithms = options_.algorithms;
   profile_opts.watchdog = options_.watchdog.value_or(30'000ms);
-  const auto profiled =
-      apps::run_job(*workload_, profile_opts, profiler_.get(), *contexts_);
+  profile_opts.hang_detection = options_.deterministic_hang_detection;
+  const auto profiled = apps::run_job(*workload_, profile_opts,
+                                      profiler_.get(), *contexts_,
+                                      {contexts_, profiler_});
   if (!profiled.world.clean()) {
     throw InternalError("Campaign: profiling run failed: " +
                         profiled.world.event->message);
   }
   if (profiled.digest != golden_digest_) {
     throw InternalError("Campaign: profiling run digest diverged");
+  }
+  if (profiled.world.leaked_threads > 0 ||
+      profiled.world.leaked_regions > 0 ||
+      profiled.world.undelivered_messages > 0) {
+    throw InternalError(
+        "Campaign: profiling run leaked (" +
+        std::to_string(profiled.world.leaked_threads) + " thread(s), " +
+        std::to_string(profiled.world.leaked_regions) + " region(s), " +
+        std::to_string(profiled.world.undelivered_messages) +
+        " undelivered message(s))");
   }
 
   enumeration_ = enumerate_points(*profiler_);
@@ -175,12 +202,18 @@ CampaignHealth Campaign::health() const noexcept {
   h.watchdog_confirmations = confirmations_.load(std::memory_order_relaxed);
   h.watchdog_recalibrations = recalibrations_.load(std::memory_order_relaxed);
   h.replayed_trials = replayed_trials_.load(std::memory_order_relaxed);
+  h.deterministic_deadlocks =
+      deterministic_deadlocks_.load(std::memory_order_relaxed);
+  h.quarantined_rank_threads =
+      leaked_threads_total_.load(std::memory_order_relaxed);
+  h.leaked_rank_threads =
+      leaked_threads_outstanding_.load(std::memory_order_relaxed);
   return h;
 }
 
-inject::Outcome Campaign::run_trial(const InjectionPoint& point,
-                                    std::uint64_t trial,
-                                    std::chrono::milliseconds watchdog) {
+inject::TrialForensics Campaign::run_trial(
+    const InjectionPoint& point, std::uint64_t trial,
+    std::chrono::milliseconds watchdog) {
   inject::FaultSpec spec;
   spec.site_id = point.site_id;
   spec.rank = point.rank;
@@ -189,16 +222,45 @@ inject::Outcome Campaign::run_trial(const InjectionPoint& point,
   spec.trial = trial;
   spec.model = options_.fault_model;
 
-  inject::Injector injector(spec, options_.seed);
+  // Heap-owned tool and contexts, handed to the world as keepalives: a
+  // rank thread that has to be quarantined must never dangle into this
+  // frame.
+  auto injector = std::make_shared<inject::Injector>(spec, options_.seed);
   mpi::WorldOptions opts;
   opts.nranks = options_.nranks;
   opts.seed = options_.seed;
   opts.watchdog = watchdog;
   opts.algorithms = options_.algorithms;
-  trace::ContextRegistry contexts(options_.nranks);
-  const auto job = apps::run_job(*workload_, opts, &injector, contexts);
+  opts.hang_detection = options_.deterministic_hang_detection;
+  auto contexts = std::make_shared<trace::ContextRegistry>(options_.nranks);
+  const auto job = apps::run_job(*workload_, opts, injector.get(), *contexts,
+                                 {injector, contexts});
   trials_run_.fetch_add(1, std::memory_order_relaxed);
-  return inject::classify(job.world, job.digest, golden_digest_);
+
+  // Post-trial audit. A quarantined thread is accounted, never retried:
+  // the trial already classified (forced SIM_TIMEOUT), deterministic
+  // seeding means a re-run wedges identically, and the quarantine's
+  // keepalives contain the straggler until the end-of-measure reap — the
+  // max_leaked_threads gate there catches threads that never come back.
+  if (job.world.leaked_threads > 0) {
+    leaked_threads_total_.fetch_add(
+        static_cast<std::uint64_t>(job.world.leaked_threads),
+        std::memory_order_relaxed);
+  } else if (job.world.leaked_regions > 0) {
+    // With every rank thread joined, all RegisteredBuffer destructors have
+    // run; a region still registered is a harness bug, not a fault
+    // consequence. Throw so the guard retries (and eventually quarantines
+    // the point) rather than keep a result from a corrupted registry.
+    throw InternalError("post-trial audit: " +
+                        std::to_string(job.world.leaked_regions) +
+                        " memory region(s) still registered after teardown");
+  }
+  // Undelivered transport messages are deliberately NOT audited here: an
+  // injected run can legitimately succeed with strays queued (a corrupted
+  // root re-routes sends nobody awaits while the digest never sees the
+  // difference). The uninjected golden/profiling runs assert zero.
+  return inject::classify_with_forensics(job.world, job.digest,
+                                         golden_digest_);
 }
 
 Campaign::TrialAttempt Campaign::run_trial_guarded(
@@ -207,7 +269,10 @@ Campaign::TrialAttempt Campaign::run_trial_guarded(
   TrialAttempt attempt;
   for (std::uint32_t tries = 0;; ++tries) {
     try {
-      attempt.outcome = run_trial(point, trial, watchdog);
+      const auto forensics = run_trial(point, trial, watchdog);
+      attempt.outcome = forensics.outcome;
+      attempt.deterministic_hang = forensics.deterministic_hang;
+      attempt.autopsy = forensics.autopsy;
       attempt.ok = true;
       return attempt;
     } catch (const std::exception& e) {
@@ -251,6 +316,13 @@ std::vector<PointResult> Campaign::measure_impl(
                                          std::vector<int>(trials, kPending));
   std::vector<std::vector<std::uint8_t>> replayed(
       points.size(), std::vector<std::uint8_t>(trials, 0));
+  // Forensics per (point, trial): whether an INF_LOOP was proven
+  // deterministically (skips escalated re-confirmation) and the world
+  // autopsy carried into the journal and point stats.
+  std::vector<std::vector<std::uint8_t>> deterministic(
+      points.size(), std::vector<std::uint8_t>(trials, 0));
+  std::vector<std::vector<std::string>> autopsies(
+      points.size(), std::vector<std::string>(trials));
 
   // Per-point supervision state. deque: stable addresses, no moves — the
   // elements hold atomics.
@@ -289,7 +361,7 @@ std::vector<PointResult> Campaign::measure_impl(
       for (std::uint32_t t = 0; t < trials; ++t) {
         if (outcomes[i][t] != kPending) continue;
         executor.submit([this, &outcomes, &state, &points, &fresh,
-                         &fresh_timeouts, i, t] {
+                         &fresh_timeouts, &deterministic, &autopsies, i, t] {
           auto& st = state[i];
           if (st.quarantined.load(std::memory_order_acquire)) {
             outcomes[i][t] = kSkipped;
@@ -308,8 +380,18 @@ std::vector<PointResult> Campaign::measure_impl(
           }
           fresh.fetch_add(1, std::memory_order_relaxed);
           if (attempt.outcome == inject::Outcome::InfLoop) {
-            fresh_timeouts.fetch_add(1, std::memory_order_relaxed);
+            if (attempt.deterministic_hang) {
+              // Proven structural deadlock: load-independent, so it
+              // neither feeds the storm heuristic nor needs an escalated
+              // re-confirmation.
+              deterministic[i][t] = 1;
+              deterministic_deadlocks_.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            } else {
+              fresh_timeouts.fetch_add(1, std::memory_order_relaxed);
+            }
           }
+          autopsies[i][t] = attempt.autopsy;
           outcomes[i][t] = static_cast<int>(attempt.outcome);
         });
       }
@@ -348,11 +430,13 @@ std::vector<PointResult> Campaign::measure_impl(
   // runs time out again (same INF_LOOP), so classification is identical
   // at every parallelism level. Journal-replayed INF_LOOPs were already
   // confirmed when first recorded.
+  // Deterministic verdicts skip this entirely: the monitor *proved* the
+  // deadlock structurally, so contention cannot have caused it.
   const auto escalated = watchdog_ * options_.watchdog_escalation;
   for (std::size_t i = 0; i < points.size(); ++i) {
     for (std::uint32_t t = 0; t < trials; ++t) {
       if (outcomes[i][t] != static_cast<int>(inject::Outcome::InfLoop) ||
-          replayed[i][t]) {
+          replayed[i][t] || deterministic[i][t]) {
         continue;
       }
       const auto attempt = run_trial_guarded(points[i], t, escalated);
@@ -372,8 +456,12 @@ std::vector<PointResult> Campaign::measure_impl(
       const int o = outcomes[i][t];
       if (o < 0) continue;  // skipped after quarantine
       results[i].record(static_cast<inject::Outcome>(o));
+      if (!autopsies[i][t].empty()) {
+        results[i].exec.last_autopsy = autopsies[i][t];
+      }
       if (journal_ && !replayed[i][t]) {
-        journal_->record_trial(keys[i], t, static_cast<inject::Outcome>(o));
+        journal_->record_trial(keys[i], t, static_cast<inject::Outcome>(o),
+                               deterministic[i][t] != 0, autopsies[i][t]);
       }
     }
     results[i].exec.retries = st.retries.load(std::memory_order_relaxed);
@@ -389,6 +477,22 @@ std::vector<PointResult> Campaign::measure_impl(
     }
   }
   if (journal_) journal_->flush();
+
+  // Leak accounting: reap quarantined threads that have since finished
+  // (a faulted compute loop only notices poison at its next MPI call, so
+  // most stragglers exit on their own), publish what is still running,
+  // and fail the measure once *live* leaks exceed the budget — a wedged
+  // rank thread is contained, never ignored.
+  const auto outstanding = mpi::ThreadQuarantine::instance().reap();
+  leaked_threads_outstanding_.store(static_cast<std::uint64_t>(outstanding),
+                                    std::memory_order_relaxed);
+  if (outstanding > options_.max_leaked_threads) {
+    throw InternalError(
+        "campaign has " + std::to_string(outstanding) +
+        " rank threads still running in quarantine after reap "
+        "(max_leaked_threads = " +
+        std::to_string(options_.max_leaked_threads) + ")");
+  }
   return results;
 }
 

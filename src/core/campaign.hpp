@@ -67,8 +67,22 @@ struct CampaignOptions {
   /// trials hit the watchdog, the machine is assumed overloaded: the
   /// campaign re-measures the golden wall time, recalibrates the
   /// watchdog, and halves trial parallelism instead of mass-classifying
-  /// INF_LOOP. Must be in (0, 1].
+  /// INF_LOOP. Must be in (0, 1]. Only *non-deterministic* timeouts count
+  /// toward the storm: proven deadlocks are load-independent.
   double watchdog_storm_fraction = 0.5;
+  /// Deterministic hang detection (FASTFIT_HANG_DETECTION): run the
+  /// MiniMPI progress monitor in every injected world, so structural
+  /// deadlocks classify INF_LOOP in milliseconds and skip the escalated
+  /// re-confirmation. Off = watchdog/escalation path for every hang.
+  bool deterministic_hang_detection = true;
+  /// Leak-proof teardown budget (FASTFIT_MAX_LEAKED_THREADS): a rank
+  /// thread that survives the escalated world teardown is quarantined
+  /// (with keepalives, so it can never dangle) and reaped once it exits —
+  /// e.g. an injected compute loop that only notices poison at its next
+  /// MPI call. If, after the end-of-measure reap, more than this many
+  /// threads are *still running* in quarantine, measure() fails with
+  /// InternalError instead of letting wedged threads accumulate.
+  std::size_t max_leaked_threads = 8;
 };
 
 /// Supervision record of one point's execution (not part of the paper's
@@ -77,6 +91,9 @@ struct ExecStats {
   std::uint32_t retries = 0;  ///< internal-error retries consumed
   bool quarantined = false;   ///< the trial guard gave up on this point
   std::string last_error;     ///< what() of the last internal error
+  /// World autopsy of the point's most recent non-SUCCESS trial (one-line
+  /// summary: verdict + per-rank phase counts).
+  std::string last_autopsy;
 };
 
 /// Statistics of one injection point over its trials.
@@ -106,10 +123,16 @@ struct CampaignHealth {
   std::uint64_t watchdog_confirmations = 0;  ///< escalated INF_LOOP re-runs
   std::uint64_t watchdog_recalibrations = 0; ///< storm-triggered recalibrations
   std::uint64_t replayed_trials = 0;         ///< trials served from the journal
+  std::uint64_t deterministic_deadlocks = 0; ///< monitor-proven INF_LOOPs
+  std::uint64_t quarantined_rank_threads = 0; ///< threads ever quarantined
+  std::uint64_t leaked_rank_threads = 0;     ///< quarantined threads still running
 
-  /// True when no point was quarantined (retries and confirmations are
-  /// routine; quarantine means lost coverage).
-  bool clean() const noexcept { return quarantined_points == 0; }
+  /// True when no point was quarantined and no rank thread is still
+  /// leaked (retries, confirmations, and deterministic verdicts are
+  /// routine; quarantine and leaks mean lost coverage or held resources).
+  bool clean() const noexcept {
+    return quarantined_points == 0 && leaked_rank_threads == 0;
+  }
 };
 
 /// Journal attachment mode (see Campaign::attach_journal).
@@ -207,8 +230,10 @@ class Campaign {
   bool profiled_ = false;
   std::uint64_t golden_digest_ = 0;
   std::chrono::milliseconds watchdog_{0};
-  std::unique_ptr<trace::ContextRegistry> contexts_;
-  std::unique_ptr<profile::Profiler> profiler_;
+  // shared_ptr: the profiling world holds these as keepalives so even a
+  // quarantined rank thread from the profiling run stays memory-safe.
+  std::shared_ptr<trace::ContextRegistry> contexts_;
+  std::shared_ptr<profile::Profiler> profiler_;
   Enumeration enumeration_;
   std::unique_ptr<TrialJournal> journal_;
   std::atomic<std::uint64_t> trials_run_{0};
@@ -217,18 +242,33 @@ class Campaign {
   std::atomic<std::uint64_t> confirmations_{0};
   std::atomic<std::uint64_t> recalibrations_{0};
   std::atomic<std::uint64_t> replayed_trials_{0};
+  std::atomic<std::uint64_t> deterministic_deadlocks_{0};
+  std::atomic<std::uint64_t> leaked_threads_total_{0};
+  std::atomic<std::uint64_t> leaked_threads_outstanding_{0};
   std::atomic<int> measuring_{0};
 
   /// One injected execution: fresh Injector + World + ContextRegistry.
   /// Thread-safe after profile(): touches only immutable campaign state.
-  inject::Outcome run_trial(const InjectionPoint& point, std::uint64_t trial,
-                            std::chrono::milliseconds watchdog);
+  /// Performs the post-trial audit: a fully torn-down world that left
+  /// memory regions registered is a harness bug and throws InternalError
+  /// so the guard retries it. Quarantined threads are *accounted*, not
+  /// retried — a re-run of the same deterministic trial would wedge the
+  /// same way, and the campaign-level reap gate (max_leaked_threads)
+  /// catches threads that never come back. Stray undelivered messages are
+  /// a legitimate fault consequence (e.g. a corrupted root re-routes
+  /// sends nobody awaits), so only the uninjected golden/profiling runs
+  /// assert on them.
+  inject::TrialForensics run_trial(const InjectionPoint& point,
+                                   std::uint64_t trial,
+                                   std::chrono::milliseconds watchdog);
 
   /// Supervised execution of one trial: retries internal (non-fault)
   /// failures with exponential backoff up to max_trial_retries.
   struct TrialAttempt {
     bool ok = false;
     inject::Outcome outcome{};
+    bool deterministic_hang = false;
+    std::string autopsy;
     std::uint32_t retries = 0;
     std::string error;
   };

@@ -328,7 +328,8 @@ std::optional<inject::Outcome> TrialJournal::lookup(
 }
 
 void TrialJournal::record_trial(const std::string& key, std::uint64_t trial,
-                                inject::Outcome outcome) {
+                                inject::Outcome outcome, bool deterministic,
+                                const std::string& autopsy) {
   std::lock_guard lock(mutex_);
   auto& slots = trials_[key];
   if (trial >= slots.size()) slots.resize(trial + 1, -1);
@@ -336,7 +337,13 @@ void TrialJournal::record_trial(const std::string& key, std::uint64_t trial,
   slots[trial] = static_cast<std::int16_t>(outcome);
   std::ostringstream line;
   line << "{\"t\":\"trial\",\"p\":\"" << json_escape(key) << "\",\"i\":"
-       << trial << ",\"o\":" << static_cast<int>(outcome) << '}';
+       << trial << ",\"o\":" << static_cast<int>(outcome);
+  // Forensic fields ("d", "a"): audit-trail only. Replay reads just
+  // (p, i, o), and parse_flat_object tolerates unknown keys, so older
+  // and newer journals interleave freely.
+  if (deterministic) line << ",\"d\":1";
+  if (!autopsy.empty()) line << ",\"a\":\"" << json_escape(autopsy) << '"';
+  line << '}';
   append_line(line.str());
 }
 

@@ -148,9 +148,15 @@ std::string render_level_table(
 
 std::string render_health(const CampaignHealth& health) {
   std::ostringstream out;
-  out << "Campaign health: "
-      << (health.clean() ? "clean" : "completed with quarantined points")
-      << '\n';
+  out << "Campaign health: ";
+  if (health.clean()) {
+    out << "clean";
+  } else if (health.leaked_rank_threads > 0) {
+    out << "completed with leaked rank threads";
+  } else {
+    out << "completed with quarantined points";
+  }
+  out << '\n';
   if (health.replayed_trials > 0) {
     out << "  trials replayed from journal: " << health.replayed_trials
         << '\n';
@@ -169,6 +175,15 @@ std::string render_health(const CampaignHealth& health) {
   if (health.watchdog_recalibrations > 0) {
     out << "  watchdog recalibrations:      " << health.watchdog_recalibrations
         << '\n';
+  }
+  if (health.deterministic_deadlocks > 0) {
+    out << "  deterministic deadlocks:      " << health.deterministic_deadlocks
+        << '\n';
+  }
+  if (health.quarantined_rank_threads > 0) {
+    out << "  rank threads quarantined:     "
+        << health.quarantined_rank_threads << " ("
+        << health.leaked_rank_threads << " still running)\n";
   }
   return out.str();
 }

@@ -36,4 +36,22 @@ Outcome classify(const mpi::WorldResult& result, std::uint64_t trial_digest,
   return trial_digest == golden_digest ? Outcome::Success : Outcome::WrongAns;
 }
 
+TrialForensics classify_with_forensics(const mpi::WorldResult& result,
+                                       std::uint64_t trial_digest,
+                                       std::uint64_t golden_digest) {
+  TrialForensics forensics;
+  forensics.outcome = classify(result, trial_digest, golden_digest);
+  if (forensics.outcome == Outcome::Success) return forensics;
+  if (result.autopsy) {
+    forensics.autopsy = result.autopsy->summary();
+    forensics.deterministic_hang = result.autopsy->deterministic &&
+                                   forensics.outcome == Outcome::InfLoop;
+  } else if (result.event) {
+    forensics.autopsy = result.event->message;
+  } else {
+    forensics.autopsy = "clean run, digest mismatch vs golden";
+  }
+  return forensics;
+}
+
 }  // namespace fastfit::inject

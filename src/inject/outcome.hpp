@@ -41,4 +41,22 @@ constexpr bool is_error(Outcome outcome) noexcept {
 Outcome classify(const mpi::WorldResult& result, std::uint64_t trial_digest,
                  std::uint64_t golden_digest) noexcept;
 
+/// A trial's outcome plus the forensic context that travels with every
+/// non-SUCCESS classification into campaign reports and the journal.
+struct TrialForensics {
+  Outcome outcome = Outcome::Success;
+  /// True when the INF_LOOP was *proven* by the hang monitor (structural
+  /// deadlock) rather than inferred from the watchdog deadline — the
+  /// campaign layer skips escalated re-confirmation for these.
+  bool deterministic_hang = false;
+  /// One-line world autopsy (per-rank phase counts + verdict); empty for
+  /// SUCCESS.
+  std::string autopsy;
+};
+
+/// classify() plus autopsy extraction from the world result.
+TrialForensics classify_with_forensics(const mpi::WorldResult& result,
+                                       std::uint64_t trial_digest,
+                                       std::uint64_t golden_digest);
+
 }  // namespace fastfit::inject

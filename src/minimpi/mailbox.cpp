@@ -47,11 +47,25 @@ Message Mailbox::receive(int source, std::uint64_t tag,
   }
 }
 
-void Mailbox::wake() { cv_.notify_all(); }
+void Mailbox::wake() {
+  // Serialize with receive(): holding mutex_ here means a waiter is either
+  // before its poison check (it will see the flag) or already parked in
+  // wait_until (it will get this notification). A bare notify could fire
+  // in the gap between the two and be lost.
+  std::lock_guard lock(mutex_);
+  cv_.notify_all();
+}
 
 std::size_t Mailbox::pending() const {
   std::lock_guard lock(mutex_);
   return queue_.size();
+}
+
+bool Mailbox::has_match(int source, std::uint64_t tag) const {
+  std::lock_guard lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return m.source == source && m.tag == tag;
+  });
 }
 
 }  // namespace fastfit::mpi

@@ -59,11 +59,20 @@ class Mailbox {
   Message receive(int source, std::uint64_t tag,
                   std::chrono::steady_clock::time_point deadline);
 
-  /// Number of queued (unmatched) messages; used by tests.
+  /// Number of queued (unmatched) messages; used by tests and the
+  /// post-trial transport audit.
   std::size_t pending() const;
 
+  /// Whether a message matching (source, tag) is queued right now. Used
+  /// by the hang monitor: a blocked rank whose awaited message is already
+  /// here is about to make progress, so the world is not deadlocked.
+  bool has_match(int source, std::uint64_t tag) const;
+
   /// Wakes any waiter so it can observe the poison flag. Called by the
-  /// world during teardown.
+  /// world during teardown. Takes the mailbox mutex before notifying so
+  /// the wake cannot slip between a waiter's poison check and its entry
+  /// into the timed wait (that window would otherwise swallow the only
+  /// notification and leave the waiter parked for the full watchdog).
   void wake();
 
  private:

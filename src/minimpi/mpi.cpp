@@ -31,10 +31,24 @@ std::uint32_t site_hash(const std::source_location& loc,
   return static_cast<std::uint32_t>(fnv1a(key.str()));
 }
 
+// Restores a rank's progress phase to Computing when a mailbox wait ends,
+// however it ends (matched, timed out, aborted, truncated).
+class WaitScope {
+ public:
+  WaitScope(ProgressTable& table, int rank) : table_(&table), rank_(rank) {}
+  ~WaitScope() { table_->publish_resume(rank_); }
+  WaitScope(const WaitScope&) = delete;
+  WaitScope& operator=(const WaitScope&) = delete;
+
+ private:
+  ProgressTable* table_;
+  int rank_;
+};
+
 }  // namespace
 
-Mpi::Mpi(World& world, int world_rank)
-    : world_(&world), world_rank_(world_rank) {}
+Mpi::Mpi(std::shared_ptr<WorldState> state, int world_rank)
+    : world_(std::move(state)), world_rank_(world_rank) {}
 
 int Mpi::rank(Comm comm) const {
   const int r = world_->comm_rank_of(comm, world_rank_);
@@ -49,12 +63,32 @@ int Mpi::size(Comm comm) const {
 }
 
 void Mpi::check_deadline() {
+  // The heartbeat tells the hang monitor this rank is alive in a compute
+  // loop: genuine livelock therefore never triggers a deterministic
+  // verdict and falls through to the watchdog below.
+  world_->progress().bump(world_rank_);
   if (world_->poisoned()) {
-    throw WorldAborted("compute loop interrupted by world teardown");
+    throw WorldAborted("rank " + std::to_string(world_rank_) +
+                       ": compute loop interrupted by world teardown");
   }
   if (std::chrono::steady_clock::now() > world_->deadline()) {
-    throw SimTimeout("compute loop exceeded the watchdog (job hang)");
+    throw SimTimeout("rank " + std::to_string(world_rank_) +
+                     ": compute loop exceeded the watchdog (job hang)");
   }
+}
+
+void Mpi::publish_op(const char* op, Comm comm, std::uint32_t seq, int root) {
+  PendingSig sig;
+  sig.op = op;
+  sig.comm = raw(comm);
+  sig.seq = seq;
+  sig.root = root;
+  if (stack_probe_) {
+    StackProbe probe = stack_probe_();
+    sig.stack_id = probe.stack_id;
+    sig.frame = std::move(probe.frame);
+  }
+  world_->progress().publish_op(world_rank_, sig);
 }
 
 std::uint64_t Mpi::coll_tag(Comm comm, std::uint32_t seq,
@@ -80,6 +114,10 @@ void Mpi::send_internal(Comm comm, int dest, std::uint64_t tag,
   message.source = world_->comm_rank_of(comm, world_rank_);
   message.tag = tag;
   message.payload = std::move(payload);
+  // Heartbeat strictly before the deliver: the hang monitor may only
+  // declare a deadlock on two identical snapshots, so a send that is
+  // about to land always invalidates the snapshot it raced with.
+  world_->progress().bump(world_rank_);
   world_->mailbox(members[static_cast<std::size_t>(dest)])
       .deliver(std::move(message));
 }
@@ -93,9 +131,24 @@ std::vector<std::byte> Mpi::recv_internal(Comm comm, int source,
                        " outside communicator of size " +
                        std::to_string(members.size()));
   }
-  Message message = world_->mailbox(world_rank_).receive(source, tag,
-                                                         world_->deadline());
-  return std::move(message.payload);
+  // Publish the wait so the monitor can check whether the awaited
+  // (source, tag) can still arrive; restore Computing however we leave.
+  world_->progress().publish_wait(
+      world_rank_, source, members[static_cast<std::size_t>(source)], tag);
+  WaitScope scope(world_->progress(), world_rank_);
+  try {
+    Message message = world_->mailbox(world_rank_).receive(source, tag,
+                                                           world_->deadline());
+    return std::move(message.payload);
+  } catch (const SimTimeout& timeout) {
+    throw SimTimeout("rank " + std::to_string(world_rank_) + " blocked in " +
+                     world_->progress().snapshot(world_rank_).sig.describe() +
+                     ": " + timeout.what());
+  } catch (const WorldAborted& aborted) {
+    throw WorldAborted("rank " + std::to_string(world_rank_) + " blocked in " +
+                       world_->progress().snapshot(world_rank_).sig.describe() +
+                       ": " + aborted.what());
+  }
 }
 
 std::vector<std::byte> Mpi::pack(const void* ptr, std::size_t bytes,
@@ -127,6 +180,8 @@ void Mpi::dispatch_p2p(P2pCall& call, std::source_location loc) {
   }
   call.invocation = invocations_[call.site_id]++;
   call.rank = world_->comm_rank_of(call.comm, world_rank_);
+  publish_op(to_string(call.kind), call.comm,
+             static_cast<std::uint32_t>(call.invocation), -1);
   if (ToolHooks* tools = world_->tools()) {
     tools->on_p2p(call, *this);
   }
@@ -290,6 +345,9 @@ void Mpi::dispatch(CollectiveCall& call, std::source_location loc) {
     // conceptually consumed its slot there.
     coll_seq_[pre_comm]++;
   }
+
+  publish_op(to_string(call.kind), call.comm, seq,
+             is_rooted(call.kind) ? static_cast<int>(call.root) : -1);
 
   run_algorithm(call, seq);
 
@@ -577,6 +635,7 @@ Comm Mpi::comm_split(Comm parent, int color, int key) {
   std::vector<Entry> entries(static_cast<std::size_t>(n));
   entries[static_cast<std::size_t>(me)] = {color, key, world_rank_};
   const std::uint32_t seq = coll_seq_[raw(parent)]++;
+  publish_op("MPI_Comm_split", parent, seq, -1);
   const int right = (me + 1) % n;
   const int left = (me - 1 + n) % n;
   int have = me;

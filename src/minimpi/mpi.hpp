@@ -19,10 +19,14 @@
 // matching the paper's call-site granularity.
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <source_location>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "minimpi/datatype.hpp"
@@ -59,9 +63,11 @@ class ScopedRegistration {
 
 class Mpi {
  public:
-  Mpi(World& world, int world_rank);
+  /// A facade binds to the shared WorldState (not the World handle) so a
+  /// quarantined rank thread keeps a valid view of its world even after
+  /// World::run returned.
+  Mpi(std::shared_ptr<WorldState> state, int world_rank);
 
-  World& world() noexcept { return *world_; }
   int world_rank() const noexcept { return world_rank_; }
 
   /// Rank of this process in `comm` (-1 never escapes: non-membership
@@ -73,8 +79,23 @@ class Mpi {
 
   /// Cooperative watchdog check for application compute loops; throws
   /// SimTimeout past the deadline and WorldAborted once the world is
-  /// poisoned. Workloads call this once per outer iteration.
+  /// poisoned. Workloads call this once per outer iteration. Also bumps
+  /// this rank's heartbeat, so a compute loop reads as live progress to
+  /// the hang monitor (livelock keeps the timeout path).
   void check_deadline();
+
+  /// Shadow-stack probe: where this rank is in application terms. The
+  /// trial runner installs one per rank (backed by the rank's trace
+  /// context); its result is folded into the pending-op signature that
+  /// hang verdicts and autopsies report. Must only be called from this
+  /// rank's own thread.
+  struct StackProbe {
+    std::uint64_t stack_id = 0;
+    std::string frame;  ///< innermost shadow frame name
+  };
+  void set_stack_probe(std::function<StackProbe()> probe) {
+    stack_probe_ = std::move(probe);
+  }
 
   // --- point-to-point ----------------------------------------------------
 
@@ -285,8 +306,14 @@ class Mpi {
   void run_reduce_scatter_block(const CollectiveCall& call, std::uint32_t seq);
   void run_scan(const CollectiveCall& call, std::uint32_t seq);
 
-  World* world_;
+  /// Publishes the pending-op signature for the operation this rank is
+  /// entering (op name, comm, seq, root, shadow frame) to the progress
+  /// table.
+  void publish_op(const char* op, Comm comm, std::uint32_t seq, int root);
+
+  std::shared_ptr<WorldState> world_;
   int world_rank_;
+  std::function<StackProbe()> stack_probe_;
   /// Per-communicator collective sequence numbers (lockstep across ranks
   /// in fault-free execution; divergence surfaces as unmatched traffic).
   std::map<RawHandle, std::uint32_t> coll_seq_;

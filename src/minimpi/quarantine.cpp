@@ -1,0 +1,52 @@
+#include "minimpi/quarantine.hpp"
+
+#include <utility>
+
+namespace fastfit::mpi {
+
+ThreadQuarantine& ThreadQuarantine::instance() {
+  static ThreadQuarantine quarantine;
+  return quarantine;
+}
+
+void ThreadQuarantine::adopt(std::thread thread,
+                             std::shared_ptr<void> keepalive,
+                             const std::atomic<bool>* done) {
+  std::lock_guard lock(mutex_);
+  entries_.push_back(Entry{std::move(thread), std::move(keepalive), done});
+  adopted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t ThreadQuarantine::reap() {
+  std::lock_guard lock(mutex_);
+  std::vector<Entry> still_leaked;
+  for (auto& entry : entries_) {
+    if (entry.done != nullptr &&
+        entry.done->load(std::memory_order_acquire)) {
+      entry.thread.join();
+    } else {
+      still_leaked.push_back(std::move(entry));
+    }
+  }
+  entries_ = std::move(still_leaked);
+  return entries_.size();
+}
+
+ThreadQuarantine::~ThreadQuarantine() {
+  // Process exit with threads still wedged: detach them and deliberately
+  // leak their keepalives — tearing down state under a running thread
+  // would be a use-after-free, and the process is going away regardless.
+  std::lock_guard lock(mutex_);
+  for (auto& entry : entries_) {
+    if (entry.done != nullptr &&
+        entry.done->load(std::memory_order_acquire)) {
+      entry.thread.join();
+      continue;
+    }
+    entry.thread.detach();
+    new std::shared_ptr<void>(std::move(entry.keepalive));  // intentional leak
+  }
+  entries_.clear();
+}
+
+}  // namespace fastfit::mpi

@@ -1,0 +1,69 @@
+#pragma once
+
+// Quarantine for rank threads that outlive their world's teardown.
+//
+// World::run joins its rank threads with a bounded deadline. A thread
+// that is still running after the escalated teardown (second poison +
+// mailbox wake storm) is *quarantined*: ownership of the std::thread and
+// a keepalive of everything the thread can still touch move here, and
+// World::run returns with the leak recorded in WorldResult instead of
+// blocking the whole campaign behind one wedged rank. The campaign layer
+// counts quarantined threads (CampaignHealth::leaked_rank_threads) and
+// fails the run once they accumulate past CampaignOptions::
+// max_leaked_threads — a leak is contained, never ignored.
+//
+// reap() opportunistically joins quarantined threads that have since
+// finished, so a transiently-stuck rank costs nothing durable.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fastfit::mpi {
+
+class ThreadQuarantine {
+ public:
+  /// Process-wide instance (worlds from every concurrent trial share it).
+  static ThreadQuarantine& instance();
+
+  /// Takes ownership of a straggler. `keepalive` must own every object
+  /// the thread can still reference; `done` must point into keepalive-
+  /// owned storage and become true when the thread is about to return.
+  void adopt(std::thread thread, std::shared_ptr<void> keepalive,
+             const std::atomic<bool>* done);
+
+  /// Joins every quarantined thread that has finished; returns how many
+  /// remain leaked (still running).
+  std::size_t reap();
+
+  /// Currently-leaked count (reaps first).
+  std::size_t leaked() { return reap(); }
+
+  /// Total threads ever adopted (monotonic; for reports and tests).
+  std::uint64_t adopted_total() const noexcept {
+    return adopted_.load(std::memory_order_relaxed);
+  }
+
+  ThreadQuarantine(const ThreadQuarantine&) = delete;
+  ThreadQuarantine& operator=(const ThreadQuarantine&) = delete;
+
+ private:
+  ThreadQuarantine() = default;
+  ~ThreadQuarantine();
+
+  struct Entry {
+    std::thread thread;
+    std::shared_ptr<void> keepalive;
+    const std::atomic<bool>* done = nullptr;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::atomic<std::uint64_t> adopted_{0};
+};
+
+}  // namespace fastfit::mpi

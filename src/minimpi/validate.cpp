@@ -48,7 +48,7 @@ void require_counts_array(const std::vector<std::int32_t>* counts,
 
 }  // namespace
 
-void validate_collective(const CollectiveCall& call, World& world,
+void validate_collective(const CollectiveCall& call, WorldState& world,
                          int world_rank) {
   // Communicator first: nothing else can be interpreted without it.
   const auto& members = world.group_of(call.comm);  // throws InvalidComm

@@ -16,7 +16,7 @@ namespace fastfit::mpi {
 /// MpiError on the first violation. Significance rules follow MPI: e.g.
 /// gather's recvcount/recvtype are validated only at the root, so a flip
 /// in a parameter this rank never reads is (correctly) harmless.
-void validate_collective(const CollectiveCall& call, World& world,
+void validate_collective(const CollectiveCall& call, WorldState& world,
                          int world_rank);
 
 }  // namespace fastfit::mpi

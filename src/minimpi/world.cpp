@@ -5,10 +5,25 @@
 #include <new>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "minimpi/mpi.hpp"
+#include "minimpi/quarantine.hpp"
 
 namespace fastfit::mpi {
+namespace {
+
+// Monitor poll period. Two identical consecutive snapshots this far apart
+// (with no satisfiable wait) prove the deadlock; total time-to-verdict is
+// therefore a couple of milliseconds regardless of the watchdog budget.
+constexpr std::chrono::milliseconds kMonitorPoll{1};
+
+// Extra join budget past the watchdog deadline before teardown escalates,
+// and again before a straggler is quarantined. Generous relative to the
+// cost of unwinding a poisoned rank, tiny relative to a wedged campaign.
+constexpr std::chrono::milliseconds kJoinGrace{1000};
+
+}  // namespace
 
 const char* to_string(EventType type) noexcept {
   switch (type) {
@@ -20,7 +35,9 @@ const char* to_string(EventType type) noexcept {
   return "UNKNOWN";
 }
 
-World::World(WorldOptions options) : options_(options) {
+WorldState::WorldState(const WorldOptions& options)
+    : options_(options),
+      progress_(options.nranks >= 1 ? options.nranks : 1) {
   if (options_.nranks < 1) {
     throw ConfigError("World: nranks must be at least 1");
   }
@@ -30,6 +47,11 @@ World::World(WorldOptions options) : options_(options) {
     mailboxes_.push_back(std::make_unique<Mailbox>(poison_));
     registries_.push_back(std::make_unique<MemoryRegistry>());
   }
+  done_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(options_.nranks));
+  for (int r = 0; r < options_.nranks; ++r) {
+    done_[static_cast<std::size_t>(r)].store(false, std::memory_order_relaxed);
+  }
   std::vector<int> everyone(static_cast<std::size_t>(options_.nranks));
   for (int r = 0; r < options_.nranks; ++r) {
     everyone[static_cast<std::size_t>(r)] = r;
@@ -38,22 +60,30 @@ World::World(WorldOptions options) : options_(options) {
   comm_keys_.emplace("world", 0);
 }
 
-World::~World() = default;
-
-Mailbox& World::mailbox(int world_rank) {
+Mailbox& WorldState::mailbox(int world_rank) {
   return *mailboxes_.at(static_cast<std::size_t>(world_rank));
 }
 
-MemoryRegistry& World::registry(int world_rank) {
+MemoryRegistry& WorldState::registry(int world_rank) {
   return *registries_.at(static_cast<std::size_t>(world_rank));
 }
 
-bool World::poisoned() {
+bool WorldState::poisoned() {
   std::lock_guard lock(poison_.mutex);
   return poison_.poisoned;
 }
 
-void World::report_event(int rank, const FaultEvent& event) {
+void WorldState::poison_and_wake() {
+  poison_.poison();
+  for (auto& mailbox : mailboxes_) mailbox->wake();
+}
+
+void WorldState::report_event(int rank, const FaultEvent& event) {
+  capture_event(rank, event, std::nullopt);
+}
+
+void WorldState::capture_event(int rank, const FaultEvent& event,
+                               std::optional<WorldAutopsy> autopsy) {
   {
     std::lock_guard lock(event_mutex_);
     if (!event_) {
@@ -75,13 +105,17 @@ void World::report_event(int rank, const FaultEvent& event) {
                             event.what());
       }
       event_ = std::move(captured);
+      // Attach forensics at poison time: either the monitor's verdicted
+      // snapshot, or a live snapshot of the progress table as-is.
+      autopsy_ = autopsy ? std::move(autopsy)
+                         : build_autopsy(progress_, false, event.what());
     }
   }
-  poison_.poison();
-  for (auto& mailbox : mailboxes_) mailbox->wake();
+  poison_and_wake();
 }
 
-Comm World::register_comm(const std::string& key, std::vector<int> members) {
+Comm WorldState::register_comm(const std::string& key,
+                               std::vector<int> members) {
   if (members.empty()) {
     throw InternalError("register_comm: empty member list");
   }
@@ -106,7 +140,7 @@ Comm World::register_comm(const std::string& key, std::vector<int> members) {
   return make_comm(index);
 }
 
-const std::vector<int>& World::group_of(Comm comm) const {
+const std::vector<int>& WorldState::group_of(Comm comm) const {
   const RawHandle h = raw(comm);
   std::lock_guard lock(comm_mutex_);
   if (!has_magic(h, kCommMagic) || handle_index(h) >= comms_.size()) {
@@ -115,62 +149,273 @@ const std::vector<int>& World::group_of(Comm comm) const {
   return comms_[handle_index(h)].members;
 }
 
-int World::comm_rank_of(Comm comm, int world_rank) const {
+int WorldState::comm_rank_of(Comm comm, int world_rank) const {
   const auto& members = group_of(comm);
   const auto it = std::find(members.begin(), members.end(), world_rank);
   if (it == members.end()) return -1;
   return static_cast<int>(it - members.begin());
 }
 
+void WorldState::mark_done(int rank) {
+  done_[static_cast<std::size_t>(rank)].store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(join_mutex_);
+    ++finished_;
+  }
+  join_cv_.notify_all();
+}
+
+bool WorldState::wait_all_done_until(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lock(join_mutex_);
+  return join_cv_.wait_until(lock, deadline,
+                             [&] { return finished_ == options_.nranks; });
+}
+
+void WorldState::stop_monitor() {
+  {
+    std::lock_guard lock(monitor_mutex_);
+    monitor_stop_ = true;
+  }
+  monitor_cv_.notify_all();
+}
+
+void WorldState::monitor_loop() {
+  std::vector<RankSnapshot> prev;
+  bool have_prev = false;
+  for (;;) {
+    {
+      std::unique_lock lock(monitor_mutex_);
+      monitor_cv_.wait_for(lock, kMonitorPoll, [&] { return monitor_stop_; });
+      if (monitor_stop_) return;
+    }
+    if (poisoned()) return;  // an event beat us to it; nothing left to prove
+    if (scan_for_deadlock(prev, have_prev)) return;
+  }
+}
+
+bool WorldState::scan_for_deadlock(std::vector<RankSnapshot>& prev,
+                                   bool& have_prev) {
+  auto snaps = progress_.snapshot_all();
+
+  // Any rank still computing can deliver a message or reach the watchdog
+  // on its own: not a deadlock (this is exactly the livelock case that
+  // must keep the timeout fallback).
+  bool any_blocked = false;
+  for (const auto& snap : snaps) {
+    if (snap.phase == RankPhase::Computing) {
+      have_prev = false;
+      return false;
+    }
+    if (snap.phase == RankPhase::Blocked) any_blocked = true;
+  }
+  if (!any_blocked) {  // everyone exited; run() will wrap up
+    have_prev = false;
+    return false;
+  }
+
+  // A blocked rank whose awaited (source, tag) is already queued is about
+  // to wake up and make progress.
+  for (int r = 0; r < static_cast<int>(snaps.size()); ++r) {
+    const auto& snap = snaps[static_cast<std::size_t>(r)];
+    if (snap.phase != RankPhase::Blocked) continue;
+    if (!snap.has_op || snap.sig.wait_source < 0) {
+      have_prev = false;  // wait not yet fully published; come back later
+      return false;
+    }
+    if (mailbox(r).has_match(snap.sig.wait_source, snap.sig.wait_tag)) {
+      have_prev = false;
+      return false;
+    }
+  }
+
+  // Require two identical snapshots one poll apart. Heartbeats advance
+  // before every deliver and on every phase change, so a stable snapshot
+  // rules out an in-flight send that the phase check raced past.
+  if (have_prev && prev.size() == snaps.size()) {
+    bool stable = true;
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      if (snaps[i].phase != prev[i].phase ||
+          snaps[i].heartbeat != prev[i].heartbeat) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) {
+      declare_deadlock(snaps);
+      return true;
+    }
+  }
+  prev = std::move(snaps);
+  have_prev = true;
+  return false;
+}
+
+void WorldState::declare_deadlock(const std::vector<RankSnapshot>& snaps) {
+  const std::string verdict = analyze_deadlock(snaps);
+
+  WorldAutopsy autopsy;
+  autopsy.deterministic = true;
+  autopsy.verdict = verdict;
+  autopsy.ranks.reserve(snaps.size());
+  int reporter = -1;
+  for (int r = 0; r < static_cast<int>(snaps.size()); ++r) {
+    const auto& snap = snaps[static_cast<std::size_t>(r)];
+    RankAutopsy entry;
+    entry.rank = r;
+    entry.phase = snap.phase;
+    entry.heartbeat = snap.heartbeat;
+    entry.has_op = snap.has_op;
+    entry.sig = snap.sig;
+    autopsy.ranks.push_back(std::move(entry));
+    if (reporter < 0 && snap.phase == RankPhase::Blocked) reporter = r;
+  }
+
+  std::string message = "deterministic deadlock: " + verdict;
+  if (reporter >= 0) {
+    const auto& snap = snaps[static_cast<std::size_t>(reporter)];
+    if (snap.has_op) {
+      message += "; rank " + std::to_string(reporter) + " blocked in " +
+                 snap.sig.describe();
+    }
+  }
+  capture_event(reporter >= 0 ? reporter : 0, SimTimeout(message),
+                std::move(autopsy));
+}
+
+World::World(WorldOptions options)
+    : state_(std::make_shared<WorldState>(options)) {}
+
+World::~World() = default;
+
+void World::set_tools(ToolHooks* tools) noexcept { state_->tools_ = tools; }
+
+void World::add_keepalive(std::shared_ptr<void> keepalive) {
+  state_->keepalives_.push_back(std::move(keepalive));
+}
+
 WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
   if (ran_) throw InternalError("World::run: a World is single-use");
   ran_ = true;
-  deadline_ = std::chrono::steady_clock::now() + options_.watchdog;
 
-  std::mutex internal_mutex;
-  std::exception_ptr internal_error;
+  const auto state = state_;
+  const int nranks = state->options_.nranks;
+  state->deadline_ = std::chrono::steady_clock::now() + state->options_.watchdog;
 
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(options_.nranks));
-  for (int r = 0; r < options_.nranks; ++r) {
-    threads.emplace_back([this, r, &rank_main, &internal_mutex,
-                          &internal_error] {
-      Mpi mpi(*this, r);
-      try {
-        rank_main(mpi);
-      } catch (const WorldAborted&) {
-        // Subordinate teardown; the initiating rank already reported.
-      } catch (const FaultEvent& event) {
-        report_event(r, event);
-      } catch (const std::bad_alloc&) {
-        // A corrupted size that slipped past application checks exhausted
-        // memory: on a real cluster the OOM killer takes the job down, the
-        // same observable as a crash.
-        report_event(r, SimSegFault(0, 0, "allocation failure (OOM kill)"));
-      } catch (const std::length_error&) {
-        report_event(r, SimSegFault(0, 0, "absurd allocation request"));
-      } catch (...) {
-        {
-          std::lock_guard lock(internal_mutex);
-          if (!internal_error) internal_error = std::current_exception();
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    // Each thread copies the rank function and shares ownership of the
+    // state: a quarantined straggler must never reach back into the
+    // caller's stack frame.
+    threads.emplace_back([state, r, fn = rank_main] {
+      {
+        Mpi mpi(state, r);
+        try {
+          fn(mpi);
+        } catch (const WorldAborted&) {
+          // Subordinate teardown; the initiating rank already reported.
+        } catch (const FaultEvent& event) {
+          state->report_event(r, event);
+        } catch (const std::bad_alloc&) {
+          // A corrupted size that slipped past application checks exhausted
+          // memory: on a real cluster the OOM killer takes the job down,
+          // the same observable as a crash.
+          state->report_event(
+              r, SimSegFault(0, 0, "allocation failure (OOM kill)"));
+        } catch (const std::length_error&) {
+          state->report_event(r, SimSegFault(0, 0, "absurd allocation request"));
+        } catch (...) {
+          {
+            std::lock_guard lock(state->internal_mutex_);
+            if (!state->internal_error_) {
+              state->internal_error_ = std::current_exception();
+            }
+          }
+          state->poison_and_wake();
         }
-        poison_.poison();
-        for (auto& mailbox : mailboxes_) mailbox->wake();
       }
-      // Wake peers that might be blocked on this rank's silence: once any
-      // rank exits its main early (fault path), messages it would have sent
-      // never arrive; poisoning handles the fault paths, and a clean early
-      // exit simply stops participating (peers time out, as on a real job).
+      // Once any rank exits its main early (fault path), messages it would
+      // have sent never arrive; poisoning handles the fault paths, and a
+      // clean early exit simply stops participating — which the monitor
+      // then proves out as a blocked-on-exited-peer deadlock.
+      state->progress_.publish_exited(r);
+      state->mark_done(r);
     });
   }
-  for (auto& thread : threads) thread.join();
 
-  if (internal_error) std::rethrow_exception(internal_error);
+  std::thread monitor;
+  if (state->options_.hang_detection && nranks > 1) {
+    monitor = std::thread([state] { state->monitor_loop(); });
+  }
 
   WorldResult result;
+
+  // Bounded join: watchdog deadline plus grace. Every rank past its
+  // deadline raises SimTimeout on its own, so tripping this means a rank
+  // is wedged outside MiniMPI's control (e.g. an application spin that
+  // never calls check_deadline).
+  const auto join_deadline =
+      state->deadline_ + std::max<std::chrono::milliseconds>(
+                             state->options_.watchdog, kJoinGrace);
+  if (!state->wait_all_done_until(join_deadline)) {
+    // Escalate. If nothing was captured yet, force a timeout event first:
+    // without it the world would look clean with digests missing and the
+    // trial would misclassify as WRONG_ANS instead of INF_LOOP.
+    int straggler = 0;
+    for (int r = 0; r < nranks; ++r) {
+      if (!state->done_[static_cast<std::size_t>(r)].load(
+              std::memory_order_acquire)) {
+        straggler = r;
+        break;
+      }
+    }
+    state->capture_event(
+        straggler,
+        SimTimeout("world teardown forced: rank " +
+                   std::to_string(straggler) +
+                   " still running past the join deadline"),
+        std::nullopt);
+    // Second poison + wake storm (capture_event above poisons once; the
+    // storm repeats in case a waiter re-entered a wait since), then one
+    // more grace period before quarantining.
+    state->poison_and_wake();
+    state->wait_all_done_until(std::chrono::steady_clock::now() + kJoinGrace);
+  }
+
+  for (int r = 0; r < nranks; ++r) {
+    if (state->done_[static_cast<std::size_t>(r)].load(
+            std::memory_order_acquire)) {
+      threads[static_cast<std::size_t>(r)].join();
+    } else {
+      ThreadQuarantine::instance().adopt(
+          std::move(threads[static_cast<std::size_t>(r)]), state,
+          &state->done_[static_cast<std::size_t>(r)]);
+      ++result.leaked_threads;
+    }
+  }
+
+  if (monitor.joinable()) {
+    state->stop_monitor();
+    monitor.join();
+  }
+
+  if (result.leaked_threads == 0) {
+    if (state->internal_error_) std::rethrow_exception(state->internal_error_);
+    // Post-trial audit: with every rank joined, all RAII registrations
+    // must have unwound and (on a clean run) all sends been consumed.
+    for (const auto& registry : state->registries_) {
+      result.leaked_regions += registry->region_count();
+    }
+    for (const auto& mailbox : state->mailboxes_) {
+      result.undelivered_messages += mailbox->pending();
+    }
+  }
+
   {
-    std::lock_guard lock(event_mutex_);
-    result.event = event_;
+    std::lock_guard lock(state->event_mutex_);
+    result.event = state->event_;
+    result.autopsy = state->autopsy_;
   }
   return result;
 }

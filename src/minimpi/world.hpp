@@ -9,8 +9,26 @@
 // the world is poisoned so every other rank unwinds promptly with
 // WorldAborted, and run() returns a WorldResult describing the initiating
 // event — never letting a "segfault" or "hang" escape the process.
+//
+// Two mechanisms make the containment fast and leak-proof:
+//
+//  * A progress monitor (minimpi/progress.hpp) watches every rank's
+//    heartbeat and pending-operation signature and declares a
+//    *deterministic* deadlock the moment all live ranks are provably
+//    stuck in unsatisfiable waits — classifying INF_LOOP in milliseconds
+//    instead of burning the watchdog budget. Genuine livelock (a compute
+//    loop that never reaches a wait) still falls back to the timeout.
+//
+//  * Teardown is a bounded join with escalation: past the join deadline
+//    the world is poisoned a second time with a mailbox wake storm, and
+//    a rank thread that still refuses to exit is moved to the process-
+//    wide ThreadQuarantine (minimpi/quarantine.hpp) instead of wedging
+//    the campaign. WorldResult reports the leak plus a post-trial audit
+//    of the memory registries and mailbox queues.
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -23,6 +41,7 @@
 #include "minimpi/hooks.hpp"
 #include "minimpi/mailbox.hpp"
 #include "minimpi/memory.hpp"
+#include "minimpi/progress.hpp"
 #include "minimpi/types.hpp"
 #include "support/error.hpp"
 
@@ -51,10 +70,16 @@ struct WorldOptions {
   int nranks = 32;
   /// Rendezvous watchdog: a collective that has not completed after this
   /// long is declared hung (paper Table I: INF_LOOP). Must comfortably
-  /// exceed the fault-free runtime of the workload.
+  /// exceed the fault-free runtime of the workload. With hang_detection
+  /// on this is the *fallback* budget: structural deadlocks are declared
+  /// long before it expires.
   std::chrono::milliseconds watchdog{500};
   std::uint64_t seed = 0x5eedULL;
   CollectiveAlgorithms algorithms;
+  /// Deterministic hang detection: run a progress monitor that declares
+  /// a deadlock structurally (all live ranks provably stuck) instead of
+  /// waiting for the watchdog. Livelock still uses the timeout path.
+  bool hang_detection = true;
 };
 
 /// How a rank failed, for outcome classification (maps onto Table I).
@@ -62,7 +87,7 @@ enum class EventType : std::uint8_t {
   AppDetected,  ///< application's own error handling aborted
   MpiErr,       ///< MiniMPI validation rejected a parameter
   SegFault,     ///< memory-registry bounds violation
-  Timeout,      ///< watchdog fired: the job hung
+  Timeout,      ///< watchdog fired or deadlock proven: the job hung
 };
 
 const char* to_string(EventType type) noexcept;
@@ -80,40 +105,47 @@ struct CapturedEvent {
 /// run to distinguish SUCCESS from WRONG_ANS.
 struct WorldResult {
   std::optional<CapturedEvent> event;
+  /// Forensic snapshot taken when the event was recorded (absent for a
+  /// clean run): per-rank phase, heartbeat, pending-op signature.
+  std::optional<WorldAutopsy> autopsy;
+  /// Rank threads that survived the escalated teardown and were moved to
+  /// the ThreadQuarantine (0 on every healthy run).
+  int leaked_threads = 0;
+  /// Post-trial audit: memory-registry regions left registered after all
+  /// ranks unwound (0 unless a thread leaked or a registration escaped
+  /// its scope).
+  std::size_t leaked_regions = 0;
+  /// Post-trial audit: messages still queued in mailboxes. Nonzero is
+  /// normal for faulted runs (poison aborts in-flight exchanges) but a
+  /// transport leak on a clean run.
+  std::size_t undelivered_messages = 0;
+
   bool clean() const noexcept { return !event.has_value(); }
 };
 
-class World {
+/// All state shared between the rank threads, the monitor, and the
+/// controlling World — owned by shared_ptr so a quarantined straggler can
+/// never dangle. The Mpi facade talks to this class, not to World.
+class WorldState {
  public:
-  explicit World(WorldOptions options);
-  ~World();
-
-  World(const World&) = delete;
-  World& operator=(const World&) = delete;
-
-  /// Runs `rank_main` on every rank. Callable once per World. Exceptions
-  /// that are not FaultEvents (library bugs) are re-thrown to the caller.
-  WorldResult run(const std::function<void(Mpi&)>& rank_main);
+  explicit WorldState(const WorldOptions& options);
 
   const WorldOptions& options() const noexcept { return options_; }
   int size() const noexcept { return options_.nranks; }
 
-  /// Installs the tool chain every collective dispatches through.
-  void set_tools(ToolHooks* tools) noexcept { tools_ = tools; }
-  ToolHooks* tools() const noexcept { return tools_; }
-
-  // --- internals used by the Mpi facade ---------------------------------
-
   Mailbox& mailbox(int world_rank);
   MemoryRegistry& registry(int world_rank);
+  ProgressTable& progress() noexcept { return progress_; }
   PoisonState& poison() noexcept { return poison_; }
   bool poisoned();
   std::chrono::steady_clock::time_point deadline() const noexcept {
     return deadline_;
   }
+  ToolHooks* tools() const noexcept { return tools_; }
 
   /// Records the initiating failure (first wins; WorldAborted never
-  /// initiates) and poisons the world.
+  /// initiates), snapshots the progress table into the autopsy, and
+  /// poisons the world.
   void report_event(int rank, const FaultEvent& event);
 
   /// Communicator registry. A communicator is a list of world ranks.
@@ -131,14 +163,37 @@ class World {
   int comm_rank_of(Comm comm, int world_rank) const;
 
  private:
+  friend class World;
+
+  /// First-wins event capture with an explicit autopsy (the monitor's
+  /// deterministic verdict); nullopt snapshots the live table instead.
+  void capture_event(int rank, const FaultEvent& event,
+                     std::optional<WorldAutopsy> autopsy);
+
+  /// Poison + mailbox wake storm (idempotent).
+  void poison_and_wake();
+
+  /// Rank-thread completion bookkeeping for the bounded join.
+  void mark_done(int rank);
+  bool wait_all_done_until(std::chrono::steady_clock::time_point deadline);
+
+  /// Monitor body: polls the progress table and declares a deterministic
+  /// deadlock on a stable, unsatisfiable, all-blocked snapshot.
+  void monitor_loop();
+  void stop_monitor();
+  bool scan_for_deadlock(std::vector<RankSnapshot>& prev, bool& have_prev);
+  void declare_deadlock(const std::vector<RankSnapshot>& snaps);
+
   WorldOptions options_;
   PoisonState poison_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<MemoryRegistry>> registries_;
-  std::chrono::steady_clock::time_point deadline_;
+  ProgressTable progress_;
+  std::chrono::steady_clock::time_point deadline_{};
 
   std::mutex event_mutex_;
   std::optional<CapturedEvent> event_;
+  std::optional<WorldAutopsy> autopsy_;
 
   mutable std::mutex comm_mutex_;
   struct CommEntry {
@@ -148,6 +203,85 @@ class World {
   std::map<std::string, RawHandle> comm_keys_;
 
   ToolHooks* tools_ = nullptr;
+
+  // Internal (non-fault) exception escaping a rank thread.
+  std::mutex internal_mutex_;
+  std::exception_ptr internal_error_;
+
+  // Bounded-join bookkeeping: per-rank done flags + completion counter.
+  std::unique_ptr<std::atomic<bool>[]> done_;
+  std::mutex join_mutex_;
+  std::condition_variable join_cv_;
+  int finished_ = 0;
+
+  // Monitor lifecycle.
+  std::mutex monitor_mutex_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
+
+  // Objects the caller asked to keep alive as long as any rank thread can
+  // run (see World::add_keepalive).
+  std::vector<std::shared_ptr<void>> keepalives_;
+};
+
+/// Thin single-use handle over a shared WorldState. Stack-allocatable (as
+/// every test does); the state itself survives a quarantined straggler.
+class World {
+ public:
+  explicit World(WorldOptions options);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs `rank_main` on every rank. Callable once per World. Exceptions
+  /// that are not FaultEvents (library bugs) are re-thrown to the caller
+  /// — unless a thread leaked, in which case the result reports the leak
+  /// (a quarantined trial is already lost to the guard layer).
+  WorldResult run(const std::function<void(Mpi&)>& rank_main);
+
+  const WorldOptions& options() const noexcept { return state_->options(); }
+  int size() const noexcept { return state_->size(); }
+
+  /// Installs the tool chain every collective dispatches through.
+  void set_tools(ToolHooks* tools) noexcept;
+  ToolHooks* tools() const noexcept { return state_->tools(); }
+
+  /// Registers an object that must outlive every rank thread, including a
+  /// quarantined one (the rank_main closure's captured state). Call
+  /// before run().
+  void add_keepalive(std::shared_ptr<void> keepalive);
+
+  /// The shared state (used by the Mpi facade and by tests that poke at
+  /// mailboxes/registries directly).
+  const std::shared_ptr<WorldState>& state() noexcept { return state_; }
+
+  // --- forwarded accessors (source compatibility) ------------------------
+
+  Mailbox& mailbox(int world_rank) { return state_->mailbox(world_rank); }
+  MemoryRegistry& registry(int world_rank) {
+    return state_->registry(world_rank);
+  }
+  PoisonState& poison() noexcept { return state_->poison(); }
+  bool poisoned() { return state_->poisoned(); }
+  std::chrono::steady_clock::time_point deadline() const noexcept {
+    return state_->deadline();
+  }
+  void report_event(int rank, const FaultEvent& event) {
+    state_->report_event(rank, event);
+  }
+  Comm register_comm(const std::string& key, std::vector<int> members) {
+    return state_->register_comm(key, std::move(members));
+  }
+  const std::vector<int>& group_of(Comm comm) const {
+    return state_->group_of(comm);
+  }
+  int comm_rank_of(Comm comm, int world_rank) const {
+    return state_->comm_rank_of(comm, world_rank);
+  }
+
+ private:
+  std::shared_ptr<WorldState> state_;
   bool ran_ = false;
 };
 

@@ -66,6 +66,10 @@ InjectionConfig InjectionConfig::from_map(
       if (cfg.watchdog_escalation == 0) {
         throw ConfigError("FASTFIT_WATCHDOG_ESCALATION: must be >= 1");
       }
+    } else if (key == "FASTFIT_HANG_DETECTION") {
+      cfg.hang_detection = parse_u64(key, value, 1) != 0;
+    } else if (key == "FASTFIT_MAX_LEAKED_THREADS") {
+      cfg.max_leaked_threads = parse_u64(key, value, 4096);
     } else {
       throw ConfigError("unknown configuration key: " + key);
     }
@@ -79,7 +83,9 @@ InjectionConfig InjectionConfig::from_environment() {
                            "PARAM_ID", "FASTFIT_SEED",
                            "FASTFIT_PARALLEL_TRIALS", "FASTFIT_JOURNAL",
                            "FASTFIT_MAX_TRIAL_RETRIES",
-                           "FASTFIT_WATCHDOG_ESCALATION"}) {
+                           "FASTFIT_WATCHDOG_ESCALATION",
+                           "FASTFIT_HANG_DETECTION",
+                           "FASTFIT_MAX_LEAKED_THREADS"}) {
     if (const char* value = std::getenv(name)) kv.emplace(name, value);
   }
   return from_map(kv);
@@ -102,6 +108,10 @@ std::map<std::string, std::string> InjectionConfig::to_map() const {
   }
   if (watchdog_escalation != 4) {
     kv["FASTFIT_WATCHDOG_ESCALATION"] = std::to_string(watchdog_escalation);
+  }
+  if (!hang_detection) kv["FASTFIT_HANG_DETECTION"] = "0";
+  if (max_leaked_threads != 8) {
+    kv["FASTFIT_MAX_LEAKED_THREADS"] = std::to_string(max_leaked_threads);
   }
   return kv;
 }

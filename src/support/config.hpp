@@ -42,11 +42,19 @@ struct InjectionConfig {
   /// Watchdog multiplier for the uncontended INF_LOOP re-confirmation run
   /// (FASTFIT_WATCHDOG_ESCALATION); must be >= 1.
   std::uint64_t watchdog_escalation = 4;
+  /// Deterministic hang detection: a per-world monitor proves deadlocks
+  /// from pending-operation signatures instead of waiting out the watchdog
+  /// (FASTFIT_HANG_DETECTION); 1 = on (default), 0 = timeout-only.
+  bool hang_detection = true;
+  /// Campaign-wide budget of rank threads that may survive teardown into
+  /// quarantine before the run fails (FASTFIT_MAX_LEAKED_THREADS).
+  std::uint64_t max_leaked_threads = 8;
 
   /// Parses a config from a key/value map using the Table II names
   /// (NUM_INJ, INV_ID, CALL_ID, RANK_ID, PARAM_ID, plus the FASTFIT_*
   /// extensions: FASTFIT_SEED, FASTFIT_PARALLEL_TRIALS, FASTFIT_JOURNAL,
-  /// FASTFIT_MAX_TRIAL_RETRIES, FASTFIT_WATCHDOG_ESCALATION).
+  /// FASTFIT_MAX_TRIAL_RETRIES, FASTFIT_WATCHDOG_ESCALATION,
+  /// FASTFIT_HANG_DETECTION, FASTFIT_MAX_LEAKED_THREADS).
   /// Unknown keys are rejected; malformed values raise ConfigError.
   static InjectionConfig from_map(
       const std::map<std::string, std::string>& kv);

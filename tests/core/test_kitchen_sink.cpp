@@ -139,7 +139,9 @@ TEST(KitchenSink, EveryPointSurvivesInjectionWithoutEscapes) {
   std::array<std::uint64_t, inject::kNumOutcomes> totals{};
   for (const auto& point : campaign.enumeration().points) {
     const auto result = campaign.measure(point);
-    EXPECT_EQ(result.trials, 3u);
+    EXPECT_EQ(result.trials, 3u)
+        << "point " << point_key(point)
+        << " quarantined: " << result.exec.last_error;
     for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
       totals[o] += result.counts[o];
     }

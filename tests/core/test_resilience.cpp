@@ -236,6 +236,10 @@ TEST(Resilience, WatchdogStormTriggersRecalibration) {
   SupervisedWorkload workload;
   auto opts = supervised_options();
   opts.max_parallel_trials = 2;
+  // This test exercises the watchdog-timeout path: with the deterministic
+  // monitor on, the synthetic hang (a silent early exit) would be proven
+  // a deadlock in milliseconds and never reach the storm machinery.
+  opts.deterministic_hang_detection = false;
   Campaign campaign(workload, opts);
   campaign.profile();  // jobs 1 (golden) and 2 (profiling)
   ASSERT_FALSE(campaign.enumeration().points.empty());
@@ -265,6 +269,7 @@ TEST(Resilience, WatchdogStormTriggersRecalibration) {
 TEST(Resilience, SerialInfLoopIsConfirmedWithEscalatedBudget) {
   SupervisedWorkload workload;
   auto opts = supervised_options();  // serial: pool = 1, no storm response
+  opts.deterministic_hang_detection = false;  // exercise the timeout path
   Campaign campaign(workload, opts);
   campaign.profile();
 
@@ -280,6 +285,57 @@ TEST(Resilience, SerialInfLoopIsConfirmedWithEscalatedBudget) {
   const auto health = campaign.health();
   EXPECT_EQ(health.watchdog_confirmations, 1u);
   EXPECT_EQ(health.watchdog_recalibrations, 0u);
+}
+
+TEST(Resilience, DeterministicDeadlockBypassesWatchdogMachinery) {
+  // Same synthetic hang as above, but with the monitor on (the default):
+  // the early exit is proven a deadlock structurally, so the trial is
+  // classified INF_LOOP without an escalated re-run, without a storm
+  // recalibration, and with a world autopsy attached to the point.
+  SupervisedWorkload workload;
+  Campaign campaign(workload, supervised_options());
+  campaign.profile();
+
+  workload.hang_from.store(3);
+  workload.hang_until.store(3);
+  const auto result = campaign.measure(sendbuf_point(campaign), 1);
+  EXPECT_EQ(result.trials, 1u);
+  EXPECT_EQ(result.counts[static_cast<std::size_t>(inject::Outcome::InfLoop)],
+            1u);
+  EXPECT_NE(result.exec.last_autopsy.find("deterministic deadlock"),
+            std::string::npos)
+      << result.exec.last_autopsy;
+  const auto health = campaign.health();
+  EXPECT_EQ(health.deterministic_deadlocks, 1u);
+  EXPECT_EQ(health.watchdog_confirmations, 0u);
+  EXPECT_EQ(health.watchdog_recalibrations, 0u);
+  EXPECT_EQ(health.leaked_rank_threads, 0u);
+  EXPECT_TRUE(health.clean());
+}
+
+TEST(Resilience, DeterministicFlagAndAutopsyAreJournaled) {
+  SupervisedWorkload workload;
+  Campaign campaign(workload, supervised_options());
+  campaign.profile();
+  const auto path = temp_journal("autopsy");
+  campaign.attach_journal(path, JournalMode::Create);
+  workload.hang_from.store(3);
+  workload.hang_until.store(3);
+  (void)campaign.measure(sendbuf_point(campaign), 1);
+  campaign.detach_journal();
+
+  // The journal line for the hung trial must carry the forensic fields;
+  // replay ignores them, so resume stays bit-identical (covered by
+  // KillAndResumeIsBitIdentical).
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(contents.find("\"d\":1"), std::string::npos);
+  EXPECT_NE(contents.find("deterministic deadlock"), std::string::npos);
 }
 
 }  // namespace

@@ -94,5 +94,38 @@ TEST(Mailbox, PoisonedBeforeWaitThrowsImmediately) {
   EXPECT_LT(std::chrono::steady_clock::now() - start, 1000ms);
 }
 
+TEST(Mailbox, HasMatchIsExactOnSourceAndTag) {
+  PoisonState poison;
+  Mailbox box(poison);
+  EXPECT_FALSE(box.has_match(1, 10));
+  box.deliver(make_msg(1, 10));
+  EXPECT_TRUE(box.has_match(1, 10));
+  EXPECT_FALSE(box.has_match(1, 11));
+  EXPECT_FALSE(box.has_match(2, 10));
+  (void)box.receive(1, 10, soon(100ms));
+  EXPECT_FALSE(box.has_match(1, 10));
+}
+
+TEST(Mailbox, WakeCannotSlipBetweenPoisonCheckAndWait) {
+  // Regression stress for the lost-wakeup race: the poison notify used to
+  // fire without the mailbox mutex, so it could land between a waiter's
+  // poison check and its entry into the timed wait — parking the waiter
+  // for the full deadline. With wake() taking the mutex the waiter must
+  // observe the poison promptly on every iteration. Run under TSan in CI.
+  for (int i = 0; i < 200; ++i) {
+    PoisonState poison;
+    Mailbox box(poison);
+    const auto start = std::chrono::steady_clock::now();
+    std::thread waiter([&] {
+      EXPECT_THROW(box.receive(0, 1, soon(10000ms)), WorldAborted);
+    });
+    poison.poison();
+    box.wake();
+    waiter.join();
+    // A missed wake would park the waiter for the full 10s deadline.
+    EXPECT_LT(std::chrono::steady_clock::now() - start, 5000ms);
+  }
+}
+
 }  // namespace
 }  // namespace fastfit::mpi

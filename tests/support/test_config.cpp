@@ -171,6 +171,49 @@ TEST(Config, ResilienceKnobsReadFromEnvironment) {
   ::unsetenv("FASTFIT_WATCHDOG_ESCALATION");
 }
 
+TEST(Config, HangDetectionKnobDefaultsOnAndParses) {
+  EXPECT_TRUE(InjectionConfig::from_map({}).hang_detection);
+  EXPECT_FALSE(InjectionConfig::from_map({{"FASTFIT_HANG_DETECTION", "0"}})
+                   .hang_detection);
+  EXPECT_TRUE(InjectionConfig::from_map({{"FASTFIT_HANG_DETECTION", "1"}})
+                  .hang_detection);
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_HANG_DETECTION", "2"}}),
+               ConfigError);
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_HANG_DETECTION", "on"}}),
+               ConfigError);
+}
+
+TEST(Config, ParsesAndValidatesMaxLeakedThreads) {
+  EXPECT_EQ(InjectionConfig::from_map({}).max_leaked_threads, 8u);
+  EXPECT_EQ(InjectionConfig::from_map({{"FASTFIT_MAX_LEAKED_THREADS", "0"}})
+                .max_leaked_threads,
+            0u);  // 0 = fail on the first leak
+  EXPECT_THROW(
+      InjectionConfig::from_map({{"FASTFIT_MAX_LEAKED_THREADS", "4097"}}),
+      ConfigError);
+}
+
+TEST(Config, TeardownKnobsRoundTripThroughMap) {
+  auto cfg = InjectionConfig::from_map({{"FASTFIT_HANG_DETECTION", "0"},
+                                        {"FASTFIT_MAX_LEAKED_THREADS", "2"}});
+  const auto cfg2 = InjectionConfig::from_map(cfg.to_map());
+  EXPECT_FALSE(cfg2.hang_detection);
+  EXPECT_EQ(cfg2.max_leaked_threads, 2u);
+  const auto defaults = InjectionConfig{}.to_map();
+  EXPECT_EQ(defaults.count("FASTFIT_HANG_DETECTION"), 0u);
+  EXPECT_EQ(defaults.count("FASTFIT_MAX_LEAKED_THREADS"), 0u);
+}
+
+TEST(Config, TeardownKnobsReadFromEnvironment) {
+  ::setenv("FASTFIT_HANG_DETECTION", "0", 1);
+  ::setenv("FASTFIT_MAX_LEAKED_THREADS", "3", 1);
+  const auto cfg = InjectionConfig::from_environment();
+  EXPECT_FALSE(cfg.hang_detection);
+  EXPECT_EQ(cfg.max_leaked_threads, 3u);
+  ::unsetenv("FASTFIT_HANG_DETECTION");
+  ::unsetenv("FASTFIT_MAX_LEAKED_THREADS");
+}
+
 TEST(Config, FromEnvironmentReadsTableTwoNames) {
   ::setenv("NUM_INJ", "33", 1);
   ::setenv("RANK_ID", "5", 1);

@@ -13,21 +13,28 @@
 //                 [--seed S] [--csv FILE] [--json FILE]
 //                 [--journal FILE] [--resume]
 //                 [--max-trial-retries R] [--watchdog-escalation M]
+//                 [--hang-detection 0|1] [--max-leaked-threads N]
 //       The full three-phase sensitivity study, with optional CSV/JSON
 //       export of the results. --journal records every completed trial in
 //       a durable journal; --resume continues a killed campaign from it,
-//       bit-identically (see docs/resilience.md). The FASTFIT_JOURNAL,
-//       FASTFIT_MAX_TRIAL_RETRIES, and FASTFIT_WATCHDOG_ESCALATION
-//       environment variables are the flagless equivalents.
+//       bit-identically (see docs/resilience.md). --hang-detection 0
+//       disables the deterministic deadlock monitor (timeout-only
+//       classification; see docs/hang_detection.md) and
+//       --max-leaked-threads bounds the quarantined-thread budget. The
+//       FASTFIT_JOURNAL, FASTFIT_MAX_TRIAL_RETRIES,
+//       FASTFIT_WATCHDOG_ESCALATION, FASTFIT_HANG_DETECTION, and
+//       FASTFIT_MAX_LEAKED_THREADS environment variables are the
+//       flagless equivalents.
 //
 //   fastfit p2p <workload> [--ranks N] [--trials T] [--points K]
 //       The point-to-point extension study (Sec VIII future work):
 //       pruning statistics and per-parameter response distributions for
 //       the workload's send/recv calls.
 //
-// Exit codes: 0 clean success, 2 study completed but with quarantined
-// points (results are partial for those points), 1 fatal (usage or
-// execution error).
+// Exit codes: 0 clean success, 2 study completed but unhealthy —
+// quarantined points (results are partial for those points) or rank
+// threads still leaked in quarantine after the final reap, 1 fatal
+// (usage or execution error).
 
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +69,8 @@ int usage() {
                "                [--journal FILE] [--resume]\n"
                "                [--max-trial-retries R]\n"
                "                [--watchdog-escalation M]\n"
+               "                [--hang-detection 0|1]\n"
+               "                [--max-leaked-threads N]\n"
                "  fastfit p2p <workload> [--ranks N] [--trials T] "
                "[--points K]\n");
   return 1;
@@ -185,6 +194,21 @@ int cmd_study(const std::string& workload_name, const Args& args) {
         InjectionConfig::from_map({{"FASTFIT_WATCHDOG_ESCALATION",
                                     args.get("watchdog-escalation", "4")}})
             .watchdog_escalation);
+  }
+  options.campaign.deterministic_hang_detection = env.hang_detection;
+  options.campaign.max_leaked_threads =
+      static_cast<std::size_t>(env.max_leaked_threads);
+  if (args.has("hang-detection")) {
+    options.campaign.deterministic_hang_detection =
+        InjectionConfig::from_map(
+            {{"FASTFIT_HANG_DETECTION", args.get("hang-detection", "1")}})
+            .hang_detection;
+  }
+  if (args.has("max-leaked-threads")) {
+    options.campaign.max_leaked_threads = static_cast<std::size_t>(
+        InjectionConfig::from_map({{"FASTFIT_MAX_LEAKED_THREADS",
+                                    args.get("max-leaked-threads", "8")}})
+            .max_leaked_threads);
   }
   options.resume = args.has("resume");
   if (options.resume && options.journal.empty()) {
