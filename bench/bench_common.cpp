@@ -3,11 +3,18 @@
 #include <cstdio>
 
 #include "apps/registry.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace fastfit::bench {
 
 void banner(const std::string& id, const std::string& paper_caption,
             const std::string& substitution_note) {
+  if (bench_telemetry() && !telemetry::Recorder::instance().enabled()) {
+    telemetry::Recorder::instance().enable();
+    telemetry::Recorder::bind_thread(telemetry::Track::Main, -1,
+                                     "bench-main");
+    std::printf("telemetry: recorder enabled (FASTFIT_BENCH_TELEMETRY=1)\n");
+  }
   std::printf("==============================================================\n");
   std::printf("%s\n", id.c_str());
   std::printf("paper: %s\n", paper_caption.c_str());

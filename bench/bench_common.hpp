@@ -13,6 +13,9 @@
 //   FASTFIT_BENCH_SEED      campaign master seed       (default 0xF457F17)
 //   FASTFIT_BENCH_PARALLEL  max concurrent trials      (default 0 = auto:
 //                           hardware_concurrency / ranks; 1 = serial)
+//   FASTFIT_BENCH_TELEMETRY enable the telemetry recorder for the whole
+//                           binary (default 0; the throughput bench also
+//                           measures the on/off delta explicitly)
 
 #include <cstdlib>
 #include <string>
@@ -41,6 +44,9 @@ inline std::uint64_t bench_seed() {
 }
 inline std::size_t bench_parallel() {
   return static_cast<std::size_t>(env_u64("FASTFIT_BENCH_PARALLEL", 0));
+}
+inline bool bench_telemetry() {
+  return env_u64("FASTFIT_BENCH_TELEMETRY", 0) != 0;
 }
 
 inline core::CampaignOptions bench_campaign_options() {

@@ -21,6 +21,7 @@
 #include "core/export.hpp"
 #include "core/trial_executor.hpp"
 #include "inject/outcome.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace {
 
@@ -63,6 +64,12 @@ int main() {
   const auto total_trials =
       static_cast<double>(points.size()) * static_cast<double>(trials);
 
+  // Warm-up (untimed): one full pass so first-touch costs — page faults,
+  // allocator growth, lazily-built golden baselines — land here instead
+  // of on the serial baseline, which every later section is compared
+  // against.
+  for (const auto& point : points) (void)campaign.measure(point);
+
   // Baseline: the plain serial measure() loop.
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<PointResult> serial;
@@ -77,6 +84,42 @@ int main() {
   // honest parallel path can only break even (results must not change,
   // so contention-slowed trials run to completion instead of being
   // clipped by the watchdog).
+
+  // Telemetry overhead: the identical serial batch with the recorder
+  // live — trial/world/classify spans, outcome counters, the latency
+  // histogram, and per-rank span buffers all active. The contract in
+  // docs/observability.md is < 2% throughput cost when enabled (and
+  // zero when disabled, asserted by the tests, so the baseline above
+  // already is the "off" number).
+  bool identical = true;
+  auto& recorder = telemetry::Recorder::instance();
+  const bool telemetry_was_on = recorder.enabled();
+  recorder.enable();
+  recorder.reset();
+  telemetry::Recorder::bind_thread(telemetry::Track::Main, -1, "bench-main");
+  const auto t_tel = std::chrono::steady_clock::now();
+  std::vector<PointResult> telemetered;
+  for (const auto& point : points) {
+    telemetered.push_back(campaign.measure(point));
+  }
+  const double telemetry_sec = seconds_since(t_tel);
+  const double telemetry_tps = total_trials / telemetry_sec;
+  const std::size_t events_recorded = recorder.drain_events().size();
+  const std::uint64_t events_dropped = recorder.dropped_events();
+  recorder.reset();
+  if (!telemetry_was_on) recorder.disable();
+  const double telemetry_overhead =
+      (serial_tps - telemetry_tps) / serial_tps;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (telemetered[i].counts != serial[i].counts) {
+      identical = false;
+      std::printf("  telemetry mismatch at point %zu\n", i);
+    }
+  }
+  std::printf("%-28s %8.1f trials/sec  (%.2fs, %.1f%% overhead, "
+              "%zu events)\n",
+              "serial + telemetry", telemetry_tps, telemetry_sec,
+              100.0 * telemetry_overhead, events_recorded);
 
   const std::size_t hw =
       std::max(1u, std::thread::hardware_concurrency());
@@ -93,7 +136,6 @@ int main() {
        << "  \"serial_trials_per_sec\": " << serial_tps << ",\n"
        << "  \"parallel\": [";
 
-  bool identical = true;
   for (std::size_t p = 0; p < pools.size(); ++p) {
     campaign.set_max_parallel_trials(pools[p]);
     const auto before = campaign.trials_run();
@@ -239,7 +281,13 @@ int main() {
                 static_cast<unsigned long long>(deterministic_deadlocks));
   }
 
-  json << "\n  ],\n  \"journal\": {"
+  json << "\n  ],\n  \"telemetry\": {"
+       << "\"off_trials_per_sec\": " << serial_tps
+       << ", \"on_trials_per_sec\": " << telemetry_tps
+       << ", \"overhead\": " << telemetry_overhead
+       << ", \"events_recorded\": " << events_recorded
+       << ", \"events_dropped\": " << events_dropped << "},\n"
+       << "  \"journal\": {"
        << "\"off_trials_per_sec\": " << serial_tps
        << ", \"on_trials_per_sec\": " << journal_tps
        << ", \"replay_trials_per_sec\": " << replay_tps

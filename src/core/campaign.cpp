@@ -9,10 +9,13 @@
 #include "inject/injector.hpp"
 #include "minimpi/quarantine.hpp"
 #include "support/error.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace fastfit::core {
 
 using namespace std::chrono_literals;
+
+namespace tel = fastfit::telemetry;
 
 namespace {
 
@@ -28,6 +31,13 @@ constexpr int kSkipped = -2;  ///< abandoned after the point quarantined
 std::string algorithms_id(const mpi::CollectiveAlgorithms& algorithms) {
   return std::to_string(static_cast<int>(algorithms.allreduce)) + '/' +
          std::to_string(static_cast<int>(algorithms.bcast));
+}
+
+/// Where a trial attempt ran, for error attribution and trace spans.
+std::string execution_site() {
+  const int worker = TrialExecutor::current_worker();
+  return worker >= 0 ? "executor thread " + std::to_string(worker)
+                     : "main thread";
 }
 
 }  // namespace
@@ -77,11 +87,13 @@ std::pair<std::uint64_t, std::chrono::milliseconds> Campaign::run_golden(
   opts.watchdog = watchdog_budget;
   opts.hang_detection = options_.deterministic_hang_detection;
   auto contexts = std::make_shared<trace::ContextRegistry>(options_.nranks);
+  tel::ScopedSpan span("golden-run");
   const auto t0 = std::chrono::steady_clock::now();
   const auto golden =
       apps::run_job(*workload_, opts, nullptr, *contexts, {contexts});
   const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - t0);
+  span.finish();
   if (!golden.world.clean()) {
     throw InternalError("Campaign: golden run failed: " +
                         golden.world.event->message);
@@ -122,9 +134,11 @@ void Campaign::profile() {
   profile_opts.algorithms = options_.algorithms;
   profile_opts.watchdog = options_.watchdog.value_or(30'000ms);
   profile_opts.hang_detection = options_.deterministic_hang_detection;
+  tel::ScopedSpan profiling_span("profiling-run");
   const auto profiled = apps::run_job(*workload_, profile_opts,
                                       profiler_.get(), *contexts_,
                                       {contexts_, profiler_});
+  profiling_span.finish();
   if (!profiled.world.clean()) {
     throw InternalError("Campaign: profiling run failed: " +
                         profiled.world.event->message);
@@ -143,7 +157,10 @@ void Campaign::profile() {
         " undelivered message(s))");
   }
 
-  enumeration_ = enumerate_points(*profiler_);
+  {
+    tel::ScopedSpan span("enumerate-points");
+    enumeration_ = enumerate_points(*profiler_);
+  }
   profiled_ = true;
 }
 
@@ -233,8 +250,23 @@ inject::TrialForensics Campaign::run_trial(
   opts.algorithms = options_.algorithms;
   opts.hang_detection = options_.deterministic_hang_detection;
   auto contexts = std::make_shared<trace::ContextRegistry>(options_.nranks);
+  auto& rec = tel::Recorder::instance();
+  tel::ScopedSpan world_span("world-run");
+  const auto t0 = std::chrono::steady_clock::now();
   const auto job = apps::run_job(*workload_, opts, injector.get(), *contexts,
                                  {injector, contexts});
+  world_span.finish();
+  if (rec.enabled()) {
+    static auto& executed = rec.counter(
+        "fastfit_trials_executed_total",
+        "Injected world executions (fresh runs; excludes journal replays)");
+    executed.add();
+    static auto& latency = rec.latency(
+        "fastfit_trial_seconds", "Wall time of one injected world execution");
+    latency.observe_us(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+  }
   trials_run_.fetch_add(1, std::memory_order_relaxed);
 
   // Post-trial audit. A quarantined thread is accounted, never retried:
@@ -259,6 +291,7 @@ inject::TrialForensics Campaign::run_trial(
   // injected run can legitimately succeed with strays queued (a corrupted
   // root re-routes sends nobody awaits while the digest never sees the
   // difference). The uninjected golden/profiling runs assert zero.
+  tel::ScopedSpan classify_span("classify");
   return inject::classify_with_forensics(job.world, job.digest,
                                          golden_digest_);
 }
@@ -268,6 +301,10 @@ Campaign::TrialAttempt Campaign::run_trial_guarded(
     std::chrono::milliseconds watchdog) {
   TrialAttempt attempt;
   for (std::uint32_t tries = 0;; ++tries) {
+    // Attribution prefix for the error: which attempt failed, on which
+    // executor worker (quarantine messages must be traceable to a lane).
+    const std::string site = "attempt " + std::to_string(tries + 1) + " on " +
+                             execution_site() + ": ";
     try {
       const auto forensics = run_trial(point, trial, watchdog);
       attempt.outcome = forensics.outcome;
@@ -276,9 +313,9 @@ Campaign::TrialAttempt Campaign::run_trial_guarded(
       attempt.ok = true;
       return attempt;
     } catch (const std::exception& e) {
-      attempt.error = e.what();
+      attempt.error = site + e.what();
     } catch (...) {
-      attempt.error = "unknown internal error";
+      attempt.error = site + "unknown internal error";
     }
     if (tries >= options_.max_trial_retries) {
       attempt.ok = false;
@@ -286,6 +323,11 @@ Campaign::TrialAttempt Campaign::run_trial_guarded(
     }
     ++attempt.retries;
     total_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (auto& rec = tel::Recorder::instance(); rec.enabled()) {
+      static auto& retries = rec.counter("fastfit_trial_retries_total",
+                                         "Guarded-trial internal retries");
+      retries.add();
+    }
     // Exponential backoff: transient failures (OOM pressure, fd
     // exhaustion) need breathing room, not an immediate identical retry.
     const auto backoff = std::min<std::chrono::milliseconds>(
@@ -308,6 +350,11 @@ std::vector<PointResult> Campaign::measure_impl(
     std::atomic<int>& flag;
     ~MeasuringGuard() { flag.fetch_sub(1, std::memory_order_acq_rel); }
   } measuring_guard{measuring_};
+
+  tel::ScopedSpan batch_span("measure-batch");
+  batch_span.arg("points", std::to_string(points.size()));
+  batch_span.arg("trials", std::to_string(trials));
+  batch_span.arg("pool", std::to_string(pool));
 
   std::vector<PointResult> results(points.size());
   // One outcome slot per (point, trial) job; aggregated afterwards in
@@ -360,14 +407,36 @@ std::vector<PointResult> Campaign::measure_impl(
     for (std::size_t i = 0; i < points.size(); ++i) {
       for (std::uint32_t t = 0; t < trials; ++t) {
         if (outcomes[i][t] != kPending) continue;
-        executor.submit([this, &outcomes, &state, &points, &fresh,
-                         &fresh_timeouts, &deterministic, &autopsies, i, t] {
+        // Submission timestamp: the gap to execution start is the queue
+        // wait, rendered as its own span on the executing worker's lane.
+        auto& rec = tel::Recorder::instance();
+        const std::int64_t submit_us = rec.enabled() ? rec.now_us() : -1;
+        executor.submit([this, &outcomes, &state, &points, &keys, &fresh,
+                         &fresh_timeouts, &deterministic, &autopsies,
+                         submit_us, i, t] {
           auto& st = state[i];
           if (st.quarantined.load(std::memory_order_acquire)) {
             outcomes[i][t] = kSkipped;
             return;
           }
+          auto& rec = tel::Recorder::instance();
+          if (submit_us >= 0 && rec.enabled()) {
+            const auto info = tel::Recorder::thread_info();
+            tel::Event wait;
+            wait.name = "queue-wait";
+            wait.start_us = submit_us;
+            wait.dur_us = rec.now_us() - submit_us;
+            wait.track = info.track;
+            wait.index = info.index;
+            rec.record(std::move(wait));
+          }
+          tel::ScopedSpan trial_span("trial");
+          trial_span.arg("point", keys[i]);
+          trial_span.arg("trial", std::to_string(t));
           const auto attempt = run_trial_guarded(points[i], t, watchdog_);
+          if (attempt.ok) {
+            trial_span.arg("outcome", inject::to_string(attempt.outcome));
+          }
           st.retries.fetch_add(attempt.retries, std::memory_order_relaxed);
           if (!attempt.ok) {
             {
@@ -413,6 +482,7 @@ std::vector<PointResult> Campaign::measure_impl(
               static_cast<double>(fresh_count)) {
     const auto budget = std::max<std::chrono::milliseconds>(
         30'000ms, watchdog_ * options_.watchdog_escalation);
+    tel::ScopedSpan recal_span("watchdog-recalibrate");
     const auto [digest, wall] = run_golden(budget);
     if (digest != golden_digest_) {
       throw InternalError("Campaign: recalibration golden digest diverged");
@@ -420,6 +490,12 @@ std::vector<PointResult> Campaign::measure_impl(
     watchdog_ = std::max(kWatchdogFloor, wall * kWatchdogMultiplier);
     options_.max_parallel_trials = std::max<std::size_t>(1, pool / 2);
     recalibrations_.fetch_add(1, std::memory_order_relaxed);
+    if (auto& rec = tel::Recorder::instance(); rec.enabled()) {
+      static auto& recals =
+          rec.counter("fastfit_watchdog_recalibrations_total",
+                      "Storm-triggered golden recalibrations");
+      recals.add();
+    }
   }
 
   // Phase 3: the watchdog is the one outcome gate that feels CPU
@@ -439,8 +515,17 @@ std::vector<PointResult> Campaign::measure_impl(
           replayed[i][t] || deterministic[i][t]) {
         continue;
       }
+      tel::ScopedSpan confirm_span("watchdog-confirm");
+      confirm_span.arg("point", keys[i]);
+      confirm_span.arg("trial", std::to_string(t));
       const auto attempt = run_trial_guarded(points[i], t, escalated);
       confirmations_.fetch_add(1, std::memory_order_relaxed);
+      if (auto& rec = tel::Recorder::instance(); rec.enabled()) {
+        static auto& confirms =
+            rec.counter("fastfit_watchdog_confirmations_total",
+                        "Escalated uncontended INF_LOOP re-confirmations");
+        confirms.add();
+      }
       state[i].retries.fetch_add(attempt.retries, std::memory_order_relaxed);
       // A confirmation that fails internally keeps the original outcome:
       // the trial did produce one, and quarantining here would discard it.
@@ -449,6 +534,22 @@ std::vector<PointResult> Campaign::measure_impl(
   }
 
   // Phase 4: aggregate in trial order and write through to the journal.
+  // Outcome counters increment here — for replayed *and* fresh trials —
+  // so a journal-resumed campaign reports identical totals.
+  auto& rec = tel::Recorder::instance();
+  const bool telemetry_on = rec.enabled();
+  std::array<tel::Counter*, inject::kNumOutcomes> outcome_counters{};
+  if (telemetry_on) {
+    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      const std::string labels =
+          "outcome=\"" +
+          std::string(inject::to_string(static_cast<inject::Outcome>(o))) +
+          '"';
+      outcome_counters[o] = &rec.counter(
+          "fastfit_trials_total", "Trial outcomes recorded (incl. journal replays)",
+          labels);
+    }
+  }
   for (std::size_t i = 0; i < points.size(); ++i) {
     results[i].point = points[i];
     auto& st = state[i];
@@ -456,6 +557,14 @@ std::vector<PointResult> Campaign::measure_impl(
       const int o = outcomes[i][t];
       if (o < 0) continue;  // skipped after quarantine
       results[i].record(static_cast<inject::Outcome>(o));
+      if (telemetry_on) {
+        outcome_counters[static_cast<std::size_t>(o)]->add();
+        if (replayed[i][t]) {
+          static auto& replays = rec.counter(
+              "fastfit_trials_replayed_total", "Trials served from the journal");
+          replays.add();
+        }
+      }
       if (!autopsies[i][t].empty()) {
         results[i].exec.last_autopsy = autopsies[i][t];
       }
@@ -470,6 +579,12 @@ std::vector<PointResult> Campaign::measure_impl(
       std::lock_guard lock(st.error_mutex);
       results[i].exec.last_error = st.last_error;
       quarantined_points_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry_on) {
+        static auto& quarantines =
+            rec.counter("fastfit_quarantined_points_total",
+                        "Points the trial guard gave up on");
+        quarantines.add();
+      }
       if (journal_) {
         journal_->record_quarantine(keys[i], results[i].exec.retries,
                                     results[i].exec.last_error);
@@ -483,9 +598,18 @@ std::vector<PointResult> Campaign::measure_impl(
   // most stragglers exit on their own), publish what is still running,
   // and fail the measure once *live* leaks exceed the budget — a wedged
   // rank thread is contained, never ignored.
+  tel::ScopedSpan reap_span("quarantine-reap");
   const auto outstanding = mpi::ThreadQuarantine::instance().reap();
+  reap_span.arg("outstanding", std::to_string(outstanding));
+  reap_span.finish();
   leaked_threads_outstanding_.store(static_cast<std::uint64_t>(outstanding),
                                     std::memory_order_relaxed);
+  if (telemetry_on) {
+    static auto& leaked = rec.gauge(
+        "fastfit_leaked_threads",
+        "Quarantined rank threads still running after the end-of-measure reap");
+    leaked.set(static_cast<std::int64_t>(outstanding));
+  }
   if (outstanding > options_.max_leaked_threads) {
     throw InternalError(
         "campaign has " + std::to_string(outstanding) +

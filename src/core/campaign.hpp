@@ -90,7 +90,10 @@ struct CampaignOptions {
 struct ExecStats {
   std::uint32_t retries = 0;  ///< internal-error retries consumed
   bool quarantined = false;   ///< the trial guard gave up on this point
-  std::string last_error;     ///< what() of the last internal error
+  /// Last internal error, attributed: "attempt N on executor thread K:
+  /// <what()>" (or "on main thread" for the serial path), so quarantine
+  /// messages line up with trace lanes and logs.
+  std::string last_error;
   /// World autopsy of the point's most recent non-SUCCESS trial (one-line
   /// summary: verdict + per-rank phase counts).
   std::string last_autopsy;

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace fastfit::core {
 namespace {
@@ -397,11 +398,24 @@ std::optional<std::size_t> TrialJournal::label(const std::string& key) const {
 void TrialJournal::append_line(const std::string& line) {
   buffer_ += line;
   buffer_ += '\n';
+  if (auto& rec = telemetry::Recorder::instance(); rec.enabled()) {
+    static auto& lines = rec.counter("fastfit_journal_lines_total",
+                                     "JSONL records appended to the journal");
+    lines.add();
+  }
   if (++buffered_lines_ >= kFlushBatch) flush_locked();
 }
 
 void TrialJournal::flush_locked() {
   if (buffer_.empty()) return;
+  telemetry::ScopedSpan span("journal-fsync", telemetry::Track::Journal, 0);
+  span.arg("lines", std::to_string(buffered_lines_));
+  span.arg("bytes", std::to_string(buffer_.size()));
+  if (auto& rec = telemetry::Recorder::instance(); rec.enabled()) {
+    static auto& flushes = rec.counter(
+        "fastfit_journal_flushes_total", "Write+fsync batches of the journal");
+    flushes.add();
+  }
   const char* data = buffer_.data();
   std::size_t left = buffer_.size();
   while (left > 0) {

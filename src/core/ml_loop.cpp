@@ -5,6 +5,7 @@
 
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace fastfit::core {
 
@@ -93,6 +94,13 @@ MlLoopResult run_ml_loop(Campaign& campaign,
 
   while (cursor < points.size()) {
     ++result.rounds;
+    telemetry::ScopedSpan round_span("ml-round", telemetry::Track::MlLoop, 0);
+    round_span.arg("round", std::to_string(result.rounds));
+    if (auto& rec = telemetry::Recorder::instance(); rec.enabled()) {
+      static auto& rounds = rec.counter(
+          "fastfit_ml_rounds_total", "Injection ⇄ learning feedback rounds");
+      rounds.add();
+    }
     // Measure a training batch and fold it in.
     for (const auto& r : measure_next(config.train_batch, result.measured)) {
       if (!usable(r)) continue;
@@ -105,9 +113,16 @@ MlLoopResult run_ml_loop(Campaign& campaign,
     // Train the model on everything measured so far.
     ml::ForestConfig forest_config = config.forest;
     forest_config.seed = campaign.options().seed ^ (result.rounds * 0x9e37ULL);
-    result.model = ml::RandomForest::train(train, forest_config);
+    {
+      telemetry::ScopedSpan train_span("ml-train", telemetry::Track::MlLoop,
+                                       0);
+      train_span.arg("samples", std::to_string(train.size()));
+      result.model = ml::RandomForest::train(train, forest_config);
+    }
 
     // Verify on the next fresh batch of measurements.
+    telemetry::ScopedSpan verify_span("ml-verify", telemetry::Track::MlLoop,
+                                      0);
     const auto verify_batch =
         measure_next(config.verify_batch, result.measured);
     if (verify_batch.empty()) break;
@@ -121,6 +136,7 @@ MlLoopResult run_ml_loop(Campaign& campaign,
       ++fresh_hits;
       train.add(r.point.features(), actual);  // verification data is not wasted
     }
+    verify_span.finish();
     if (verification_hits.empty()) continue;
     // Sliding-window accuracy over the freshest verification samples.
     const std::size_t window =
@@ -145,10 +161,23 @@ MlLoopResult run_ml_loop(Campaign& campaign,
   if (!train.empty() && cursor < points.size()) {
     ml::ForestConfig forest_config = config.forest;
     forest_config.seed = campaign.options().seed ^ 0xF1A7ULL;
-    result.model = ml::RandomForest::train(train, forest_config);
+    {
+      telemetry::ScopedSpan train_span("ml-train", telemetry::Track::MlLoop,
+                                       0);
+      result.model = ml::RandomForest::train(train, forest_config);
+    }
+    telemetry::ScopedSpan predict_span("ml-predict", telemetry::Track::MlLoop,
+                                       0);
+    predict_span.arg("points", std::to_string(points.size() - cursor));
     for (std::size_t i = cursor; i < points.size(); ++i) {
       result.predicted.emplace_back(
           points[i], result.model->predict(points[i].features()));
+    }
+    if (auto& rec = telemetry::Recorder::instance(); rec.enabled()) {
+      static auto& predicted = rec.counter(
+          "fastfit_ml_predicted_points_total",
+          "Points classified by the model instead of measured");
+      predicted.add(points.size() - cursor);
     }
   }
   return result;

@@ -146,6 +146,26 @@ std::string render_level_table(
   return out.str();
 }
 
+std::string render_outcome_totals(const std::vector<PointResult>& results) {
+  std::array<std::uint64_t, inject::kNumOutcomes> totals{};
+  std::uint64_t all = 0;
+  for (const auto& r : results) {
+    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      totals[o] += r.counts[o];
+      all += r.counts[o];
+    }
+  }
+  std::ostringstream out;
+  out << "Trial outcomes (" << results.size() << " points, " << all
+      << " trials):\n";
+  const auto names = inject::outcome_names();
+  for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+    if (totals[o] == 0) continue;
+    out << "  " << pad(names[o], 14) << totals[o] << '\n';
+  }
+  return out.str();
+}
+
 std::string render_health(const CampaignHealth& health) {
   std::ostringstream out;
   out << "Campaign health: ";

@@ -62,4 +62,10 @@ std::string render_level_table(
 /// replays). One line when the campaign was perfectly healthy.
 std::string render_health(const CampaignHealth& health);
 
+/// Absolute per-outcome trial totals over all measured points, one line
+/// per non-zero outcome plus a total. The cli prints this on stderr in
+/// every run — telemetry on or off — so outcome counts are never only an
+/// exit code.
+std::string render_outcome_totals(const std::vector<PointResult>& results);
+
 }  // namespace fastfit::core

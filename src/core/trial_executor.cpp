@@ -1,9 +1,18 @@
 #include "core/trial_executor.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "telemetry/recorder.hpp"
+
 namespace fastfit::core {
+
+namespace {
+thread_local int t_worker = -1;
+}  // namespace
+
+int TrialExecutor::current_worker() noexcept { return t_worker; }
 
 std::size_t resolve_parallel_trials(std::size_t configured, int nranks) {
   if (configured > 0) return configured;
@@ -16,7 +25,15 @@ TrialExecutor::TrialExecutor(std::size_t max_parallel) {
   if (max_parallel <= 1) return;  // serial path: submit() runs inline
   threads_.reserve(max_parallel);
   for (std::size_t i = 0; i < max_parallel; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] {
+      t_worker = static_cast<int>(i);
+      if (telemetry::Recorder::instance().enabled()) {
+        telemetry::Recorder::bind_thread(telemetry::Track::Executor,
+                                         static_cast<int>(i),
+                                         "executor-" + std::to_string(i));
+      }
+      worker_loop();
+    });
   }
 }
 

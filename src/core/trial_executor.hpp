@@ -54,6 +54,12 @@ class TrialExecutor {
   /// Number of worker threads (0 on the serial path).
   std::size_t workers() const noexcept { return threads_.size(); }
 
+  /// Ordinal of the executor worker running the calling thread, or -1
+  /// when called from outside a pool (the serial path, the campaign
+  /// driver, a rank thread). Used to attribute errors and trace spans to
+  /// their worker.
+  static int current_worker() noexcept;
+
  private:
   void worker_loop();
 

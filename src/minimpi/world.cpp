@@ -9,6 +9,7 @@
 
 #include "minimpi/mpi.hpp"
 #include "minimpi/quarantine.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace fastfit::mpi {
 namespace {
@@ -103,6 +104,25 @@ void WorldState::capture_event(int rank, const FaultEvent& event,
         // WorldAborted never initiates; anything else is a library bug.
         throw InternalError(std::string("report_event: unexpected event: ") +
                             event.what());
+      }
+      if (auto& rec = telemetry::Recorder::instance();
+          rec.enabled() && captured.type == EventType::Timeout) {
+        // A monitor-proven deadlock and a watchdog expiry are different
+        // verdicts: the first is structural, the second wall-clock.
+        if (autopsy && autopsy->deterministic) {
+          rec.instant("deadlock-proven", telemetry::Track::Monitor, 0,
+                      "rank=" + std::to_string(rank));
+          static auto& proven =
+              rec.counter("fastfit_deadlocks_proven_total",
+                          "Monitor-proven structural deadlocks");
+          proven.add();
+        } else {
+          rec.instant("watchdog-fire", telemetry::Track::Monitor, 0,
+                      "rank=" + std::to_string(rank));
+          static auto& fires = rec.counter("fastfit_watchdog_fires_total",
+                                           "Wall-clock watchdog expiries");
+          fires.add();
+        }
       }
       event_ = std::move(captured);
       // Attach forensics at poison time: either the monitor's verdicted
@@ -310,6 +330,14 @@ WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
     // caller's stack frame.
     threads.emplace_back([state, r, fn = rank_main] {
       {
+        // One span per rank lifetime, on the rank's own trace lane; the
+        // bind gives the lane its Perfetto thread name.
+        if (telemetry::Recorder::instance().enabled()) {
+          telemetry::Recorder::bind_thread(telemetry::Track::Rank, r,
+                                           "rank-" + std::to_string(r));
+        }
+        telemetry::ScopedSpan rank_span("rank-main", telemetry::Track::Rank,
+                                        r);
         Mpi mpi(state, r);
         try {
           fn(mpi);
@@ -346,7 +374,13 @@ WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
 
   std::thread monitor;
   if (state->options_.hang_detection && nranks > 1) {
-    monitor = std::thread([state] { state->monitor_loop(); });
+    monitor = std::thread([state] {
+      if (telemetry::Recorder::instance().enabled()) {
+        telemetry::Recorder::bind_thread(telemetry::Track::Monitor, 0,
+                                         "hang-monitor");
+      }
+      state->monitor_loop();
+    });
   }
 
   WorldResult result;
@@ -370,6 +404,9 @@ WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
         break;
       }
     }
+    telemetry::Recorder::instance().instant(
+        "teardown-escalated", telemetry::Track::Monitor, 0,
+        "straggler=" + std::to_string(straggler));
     state->capture_event(
         straggler,
         SimTimeout("world teardown forced: rank " +
@@ -392,6 +429,14 @@ WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
           std::move(threads[static_cast<std::size_t>(r)]), state,
           &state->done_[static_cast<std::size_t>(r)]);
       ++result.leaked_threads;
+      if (auto& rec = telemetry::Recorder::instance(); rec.enabled()) {
+        rec.instant("thread-quarantined", telemetry::Track::Monitor, 0,
+                    "rank=" + std::to_string(r));
+        static auto& quarantined =
+            rec.counter("fastfit_quarantined_threads_total",
+                        "Rank threads adopted by the quarantine");
+        quarantined.add();
+      }
     }
   }
 

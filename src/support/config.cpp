@@ -70,6 +70,18 @@ InjectionConfig InjectionConfig::from_map(
       cfg.hang_detection = parse_u64(key, value, 1) != 0;
     } else if (key == "FASTFIT_MAX_LEAKED_THREADS") {
       cfg.max_leaked_threads = parse_u64(key, value, 4096);
+    } else if (key == "FASTFIT_TRACE") {
+      if (value.empty()) throw ConfigError("FASTFIT_TRACE: empty path");
+      cfg.trace_out = value;
+    } else if (key == "FASTFIT_METRICS") {
+      if (value.empty()) throw ConfigError("FASTFIT_METRICS: empty path");
+      cfg.metrics_out = value;
+    } else if (key == "FASTFIT_PROGRESS") {
+      cfg.progress = parse_u64(key, value, 1) != 0;
+    } else if (key == "FASTFIT_METRICS_INTERVAL_MS") {
+      // One hour ceiling: longer intervals mean "at campaign end", which
+      // is what 0 already requests.
+      cfg.metrics_interval_ms = parse_u64(key, value, 3'600'000);
     } else {
       throw ConfigError("unknown configuration key: " + key);
     }
@@ -85,7 +97,9 @@ InjectionConfig InjectionConfig::from_environment() {
                            "FASTFIT_MAX_TRIAL_RETRIES",
                            "FASTFIT_WATCHDOG_ESCALATION",
                            "FASTFIT_HANG_DETECTION",
-                           "FASTFIT_MAX_LEAKED_THREADS"}) {
+                           "FASTFIT_MAX_LEAKED_THREADS", "FASTFIT_TRACE",
+                           "FASTFIT_METRICS", "FASTFIT_PROGRESS",
+                           "FASTFIT_METRICS_INTERVAL_MS"}) {
     if (const char* value = std::getenv(name)) kv.emplace(name, value);
   }
   return from_map(kv);
@@ -112,6 +126,12 @@ std::map<std::string, std::string> InjectionConfig::to_map() const {
   if (!hang_detection) kv["FASTFIT_HANG_DETECTION"] = "0";
   if (max_leaked_threads != 8) {
     kv["FASTFIT_MAX_LEAKED_THREADS"] = std::to_string(max_leaked_threads);
+  }
+  if (!trace_out.empty()) kv["FASTFIT_TRACE"] = trace_out;
+  if (!metrics_out.empty()) kv["FASTFIT_METRICS"] = metrics_out;
+  if (progress) kv["FASTFIT_PROGRESS"] = "1";
+  if (metrics_interval_ms != 0) {
+    kv["FASTFIT_METRICS_INTERVAL_MS"] = std::to_string(metrics_interval_ms);
   }
   return kv;
 }

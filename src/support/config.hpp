@@ -49,12 +49,32 @@ struct InjectionConfig {
   /// Campaign-wide budget of rank threads that may survive teardown into
   /// quarantine before the run fails (FASTFIT_MAX_LEAKED_THREADS).
   std::uint64_t max_leaked_threads = 8;
+  /// Chrome trace-event JSON output path (FASTFIT_TRACE); empty = no
+  /// trace. A non-empty path enables the telemetry recorder.
+  std::string trace_out;
+  /// Metrics snapshot output path (FASTFIT_METRICS); ".json" suffix
+  /// selects JSON, anything else Prometheus text exposition. Empty = no
+  /// metrics file. A non-empty path enables the telemetry recorder.
+  std::string metrics_out;
+  /// Live single-line progress report on stderr (FASTFIT_PROGRESS);
+  /// enables the telemetry recorder.
+  bool progress = false;
+  /// Periodic metrics re-export interval in ms
+  /// (FASTFIT_METRICS_INTERVAL_MS); 0 = only at campaign end.
+  std::uint64_t metrics_interval_ms = 0;
+
+  /// True when any telemetry sink is requested (trace, metrics, or the
+  /// live progress line) and the recorder must therefore be enabled.
+  bool telemetry_requested() const noexcept {
+    return !trace_out.empty() || !metrics_out.empty() || progress;
+  }
 
   /// Parses a config from a key/value map using the Table II names
   /// (NUM_INJ, INV_ID, CALL_ID, RANK_ID, PARAM_ID, plus the FASTFIT_*
   /// extensions: FASTFIT_SEED, FASTFIT_PARALLEL_TRIALS, FASTFIT_JOURNAL,
   /// FASTFIT_MAX_TRIAL_RETRIES, FASTFIT_WATCHDOG_ESCALATION,
-  /// FASTFIT_HANG_DETECTION, FASTFIT_MAX_LEAKED_THREADS).
+  /// FASTFIT_HANG_DETECTION, FASTFIT_MAX_LEAKED_THREADS, FASTFIT_TRACE,
+  /// FASTFIT_METRICS, FASTFIT_PROGRESS, FASTFIT_METRICS_INTERVAL_MS).
   /// Unknown keys are rejected; malformed values raise ConfigError.
   static InjectionConfig from_map(
       const std::map<std::string, std::string>& kv);

@@ -1,0 +1,67 @@
+#pragma once
+
+// Live campaign progress: a monitor thread that renders a single-line
+// report (trials/sec, outcome mix, ETA, health deltas) from the metrics
+// registry, and can optionally re-export the metrics snapshot at a
+// periodic interval for scrape-style consumption.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/recorder.hpp"
+
+namespace fastfit::telemetry {
+
+class ProgressMeter {
+ public:
+  struct Options {
+    /// Total trials the campaign plans to execute (for % and ETA); 0
+    /// renders progress without an ETA.
+    std::uint64_t expected_trials = 0;
+    /// Refresh period of the live line.
+    std::chrono::milliseconds interval{1000};
+    /// Print the live line to stderr (carriage-return rewrite).
+    bool live_line = true;
+    /// When non-empty, rewrite this metrics file every
+    /// `metrics_interval` (0 disables periodic export). Format follows
+    /// the path extension: ".json" → JSON, anything else → Prometheus.
+    std::string metrics_path;
+    std::chrono::milliseconds metrics_interval{0};
+  };
+
+  /// Starts the monitor thread (binds it to Track::Monitor lane 1).
+  explicit ProgressMeter(Options opts);
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Stops the monitor thread; with live_line, erases the in-place line
+  /// and prints a final summary line. Idempotent.
+  void stop();
+
+  /// Renders one progress line from a snapshot (exposed for tests).
+  /// `elapsed_s` is campaign wall time, `expected` the planned trial
+  /// count (0 = unknown).
+  static std::string render_line(const MetricsSnapshot& snapshot,
+                                 std::uint64_t expected, double elapsed_s);
+
+ private:
+  void run();
+  void export_metrics();
+
+  Options opts_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<bool> stopped_{false};
+  std::thread thread_;
+};
+
+}  // namespace fastfit::telemetry

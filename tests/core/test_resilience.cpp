@@ -136,7 +136,10 @@ TEST(Resilience, ExhaustedRetriesQuarantineThePointOnly) {
   ASSERT_EQ(results.size(), 2u);
   EXPECT_TRUE(results[0].exec.quarantined);
   EXPECT_EQ(results[0].trials, 0u);  // remaining trials were skipped
-  EXPECT_EQ(results[0].exec.last_error, "synthetic internal flake");
+  // Quarantine errors carry attribution: which attempt, on which lane
+  // (the serial path runs inline on the submitting thread).
+  EXPECT_EQ(results[0].exec.last_error,
+            "attempt 1 on main thread: synthetic internal flake");
   EXPECT_FALSE(results[1].exec.quarantined);
   EXPECT_EQ(results[1].trials, 2u);
   EXPECT_EQ(campaign.health().quarantined_points, 1u);
@@ -157,7 +160,8 @@ TEST(Resilience, QuarantineIsRecordedInTheJournal) {
   const auto record =
       campaign.journal()->quarantine(point_key(result.point));
   ASSERT_TRUE(record.has_value());
-  EXPECT_EQ(record->error, "synthetic internal flake");
+  EXPECT_EQ(record->error,
+            "attempt 1 on main thread: synthetic internal flake");
 }
 
 TEST(Resilience, KillAndResumeIsBitIdentical) {

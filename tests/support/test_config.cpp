@@ -214,6 +214,81 @@ TEST(Config, TeardownKnobsReadFromEnvironment) {
   ::unsetenv("FASTFIT_MAX_LEAKED_THREADS");
 }
 
+TEST(Config, TelemetryKnobDefaultsAreOff) {
+  const auto cfg = InjectionConfig::from_map({});
+  EXPECT_TRUE(cfg.trace_out.empty());
+  EXPECT_TRUE(cfg.metrics_out.empty());
+  EXPECT_FALSE(cfg.progress);
+  EXPECT_EQ(cfg.metrics_interval_ms, 0u);
+  EXPECT_FALSE(cfg.telemetry_requested());
+}
+
+TEST(Config, ParsesTelemetryPathsAndRejectsEmpty) {
+  const auto cfg =
+      InjectionConfig::from_map({{"FASTFIT_TRACE", "trace.json"},
+                                 {"FASTFIT_METRICS", "metrics.prom"}});
+  EXPECT_EQ(cfg.trace_out, "trace.json");
+  EXPECT_EQ(cfg.metrics_out, "metrics.prom");
+  EXPECT_TRUE(cfg.telemetry_requested());
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_TRACE", ""}}),
+               ConfigError);
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_METRICS", ""}}),
+               ConfigError);
+}
+
+TEST(Config, ParsesAndValidatesProgressFlag) {
+  EXPECT_TRUE(InjectionConfig::from_map({{"FASTFIT_PROGRESS", "1"}}).progress);
+  EXPECT_FALSE(
+      InjectionConfig::from_map({{"FASTFIT_PROGRESS", "0"}}).progress);
+  EXPECT_TRUE(InjectionConfig::from_map({{"FASTFIT_PROGRESS", "1"}})
+                  .telemetry_requested());
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_PROGRESS", "2"}}),
+               ConfigError);
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_PROGRESS", "yes"}}),
+               ConfigError);
+}
+
+TEST(Config, ParsesAndValidatesMetricsInterval) {
+  EXPECT_EQ(InjectionConfig::from_map({{"FASTFIT_METRICS_INTERVAL_MS", "500"}})
+                .metrics_interval_ms,
+            500u);
+  // Beyond one hour means "at campaign end", which 0 already requests.
+  EXPECT_THROW(
+      InjectionConfig::from_map({{"FASTFIT_METRICS_INTERVAL_MS", "3600001"}}),
+      ConfigError);
+}
+
+TEST(Config, TelemetryKnobsRoundTripThroughMap) {
+  auto cfg = InjectionConfig::from_map(
+      {{"FASTFIT_TRACE", "t.json"},
+       {"FASTFIT_METRICS", "m.prom"},
+       {"FASTFIT_PROGRESS", "1"},
+       {"FASTFIT_METRICS_INTERVAL_MS", "250"}});
+  const auto cfg2 = InjectionConfig::from_map(cfg.to_map());
+  EXPECT_EQ(cfg2.trace_out, "t.json");
+  EXPECT_EQ(cfg2.metrics_out, "m.prom");
+  EXPECT_TRUE(cfg2.progress);
+  EXPECT_EQ(cfg2.metrics_interval_ms, 250u);
+  const auto defaults = InjectionConfig{}.to_map();
+  EXPECT_EQ(defaults.count("FASTFIT_TRACE"), 0u);
+  EXPECT_EQ(defaults.count("FASTFIT_METRICS"), 0u);
+  EXPECT_EQ(defaults.count("FASTFIT_PROGRESS"), 0u);
+  EXPECT_EQ(defaults.count("FASTFIT_METRICS_INTERVAL_MS"), 0u);
+}
+
+TEST(Config, TelemetryKnobsReadFromEnvironment) {
+  ::setenv("FASTFIT_TRACE", "/tmp/env-trace.json", 1);
+  ::setenv("FASTFIT_PROGRESS", "1", 1);
+  ::setenv("FASTFIT_METRICS_INTERVAL_MS", "100", 1);
+  const auto cfg = InjectionConfig::from_environment();
+  EXPECT_EQ(cfg.trace_out, "/tmp/env-trace.json");
+  EXPECT_TRUE(cfg.progress);
+  EXPECT_EQ(cfg.metrics_interval_ms, 100u);
+  ::unsetenv("FASTFIT_TRACE");
+  ::unsetenv("FASTFIT_PROGRESS");
+  ::unsetenv("FASTFIT_METRICS_INTERVAL_MS");
+}
+
 TEST(Config, FromEnvironmentReadsTableTwoNames) {
   ::setenv("NUM_INJ", "33", 1);
   ::setenv("RANK_ID", "5", 1);

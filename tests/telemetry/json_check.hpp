@@ -1,0 +1,239 @@
+#pragma once
+
+// Minimal recursive-descent JSON parser for exporter tests: validates
+// syntax and exposes a tiny DOM (objects as string->node maps, arrays as
+// vectors). Deliberately tiny — enough to prove the exporters emit
+// well-formed documents and to walk traceEvents, not a general library.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fastfit::testjson {
+
+struct Node {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+      Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Node> array;
+  std::map<std::string, Node> object;
+
+  bool has(const std::string& key) const {
+    return kind == Kind::Object && object.count(key) > 0;
+  }
+  const Node& at(const std::string& key) const { return object.at(key); }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  /// Parses the whole document; sets `ok` false (with an error message)
+  /// on any syntax violation including trailing garbage.
+  Node parse() {
+    Node root = value();
+    skip_ws();
+    if (ok && pos_ != text_.size()) fail("trailing characters");
+    return root;
+  }
+
+  bool ok = true;
+  std::string error;
+
+ private:
+  void fail(const std::string& why) {
+    if (ok) {
+      ok = false;
+      error = why + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Node value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_node();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  Node object() {
+    Node node;
+    node.kind = Node::Kind::Object;
+    consume('{');
+    skip_ws();
+    if (consume('}')) return node;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key");
+        return node;
+      }
+      Node key = string_node();
+      if (!ok) return node;
+      if (!consume(':')) {
+        fail("expected ':'");
+        return node;
+      }
+      node.object[key.string] = value();
+      if (!ok) return node;
+      if (consume(',')) continue;
+      if (consume('}')) return node;
+      fail("expected ',' or '}'");
+      return node;
+    }
+  }
+
+  Node array() {
+    Node node;
+    node.kind = Node::Kind::Array;
+    consume('[');
+    skip_ws();
+    if (consume(']')) return node;
+    for (;;) {
+      node.array.push_back(value());
+      if (!ok) return node;
+      if (consume(',')) continue;
+      if (consume(']')) return node;
+      fail("expected ',' or ']'");
+      return node;
+    }
+  }
+
+  Node string_node() {
+    Node node;
+    node.kind = Node::Kind::String;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return node;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': node.string += '"'; break;
+          case '\\': node.string += '\\'; break;
+          case '/': node.string += '/'; break;
+          case 'b': node.string += '\b'; break;
+          case 'f': node.string += '\f'; break;
+          case 'n': node.string += '\n'; break;
+          case 'r': node.string += '\r'; break;
+          case 't': node.string += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return node;
+            }
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+                fail("bad \\u escape");
+                return node;
+              }
+              ++pos_;
+            }
+            node.string += '?';  // tests never compare escaped content
+            break;
+          }
+          default:
+            fail("bad escape");
+            return node;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return node;
+      } else {
+        node.string += c;
+      }
+    }
+    fail("unterminated string");
+    return node;
+  }
+
+  Node boolean() {
+    Node node;
+    node.kind = Node::Kind::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      node.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return node;
+  }
+
+  Node null() {
+    Node node;
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+    } else {
+      fail("bad literal");
+    }
+    return node;
+  }
+
+  Node number() {
+    Node node;
+    node.kind = Node::Kind::Number;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected value");
+      return node;
+    }
+    const std::string lit(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    node.number = std::strtod(lit.c_str(), &end);
+    if (end != lit.c_str() + lit.size()) fail("bad number: " + lit);
+    return node;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline Node parse_or_die(std::string_view text, bool* ok_out = nullptr,
+                         std::string* error_out = nullptr) {
+  Parser parser(text);
+  Node root = parser.parse();
+  if (ok_out) *ok_out = parser.ok;
+  if (error_out) *error_out = parser.error;
+  return root;
+}
+
+}  // namespace fastfit::testjson

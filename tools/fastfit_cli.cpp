@@ -26,6 +26,17 @@
 //       FASTFIT_MAX_LEAKED_THREADS environment variables are the
 //       flagless equivalents.
 //
+//       Telemetry (docs/observability.md): --trace-out FILE writes a
+//       Perfetto-loadable Chrome trace of the trial lifecycle,
+//       --metrics-out FILE a metrics snapshot (".json" = JSON, else
+//       Prometheus text), --progress a live one-line report on stderr,
+//       and --metrics-interval-ms MS a periodic metrics re-export.
+//       FASTFIT_TRACE, FASTFIT_METRICS, FASTFIT_PROGRESS, and
+//       FASTFIT_METRICS_INTERVAL_MS are the flagless equivalents. Any of
+//       these enables the recorder; without them it costs nothing.
+//       Independent of telemetry, every study prints the per-outcome
+//       trial totals and the campaign health table on stderr.
+//
 //   fastfit p2p <workload> [--ranks N] [--trials T] [--points K]
 //       The point-to-point extension study (Sec VIII future work):
 //       pruning statistics and per-parameter response distributions for
@@ -36,10 +47,12 @@
 // threads still leaked in quarantine after the final reap, 1 fatal
 // (usage or execution error).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "apps/registry.hpp"
@@ -52,6 +65,9 @@
 #include "stats/levels.hpp"
 #include "support/config.hpp"
 #include "support/format.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/progress_meter.hpp"
+#include "telemetry/recorder.hpp"
 
 using namespace fastfit;
 
@@ -71,6 +87,8 @@ int usage() {
                "                [--watchdog-escalation M]\n"
                "                [--hang-detection 0|1]\n"
                "                [--max-leaked-threads N]\n"
+               "                [--trace-out FILE] [--metrics-out FILE]\n"
+               "                [--progress] [--metrics-interval-ms MS]\n"
                "  fastfit p2p <workload> [--ranks N] [--trials T] "
                "[--points K]\n");
   return 1;
@@ -84,7 +102,7 @@ struct Args {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) return false;
       key = key.substr(2);
-      if (key == "no-ml" || key == "resume") {
+      if (key == "no-ml" || key == "resume" || key == "progress") {
         values[key] = "1";
       } else {
         if (i + 1 >= argc) return false;
@@ -215,8 +233,43 @@ int cmd_study(const std::string& workload_name, const Args& args) {
     throw ConfigError("--resume requires --journal (or FASTFIT_JOURNAL)");
   }
 
+  // Telemetry sinks: flags override the FASTFIT_* environment; any sink
+  // enables the recorder (it is off — and free — otherwise).
+  std::string trace_out = env.trace_out;
+  std::string metrics_out = env.metrics_out;
+  bool progress = env.progress;
+  std::uint64_t metrics_interval_ms = env.metrics_interval_ms;
+  if (args.has("trace-out")) trace_out = args.get("trace-out", "");
+  if (args.has("metrics-out")) metrics_out = args.get("metrics-out", "");
+  if (args.has("progress")) progress = true;
+  if (args.has("metrics-interval-ms")) {
+    metrics_interval_ms =
+        InjectionConfig::from_map(
+            {{"FASTFIT_METRICS_INTERVAL_MS",
+              args.get("metrics-interval-ms", "0")}})
+            .metrics_interval_ms;
+  }
+  const bool telemetry_on =
+      !trace_out.empty() || !metrics_out.empty() || progress;
+  auto& recorder = telemetry::Recorder::instance();
+  std::unique_ptr<telemetry::ProgressMeter> meter;
+  if (telemetry_on) {
+    recorder.enable();
+    telemetry::Recorder::bind_thread(telemetry::Track::Main, -1,
+                                     "campaign-main");
+    if (progress || (metrics_interval_ms > 0 && !metrics_out.empty())) {
+      telemetry::ProgressMeter::Options meter_opts;
+      meter_opts.live_line = progress;
+      meter_opts.metrics_path = metrics_out;
+      meter_opts.metrics_interval =
+          std::chrono::milliseconds(metrics_interval_ms);
+      meter = std::make_unique<telemetry::ProgressMeter>(meter_opts);
+    }
+  }
+
   core::FastFit study(*workload, options);
   const auto result = study.run();
+  if (meter) meter->stop();
 
   const auto& s = result.stats;
   std::printf("pruning: %llu -> %llu (%s) -> %llu (%s); ML predicted %s; "
@@ -239,6 +292,38 @@ int cmd_study(const std::string& workload_name, const Args& args) {
   rows.emplace_back("ALL", core::outcome_distribution(result.measured));
   std::printf("%s\n", core::render_outcome_table(rows).c_str());
   std::printf("%s", core::render_health(result.health).c_str());
+
+  // Always-on stderr report: outcome totals + health, telemetry or not —
+  // a campaign's counts must never be only an exit code.
+  std::fprintf(stderr, "%s%s",
+               core::render_outcome_totals(result.measured).c_str(),
+               core::render_health(result.health).c_str());
+
+  if (telemetry_on) {
+    if (!trace_out.empty()) {
+      const auto trace = telemetry::to_chrome_trace(
+          recorder.drain_events(), recorder.bound_threads());
+      if (telemetry::write_text_file(trace_out, trace)) {
+        std::printf("wrote %s\n", trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "error: failed to write trace: %s\n",
+                     trace_out.c_str());
+      }
+    }
+    if (!metrics_out.empty()) {
+      const auto snapshot = recorder.metrics();
+      const bool json = metrics_out.size() >= 5 &&
+                        metrics_out.rfind(".json") == metrics_out.size() - 5;
+      const auto text = json ? telemetry::to_metrics_json(snapshot)
+                             : telemetry::to_prometheus(snapshot);
+      if (telemetry::write_text_file(metrics_out, text)) {
+        std::printf("wrote %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "error: failed to write metrics: %s\n",
+                     metrics_out.c_str());
+      }
+    }
+  }
 
   if (args.has("csv")) {
     core::write_file(args.get("csv", ""), core::to_csv(result.measured));
