@@ -35,8 +35,8 @@ int main() {
       options.algorithms.allreduce =
           mpi::CollectiveAlgorithms::Allreduce::ReduceBcast;
     }
-    core::Campaign campaign(*workload, options);
-    campaign.profile();
+    const auto driver = bench::profiled_driver(*workload, options);
+    auto& campaign = driver->campaign();
     std::vector<core::PointResult> results;
     std::vector<core::PointResult> root_results;
     for (const auto& point : campaign.enumeration().points) {

@@ -30,8 +30,8 @@ int main() {
     const auto workload = apps::make_workload("miniMD");
     auto options = bench::bench_campaign_options();
     options.fault_model = model;
-    core::Campaign campaign(*workload, options);
-    campaign.profile();
+    const auto driver = bench::profiled_driver(*workload, options);
+    auto& campaign = driver->campaign();
     std::vector<core::PointResult> results;
     for (const auto& point : campaign.enumeration().points) {
       if (point.param != mpi::Param::SendBuf) continue;

@@ -25,8 +25,8 @@ int main() {
   apps::MdConfig config;
   config.steps = 16;
   apps::MiniMD workload(config);
-  core::Campaign campaign(workload, bench::bench_campaign_options());
-  campaign.profile();
+  const auto driver = bench::profiled_driver(workload, bench::bench_campaign_options());
+  auto& campaign = driver->campaign();
 
   // A mid-sensitivity sendbuf point (probe a few, pick the most mid-range).
   const core::InjectionPoint* chosen = nullptr;

@@ -27,11 +27,22 @@ void banner(const std::string& id, const std::string& paper_caption,
   std::printf("==============================================================\n");
 }
 
+std::unique_ptr<core::StudyDriver> profiled_driver(
+    const apps::Workload& workload, core::CampaignOptions options) {
+  core::StudyOptions study;
+  study.campaign = std::move(options);
+  study.use_ml = false;
+  auto driver = std::make_unique<core::StudyDriver>(workload,
+                                                    std::move(study));
+  driver->profile();
+  return driver;
+}
+
 std::vector<core::PointResult> measure_all_points(
     const std::string& workload_name, std::optional<mpi::Param> only_param) {
   const auto workload = apps::make_workload(workload_name);
-  core::Campaign campaign(*workload, bench_campaign_options());
-  campaign.profile();
+  const auto driver = profiled_driver(*workload, bench_campaign_options());
+  auto& campaign = driver->campaign();
   std::vector<core::InjectionPoint> selected;
   for (const auto& point : campaign.enumeration().points) {
     if (only_param && point.param != *only_param) continue;

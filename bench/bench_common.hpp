@@ -18,9 +18,9 @@
 //                           measures the on/off delta explicitly)
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 
-#include "core/campaign.hpp"
 #include "core/fastfit.hpp"
 #include "core/report.hpp"
 
@@ -61,6 +61,14 @@ inline core::CampaignOptions bench_campaign_options() {
 /// Prints the standard experiment banner.
 void banner(const std::string& id, const std::string& paper_caption,
             const std::string& substitution_note);
+
+/// Profiles a workload through the study pipeline and returns the
+/// driver; driver->campaign() is the profiled engine. Bench binaries
+/// that drive measurement by hand go through here instead of
+/// constructing a Campaign directly — engine construction is the study
+/// pipeline's business (see docs/pipeline.md).
+std::unique_ptr<core::StudyDriver> profiled_driver(
+    const apps::Workload& workload, core::CampaignOptions options);
 
 /// Measures every enumerated point of a workload (traditional mode) and
 /// returns the per-point results; shared by the Figs 7-11 binaries.

@@ -25,8 +25,8 @@ int main() {
 
   for (const std::string name : {"MG", "LU"}) {
     const auto workload = apps::make_workload(name);
-    core::Campaign campaign(*workload, bench::bench_campaign_options());
-    campaign.profile();
+    const auto driver = bench::profiled_driver(*workload, bench::bench_campaign_options());
+    auto& campaign = driver->campaign();
 
     // Collective baseline (buffer faults).
     std::vector<core::PointResult> coll;

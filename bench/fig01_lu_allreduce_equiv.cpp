@@ -25,8 +25,8 @@ int main() {
       "mini-LU on MiniMPI; ranks drawn from one equivalence class");
 
   const auto workload = apps::make_workload("LU");
-  core::Campaign campaign(*workload, bench::bench_campaign_options());
-  campaign.profile();
+  const auto driver = bench::profiled_driver(*workload, bench::bench_campaign_options());
+  auto& campaign = driver->campaign();
 
   // The bulk (non-root-role) equivalence class holds the interchangeable
   // ranks; take its first two members as the paper's rand1 / rand2.

@@ -23,8 +23,8 @@ int main() {
       "mini-FT's per-iteration checksum MPI_Reduce to rank 0");
 
   const auto workload = apps::make_workload("FT");
-  core::Campaign campaign(*workload, bench::bench_campaign_options());
-  campaign.profile();
+  const auto driver = bench::profiled_driver(*workload, bench::bench_campaign_options());
+  auto& campaign = driver->campaign();
 
   // Locate the reduce site on the root rank (rank 0 forms its own class)
   // and a representative non-root.

@@ -31,8 +31,8 @@ int main() {
   apps::MiniMD workload(config);
 
   auto options = bench::bench_campaign_options();
-  core::Campaign campaign(workload, options);
-  campaign.profile();
+  const auto driver = bench::profiled_driver(workload, options);
+  auto& campaign = driver->campaign();
 
   // Candidate sites: allreduces with a large single-stack invocation
   // group on the bulk representative rank. The paper's example site has an

@@ -24,8 +24,8 @@ int main() {
   std::printf("%s%s%s\n", pad("threshold", 12).c_str(),
               pad("reduction", 12).c_str(), "measured/total points");
   for (double threshold : {0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75}) {
-    core::Campaign campaign(*workload, bench::bench_campaign_options());
-    campaign.profile();
+    const auto driver = bench::profiled_driver(*workload, bench::bench_campaign_options());
+    auto& campaign = driver->campaign();
     core::MlLoopConfig config;
     config.accuracy_threshold = threshold;
     config.train_batch = 4;

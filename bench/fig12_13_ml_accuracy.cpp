@@ -47,8 +47,8 @@ int main() {
   std::vector<core::PointResult> measured;
   for (const std::string name : {"miniMD", "IS", "FT", "MG", "LU"}) {
     const auto workload = apps::make_workload(name);
-    core::Campaign campaign(*workload, bench::bench_campaign_options());
-    campaign.profile();
+    const auto driver = bench::profiled_driver(*workload, bench::bench_campaign_options());
+    auto& campaign = driver->campaign();
     auto dense = core::enumerate_points_semantic_only(campaign.profiler());
     std::vector<core::InjectionPoint> buffer_points;
     for (const auto& point : dense.points) {

@@ -56,8 +56,8 @@ int main() {
   options.trials_per_point = trials;
   options.seed = bench::bench_seed();
   const auto workload = apps::make_workload("EP");
-  core::Campaign campaign(*workload, options);
-  campaign.profile();
+  const auto driver = bench::profiled_driver(*workload, options);
+  auto& campaign = driver->campaign();
 
   auto points = campaign.enumeration().points;
   if (points.size() > max_points) points.resize(max_points);
@@ -202,6 +202,67 @@ int main() {
   std::printf("%-28s %8.1f trials/sec  (%.2fs, pure replay)\n",
               "serial + journal replay", replay_tps, replay_sec);
 
+  // Shard scaling: the same batch split into 1/2/4 deterministic shards
+  // (the --shard i/N partition), each shard measured on its own, plus
+  // the `fastfit merge` reassembly cost — charged separately, since in a
+  // real sharded study the shards run on N machines and only the merge
+  // is serial. The wall-clock of a sharded study is max(shard) + merge.
+  json << "\n  ],\n  \"shard_scaling\": [";
+  bool shard_identical = true;
+  for (std::size_t si = 0; si < 3; ++si) {
+    const std::size_t nshards = std::size_t{1} << si;
+    std::vector<std::string> fragments;
+    std::vector<double> shard_secs;
+    double max_shard_sec = 0.0;
+    for (std::size_t index = 1; index <= nshards; ++index) {
+      const core::ShardSpec spec{index, nshards};
+      core::StudyResult part;
+      part.stats = campaign.stats();
+      // The bench measures a truncated point set; fragments only need to
+      // agree among themselves, so the post-pruning count is the batch.
+      part.stats.after_context = points.size();
+      part.golden_digest = campaign.golden_digest();
+      part.shard = spec;
+      std::vector<InjectionPoint> own;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        if (core::shard_owns(spec, points[i])) {
+          part.shard_ordinals.push_back(i);
+          own.push_back(points[i]);
+        }
+      }
+      const auto t_shard = std::chrono::steady_clock::now();
+      part.measured = campaign.measure_many(own);
+      const double sec = seconds_since(t_shard);
+      shard_secs.push_back(sec);
+      max_shard_sec = std::max(max_shard_sec, sec);
+      fragments.push_back(core::to_shard_fragment(part));
+    }
+    const auto t_merge = std::chrono::steady_clock::now();
+    const auto merged = core::merge_fragments(fragments);
+    const double merge_sec = seconds_since(t_merge);
+    for (std::size_t i = 0; i < merged.measured.size(); ++i) {
+      if (merged.measured[i].counts != serial[i].counts) {
+        shard_identical = false;
+        identical = false;
+        std::printf("  shard mismatch at point %zu (%zu shards)\n", i,
+                    nshards);
+      }
+    }
+    std::printf("%-28s %8.2fs max shard  (+%.3fs merge, %zu shards)\n",
+                ("sharded study (" + std::to_string(nshards) + ")").c_str(),
+                max_shard_sec, merge_sec, nshards);
+    if (si) json << ",";
+    json << "\n    {\"shards\": " << nshards << ", \"shard_seconds\": [";
+    for (std::size_t i = 0; i < shard_secs.size(); ++i) {
+      if (i) json << ", ";
+      json << shard_secs[i];
+    }
+    json << "], \"max_shard_seconds\": " << max_shard_sec
+         << ", \"merge_seconds\": " << merge_sec
+         << ", \"merged_identical\": "
+         << (shard_identical ? "true" : "false") << "}";
+  }
+
   // Hang-heavy section: time-to-classify INF_LOOP with the deterministic
   // deadlock monitor on vs off. Root/Comm corruption on EP's rooted
   // broadcast is the densest hang source in the enumeration; the monitor
@@ -233,8 +294,8 @@ int main() {
   std::vector<PointResult> hang_results[2];
   for (int detect = 0; detect < 2 && !hang_points.empty(); ++detect) {
     hang_options.deterministic_hang_detection = detect != 0;
-    core::Campaign hang_campaign(*workload, hang_options);
-    hang_campaign.profile();
+    const auto hang_driver = bench::profiled_driver(*workload, hang_options);
+    auto& hang_campaign = hang_driver->campaign();
     const auto t4 = std::chrono::steady_clock::now();
     hang_results[detect] = hang_campaign.measure_many(hang_points);
     hang_sec[detect] = seconds_since(t4);

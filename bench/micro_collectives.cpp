@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/registry.hpp"
+#include "bench_common.hpp"
 #include "core/campaign.hpp"
 #include "ml/random_forest.hpp"
 #include "minimpi/mpi.hpp"
@@ -106,8 +107,8 @@ void BM_InjectedTrial(benchmark::State& state) {
   core::CampaignOptions options;
   options.nranks = 8;
   options.trials_per_point = 1;
-  core::Campaign campaign(*workload, options);
-  campaign.profile();
+  const auto driver = bench::profiled_driver(*workload, options);
+  auto& campaign = driver->campaign();
   const auto& point = campaign.enumeration().points.front();
   for (auto _ : state) {
     benchmark::DoNotOptimize(campaign.measure(point, 1));

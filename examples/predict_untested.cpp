@@ -21,13 +21,19 @@ int main(int argc, char** argv) {
   const double threshold = argc > 2 ? std::atof(argv[2]) : 0.65;
 
   const auto workload = apps::make_workload(name);
-  core::Campaign campaign(*workload, core::CampaignOptions{
-                                         .nranks = 16,
-                                         .seed = 0x5eedULL,
-                                         .trials_per_point = 10,
-                                         .watchdog = std::nullopt,
-                                     });
-  campaign.profile();
+  core::StudyOptions study;
+  study.campaign = core::CampaignOptions{
+      .nranks = 16,
+      .seed = 0x5eedULL,
+      .trials_per_point = 10,
+      .watchdog = std::nullopt,
+  };
+  // Drive the ML loop by hand below (to print the model) instead of
+  // letting run() own it.
+  study.use_ml = false;
+  core::StudyDriver driver(*workload, std::move(study));
+  driver.profile();
+  auto& campaign = driver.campaign();
 
   core::MlLoopConfig config;
   config.mode = core::LabelMode::ErrorRateLevel;

@@ -16,7 +16,7 @@
 
 #include "apps/common.hpp"
 #include "apps/workload.hpp"
-#include "core/campaign.hpp"
+#include "core/study.hpp"
 #include "support/config.hpp"
 
 using namespace fastfit;
@@ -59,8 +59,12 @@ int main() {
       std::min<std::uint64_t>(config.num_inj, 1000));
   options.seed = config.seed;
 
-  core::Campaign campaign(workload, options);
-  campaign.profile();  // golden run + profiling run + pruning
+  // The study pipeline owns engine construction; profile() is the golden
+  // run + profiling run + pruning, after which the campaign engine is
+  // ready for hand-driven measurement.
+  core::StudyDriver driver(workload, {.campaign = options, .use_ml = false});
+  driver.profile();
+  auto& campaign = driver.campaign();
 
   const auto& points = campaign.enumeration().points;
   std::printf("profiling found %zu injection points after pruning "

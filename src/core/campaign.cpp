@@ -1,10 +1,10 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <mutex>
+#include <optional>
 #include <thread>
 
+#include "core/pipeline.hpp"
 #include "core/trial_executor.hpp"
 #include "inject/injector.hpp"
 #include "minimpi/quarantine.hpp"
@@ -24,10 +24,6 @@ namespace {
 constexpr std::chrono::milliseconds kWatchdogFloor = 150ms;
 constexpr int kWatchdogMultiplier = 12;
 
-// Outcome-slot sentinels for measure_impl's (point, trial) matrix.
-constexpr int kPending = -1;  ///< not yet executed
-constexpr int kSkipped = -2;  ///< abandoned after the point quarantined
-
 std::string algorithms_id(const mpi::CollectiveAlgorithms& algorithms) {
   return std::to_string(static_cast<int>(algorithms.allreduce)) + '/' +
          std::to_string(static_cast<int>(algorithms.bcast));
@@ -42,27 +38,6 @@ std::string execution_site() {
 
 }  // namespace
 
-double PointResult::error_rate() const {
-  if (trials == 0) return 0.0;
-  const auto successes =
-      counts[static_cast<std::size_t>(inject::Outcome::Success)];
-  return 1.0 - static_cast<double>(successes) / static_cast<double>(trials);
-}
-
-double PointResult::fraction(inject::Outcome outcome) const {
-  if (trials == 0) return 0.0;
-  return static_cast<double>(counts[static_cast<std::size_t>(outcome)]) /
-         static_cast<double>(trials);
-}
-
-inject::Outcome PointResult::dominant() const {
-  std::size_t best = 0;
-  for (std::size_t o = 1; o < inject::kNumOutcomes; ++o) {
-    if (counts[o] > counts[best]) best = o;
-  }
-  return static_cast<inject::Outcome>(best);
-}
-
 Campaign::Campaign(const apps::Workload& workload, CampaignOptions options)
     : workload_(&workload), options_(options) {
   if (options_.nranks < 1) throw ConfigError("Campaign: nranks must be >= 1");
@@ -75,6 +50,20 @@ Campaign::Campaign(const apps::Workload& workload, CampaignOptions options)
   if (options_.watchdog_storm_fraction <= 0.0 ||
       options_.watchdog_storm_fraction > 1.0) {
     throw ConfigError("Campaign: watchdog_storm_fraction must be in (0, 1]");
+  }
+  // Validate the structural pruning chain up front: unknown names and
+  // measurer-needing passes ("ml") should fail at construction, not at
+  // profile() time deep into a study.
+  for (const auto& name : options_.pruning_passes) {
+    if (make_pruning_pass(name)->needs_measurer()) {
+      throw ConfigError("Campaign: pruning pass '" + name +
+                        "' needs a measurer; select the ML stage through "
+                        "the study driver, not CampaignOptions");
+    }
+  }
+  if (options_.shard.count < 1 || options_.shard.index < 1 ||
+      options_.shard.index > options_.shard.count) {
+    throw ConfigError("Campaign: shard must satisfy 1 <= index <= count");
   }
 }
 
@@ -159,7 +148,7 @@ void Campaign::profile() {
 
   {
     tel::ScopedSpan span("enumerate-points");
-    enumeration_ = enumerate_points(*profiler_);
+    enumeration_ = enumerate_with_passes(*profiler_, options_.pruning_passes);
   }
   profiled_ = true;
 }
@@ -194,6 +183,8 @@ void Campaign::attach_journal(const std::string& path, JournalMode mode) {
   header.fault_model = to_string(options_.fault_model);
   header.algorithms = algorithms_id(options_.algorithms);
   header.golden_digest = golden_digest_;
+  header.shard_index = options_.shard.index;
+  header.shard_count = options_.shard.count;
   journal_ = mode == JournalMode::Resume ? TrialJournal::resume(path, header)
                                          : TrialJournal::create(path, header);
 }
@@ -296,10 +287,10 @@ inject::TrialForensics Campaign::run_trial(
                                          golden_digest_);
 }
 
-Campaign::TrialAttempt Campaign::run_trial_guarded(
+TrialRunner::Attempt Campaign::run_guarded(
     const InjectionPoint& point, std::uint64_t trial,
     std::chrono::milliseconds watchdog) {
-  TrialAttempt attempt;
+  Attempt attempt;
   for (std::uint32_t tries = 0;; ++tries) {
     // Attribution prefix for the error: which attempt failed, on which
     // executor worker (quarantine messages must be traceable to a lane).
@@ -341,6 +332,24 @@ std::size_t Campaign::parallel_trials() const noexcept {
                                  options_.nranks);
 }
 
+void Campaign::recalibrate_after_storm(std::size_t pool) {
+  const auto budget = std::max<std::chrono::milliseconds>(
+      30'000ms, watchdog_ * options_.watchdog_escalation);
+  tel::ScopedSpan recal_span("watchdog-recalibrate");
+  const auto [digest, wall] = run_golden(budget);
+  if (digest != golden_digest_) {
+    throw InternalError("Campaign: recalibration golden digest diverged");
+  }
+  watchdog_ = std::max(kWatchdogFloor, wall * kWatchdogMultiplier);
+  options_.max_parallel_trials = std::max<std::size_t>(1, pool / 2);
+  if (auto& rec = tel::Recorder::instance(); rec.enabled()) {
+    static auto& recals =
+        rec.counter("fastfit_watchdog_recalibrations_total",
+                    "Storm-triggered golden recalibrations");
+    recals.add();
+  }
+}
+
 std::vector<PointResult> Campaign::measure_impl(
     std::span<const InjectionPoint> points, std::uint32_t trials,
     std::size_t pool) {
@@ -356,242 +365,40 @@ std::vector<PointResult> Campaign::measure_impl(
   batch_span.arg("trials", std::to_string(trials));
   batch_span.arg("pool", std::to_string(pool));
 
-  std::vector<PointResult> results(points.size());
-  // One outcome slot per (point, trial) job; aggregated afterwards in
-  // trial order so the result is byte-for-byte the serial one.
-  std::vector<std::vector<int>> outcomes(points.size(),
-                                         std::vector<int>(trials, kPending));
-  std::vector<std::vector<std::uint8_t>> replayed(
-      points.size(), std::vector<std::uint8_t>(trials, 0));
-  // Forensics per (point, trial): whether an INF_LOOP was proven
-  // deterministically (skips escalated re-confirmation) and the world
-  // autopsy carried into the journal and point stats.
-  std::vector<std::vector<std::uint8_t>> deterministic(
-      points.size(), std::vector<std::uint8_t>(trials, 0));
-  std::vector<std::vector<std::string>> autopsies(
-      points.size(), std::vector<std::string>(trials));
+  // The scheduler owns the (point, trial) job matrix — replay, concurrent
+  // execution, storm response, escalated re-confirmation, deterministic
+  // aggregation. Campaign contributes the engine (TrialRunner) and the
+  // observers: the report accumulator, the metrics sink, and (when
+  // attached) the journal write-through.
+  SchedulerConfig scheduler_config;
+  scheduler_config.pool = pool;
+  scheduler_config.storm_fraction = options_.watchdog_storm_fraction;
+  scheduler_config.watchdog_escalation = options_.watchdog_escalation;
+  TrialScheduler scheduler(*this, scheduler_config);
 
-  // Per-point supervision state. deque: stable addresses, no moves — the
-  // elements hold atomics.
-  struct PointState {
-    std::atomic<bool> quarantined{false};
-    std::atomic<std::uint32_t> retries{0};
-    std::mutex error_mutex;
-    std::string last_error;
-  };
-  std::deque<PointState> state(points.size());
-
-  std::vector<std::string> keys(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    keys[i] = point_key(points[i]);
-  }
-
-  // Phase 0: replay journaled outcomes; only the gaps execute.
+  ResultAccumulator accumulator(points);
+  TelemetrySink telemetry_sink;
+  std::optional<JournalSink> journal_sink;
+  std::vector<OutcomeSink*> sinks{&accumulator, &telemetry_sink};
   if (journal_) {
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      for (std::uint32_t t = 0; t < trials; ++t) {
-        if (const auto o = journal_->lookup(keys[i], t)) {
-          outcomes[i][t] = static_cast<int>(*o);
-          replayed[i][t] = 1;
-          replayed_trials_.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-    }
+    journal_sink.emplace(*journal_);
+    sinks.push_back(&*journal_sink);
   }
+  const auto batch = scheduler.run(points, trials, journal_.get(), sinks);
 
-  // Phase 1: concurrent guarded execution of the missing trials.
-  std::atomic<std::uint64_t> fresh{0};
-  std::atomic<std::uint64_t> fresh_timeouts{0};
-  {
-    TrialExecutor executor(pool);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      for (std::uint32_t t = 0; t < trials; ++t) {
-        if (outcomes[i][t] != kPending) continue;
-        // Submission timestamp: the gap to execution start is the queue
-        // wait, rendered as its own span on the executing worker's lane.
-        auto& rec = tel::Recorder::instance();
-        const std::int64_t submit_us = rec.enabled() ? rec.now_us() : -1;
-        executor.submit([this, &outcomes, &state, &points, &keys, &fresh,
-                         &fresh_timeouts, &deterministic, &autopsies,
-                         submit_us, i, t] {
-          auto& st = state[i];
-          if (st.quarantined.load(std::memory_order_acquire)) {
-            outcomes[i][t] = kSkipped;
-            return;
-          }
-          auto& rec = tel::Recorder::instance();
-          if (submit_us >= 0 && rec.enabled()) {
-            const auto info = tel::Recorder::thread_info();
-            tel::Event wait;
-            wait.name = "queue-wait";
-            wait.start_us = submit_us;
-            wait.dur_us = rec.now_us() - submit_us;
-            wait.track = info.track;
-            wait.index = info.index;
-            rec.record(std::move(wait));
-          }
-          tel::ScopedSpan trial_span("trial");
-          trial_span.arg("point", keys[i]);
-          trial_span.arg("trial", std::to_string(t));
-          const auto attempt = run_trial_guarded(points[i], t, watchdog_);
-          if (attempt.ok) {
-            trial_span.arg("outcome", inject::to_string(attempt.outcome));
-          }
-          st.retries.fetch_add(attempt.retries, std::memory_order_relaxed);
-          if (!attempt.ok) {
-            {
-              std::lock_guard lock(st.error_mutex);
-              st.last_error = attempt.error;
-            }
-            st.quarantined.store(true, std::memory_order_release);
-            outcomes[i][t] = kSkipped;
-            return;
-          }
-          fresh.fetch_add(1, std::memory_order_relaxed);
-          if (attempt.outcome == inject::Outcome::InfLoop) {
-            if (attempt.deterministic_hang) {
-              // Proven structural deadlock: load-independent, so it
-              // neither feeds the storm heuristic nor needs an escalated
-              // re-confirmation.
-              deterministic[i][t] = 1;
-              deterministic_deadlocks_.fetch_add(1,
-                                                 std::memory_order_relaxed);
-            } else {
-              fresh_timeouts.fetch_add(1, std::memory_order_relaxed);
-            }
-          }
-          autopsies[i][t] = attempt.autopsy;
-          outcomes[i][t] = static_cast<int>(attempt.outcome);
-        });
-      }
-    }
-    executor.wait();
-  }
+  // Fold the batch's resilience activity into the campaign-wide health
+  // counters.
+  replayed_trials_.fetch_add(batch.replayed, std::memory_order_relaxed);
+  deterministic_deadlocks_.fetch_add(batch.deterministic_deadlocks,
+                                     std::memory_order_relaxed);
+  confirmations_.fetch_add(batch.confirmations, std::memory_order_relaxed);
+  recalibrations_.fetch_add(batch.recalibrations, std::memory_order_relaxed);
+  quarantined_points_.fetch_add(batch.quarantined_points,
+                                std::memory_order_relaxed);
 
-  // Phase 2: watchdog-storm response. When most of a batch times out the
-  // likely cause is an overloaded machine (or a stale calibration), not a
-  // sudden epidemic of genuine hangs: re-measure the golden wall time,
-  // recalibrate the watchdog from it, and degrade trial parallelism
-  // toward serial. The escalated re-confirmation below then reclassifies
-  // with the fresh budget.
-  const auto fresh_count = fresh.load(std::memory_order_relaxed);
-  const auto timeout_count = fresh_timeouts.load(std::memory_order_relaxed);
-  if (pool > 1 && fresh_count > 0 &&
-      static_cast<double>(timeout_count) >
-          options_.watchdog_storm_fraction *
-              static_cast<double>(fresh_count)) {
-    const auto budget = std::max<std::chrono::milliseconds>(
-        30'000ms, watchdog_ * options_.watchdog_escalation);
-    tel::ScopedSpan recal_span("watchdog-recalibrate");
-    const auto [digest, wall] = run_golden(budget);
-    if (digest != golden_digest_) {
-      throw InternalError("Campaign: recalibration golden digest diverged");
-    }
-    watchdog_ = std::max(kWatchdogFloor, wall * kWatchdogMultiplier);
-    options_.max_parallel_trials = std::max<std::size_t>(1, pool / 2);
-    recalibrations_.fetch_add(1, std::memory_order_relaxed);
-    if (auto& rec = tel::Recorder::instance(); rec.enabled()) {
-      static auto& recals =
-          rec.counter("fastfit_watchdog_recalibrations_total",
-                      "Storm-triggered golden recalibrations");
-      recals.add();
-    }
-  }
-
-  // Phase 3: the watchdog is the one outcome gate that feels CPU
-  // contention: a slow-but-finishing faulted run can cross the wall-clock
-  // deadline only because concurrent Worlds shared the cores. Re-run
-  // every freshly timed-out trial serially — alone on the machine, with
-  // an escalated budget — and keep the confirmed outcome. Genuinely hung
-  // runs time out again (same INF_LOOP), so classification is identical
-  // at every parallelism level. Journal-replayed INF_LOOPs were already
-  // confirmed when first recorded.
-  // Deterministic verdicts skip this entirely: the monitor *proved* the
-  // deadlock structurally, so contention cannot have caused it.
-  const auto escalated = watchdog_ * options_.watchdog_escalation;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      if (outcomes[i][t] != static_cast<int>(inject::Outcome::InfLoop) ||
-          replayed[i][t] || deterministic[i][t]) {
-        continue;
-      }
-      tel::ScopedSpan confirm_span("watchdog-confirm");
-      confirm_span.arg("point", keys[i]);
-      confirm_span.arg("trial", std::to_string(t));
-      const auto attempt = run_trial_guarded(points[i], t, escalated);
-      confirmations_.fetch_add(1, std::memory_order_relaxed);
-      if (auto& rec = tel::Recorder::instance(); rec.enabled()) {
-        static auto& confirms =
-            rec.counter("fastfit_watchdog_confirmations_total",
-                        "Escalated uncontended INF_LOOP re-confirmations");
-        confirms.add();
-      }
-      state[i].retries.fetch_add(attempt.retries, std::memory_order_relaxed);
-      // A confirmation that fails internally keeps the original outcome:
-      // the trial did produce one, and quarantining here would discard it.
-      if (attempt.ok) outcomes[i][t] = static_cast<int>(attempt.outcome);
-    }
-  }
-
-  // Phase 4: aggregate in trial order and write through to the journal.
-  // Outcome counters increment here — for replayed *and* fresh trials —
-  // so a journal-resumed campaign reports identical totals.
+  auto results = accumulator.take();
   auto& rec = tel::Recorder::instance();
   const bool telemetry_on = rec.enabled();
-  std::array<tel::Counter*, inject::kNumOutcomes> outcome_counters{};
-  if (telemetry_on) {
-    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
-      const std::string labels =
-          "outcome=\"" +
-          std::string(inject::to_string(static_cast<inject::Outcome>(o))) +
-          '"';
-      outcome_counters[o] = &rec.counter(
-          "fastfit_trials_total", "Trial outcomes recorded (incl. journal replays)",
-          labels);
-    }
-  }
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    results[i].point = points[i];
-    auto& st = state[i];
-    for (std::uint32_t t = 0; t < trials; ++t) {
-      const int o = outcomes[i][t];
-      if (o < 0) continue;  // skipped after quarantine
-      results[i].record(static_cast<inject::Outcome>(o));
-      if (telemetry_on) {
-        outcome_counters[static_cast<std::size_t>(o)]->add();
-        if (replayed[i][t]) {
-          static auto& replays = rec.counter(
-              "fastfit_trials_replayed_total", "Trials served from the journal");
-          replays.add();
-        }
-      }
-      if (!autopsies[i][t].empty()) {
-        results[i].exec.last_autopsy = autopsies[i][t];
-      }
-      if (journal_ && !replayed[i][t]) {
-        journal_->record_trial(keys[i], t, static_cast<inject::Outcome>(o),
-                               deterministic[i][t] != 0, autopsies[i][t]);
-      }
-    }
-    results[i].exec.retries = st.retries.load(std::memory_order_relaxed);
-    if (st.quarantined.load(std::memory_order_acquire)) {
-      results[i].exec.quarantined = true;
-      std::lock_guard lock(st.error_mutex);
-      results[i].exec.last_error = st.last_error;
-      quarantined_points_.fetch_add(1, std::memory_order_relaxed);
-      if (telemetry_on) {
-        static auto& quarantines =
-            rec.counter("fastfit_quarantined_points_total",
-                        "Points the trial guard gave up on");
-        quarantines.add();
-      }
-      if (journal_) {
-        journal_->record_quarantine(keys[i], results[i].exec.retries,
-                                    results[i].exec.last_error);
-      }
-    }
-  }
-  if (journal_) journal_->flush();
 
   // Leak accounting: reap quarantined threads that have since finished
   // (a faulted compute loop only notices poison at its next MPI call, so

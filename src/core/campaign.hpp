@@ -28,6 +28,8 @@
 #include "core/enumerate.hpp"
 #include "core/journal.hpp"
 #include "core/points.hpp"
+#include "core/scheduler.hpp"
+#include "core/shard.hpp"
 #include "inject/fault_spec.hpp"
 #include "inject/outcome.hpp"
 #include "profile/profiler.hpp"
@@ -83,39 +85,16 @@ struct CampaignOptions {
   /// threads are *still running* in quarantine, measure() fails with
   /// InternalError instead of letting wedged threads accumulate.
   std::size_t max_leaked_threads = 8;
-};
-
-/// Supervision record of one point's execution (not part of the paper's
-/// response statistics; the campaign's own health).
-struct ExecStats {
-  std::uint32_t retries = 0;  ///< internal-error retries consumed
-  bool quarantined = false;   ///< the trial guard gave up on this point
-  /// Last internal error, attributed: "attempt N on executor thread K:
-  /// <what()>" (or "on main thread" for the serial path), so quarantine
-  /// messages line up with trace lanes and logs.
-  std::string last_error;
-  /// World autopsy of the point's most recent non-SUCCESS trial (one-line
-  /// summary: verdict + per-rank phase counts).
-  std::string last_autopsy;
-};
-
-/// Statistics of one injection point over its trials.
-struct PointResult {
-  InjectionPoint point;
-  std::array<std::uint32_t, inject::kNumOutcomes> counts{};
-  std::uint32_t trials = 0;
-  ExecStats exec;
-
-  void record(inject::Outcome outcome) {
-    ++counts[static_cast<std::size_t>(outcome)];
-    ++trials;
-  }
-  /// Fraction of trials with any of the five error responses.
-  double error_rate() const;
-  /// Fraction of trials with a given response.
-  double fraction(inject::Outcome outcome) const;
-  /// Most frequent response (ties to the lower enum value).
-  inject::Outcome dominant() const;
+  /// Structural pruning chain applied at profile() time, in order
+  /// (FASTFIT_PASSES). Names as understood by make_pruning_pass; passes
+  /// that need a measurer ("ml") are rejected here — the ML stage runs
+  /// points and belongs to the study driver.
+  std::vector<std::string> pruning_passes = {"semantic", "context"};
+  /// Which deterministic shard of the post-pruning point set this
+  /// campaign executes (FASTFIT_SHARD, "--shard i/N"). The campaign
+  /// itself only pins the shard into the journal header; the study
+  /// driver does the actual partitioning.
+  ShardSpec shard;
 };
 
 /// Aggregate campaign health: what the resilience machinery had to do.
@@ -146,8 +125,12 @@ enum class JournalMode {
 
 /// One fault-injection campaign over one workload: owns the profiling
 /// phase, the golden digest, and trial execution. The heavy lifting of
-/// deciding *which* points to run lives above (ml_loop / fastfit).
-class Campaign {
+/// deciding *which* points to run lives above (the study driver and its
+/// pruning passes); the ordering/batching machinery lives below
+/// (TrialScheduler). Campaign is the *engine*: it implements TrialRunner
+/// (privately — only its own measure calls may schedule on it) and
+/// contributes the world execution, golden calibration, and trial guard.
+class Campaign : private TrialRunner {
  public:
   Campaign(const apps::Workload& workload, CampaignOptions options);
 
@@ -223,7 +206,7 @@ class Campaign {
   CampaignHealth health() const noexcept;
 
   std::uint64_t golden_digest() const;
-  std::chrono::milliseconds watchdog() const { return watchdog_; }
+  std::chrono::milliseconds watchdog() const override { return watchdog_; }
   const CampaignOptions& options() const noexcept { return options_; }
   const apps::Workload& workload() const noexcept { return *workload_; }
 
@@ -265,19 +248,16 @@ class Campaign {
                                    std::uint64_t trial,
                                    std::chrono::milliseconds watchdog);
 
-  /// Supervised execution of one trial: retries internal (non-fault)
-  /// failures with exponential backoff up to max_trial_retries.
-  struct TrialAttempt {
-    bool ok = false;
-    inject::Outcome outcome{};
-    bool deterministic_hang = false;
-    std::string autopsy;
-    std::uint32_t retries = 0;
-    std::string error;
-  };
-  TrialAttempt run_trial_guarded(const InjectionPoint& point,
-                                 std::uint64_t trial,
-                                 std::chrono::milliseconds watchdog);
+  /// TrialRunner: supervised execution of one trial — retries internal
+  /// (non-fault) failures with exponential backoff up to
+  /// max_trial_retries before reporting !ok (quarantine).
+  Attempt run_guarded(const InjectionPoint& point, std::uint64_t trial,
+                      std::chrono::milliseconds watchdog) override;
+
+  /// TrialRunner: watchdog-storm response — re-measure the golden wall
+  /// time, recalibrate the watchdog from it, and halve trial parallelism
+  /// for later batches.
+  void recalibrate_after_storm(std::size_t pool) override;
 
   /// Fault-free run: returns (digest, wall time). Used by profile() and
   /// by watchdog-storm recalibration.

@@ -1,101 +1,48 @@
 #include "core/enumerate.hpp"
 
-#include <sstream>
+#include <array>
+#include <memory>
 
-#include "profile/queries.hpp"
+#include "core/pipeline.hpp"
+#include "support/error.hpp"
 
 namespace fastfit::core {
-namespace {
 
-std::string short_location(const profile::SiteProfile& site) {
-  std::string name = site.file;
-  if (const auto slash = name.rfind('/'); slash != std::string::npos) {
-    name = name.substr(slash + 1);
+Enumeration enumerate_with_passes(const profile::Profiler& profiler,
+                                  std::span<const std::string> pass_names) {
+  std::vector<std::unique_ptr<PruningPass>> passes;
+  passes.reserve(pass_names.size());
+  for (const auto& name : pass_names) {
+    auto pass = make_pruning_pass(name);
+    if (pass->needs_measurer()) {
+      throw ConfigError("enumerate: pass '" + name +
+                        "' needs a measurer and cannot run at enumeration "
+                        "time; select it through the study driver");
+    }
+    passes.push_back(std::move(pass));
   }
-  return name + ":" + std::to_string(site.line);
+
+  ProfilePointSource source(profiler);
+  PassContext ctx;
+  ctx.profiler = &profiler;
+  auto points = run_pruning_chain(source, passes, ctx);
+
+  Enumeration out;
+  out.stats = ctx.stats;
+  out.classes = std::move(ctx.classes);
+  out.points = std::move(points);
+  return out;
 }
 
-}  // namespace
-
-namespace {
-
-Enumeration enumerate_impl(const profile::Profiler& profiler,
-                           bool context_pruning);
-
-}  // namespace
-
 Enumeration enumerate_points(const profile::Profiler& profiler) {
-  return enumerate_impl(profiler, /*context_pruning=*/true);
+  static const std::array<std::string, 2> kDefault{"semantic", "context"};
+  return enumerate_with_passes(profiler, kDefault);
 }
 
 Enumeration enumerate_points_semantic_only(
     const profile::Profiler& profiler) {
-  return enumerate_impl(profiler, /*context_pruning=*/false);
+  static const std::array<std::string, 1> kSemanticOnly{"semantic"};
+  return enumerate_with_passes(profiler, kSemanticOnly);
 }
-
-namespace {
-
-Enumeration enumerate_impl(const profile::Profiler& profiler,
-                           bool context_pruning) {
-  Enumeration out;
-  out.stats.nranks = profiler.nranks();
-
-  // Total exploration space: every invocation of every site on every rank,
-  // one point per injectable parameter (paper Sec II).
-  for (int r = 0; r < profiler.nranks(); ++r) {
-    for (const auto& [site_id, site] : profiler.rank(r).sites) {
-      out.stats.total_points +=
-          site.invocations.size() * mpi::injectable_params(site.kind).size();
-    }
-  }
-
-  // Semantic pruning: one representative rank per equivalence class.
-  out.classes = trace::equivalence_classes(profiler.contexts());
-  out.stats.equivalence_classes = out.classes.size();
-  for (const auto& cls : out.classes) {
-    const int rep = cls.representative();
-    for (const auto& [site_id, site] : profiler.rank(rep).sites) {
-      out.stats.after_semantic +=
-          site.invocations.size() * mpi::injectable_params(site.kind).size();
-    }
-  }
-
-  // Context pruning: one invocation per distinct call stack, with the ML
-  // feature vector attached.
-  for (const auto& cls : out.classes) {
-    const int rep = cls.representative();
-    for (const auto& [site_id, site] : profiler.rank(rep).sites) {
-      const auto representatives = context_pruning
-                                       ? profile::stack_representatives(site)
-                                       : site.invocations;
-      const auto params = mpi::injectable_params(site.kind);
-      const auto n_inv = profile::n_invocations(site);
-      const auto depth = profile::mean_stack_depth(site);
-      const auto n_stacks = profile::n_distinct_stacks(site);
-      for (const auto& inv : representatives) {
-        for (mpi::Param param : params) {
-          InjectionPoint point;
-          point.site_id = site_id;
-          point.kind = site.kind;
-          point.site_location = short_location(site);
-          point.rank = rep;
-          point.invocation = inv.invocation;
-          point.param = param;
-          point.stack = inv.stack;
-          point.phase = inv.phase;
-          point.errhal = inv.errhal;
-          point.n_inv = n_inv;
-          point.stack_depth = depth;
-          point.n_diff_stack = n_stacks;
-          out.points.push_back(point);
-        }
-      }
-    }
-  }
-  out.stats.after_context = out.points.size();
-  return out;
-}
-
-}  // namespace
 
 }  // namespace fastfit::core

@@ -3,7 +3,15 @@
 // Injection-point enumeration over a profiled run: applies semantic-driven
 // pruning (paper Sec III-A) and application-context-driven pruning
 // (Sec III-B) and yields the surviving points with their ML features.
+//
+// These are convenience wrappers over the staged pipeline in
+// core/pipeline.hpp: a ProfilePointSource feeding a chain of structural
+// PruningPass objects. enumerate_points() is the default chain
+// [semantic, context]; the chain is runtime-configurable through
+// enumerate_with_passes().
 
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/points.hpp"
@@ -30,5 +38,12 @@ Enumeration enumerate_points(const profile::Profiler& profiler);
 /// training datasets for the ML accuracy evaluation (paper Sec V-D) and to
 /// study the context-pruning premise itself (Fig 3).
 Enumeration enumerate_points_semantic_only(const profile::Profiler& profiler);
+
+/// Enumerates through an explicit structural pass chain (pass names as
+/// understood by make_pruning_pass). Throws ConfigError for passes that
+/// need a measurer ("ml") — those resolve points by running trials and
+/// belong to the study driver, not to enumeration.
+Enumeration enumerate_with_passes(const profile::Profiler& profiler,
+                                  std::span<const std::string> pass_names);
 
 }  // namespace fastfit::core

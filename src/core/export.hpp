@@ -35,4 +35,21 @@ std::string to_text(const Enumeration& enumeration);
 /// version-mismatched input.
 Enumeration enumeration_from_text(const std::string& text);
 
+/// Serializes one shard's study result to a versioned text fragment:
+/// shard coordinates, campaign identity (pruning stats + golden digest),
+/// resilience health, and one line per measured point carrying its
+/// ordinal within the full post-pruning point set. Fragments are the
+/// unit `fastfit merge` consumes. Also valid for an unsharded result
+/// (shard 1/1, ordinals 0..n-1).
+std::string to_shard_fragment(const StudyResult& result);
+
+/// Merges the text fragments of a complete sharded study back into one
+/// StudyResult, bit-identical to the unsharded run: validates that the
+/// fragments agree on identity (pruning stats and golden digest),
+/// that their shard indices tile 1..N exactly, and that their point
+/// ordinals partition the full post-pruning point set; then reassembles
+/// `measured` in ordinal order and sums the health counters. Throws
+/// ConfigError on any gap, overlap, or identity mismatch.
+StudyResult merge_fragments(const std::vector<std::string>& fragments);
+
 }  // namespace fastfit::core

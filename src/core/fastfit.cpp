@@ -1,49 +1,14 @@
 #include "core/fastfit.hpp"
 
-#include "support/error.hpp"
-
 namespace fastfit::core {
 
-double FastFitResult::total_reduction() const {
-  if (stats.total_points == 0) return 0.0;
-  return 1.0 - static_cast<double>(measured.size()) /
-                   static_cast<double>(stats.total_points);
-}
-
 FastFit::FastFit(const apps::Workload& workload, FastFitOptions options)
-    : options_(options), campaign_(workload, options.campaign) {}
+    : driver_(workload, std::move(options)) {}
 
-FastFitResult FastFit::run() {
-  if (ran_) throw InternalError("FastFit::run: single use");
-  ran_ = true;
+FastFitResult FastFit::run() { return driver_.run(); }
 
-  campaign_.profile();
-  if (!options_.journal.empty()) {
-    campaign_.attach_journal(options_.journal, options_.resume
-                                                   ? JournalMode::Resume
-                                                   : JournalMode::Create);
-  }
+Campaign& FastFit::campaign() { return driver_.campaign(); }
 
-  FastFitResult result;
-  result.stats = campaign_.stats();
-
-  if (options_.use_ml) {
-    auto ml = run_ml_loop(campaign_, campaign_.enumeration().points,
-                          options_.ml);
-    result.ml_reduction = ml.ml_reduction();
-    result.measured = std::move(ml.measured);
-    result.predicted = std::move(ml.predicted);
-    result.final_accuracy = ml.final_accuracy;
-    result.threshold_reached = ml.threshold_reached;
-    result.ml_rounds = ml.rounds;
-    result.model = std::move(ml.model);
-  } else {
-    // Traditional mode: measure every structurally surviving point.
-    result.measured = campaign_.measure_many(campaign_.enumeration().points);
-  }
-  campaign_.detach_journal();
-  result.health = campaign_.health();
-  return result;
-}
+const Campaign& FastFit::campaign() const { return driver_.campaign(); }
 
 }  // namespace fastfit::core

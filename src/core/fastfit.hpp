@@ -1,6 +1,6 @@
 #pragma once
 
-// FastFIT orchestrator: the three-phase tool of the paper's Fig 5.
+// FastFIT facade: the three-phase tool of the paper's Fig 5.
 //
 //   profiling  ->  (semantic + context pruning)  ->  injection ⇄ learning
 //
@@ -9,45 +9,16 @@
 // (Table III), measured per-point responses (Figs 7-11, Table IV),
 // predicted responses for untested points, and the trained model
 // (Figs 4, 12, 13).
+//
+// The orchestration itself lives in core/study.hpp (StudyDriver);
+// FastFit is the stable public name for "run the whole paper pipeline".
 
-#include <memory>
-
-#include "core/campaign.hpp"
-#include "core/ml_loop.hpp"
+#include "core/study.hpp"
 
 namespace fastfit::core {
 
-struct FastFitOptions {
-  CampaignOptions campaign;
-  /// ML-driven pruning on/off. The paper enables it for LAMMPS only (the
-  /// NPB spaces are already small after structural pruning).
-  bool use_ml = true;
-  MlLoopConfig ml;
-  /// Durable trial journal path (empty = no journal). Attached after
-  /// profiling, so the journal header can pin the golden digest.
-  std::string journal;
-  /// Resume from an existing journal at `journal` instead of refusing to
-  /// overwrite it (see Campaign::attach_journal / docs/resilience.md).
-  bool resume = false;
-};
-
-struct FastFitResult {
-  PruningStats stats;
-  std::vector<PointResult> measured;
-  std::vector<std::pair<InjectionPoint, std::size_t>> predicted;
-  double ml_reduction = 0.0;       ///< Table III "ML" column (0 if ML off)
-  double final_accuracy = 0.0;
-  bool threshold_reached = false;
-  std::size_t ml_rounds = 0;
-  std::optional<ml::RandomForest> model;
-  /// What the resilience machinery had to do (see CampaignHealth); the
-  /// CLI maps health.clean() to its exit code.
-  CampaignHealth health;
-
-  /// Table III "Total" column: overall fraction of the exploration space
-  /// whose response was obtained without direct injection.
-  double total_reduction() const;
-};
+using FastFitOptions = StudyOptions;
+using FastFitResult = StudyResult;
 
 class FastFit {
  public:
@@ -56,15 +27,15 @@ class FastFit {
   /// Runs all three phases and returns the study. Callable once.
   FastFitResult run();
 
-  /// The underlying campaign (valid after run(); exposes the profiler,
-  /// enumeration, and golden digest for further analysis).
-  Campaign& campaign() { return campaign_; }
-  const Campaign& campaign() const { return campaign_; }
+  /// The underlying campaign (profiler, enumeration, golden digest, for
+  /// further analysis). Valid only after run() has completed: before
+  /// that the campaign is unprofiled, so this throws InternalError
+  /// instead of handing out an engine whose every accessor would fail.
+  Campaign& campaign();
+  const Campaign& campaign() const;
 
  private:
-  FastFitOptions options_;
-  Campaign campaign_;
-  bool ran_ = false;
+  StudyDriver driver_;
 };
 
 }  // namespace fastfit::core

@@ -160,8 +160,17 @@ std::string header_line(const JournalHeader& header) {
       << ",\"trials_per_point\":" << header.trials_per_point
       << ",\"fault_model\":\"" << json_escape(header.fault_model)
       << "\",\"algorithms\":\"" << json_escape(header.algorithms)
-      << "\",\"golden_digest\":" << header.golden_digest << '}';
+      << "\",\"golden_digest\":" << header.golden_digest
+      << ",\"shard_index\":" << header.shard_index
+      << ",\"shard_count\":" << header.shard_count << '}';
   return out.str();
+}
+
+/// Shard fields default to 1 (unsharded) when absent so pre-shard
+/// journals keep resuming.
+std::uint64_t parse_shard_field(const std::map<std::string, std::string>& kv,
+                                const std::string& key) {
+  return kv.count(key) ? parse_u64_field(kv, key) : 1;
 }
 
 template <typename T>
@@ -277,6 +286,10 @@ std::unique_ptr<TrialJournal> TrialJournal::resume(
                      expected.algorithms);
   check_header_field("golden_digest", parse_u64_field(header, "golden_digest"),
                      expected.golden_digest);
+  check_header_field("shard_index", parse_shard_field(header, "shard_index"),
+                     static_cast<std::uint64_t>(expected.shard_index));
+  check_header_field("shard_count", parse_shard_field(header, "shard_count"),
+                     static_cast<std::uint64_t>(expected.shard_count));
 
   auto journal = std::unique_ptr<TrialJournal>(new TrialJournal(path, -1));
   for (std::size_t i = 1; i < lines.size(); ++i) {

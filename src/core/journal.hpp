@@ -47,6 +47,12 @@ struct JournalHeader {
   std::string fault_model;
   std::string algorithms;
   std::uint64_t golden_digest = 0;
+  /// Deterministic shard this journal belongs to (1/1 = unsharded). A
+  /// shard's journal only ever holds that shard's points; resuming it
+  /// under a different --shard would replay the wrong partition.
+  /// Pre-shard journals omit the fields and read back as 1/1.
+  std::size_t shard_index = 1;
+  std::size_t shard_count = 1;
 };
 
 /// Why a point was abandoned by the trial guard (audit trail; resumed

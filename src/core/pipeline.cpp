@@ -1,0 +1,174 @@
+#include "core/pipeline.hpp"
+
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/campaign.hpp"
+#include "core/ml_loop.hpp"
+#include "profile/profiler.hpp"
+#include "profile/queries.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::core {
+namespace {
+
+std::string short_location(const profile::SiteProfile& site) {
+  std::string name = site.file;
+  if (const auto slash = name.rfind('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  return name + ":" + std::to_string(site.line);
+}
+
+const profile::Profiler& require_profiler(const PassContext& ctx,
+                                          const char* who) {
+  if (!ctx.profiler) {
+    throw InternalError(std::string(who) + ": PassContext has no profiler");
+  }
+  return *ctx.profiler;
+}
+
+}  // namespace
+
+std::vector<InjectionPoint> ProfilePointSource::enumerate(PassContext& ctx) {
+  const auto& profiler = *profiler_;
+  ctx.profiler = profiler_;
+  ctx.stats.nranks = profiler.nranks();
+
+  std::vector<InjectionPoint> points;
+  for (int r = 0; r < profiler.nranks(); ++r) {
+    for (const auto& [site_id, site] : profiler.rank(r).sites) {
+      const auto params = mpi::injectable_params(site.kind);
+      const auto n_inv = profile::n_invocations(site);
+      const auto depth = profile::mean_stack_depth(site);
+      const auto n_stacks = profile::n_distinct_stacks(site);
+      for (const auto& inv : site.invocations) {
+        for (mpi::Param param : params) {
+          InjectionPoint point;
+          point.site_id = site_id;
+          point.kind = site.kind;
+          point.site_location = short_location(site);
+          point.rank = r;
+          point.invocation = inv.invocation;
+          point.param = param;
+          point.stack = inv.stack;
+          point.phase = inv.phase;
+          point.errhal = inv.errhal;
+          point.n_inv = n_inv;
+          point.stack_depth = depth;
+          point.n_diff_stack = n_stacks;
+          points.push_back(std::move(point));
+        }
+      }
+    }
+  }
+  ctx.stats.total_points = points.size();
+  return points;
+}
+
+std::vector<InjectionPoint> SemanticPruningPass::apply(
+    PassContext& ctx, std::vector<InjectionPoint> points) {
+  const auto& profiler = require_profiler(ctx, "semantic pass");
+  ctx.classes = trace::equivalence_classes(profiler.contexts());
+  ctx.stats.equivalence_classes = ctx.classes.size();
+
+  std::vector<char> representative(
+      static_cast<std::size_t>(profiler.nranks()), 0);
+  for (const auto& cls : ctx.classes) {
+    representative[static_cast<std::size_t>(cls.representative())] = 1;
+  }
+  std::vector<InjectionPoint> out;
+  out.reserve(points.size());
+  for (auto& point : points) {
+    if (representative[static_cast<std::size_t>(point.rank)]) {
+      out.push_back(std::move(point));
+    }
+  }
+  ctx.stats.after_semantic = out.size();
+  return out;
+}
+
+std::vector<InjectionPoint> ContextPruningPass::apply(
+    PassContext& ctx, std::vector<InjectionPoint> points) {
+  const auto& profiler = require_profiler(ctx, "context pass");
+  // Representative invocations per (rank, site): the first invocation of
+  // each distinct call stack, computed once per group.
+  std::map<std::pair<int, std::uint32_t>, std::unordered_set<std::uint64_t>>
+      keep;
+  std::vector<InjectionPoint> out;
+  out.reserve(points.size());
+  for (auto& point : points) {
+    const auto group = std::make_pair(point.rank, point.site_id);
+    auto it = keep.find(group);
+    if (it == keep.end()) {
+      const auto& site = profiler.rank(point.rank).sites.at(point.site_id);
+      std::unordered_set<std::uint64_t> invocations;
+      for (const auto& inv : profile::stack_representatives(site)) {
+        invocations.insert(inv.invocation);
+      }
+      it = keep.emplace(group, std::move(invocations)).first;
+    }
+    if (it->second.count(point.invocation)) out.push_back(std::move(point));
+  }
+  return out;
+}
+
+std::vector<InjectionPoint> MlPredictionPass::apply(
+    PassContext& ctx, std::vector<InjectionPoint> points) {
+  if (!ctx.measurer) {
+    throw InternalError(
+        "ml pass: PassContext has no measurer (the ML pass resolves points "
+        "by running trials, so it is only valid under a study driver)");
+  }
+  const MlLoopConfig config = ctx.ml ? *ctx.ml : MlLoopConfig{};
+  auto ml = run_ml_loop(*ctx.measurer, std::move(points), config);
+  for (auto& r : ml.measured) ctx.measured.push_back(std::move(r));
+  for (auto& p : ml.predicted) ctx.predicted.push_back(std::move(p));
+  ctx.final_accuracy = ml.final_accuracy;
+  ctx.threshold_reached = ml.threshold_reached;
+  ctx.ml_rounds = ml.rounds;
+  ctx.model = std::move(ml.model);
+  return {};
+}
+
+std::unique_ptr<PruningPass> make_pruning_pass(const std::string& name) {
+  if (name == "semantic") return std::make_unique<SemanticPruningPass>();
+  if (name == "context") return std::make_unique<ContextPruningPass>();
+  if (name == "ml") return std::make_unique<MlPredictionPass>();
+  throw ConfigError("unknown pruning pass '" + name +
+                    "' (available: semantic, context, ml)");
+}
+
+std::vector<std::string> parse_pass_list(const std::string& text) {
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto comma = text.find(',', start);
+    const auto end = comma == std::string::npos ? text.size() : comma;
+    const std::string name = text.substr(start, end - start);
+    if (name.empty()) {
+      throw ConfigError("pass list: empty entry in '" + text + "'");
+    }
+    make_pruning_pass(name);  // validate the name
+    names.push_back(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (names.empty()) throw ConfigError("pass list: empty");
+  return names;
+}
+
+std::vector<InjectionPoint> run_pruning_chain(
+    PointSource& source,
+    std::span<const std::unique_ptr<PruningPass>> passes, PassContext& ctx) {
+  auto points = source.enumerate(ctx);
+  ctx.stats.after_context = points.size();
+  for (const auto& pass : passes) {
+    points = pass->apply(ctx, std::move(points));
+    if (!pass->needs_measurer()) ctx.stats.after_context = points.size();
+  }
+  return points;
+}
+
+}  // namespace fastfit::core

@@ -1,0 +1,147 @@
+#pragma once
+
+// The staged study pipeline (paper Fig 5, made explicit in code):
+//
+//   PointSource  ->  PruningPass chain  ->  TrialScheduler  ->  OutcomeSink
+//
+// A PointSource materializes the full exploration space from a profiled
+// run. Each PruningPass then *resolves* part of that space: a structural
+// pass (semantic, context) resolves points by dropping them — their
+// response is covered by a surviving representative — while a measuring
+// pass (ML prediction) resolves points by measuring some and predicting
+// the rest through the campaign it is handed. A pass consumes the vector
+// of still-unresolved points and returns the points that remain for the
+// next pass; whatever survives the whole chain is measured exhaustively.
+//
+// The passes are selectable and reorderable at runtime (--passes /
+// FASTFIT_PASSES; see make_pruning_pass), and the default chain
+// [semantic, context] reproduces the pre-pipeline enumerate_points()
+// byte for byte: same stats, same classes, same point order.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/points.hpp"
+#include "ml/random_forest.hpp"
+#include "trace/similarity.hpp"
+
+namespace fastfit::profile {
+class Profiler;
+}
+
+namespace fastfit::core {
+
+class Campaign;
+struct MlLoopConfig;
+
+/// Shared state threaded through a pruning chain: inputs the passes read
+/// (profiler, measurer, ML config) and outputs they accumulate (pruning
+/// stats, equivalence classes, measured/predicted responses).
+struct PassContext {
+  // Inputs.
+  const profile::Profiler* profiler = nullptr;  ///< structural passes
+  Campaign* measurer = nullptr;                 ///< measuring passes (ML)
+  const MlLoopConfig* ml = nullptr;             ///< MlPredictionPass config
+
+  // Outputs.
+  PruningStats stats;
+  std::vector<trace::EquivalenceClass> classes;
+  std::vector<PointResult> measured;
+  std::vector<std::pair<InjectionPoint, std::size_t>> predicted;
+  double final_accuracy = 0.0;
+  bool threshold_reached = false;
+  std::size_t ml_rounds = 0;
+  std::optional<ml::RandomForest> model;
+};
+
+/// Stage 1: enumeration. Materializes the full exploration space — every
+/// invocation of every site on every rank, one point per injectable
+/// parameter — in canonical order (rank ascending, site id, invocation,
+/// parameter), with the ML features attached. Sets stats.total_points and
+/// stats.nranks.
+class PointSource {
+ public:
+  virtual ~PointSource() = default;
+  virtual std::vector<InjectionPoint> enumerate(PassContext& ctx) = 0;
+};
+
+/// The standard source: the space recorded by a profiling run.
+class ProfilePointSource final : public PointSource {
+ public:
+  explicit ProfilePointSource(const profile::Profiler& profiler)
+      : profiler_(&profiler) {}
+  std::vector<InjectionPoint> enumerate(PassContext& ctx) override;
+
+ private:
+  const profile::Profiler* profiler_;
+};
+
+/// Stage 2: one pruning pass. apply() consumes the unresolved points and
+/// returns those still unresolved afterwards.
+class PruningPass {
+ public:
+  virtual ~PruningPass() = default;
+  virtual std::string_view name() const = 0;
+  /// True for passes that resolve points by running trials (ML): they
+  /// need ctx.measurer and may only run under a study driver, never at
+  /// enumeration time.
+  virtual bool needs_measurer() const { return false; }
+  virtual std::vector<InjectionPoint> apply(
+      PassContext& ctx, std::vector<InjectionPoint> points) = 0;
+};
+
+/// Semantic-driven pruning (paper Sec III-A): computes the process
+/// equivalence classes and keeps only points on each class's lowest-rank
+/// representative. Sets stats.equivalence_classes, ctx.classes, and
+/// stats.after_semantic (the surviving count).
+class SemanticPruningPass final : public PruningPass {
+ public:
+  std::string_view name() const override { return "semantic"; }
+  std::vector<InjectionPoint> apply(
+      PassContext& ctx, std::vector<InjectionPoint> points) override;
+};
+
+/// Application-context-driven pruning (paper Sec III-B): per (rank, site),
+/// keeps one invocation per distinct call stack (the first, in invocation
+/// order).
+class ContextPruningPass final : public PruningPass {
+ public:
+  std::string_view name() const override { return "context"; }
+  std::vector<InjectionPoint> apply(
+      PassContext& ctx, std::vector<InjectionPoint> points) override;
+};
+
+/// ML-driven pruning (paper Sec III-C): the injection ⇄ learning loop.
+/// Measures batches through ctx.measurer until the model's verification
+/// accuracy crosses the threshold, then predicts every remaining point.
+/// Resolves everything: returns an empty vector.
+class MlPredictionPass final : public PruningPass {
+ public:
+  std::string_view name() const override { return "ml"; }
+  bool needs_measurer() const override { return true; }
+  std::vector<InjectionPoint> apply(
+      PassContext& ctx, std::vector<InjectionPoint> points) override;
+};
+
+/// Pass factory for the runtime-selectable chain ("semantic", "context",
+/// "ml"). Throws ConfigError on an unknown name.
+std::unique_ptr<PruningPass> make_pruning_pass(const std::string& name);
+
+/// Splits a comma-separated pass list ("semantic,context,ml") into names,
+/// validating each against the factory. Throws ConfigError on unknown
+/// names or an empty list entry.
+std::vector<std::string> parse_pass_list(const std::string& text);
+
+/// Runs source -> passes and returns the unresolved points. After every
+/// structural pass, stats.after_context tracks the unresolved count, so a
+/// chain ending in structural passes leaves it at the post-structural
+/// point count (measuring passes do not change it).
+std::vector<InjectionPoint> run_pruning_chain(
+    PointSource& source,
+    std::span<const std::unique_ptr<PruningPass>> passes, PassContext& ctx);
+
+}  // namespace fastfit::core

@@ -37,4 +37,25 @@ double PruningStats::structural_reduction() const {
                    static_cast<double>(total_points);
 }
 
+double PointResult::error_rate() const {
+  if (trials == 0) return 0.0;
+  const auto successes =
+      counts[static_cast<std::size_t>(inject::Outcome::Success)];
+  return 1.0 - static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+double PointResult::fraction(inject::Outcome outcome) const {
+  if (trials == 0) return 0.0;
+  return static_cast<double>(counts[static_cast<std::size_t>(outcome)]) /
+         static_cast<double>(trials);
+}
+
+inject::Outcome PointResult::dominant() const {
+  std::size_t best = 0;
+  for (std::size_t o = 1; o < inject::kNumOutcomes; ++o) {
+    if (counts[o] > counts[best]) best = o;
+  }
+  return static_cast<inject::Outcome>(best);
+}
+
 }  // namespace fastfit::core

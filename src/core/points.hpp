@@ -9,10 +9,12 @@
 // application-context pruning (representative invocations per distinct
 // call stack).
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "inject/outcome.hpp"
 #include "minimpi/hooks.hpp"
 #include "minimpi/types.hpp"
 #include "ml/dataset.hpp"
@@ -59,6 +61,42 @@ struct PruningStats {
   double context_reduction() const;
   /// Combined structural reduction (before ML).
   double structural_reduction() const;
+
+  /// Shard-merge validation compares the stats of every fragment.
+  bool operator==(const PruningStats& other) const = default;
+};
+
+/// Supervision record of one point's execution (not part of the paper's
+/// response statistics; the campaign's own health).
+struct ExecStats {
+  std::uint32_t retries = 0;  ///< internal-error retries consumed
+  bool quarantined = false;   ///< the trial guard gave up on this point
+  /// Last internal error, attributed: "attempt N on executor thread K:
+  /// <what()>" (or "on main thread" for the serial path), so quarantine
+  /// messages line up with trace lanes and logs.
+  std::string last_error;
+  /// World autopsy of the point's most recent non-SUCCESS trial (one-line
+  /// summary: verdict + per-rank phase counts).
+  std::string last_autopsy;
+};
+
+/// Statistics of one injection point over its trials.
+struct PointResult {
+  InjectionPoint point;
+  std::array<std::uint32_t, inject::kNumOutcomes> counts{};
+  std::uint32_t trials = 0;
+  ExecStats exec;
+
+  void record(inject::Outcome outcome) {
+    ++counts[static_cast<std::size_t>(outcome)];
+    ++trials;
+  }
+  /// Fraction of trials with any of the five error responses.
+  double error_rate() const;
+  /// Fraction of trials with a given response.
+  double fraction(inject::Outcome outcome) const;
+  /// Most frequent response (ties to the lower enum value).
+  inject::Outcome dominant() const;
 };
 
 }  // namespace fastfit::core

@@ -1,0 +1,295 @@
+#include "core/scheduler.hpp"
+
+#include <array>
+#include <atomic>
+#include <deque>
+#include <mutex>
+
+#include "core/trial_executor.hpp"
+#include "support/error.hpp"
+#include "telemetry/recorder.hpp"
+
+namespace fastfit::core {
+
+namespace tel = fastfit::telemetry;
+
+namespace {
+
+// Outcome-slot sentinels for the (point, trial) matrix.
+constexpr int kPending = -1;  ///< not yet executed
+constexpr int kSkipped = -2;  ///< abandoned after the point quarantined
+
+}  // namespace
+
+ResultAccumulator::ResultAccumulator(std::span<const InjectionPoint> points)
+    : results_(points.size()) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    results_[i].point = points[i];
+  }
+}
+
+void ResultAccumulator::on_trial(const TrialRecord& record) {
+  auto& result = results_[record.point_index];
+  result.record(record.outcome);
+  if (!record.autopsy.empty()) result.exec.last_autopsy = record.autopsy;
+}
+
+void ResultAccumulator::on_point(const PointStatus& status) {
+  auto& exec = results_[status.point_index].exec;
+  exec.retries = status.retries;
+  if (status.quarantined) {
+    exec.quarantined = true;
+    exec.last_error = status.error;
+  }
+}
+
+void JournalSink::on_trial(const TrialRecord& record) {
+  // Replayed trials are already durable; re-recording is a no-op anyway
+  // (the journal is idempotent), so skip the append entirely.
+  if (record.replayed) return;
+  journal_->record_trial(record.key, record.trial, record.outcome,
+                         record.deterministic, record.autopsy);
+}
+
+void JournalSink::on_point(const PointStatus& status) {
+  if (!status.quarantined) return;
+  journal_->record_quarantine(status.key, status.retries, status.error);
+}
+
+void JournalSink::on_batch_end() { journal_->flush(); }
+
+void TelemetrySink::on_trial(const TrialRecord& record) {
+  auto& rec = tel::Recorder::instance();
+  if (!rec.enabled()) return;
+  // Outcome counters increment for replayed *and* fresh trials, so a
+  // journal-resumed campaign reports identical totals.
+  static std::array<tel::Counter*, inject::kNumOutcomes> counters{};
+  static std::once_flag once;
+  std::call_once(once, [&rec] {
+    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      const std::string labels =
+          "outcome=\"" +
+          std::string(inject::to_string(static_cast<inject::Outcome>(o))) +
+          '"';
+      counters[o] = &rec.counter(
+          "fastfit_trials_total",
+          "Trial outcomes recorded (incl. journal replays)", labels);
+    }
+  });
+  counters[static_cast<std::size_t>(record.outcome)]->add();
+  if (record.replayed) {
+    static auto& replays = rec.counter("fastfit_trials_replayed_total",
+                                       "Trials served from the journal");
+    replays.add();
+  }
+}
+
+void TelemetrySink::on_point(const PointStatus& status) {
+  if (!status.quarantined) return;
+  if (auto& rec = tel::Recorder::instance(); rec.enabled()) {
+    static auto& quarantines =
+        rec.counter("fastfit_quarantined_points_total",
+                    "Points the trial guard gave up on");
+    quarantines.add();
+  }
+}
+
+BatchStats TrialScheduler::run(std::span<const InjectionPoint> points,
+                               std::uint32_t trials,
+                               const TrialJournal* replay,
+                               std::span<OutcomeSink* const> sinks) {
+  BatchStats stats;
+
+  // One outcome slot per (point, trial) job; aggregated afterwards in
+  // trial order so the fan-out is byte-for-byte the serial one.
+  std::vector<std::vector<int>> outcomes(points.size(),
+                                         std::vector<int>(trials, kPending));
+  std::vector<std::vector<std::uint8_t>> replayed(
+      points.size(), std::vector<std::uint8_t>(trials, 0));
+  // Forensics per (point, trial): whether an INF_LOOP was proven
+  // deterministically (skips escalated re-confirmation) and the world
+  // autopsy carried into the journal and point stats.
+  std::vector<std::vector<std::uint8_t>> deterministic(
+      points.size(), std::vector<std::uint8_t>(trials, 0));
+  std::vector<std::vector<std::string>> autopsies(
+      points.size(), std::vector<std::string>(trials));
+
+  // Per-point supervision state. deque: stable addresses, no moves — the
+  // elements hold atomics.
+  struct PointState {
+    std::atomic<bool> quarantined{false};
+    std::atomic<std::uint32_t> retries{0};
+    std::mutex error_mutex;
+    std::string last_error;
+  };
+  std::deque<PointState> state(points.size());
+
+  std::vector<std::string> keys(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    keys[i] = point_key(points[i]);
+  }
+
+  // Phase 0: replay journaled outcomes; only the gaps execute.
+  if (replay) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        if (const auto o = replay->lookup(keys[i], t)) {
+          outcomes[i][t] = static_cast<int>(*o);
+          replayed[i][t] = 1;
+          ++stats.replayed;
+        }
+      }
+    }
+  }
+
+  // Phase 1: concurrent guarded execution of the missing trials.
+  std::atomic<std::uint64_t> fresh{0};
+  std::atomic<std::uint64_t> fresh_timeouts{0};
+  std::atomic<std::uint64_t> proven_deadlocks{0};
+  {
+    TrialExecutor executor(config_.pool);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (std::uint32_t t = 0; t < trials; ++t) {
+        if (outcomes[i][t] != kPending) continue;
+        // Submission timestamp: the gap to execution start is the queue
+        // wait, rendered as its own span on the executing worker's lane.
+        auto& rec = tel::Recorder::instance();
+        const std::int64_t submit_us = rec.enabled() ? rec.now_us() : -1;
+        executor.submit([this, &outcomes, &state, &points, &keys, &fresh,
+                         &fresh_timeouts, &proven_deadlocks, &deterministic,
+                         &autopsies, submit_us, i, t] {
+          auto& st = state[i];
+          if (st.quarantined.load(std::memory_order_acquire)) {
+            outcomes[i][t] = kSkipped;
+            return;
+          }
+          auto& rec = tel::Recorder::instance();
+          if (submit_us >= 0 && rec.enabled()) {
+            const auto info = tel::Recorder::thread_info();
+            tel::Event wait;
+            wait.name = "queue-wait";
+            wait.start_us = submit_us;
+            wait.dur_us = rec.now_us() - submit_us;
+            wait.track = info.track;
+            wait.index = info.index;
+            rec.record(std::move(wait));
+          }
+          tel::ScopedSpan trial_span("trial");
+          trial_span.arg("point", keys[i]);
+          trial_span.arg("trial", std::to_string(t));
+          const auto attempt =
+              runner_->run_guarded(points[i], t, runner_->watchdog());
+          if (attempt.ok) {
+            trial_span.arg("outcome", inject::to_string(attempt.outcome));
+          }
+          st.retries.fetch_add(attempt.retries, std::memory_order_relaxed);
+          if (!attempt.ok) {
+            {
+              std::lock_guard lock(st.error_mutex);
+              st.last_error = attempt.error;
+            }
+            st.quarantined.store(true, std::memory_order_release);
+            outcomes[i][t] = kSkipped;
+            return;
+          }
+          fresh.fetch_add(1, std::memory_order_relaxed);
+          if (attempt.outcome == inject::Outcome::InfLoop) {
+            if (attempt.deterministic_hang) {
+              // Proven structural deadlock: load-independent, so it
+              // neither feeds the storm heuristic nor needs an escalated
+              // re-confirmation.
+              deterministic[i][t] = 1;
+              proven_deadlocks.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              fresh_timeouts.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          autopsies[i][t] = attempt.autopsy;
+          outcomes[i][t] = static_cast<int>(attempt.outcome);
+        });
+      }
+    }
+    executor.wait();
+  }
+  stats.deterministic_deadlocks =
+      proven_deadlocks.load(std::memory_order_relaxed);
+
+  // Phase 2: watchdog-storm response. When most of a batch times out the
+  // likely cause is an overloaded machine (or a stale calibration), not a
+  // sudden epidemic of genuine hangs: hand the engine its storm response
+  // (golden recalibration + parallelism degradation). The escalated
+  // re-confirmation below then reclassifies with the fresh budget.
+  const auto fresh_count = fresh.load(std::memory_order_relaxed);
+  const auto timeout_count = fresh_timeouts.load(std::memory_order_relaxed);
+  if (config_.pool > 1 && fresh_count > 0 &&
+      static_cast<double>(timeout_count) >
+          config_.storm_fraction * static_cast<double>(fresh_count)) {
+    runner_->recalibrate_after_storm(config_.pool);
+    ++stats.recalibrations;
+  }
+
+  // Phase 3: the watchdog is the one outcome gate that feels CPU
+  // contention: a slow-but-finishing faulted run can cross the wall-clock
+  // deadline only because concurrent Worlds shared the cores. Re-run
+  // every freshly timed-out trial serially — alone on the machine, with
+  // an escalated budget — and keep the confirmed outcome. Genuinely hung
+  // runs time out again (same INF_LOOP), so classification is identical
+  // at every parallelism level. Journal-replayed INF_LOOPs were already
+  // confirmed when first recorded.
+  // Deterministic verdicts skip this entirely: the monitor *proved* the
+  // deadlock structurally, so contention cannot have caused it.
+  const auto escalated = runner_->watchdog() * config_.watchdog_escalation;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      if (outcomes[i][t] != static_cast<int>(inject::Outcome::InfLoop) ||
+          replayed[i][t] || deterministic[i][t]) {
+        continue;
+      }
+      tel::ScopedSpan confirm_span("watchdog-confirm");
+      confirm_span.arg("point", keys[i]);
+      confirm_span.arg("trial", std::to_string(t));
+      const auto attempt = runner_->run_guarded(points[i], t, escalated);
+      ++stats.confirmations;
+      if (auto& rec = tel::Recorder::instance(); rec.enabled()) {
+        static auto& confirms =
+            rec.counter("fastfit_watchdog_confirmations_total",
+                        "Escalated uncontended INF_LOOP re-confirmations");
+        confirms.add();
+      }
+      state[i].retries.fetch_add(attempt.retries, std::memory_order_relaxed);
+      // A confirmation that fails internally keeps the original outcome:
+      // the trial did produce one, and quarantining here would discard it.
+      if (attempt.ok) outcomes[i][t] = static_cast<int>(attempt.outcome);
+    }
+  }
+
+  // Phase 4: fan out in deterministic (point, trial) order. Execution
+  // order above was free; observation order is pinned here, which is what
+  // keeps reports, journals, and counters bit-identical at every pool
+  // size.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& st = state[i];
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      const int o = outcomes[i][t];
+      if (o < 0) continue;  // skipped after quarantine
+      TrialRecord record{keys[i],
+                         i,
+                         t,
+                         static_cast<inject::Outcome>(o),
+                         replayed[i][t] != 0,
+                         deterministic[i][t] != 0,
+                         autopsies[i][t]};
+      for (auto* sink : sinks) sink->on_trial(record);
+    }
+    const bool quarantined = st.quarantined.load(std::memory_order_acquire);
+    std::lock_guard lock(st.error_mutex);
+    PointStatus status{keys[i], i, st.retries.load(std::memory_order_relaxed),
+                       quarantined, st.last_error};
+    if (quarantined) ++stats.quarantined_points;
+    for (auto* sink : sinks) sink->on_point(status);
+  }
+  for (auto* sink : sinks) sink->on_batch_end();
+  return stats;
+}
+
+}  // namespace fastfit::core

@@ -1,0 +1,169 @@
+#pragma once
+
+// TrialScheduler: the ordering/batching stage of the study pipeline.
+//
+// The scheduler owns the (point, trial) job matrix of one batch: journal
+// replay, concurrent guarded execution on a TrialExecutor pool,
+// watchdog-storm response, escalated uncontended INF_LOOP
+// re-confirmation, and the final deterministic aggregation in
+// (point, trial) order. It is engine-agnostic — trials execute through
+// the narrow TrialRunner interface (implemented by Campaign) — and
+// result-agnostic: every recorded outcome fans out to OutcomeSink
+// observers (report accumulator, telemetry counters, journal
+// write-through), so the scheduler itself never knows what a report is.
+//
+// Aggregating in (point, trial) order after execution is what makes the
+// batch bit-identical to a serial run at every pool size: execution order
+// is free (per-trial RNG identity is order-independent), observation
+// order is not.
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/journal.hpp"
+#include "core/points.hpp"
+#include "inject/outcome.hpp"
+
+namespace fastfit::core {
+
+/// Execution engine behind the scheduler: runs one supervised trial.
+/// Implemented by Campaign (fresh Injector + World per call).
+class TrialRunner {
+ public:
+  /// Result of one supervised trial: outcome plus guard forensics.
+  struct Attempt {
+    bool ok = false;  ///< false = retries exhausted, quarantine the point
+    inject::Outcome outcome{};
+    bool deterministic_hang = false;  ///< monitor-proven deadlock
+    std::string autopsy;              ///< world autopsy (non-SUCCESS runs)
+    std::uint32_t retries = 0;        ///< internal-error retries consumed
+    std::string error;                ///< last internal error, attributed
+  };
+
+  virtual ~TrialRunner() = default;
+
+  /// One guarded trial of `point` under `watchdog`. Deterministic in
+  /// (engine seed, point, trial); must be safe to call concurrently.
+  virtual Attempt run_guarded(const InjectionPoint& point,
+                              std::uint64_t trial,
+                              std::chrono::milliseconds watchdog) = 0;
+
+  /// Current per-trial watchdog budget (may change after recalibration).
+  virtual std::chrono::milliseconds watchdog() const = 0;
+
+  /// Watchdog-storm response: most of a batch's fresh trials timed out,
+  /// which reads as machine overload, not an epidemic of genuine hangs.
+  /// The engine re-measures its golden wall time, recalibrates the
+  /// watchdog, and degrades `pool` toward serial for later batches.
+  virtual void recalibrate_after_storm(std::size_t pool) = 0;
+};
+
+/// One recorded (point, trial) outcome, observed in deterministic
+/// (point, trial) order during aggregation. References stay valid only
+/// for the duration of the callback.
+struct TrialRecord {
+  const std::string& key;   ///< stable point identity (point_key)
+  std::size_t point_index;  ///< index into the batch's point span
+  std::uint32_t trial;
+  inject::Outcome outcome{};
+  bool replayed = false;       ///< served from the journal, not executed
+  bool deterministic = false;  ///< INF_LOOP proven structurally
+  const std::string& autopsy;  ///< world autopsy ("" if none)
+};
+
+/// Per-point supervision summary, observed right after the point's last
+/// TrialRecord.
+struct PointStatus {
+  const std::string& key;
+  std::size_t point_index;
+  std::uint32_t retries = 0;
+  bool quarantined = false;
+  const std::string& error;  ///< last internal error ("" if none)
+};
+
+/// Observer of a batch's outcomes. Implementations: ResultAccumulator
+/// (report), the campaign's telemetry sink, and the journal write-through
+/// sink. Callbacks arrive on the scheduling thread, in deterministic
+/// order: all trials of point 0, point 0's status, all trials of point 1,
+/// ... then one on_batch_end.
+class OutcomeSink {
+ public:
+  virtual ~OutcomeSink() = default;
+  virtual void on_trial(const TrialRecord& record) = 0;
+  virtual void on_point(const PointStatus& status) = 0;
+  virtual void on_batch_end() {}
+};
+
+/// Builds the per-point response statistics (the report's raw material)
+/// from the record stream.
+class ResultAccumulator final : public OutcomeSink {
+ public:
+  explicit ResultAccumulator(std::span<const InjectionPoint> points);
+  void on_trial(const TrialRecord& record) override;
+  void on_point(const PointStatus& status) override;
+  /// The accumulated results, in point order. Call once, after the batch.
+  std::vector<PointResult> take() { return std::move(results_); }
+
+ private:
+  std::vector<PointResult> results_;
+};
+
+/// Journal write-through: appends fresh trials and quarantine records,
+/// flushes at batch end. Replayed trials are skipped — they are already
+/// durable.
+class JournalSink final : public OutcomeSink {
+ public:
+  explicit JournalSink(TrialJournal& journal) : journal_(&journal) {}
+  void on_trial(const TrialRecord& record) override;
+  void on_point(const PointStatus& status) override;
+  void on_batch_end() override;
+
+ private:
+  TrialJournal* journal_;
+};
+
+/// Campaign metrics: per-outcome trial counters (replays included, so a
+/// resumed campaign reports identical totals), replay and quarantine
+/// counters. No-op while the telemetry recorder is disabled.
+class TelemetrySink final : public OutcomeSink {
+ public:
+  void on_trial(const TrialRecord& record) override;
+  void on_point(const PointStatus& status) override;
+};
+
+/// What the scheduler's resilience machinery did during one batch; the
+/// engine folds this into its campaign-wide health counters.
+struct BatchStats {
+  std::uint64_t replayed = 0;                ///< trials served from journal
+  std::uint64_t deterministic_deadlocks = 0; ///< monitor-proven INF_LOOPs
+  std::uint64_t confirmations = 0;           ///< escalated re-confirmations
+  std::uint64_t recalibrations = 0;          ///< storm recalibrations
+  std::uint64_t quarantined_points = 0;      ///< points given up on
+};
+
+struct SchedulerConfig {
+  std::size_t pool = 1;         ///< concurrent (point, trial) jobs
+  double storm_fraction = 0.5;  ///< fresh-timeout fraction that is a storm
+  std::uint32_t watchdog_escalation = 4;  ///< re-confirmation multiplier
+};
+
+class TrialScheduler {
+ public:
+  TrialScheduler(TrialRunner& runner, SchedulerConfig config)
+      : runner_(&runner), config_(config) {}
+
+  /// Runs `trials` per point, replaying from `replay` (may be null) and
+  /// fanning every outcome out to `sinks` in deterministic order.
+  BatchStats run(std::span<const InjectionPoint> points,
+                 std::uint32_t trials, const TrialJournal* replay,
+                 std::span<OutcomeSink* const> sinks);
+
+ private:
+  TrialRunner* runner_;
+  SchedulerConfig config_;
+};
+
+}  // namespace fastfit::core

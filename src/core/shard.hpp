@@ -1,0 +1,41 @@
+#pragma once
+
+// Deterministic study sharding: partition a post-pruning point set across
+// N independent processes by stable point identity.
+//
+// Because the per-trial RNG identity is a pure function of
+// (campaign seed, point, trial index) — FaultSpec::stream_index — a shard
+// that measures a subset of the points produces, for each of them, exactly
+// the trials the unsharded study would have produced. Partitioning by
+// inject::point_identity_hash (never by enumeration position) keeps the
+// assignment independent of traversal order, so `fastfit merge` can stitch
+// the fragments back into a report bit-identical to the unsharded run.
+
+#include <cstddef>
+#include <string>
+
+#include "core/points.hpp"
+
+namespace fastfit::core {
+
+/// One shard of a study: "index/count", 1-based, as the --shard flag and
+/// FASTFIT_SHARD spell it. The default {1, 1} is the unsharded study.
+struct ShardSpec {
+  std::size_t index = 1;  ///< 1-based shard ordinal
+  std::size_t count = 1;  ///< total shards in the study
+
+  bool sharded() const noexcept { return count > 1; }
+  /// "i/N" rendering for logs, journal headers, and fragments.
+  std::string str() const;
+
+  bool operator==(const ShardSpec&) const = default;
+};
+
+/// Parses "i/N" (1 <= i <= N). Throws ConfigError on malformed input.
+ShardSpec parse_shard(const std::string& text);
+
+/// True when `spec` owns `point`: identity-hash partition, stable across
+/// processes and enumeration orders.
+bool shard_owns(const ShardSpec& spec, const InjectionPoint& point);
+
+}  // namespace fastfit::core

@@ -17,6 +17,13 @@ std::uint64_t mix_stream_index(std::uint64_t site, std::uint64_t rank,
   return splitmix64(key);
 }
 
+std::uint64_t point_identity_hash(std::uint64_t site, std::uint64_t rank,
+                                  std::uint64_t invocation,
+                                  std::uint64_t param) noexcept {
+  return mix_stream_index(site, rank, invocation, param,
+                          ~std::uint64_t{0});
+}
+
 std::uint64_t FaultSpec::stream_index() const noexcept {
   return mix_stream_index(site_id, static_cast<std::uint64_t>(rank),
                           invocation, static_cast<std::uint64_t>(param),

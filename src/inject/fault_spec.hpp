@@ -45,4 +45,14 @@ std::uint64_t mix_stream_index(std::uint64_t site, std::uint64_t rank,
                                std::uint64_t invocation, std::uint64_t param,
                                std::uint64_t trial) noexcept;
 
+/// Stable identity hash of one injection point — the trial-free sibling of
+/// mix_stream_index, used to partition a point set across study shards.
+/// Every process that enumerates the same campaign computes the same hash
+/// for the same point, so `hash % shard_count` is a deterministic,
+/// order-free partition. The all-ones trial sentinel keeps the identity
+/// domain disjoint from every real trial's stream index.
+std::uint64_t point_identity_hash(std::uint64_t site, std::uint64_t rank,
+                                  std::uint64_t invocation,
+                                  std::uint64_t param) noexcept;
+
 }  // namespace fastfit::inject

@@ -29,7 +29,45 @@ std::uint64_t parse_u64(const std::string& key, const std::string& value,
   return out;
 }
 
+// The single source of truth for knob names: from_environment() reads
+// these variables, the CLI renders this table into --help. Adding a knob
+// here makes it visible in both places at once.
+constexpr ConfigKnob kKnobs[] = {
+    {"NUM_INJ", "", "N", "trials per injection point (paper Table II)"},
+    {"INV_ID", "", "ID", "target invocation id (paper Table II)"},
+    {"CALL_ID", "", "ID", "target collective call-site id (paper Table II)"},
+    {"RANK_ID", "", "ID", "target rank id (paper Table II)"},
+    {"PARAM_ID", "", "ID", "target parameter id (paper Table II)"},
+    {"FASTFIT_SEED", "seed", "S", "campaign master seed"},
+    {"FASTFIT_PARALLEL_TRIALS", "parallel-trials", "P",
+     "max concurrent trials (0 = auto, 1 = serial)"},
+    {"FASTFIT_JOURNAL", "journal", "FILE",
+     "durable trial journal (continue with --resume)"},
+    {"FASTFIT_MAX_TRIAL_RETRIES", "max-trial-retries", "R",
+     "internal-failure retries before a point is quarantined"},
+    {"FASTFIT_WATCHDOG_ESCALATION", "watchdog-escalation", "M",
+     "watchdog multiplier for uncontended INF_LOOP re-confirmation"},
+    {"FASTFIT_HANG_DETECTION", "hang-detection", "0|1",
+     "deterministic deadlock monitor (default on)"},
+    {"FASTFIT_MAX_LEAKED_THREADS", "max-leaked-threads", "N",
+     "quarantined-thread budget before the run fails"},
+    {"FASTFIT_SHARD", "shard", "i/N",
+     "run deterministic shard i of N (merge with 'fastfit merge')"},
+    {"FASTFIT_PASSES", "passes", "LIST",
+     "pruning chain, comma-separated (semantic,context[,ml])"},
+    {"FASTFIT_TRACE", "trace-out", "FILE",
+     "Chrome trace-event JSON of the trial lifecycle"},
+    {"FASTFIT_METRICS", "metrics-out", "FILE",
+     "metrics snapshot (.json = JSON, else Prometheus text)"},
+    {"FASTFIT_PROGRESS", "progress", "",
+     "live one-line progress report on stderr"},
+    {"FASTFIT_METRICS_INTERVAL_MS", "metrics-interval-ms", "MS",
+     "periodic metrics re-export (0 = only at campaign end)"},
+};
+
 }  // namespace
+
+std::span<const ConfigKnob> config_knobs() { return kKnobs; }
 
 InjectionConfig InjectionConfig::from_map(
     const std::map<std::string, std::string>& kv) {
@@ -82,6 +120,12 @@ InjectionConfig InjectionConfig::from_map(
       // One hour ceiling: longer intervals mean "at campaign end", which
       // is what 0 already requests.
       cfg.metrics_interval_ms = parse_u64(key, value, 3'600'000);
+    } else if (key == "FASTFIT_SHARD") {
+      if (value.empty()) throw ConfigError("FASTFIT_SHARD: empty value");
+      cfg.shard = value;
+    } else if (key == "FASTFIT_PASSES") {
+      if (value.empty()) throw ConfigError("FASTFIT_PASSES: empty value");
+      cfg.passes = value;
     } else {
       throw ConfigError("unknown configuration key: " + key);
     }
@@ -91,16 +135,8 @@ InjectionConfig InjectionConfig::from_map(
 
 InjectionConfig InjectionConfig::from_environment() {
   std::map<std::string, std::string> kv;
-  for (const char* name : {"NUM_INJ", "INV_ID", "CALL_ID", "RANK_ID",
-                           "PARAM_ID", "FASTFIT_SEED",
-                           "FASTFIT_PARALLEL_TRIALS", "FASTFIT_JOURNAL",
-                           "FASTFIT_MAX_TRIAL_RETRIES",
-                           "FASTFIT_WATCHDOG_ESCALATION",
-                           "FASTFIT_HANG_DETECTION",
-                           "FASTFIT_MAX_LEAKED_THREADS", "FASTFIT_TRACE",
-                           "FASTFIT_METRICS", "FASTFIT_PROGRESS",
-                           "FASTFIT_METRICS_INTERVAL_MS"}) {
-    if (const char* value = std::getenv(name)) kv.emplace(name, value);
+  for (const auto& knob : config_knobs()) {
+    if (const char* value = std::getenv(knob.env)) kv.emplace(knob.env, value);
   }
   return from_map(kv);
 }
@@ -133,6 +169,8 @@ std::map<std::string, std::string> InjectionConfig::to_map() const {
   if (metrics_interval_ms != 0) {
     kv["FASTFIT_METRICS_INTERVAL_MS"] = std::to_string(metrics_interval_ms);
   }
+  if (!shard.empty()) kv["FASTFIT_SHARD"] = shard;
+  if (!passes.empty()) kv["FASTFIT_PASSES"] = passes;
   return kv;
 }
 

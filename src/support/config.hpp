@@ -18,9 +18,24 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 
 namespace fastfit {
+
+/// One configuration knob: the environment variable, its CLI long-flag
+/// alias, the value placeholder, and a one-line description. The single
+/// table (config_knobs) drives both from_environment() and the CLI's
+/// --help, so the two views can never drift apart again.
+struct ConfigKnob {
+  const char* env;   ///< environment variable name
+  const char* flag;  ///< CLI long flag without "--" ("" = env-only)
+  const char* arg;   ///< value placeholder, e.g. "N", "FILE" ("" = switch)
+  const char* help;  ///< one-line description
+};
+
+/// Every knob InjectionConfig understands, in display order.
+std::span<const ConfigKnob> config_knobs();
 
 /// One fault-injection configuration (paper Table II). Fields left
 /// unset select "all" / "chosen by the campaign planner".
@@ -62,6 +77,14 @@ struct InjectionConfig {
   /// Periodic metrics re-export interval in ms
   /// (FASTFIT_METRICS_INTERVAL_MS); 0 = only at campaign end.
   std::uint64_t metrics_interval_ms = 0;
+  /// Deterministic shard selector "i/N" (FASTFIT_SHARD); empty = the
+  /// whole study. Kept as raw text here — the partition semantics live
+  /// in core/shard.hpp, which validates the format.
+  std::string shard;
+  /// Comma-separated pruning pass chain (FASTFIT_PASSES), e.g.
+  /// "semantic,context" or "context,semantic,ml"; empty = the default
+  /// chain. Validated by the pipeline's pass factory downstream.
+  std::string passes;
 
   /// True when any telemetry sink is requested (trace, metrics, or the
   /// live progress line) and the recorder must therefore be enabled.
@@ -69,18 +92,16 @@ struct InjectionConfig {
     return !trace_out.empty() || !metrics_out.empty() || progress;
   }
 
-  /// Parses a config from a key/value map using the Table II names
-  /// (NUM_INJ, INV_ID, CALL_ID, RANK_ID, PARAM_ID, plus the FASTFIT_*
-  /// extensions: FASTFIT_SEED, FASTFIT_PARALLEL_TRIALS, FASTFIT_JOURNAL,
-  /// FASTFIT_MAX_TRIAL_RETRIES, FASTFIT_WATCHDOG_ESCALATION,
-  /// FASTFIT_HANG_DETECTION, FASTFIT_MAX_LEAKED_THREADS, FASTFIT_TRACE,
-  /// FASTFIT_METRICS, FASTFIT_PROGRESS, FASTFIT_METRICS_INTERVAL_MS).
-  /// Unknown keys are rejected; malformed values raise ConfigError.
+  /// Parses a config from a key/value map using the Table II names and
+  /// the FASTFIT_* extensions — exactly the environment variables listed
+  /// by config_knobs(). Unknown keys are rejected; malformed values
+  /// raise ConfigError.
   static InjectionConfig from_map(
       const std::map<std::string, std::string>& kv);
 
   /// Parses a config from the process environment (the original tool's
-  /// deployment mode). Missing variables keep their defaults.
+  /// deployment mode): reads every variable named in config_knobs().
+  /// Missing variables keep their defaults.
   static InjectionConfig from_environment();
 
   /// Renders the config back to Table II environment-variable form.

@@ -62,6 +62,23 @@ TEST(FastFit, SingleUse) {
   EXPECT_THROW(study.run(), InternalError);
 }
 
+TEST(FastFit, CampaignBeforeRunThrowsInsteadOfHandingOutAnUnprofiledEngine) {
+  // Regression: campaign() used to return the unprofiled engine, whose
+  // every accessor (stats, enumeration, golden digest) then failed from
+  // deeper, more confusing places.
+  const auto workload = apps::make_workload("LU");
+  auto opts = small_study();
+  opts.use_ml = false;
+  opts.campaign.trials_per_point = 1;
+  FastFit study(*workload, opts);
+  EXPECT_THROW(study.campaign(), InternalError);
+  const FastFit& const_study = study;
+  EXPECT_THROW(const_study.campaign(), InternalError);
+  study.run();
+  EXPECT_NO_THROW(study.campaign().stats());
+  EXPECT_NO_THROW(const_study.campaign().golden_digest());
+}
+
 TEST(FastFit, StudyIsReproducible) {
   const auto workload = apps::make_workload("LU");
   auto opts = small_study();

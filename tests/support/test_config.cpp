@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
 
 #include "support/error.hpp"
 
@@ -297,6 +298,86 @@ TEST(Config, FromEnvironmentReadsTableTwoNames) {
   EXPECT_EQ(cfg.rank_id, 5u);
   ::unsetenv("NUM_INJ");
   ::unsetenv("RANK_ID");
+}
+
+TEST(Config, KnobTableIsCompleteAndConsistent) {
+  // Every knob the table advertises must be a key from_map accepts: the
+  // table drives both from_environment() and the CLI's --help, so an
+  // entry from_map rejects would be a documented lie.
+  const std::map<std::string, std::string> sample_values = {
+      {"NUM_INJ", "10"},
+      {"INV_ID", "1"},
+      {"CALL_ID", "1"},
+      {"RANK_ID", "1"},
+      {"PARAM_ID", "1"},
+      {"FASTFIT_SEED", "1"},
+      {"FASTFIT_PARALLEL_TRIALS", "1"},
+      {"FASTFIT_JOURNAL", "j.jsonl"},
+      {"FASTFIT_MAX_TRIAL_RETRIES", "1"},
+      {"FASTFIT_WATCHDOG_ESCALATION", "1"},
+      {"FASTFIT_HANG_DETECTION", "1"},
+      {"FASTFIT_MAX_LEAKED_THREADS", "1"},
+      {"FASTFIT_SHARD", "1/2"},
+      {"FASTFIT_PASSES", "semantic,context"},
+      {"FASTFIT_TRACE", "t.json"},
+      {"FASTFIT_METRICS", "m.prom"},
+      {"FASTFIT_PROGRESS", "1"},
+      {"FASTFIT_METRICS_INTERVAL_MS", "100"},
+  };
+  std::set<std::string> envs;
+  std::set<std::string> flags;
+  for (const auto& knob : config_knobs()) {
+    EXPECT_TRUE(envs.insert(knob.env).second)
+        << "duplicate env " << knob.env;
+    if (knob.flag[0] != '\0') {
+      EXPECT_TRUE(flags.insert(knob.flag).second)
+          << "duplicate flag " << knob.flag;
+    }
+    EXPECT_NE(knob.help[0], '\0') << knob.env << " has no help text";
+    const auto sample = sample_values.find(knob.env);
+    ASSERT_NE(sample, sample_values.end())
+        << "knob " << knob.env << " missing from this test's sample table "
+        << "(new knob? add a sample value here)";
+    EXPECT_NO_THROW(InjectionConfig::from_map({*sample})) << knob.env;
+  }
+  // And the reverse: every key from_map accepts is in the table.
+  for (const auto& [env, value] : sample_values) {
+    EXPECT_TRUE(envs.count(env)) << env << " accepted but not in the table";
+  }
+}
+
+TEST(Config, ShardAndPassesAreStoredRaw) {
+  // Raw text here; core/shard.hpp and core/pipeline.hpp own the
+  // semantics (and the CLI parses through them).
+  const auto cfg = InjectionConfig::from_map(
+      {{"FASTFIT_SHARD", "2/4"}, {"FASTFIT_PASSES", "context,semantic"}});
+  EXPECT_EQ(cfg.shard, "2/4");
+  EXPECT_EQ(cfg.passes, "context,semantic");
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_SHARD", ""}}),
+               ConfigError);
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_PASSES", ""}}),
+               ConfigError);
+}
+
+TEST(Config, ShardAndPassesRoundTripThroughMap) {
+  auto cfg = InjectionConfig::from_map(
+      {{"FASTFIT_SHARD", "1/8"}, {"FASTFIT_PASSES", "semantic"}});
+  const auto cfg2 = InjectionConfig::from_map(cfg.to_map());
+  EXPECT_EQ(cfg2.shard, "1/8");
+  EXPECT_EQ(cfg2.passes, "semantic");
+  const auto defaults = InjectionConfig{}.to_map();
+  EXPECT_EQ(defaults.count("FASTFIT_SHARD"), 0u);
+  EXPECT_EQ(defaults.count("FASTFIT_PASSES"), 0u);
+}
+
+TEST(Config, ShardAndPassesReadFromEnvironment) {
+  ::setenv("FASTFIT_SHARD", "3/4", 1);
+  ::setenv("FASTFIT_PASSES", "semantic,context", 1);
+  const auto cfg = InjectionConfig::from_environment();
+  EXPECT_EQ(cfg.shard, "3/4");
+  EXPECT_EQ(cfg.passes, "semantic,context");
+  ::unsetenv("FASTFIT_SHARD");
+  ::unsetenv("FASTFIT_PASSES");
 }
 
 }  // namespace

@@ -15,6 +15,14 @@ Checks three things (any subset, depending on the flags given):
                           report's measured[].counts equal the
                           fastfit_trials_total{outcome=...} counters in
                           the metrics file.
+  --compare-counters other.prom --compare-family NAME
+                          Cross-check two snapshots: the named family's
+                          sample set (labels and values) in --metrics
+                          must equal the one in the other file. Used by
+                          the sharded-study CI job to prove that
+                          `fastfit merge` reproduces the unsharded run's
+                          trial counters exactly. Repeat --compare-family
+                          to compare several families.
 
 Exits non-zero with a message on the first violation. Used by the CI
 telemetry job; runnable by hand after any `fastfit study --trace-out
@@ -206,6 +214,39 @@ def check_totals(study_path, samples):
     )
 
 
+def family_samples(samples, family):
+    return {
+        (name, labels): value
+        for (name, labels), value in samples.items()
+        if name == family
+    }
+
+
+def check_compare(samples, other_path, families):
+    other = check_metrics(other_path)
+    for family in families:
+        mine = family_samples(samples, family)
+        theirs = family_samples(other, family)
+        if not mine and not theirs:
+            fail(f"{family}: absent from both snapshots")
+        if mine != theirs:
+            only_mine = sorted(set(mine) - set(theirs))
+            only_theirs = sorted(set(theirs) - set(mine))
+            diffs = sorted(
+                k for k in set(mine) & set(theirs) if mine[k] != theirs[k]
+            )
+            fail(
+                f"{family}: snapshots disagree "
+                f"(only in --metrics: {only_mine}, "
+                f"only in {other_path}: {only_theirs}, "
+                f"differing values: {diffs})"
+            )
+        print(
+            f"check_telemetry: compare OK: {family} identical "
+            f"({len(mine)} samples)"
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
@@ -219,17 +260,36 @@ def main():
         default=4,
         help="minimum distinct track types required in the trace",
     )
+    ap.add_argument(
+        "--compare-counters",
+        help="second Prometheus snapshot to compare families against",
+    )
+    ap.add_argument(
+        "--compare-family",
+        action="append",
+        default=[],
+        help="metric family that must be identical in both snapshots "
+        "(repeatable; default fastfit_trials_total)",
+    )
     args = ap.parse_args()
     if not (args.trace or args.metrics):
         ap.error("nothing to do: pass --trace and/or --metrics")
     if args.study and not args.metrics:
         ap.error("--study needs --metrics to compare against")
+    if args.compare_counters and not args.metrics:
+        ap.error("--compare-counters needs --metrics to compare against")
 
     if args.trace:
         check_trace(args.trace, args.min_tracks)
     samples = check_metrics(args.metrics) if args.metrics else {}
     if args.study:
         check_totals(args.study, samples)
+    if args.compare_counters:
+        check_compare(
+            samples,
+            args.compare_counters,
+            args.compare_family or ["fastfit_trials_total"],
+        )
     print("check_telemetry: all checks passed")
 
 

@@ -9,33 +9,29 @@
 //       the enumeration (profiling is a one-time cost; Sec IV-B).
 //
 //   fastfit study <workload> [--ranks N] [--trials T] [--threshold X]
-//                 [--fault-model NAME] [--no-ml] [--parallel-trials P]
-//                 [--seed S] [--csv FILE] [--json FILE]
-//                 [--journal FILE] [--resume]
-//                 [--max-trial-retries R] [--watchdog-escalation M]
-//                 [--hang-detection 0|1] [--max-leaked-threads N]
+//                 [--fault-model NAME] [--no-ml] [--csv FILE]
+//                 [--json FILE] [--resume] [--fragment FILE]
+//                 [+ the study knobs listed by --help]
 //       The full three-phase sensitivity study, with optional CSV/JSON
-//       export of the results. --journal records every completed trial in
-//       a durable journal; --resume continues a killed campaign from it,
-//       bit-identically (see docs/resilience.md). --hang-detection 0
-//       disables the deterministic deadlock monitor (timeout-only
-//       classification; see docs/hang_detection.md) and
-//       --max-leaked-threads bounds the quarantined-thread budget. The
-//       FASTFIT_JOURNAL, FASTFIT_MAX_TRIAL_RETRIES,
-//       FASTFIT_WATCHDOG_ESCALATION, FASTFIT_HANG_DETECTION, and
-//       FASTFIT_MAX_LEAKED_THREADS environment variables are the
-//       flagless equivalents.
+//       export of the results. Every study knob exists twice — as a
+//       --flag and as a FASTFIT_* environment variable — generated from
+//       the single table in support/config (config_knobs()); flags win.
+//       --journal records every completed trial in a durable journal;
+//       --resume continues a killed campaign from it, bit-identically
+//       (docs/resilience.md). --passes selects and orders the pruning
+//       chain (docs/pipeline.md); --shard i/N runs one deterministic
+//       shard of the study and --fragment persists its result for
+//       `fastfit merge`. Telemetry sinks are described in
+//       docs/observability.md. Independent of telemetry, every study
+//       prints the per-outcome trial totals and the campaign health
+//       table on stderr.
 //
-//       Telemetry (docs/observability.md): --trace-out FILE writes a
-//       Perfetto-loadable Chrome trace of the trial lifecycle,
-//       --metrics-out FILE a metrics snapshot (".json" = JSON, else
-//       Prometheus text), --progress a live one-line report on stderr,
-//       and --metrics-interval-ms MS a periodic metrics re-export.
-//       FASTFIT_TRACE, FASTFIT_METRICS, FASTFIT_PROGRESS, and
-//       FASTFIT_METRICS_INTERVAL_MS are the flagless equivalents. Any of
-//       these enables the recorder; without them it costs nothing.
-//       Independent of telemetry, every study prints the per-outcome
-//       trial totals and the campaign health table on stderr.
+//   fastfit merge [--json FILE] [--csv FILE] [--metrics-out FILE]
+//                 FRAGMENT...
+//       Merges the --fragment files of a complete sharded study back
+//       into one report, bit-identical to the unsharded run (same JSON,
+//       same trial counters; docs/pipeline.md). Validates that the
+//       fragments belong to one campaign and tile it exactly.
 //
 //   fastfit p2p <workload> [--ranks N] [--trials T] [--points K]
 //       The point-to-point extension study (Sec VIII future work):
@@ -47,19 +43,25 @@
 // threads still leaked in quarantine after the final reap, 1 fatal
 // (usage or execution error).
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/registry.hpp"
 #include "core/export.hpp"
 #include "core/fastfit.hpp"
 #include "core/p2p_study.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/shard.hpp"
 #include "ml/classifier.hpp"
 #include "profile/queries.hpp"
 #include "stats/levels.hpp"
@@ -73,24 +75,61 @@ using namespace fastfit;
 
 namespace {
 
+/// The full usage text. The study-knob section is rendered from
+/// config_knobs() — the same table from_environment() reads — so the
+/// flag and environment-variable views cannot drift apart.
+std::string usage_text() {
+  std::string text =
+      "usage:\n"
+      "  fastfit list\n"
+      "  fastfit profile <workload> [--ranks N] [--save FILE]\n"
+      "                  [--passes LIST]\n"
+      "  fastfit study <workload> [--ranks N] [--trials T]\n"
+      "                [--threshold X] [--fault-model NAME] [--no-ml]\n"
+      "                [--csv FILE] [--json FILE] [--resume]\n"
+      "                [--fragment FILE] [study knobs below]\n"
+      "  fastfit merge [--json FILE] [--csv FILE] [--metrics-out FILE]\n"
+      "                FRAGMENT...\n"
+      "  fastfit p2p <workload> [--ranks N] [--trials T] [--points K]\n"
+      "\n"
+      "study knobs (each --flag has an environment-variable alias;\n"
+      "flags win):\n";
+  for (const auto& knob : config_knobs()) {
+    std::string left = "  ";
+    if (knob.flag[0] != '\0') {
+      left += "--";
+      left += knob.flag;
+      if (knob.arg[0] != '\0') {
+        left += ' ';
+        left += knob.arg;
+      }
+      left += "  (";
+      left += knob.env;
+      left += ')';
+    } else {
+      // Table II variables are environment-only, like the original tool.
+      left += knob.env;
+      if (knob.arg[0] != '\0') {
+        left += '=';
+        left += knob.arg;
+      }
+      left += "  (env only)";
+    }
+    constexpr std::size_t kHelpColumn = 48;
+    if (left.size() < kHelpColumn) {
+      left.resize(kHelpColumn, ' ');
+    } else {
+      left += ' ';
+    }
+    text += left;
+    text += knob.help;
+    text += '\n';
+  }
+  return text;
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  fastfit list\n"
-               "  fastfit profile <workload> [--ranks N]\n"
-               "  fastfit study <workload> [--ranks N] [--trials T]\n"
-               "                [--threshold X] [--fault-model NAME]\n"
-               "                [--no-ml] [--parallel-trials P]\n"
-               "                [--seed S] [--csv FILE] [--json FILE]\n"
-               "                [--journal FILE] [--resume]\n"
-               "                [--max-trial-retries R]\n"
-               "                [--watchdog-escalation M]\n"
-               "                [--hang-detection 0|1]\n"
-               "                [--max-leaked-threads N]\n"
-               "                [--trace-out FILE] [--metrics-out FILE]\n"
-               "                [--progress] [--metrics-interval-ms MS]\n"
-               "  fastfit p2p <workload> [--ranks N] [--trials T] "
-               "[--points K]\n");
+  std::fprintf(stderr, "%s", usage_text().c_str());
   return 1;
 }
 
@@ -148,12 +187,25 @@ int cmd_list() {
   return 0;
 }
 
+/// Resolves the pruning-pass chain from --passes / FASTFIT_PASSES
+/// (flag wins). Empty result = the default chain.
+std::vector<std::string> resolve_passes(const Args& args,
+                                        const InjectionConfig& env) {
+  std::string passes = env.passes;
+  if (args.has("passes")) passes = args.get("passes", "");
+  if (passes.empty()) return {};
+  return core::parse_pass_list(passes);
+}
+
 int cmd_profile(const std::string& workload_name, const Args& args) {
   const auto workload = apps::make_workload(workload_name);
-  core::CampaignOptions options;
-  options.nranks = std::atoi(args.get("ranks", "16").c_str());
-  core::Campaign campaign(*workload, options);
-  campaign.profile();
+  core::StudyOptions options;
+  options.campaign.nranks = std::atoi(args.get("ranks", "16").c_str());
+  options.use_ml = false;
+  options.passes = resolve_passes(args, InjectionConfig::from_environment());
+  core::StudyDriver driver(*workload, std::move(options));
+  driver.profile();
+  auto& campaign = driver.campaign();
 
   std::printf("%s\n", profile::mpip_report(campaign.profiler()).c_str());
   const auto& s = campaign.stats();
@@ -231,6 +283,22 @@ int cmd_study(const std::string& workload_name, const Args& args) {
   options.resume = args.has("resume");
   if (options.resume && options.journal.empty()) {
     throw ConfigError("--resume requires --journal (or FASTFIT_JOURNAL)");
+  }
+
+  // Pipeline selection: the pruning chain and the deterministic shard.
+  options.passes = resolve_passes(args, env);
+  std::string shard = env.shard;
+  if (args.has("shard")) shard = args.get("shard", "");
+  if (!shard.empty()) options.campaign.shard = core::parse_shard(shard);
+  if (options.campaign.shard.sharded() && options.use_ml &&
+      options.passes.empty()) {
+    // A sharded study needs a static point set; rather than erroring on
+    // the CLI's use_ml default, drop the ML stage the way --no-ml would.
+    // An explicit "--passes ...,ml" together with --shard still errors.
+    std::fprintf(stderr,
+                 "note: --shard implies --no-ml (the ML stage resolves "
+                 "points adaptively)\n");
+    options.use_ml = false;
   }
 
   // Telemetry sinks: flags override the FASTFIT_* environment; any sink
@@ -333,17 +401,141 @@ int cmd_study(const std::string& workload_name, const Args& args) {
     core::write_file(args.get("json", ""), core::to_json(result));
     std::printf("wrote %s\n", args.get("json", "").c_str());
   }
+  if (args.has("fragment")) {
+    core::write_file(args.get("fragment", ""),
+                     core::to_shard_fragment(result));
+    std::printf("wrote %s\n", args.get("fragment", "").c_str());
+  }
+  return result.health.clean() ? 0 : 2;
+}
+
+/// Reads a whole file, throwing ConfigError on I/O failure (the merge
+/// counterpart of core::write_file).
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("cannot read fragment: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw ConfigError("error reading fragment: " + path);
+  }
+  return buffer.str();
+}
+
+int cmd_merge(int argc, char** argv) {
+  // Fragment paths are positional; Args only understands --key value
+  // pairs, so parse the mix by hand.
+  Args args;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) return usage();
+      args.values[arg.substr(2)] = argv[++i];
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "error: merge needs at least one fragment file\n");
+    return usage();
+  }
+
+  std::vector<std::string> fragments;
+  fragments.reserve(paths.size());
+  for (const auto& path : paths) fragments.push_back(read_text_file(path));
+  const auto result = core::merge_fragments(fragments);
+
+  const auto& s = result.stats;
+  std::printf("merged %zu fragments: %llu -> %llu (%s) -> %llu (%s), "
+              "%zu measured points\n\n",
+              fragments.size(),
+              static_cast<unsigned long long>(s.total_points),
+              static_cast<unsigned long long>(s.after_semantic),
+              percent(s.semantic_reduction()).c_str(),
+              static_cast<unsigned long long>(s.after_context),
+              percent(s.context_reduction()).c_str(),
+              result.measured.size());
+  std::vector<std::pair<std::string,
+                        std::array<double, inject::kNumOutcomes>>>
+      rows;
+  for (auto kind : core::kinds_present(result.measured)) {
+    rows.emplace_back(mpi::to_string(kind),
+                      core::outcome_distribution(result.measured, kind));
+  }
+  rows.emplace_back("ALL", core::outcome_distribution(result.measured));
+  std::printf("%s\n", core::render_outcome_table(rows).c_str());
+  std::printf("%s", core::render_health(result.health).c_str());
+
+  if (args.has("json")) {
+    core::write_file(args.get("json", ""), core::to_json(result));
+    std::printf("wrote %s\n", args.get("json", "").c_str());
+  }
+  if (args.has("csv")) {
+    core::write_file(args.get("csv", ""), core::to_csv(result.measured));
+    std::printf("wrote %s\n", args.get("csv", "").c_str());
+  }
+  if (args.has("metrics-out")) {
+    // Synthesize the trial counters a single-process run would have
+    // reported, so merged metrics diff cleanly against an unsharded
+    // run's snapshot. Same names, help, and labels as TelemetrySink.
+    const std::string metrics_out = args.get("metrics-out", "");
+    auto& recorder = telemetry::Recorder::instance();
+    recorder.enable();
+    std::array<std::uint64_t, inject::kNumOutcomes> totals{};
+    for (const auto& point : result.measured) {
+      for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+        totals[o] += point.counts[o];
+      }
+    }
+    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      const std::string labels =
+          "outcome=\"" +
+          std::string(inject::to_string(static_cast<inject::Outcome>(o))) +
+          '"';
+      recorder
+          .counter("fastfit_trials_total",
+                   "Trial outcomes recorded (incl. journal replays)", labels)
+          .add(totals[o]);
+    }
+    if (result.health.replayed_trials > 0) {
+      recorder
+          .counter("fastfit_trials_replayed_total",
+                   "Trials served from the journal")
+          .add(result.health.replayed_trials);
+    }
+    if (result.health.quarantined_points > 0) {
+      recorder
+          .counter("fastfit_quarantined_points_total",
+                   "Points the trial guard gave up on")
+          .add(result.health.quarantined_points);
+    }
+    const auto snapshot = recorder.metrics();
+    const bool json = metrics_out.size() >= 5 &&
+                      metrics_out.rfind(".json") == metrics_out.size() - 5;
+    const auto text = json ? telemetry::to_metrics_json(snapshot)
+                           : telemetry::to_prometheus(snapshot);
+    if (telemetry::write_text_file(metrics_out, text)) {
+      std::printf("wrote %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: failed to write metrics: %s\n",
+                   metrics_out.c_str());
+    }
+  }
   return result.health.clean() ? 0 : 2;
 }
 
 int cmd_p2p(const std::string& workload_name, const Args& args) {
   const auto workload = apps::make_workload(workload_name);
-  core::CampaignOptions options;
-  options.nranks = std::atoi(args.get("ranks", "16").c_str());
-  options.trials_per_point =
+  core::StudyOptions options;
+  options.campaign.nranks = std::atoi(args.get("ranks", "16").c_str());
+  const auto trials =
       static_cast<std::uint32_t>(std::atoi(args.get("trials", "8").c_str()));
-  core::Campaign campaign(*workload, options);
-  campaign.profile();
+  options.campaign.trials_per_point = trials;
+  options.use_ml = false;
+  core::StudyDriver driver(*workload, std::move(options));
+  driver.profile();
+  auto& campaign = driver.campaign();
 
   const auto e = core::enumerate_p2p_points(campaign.profiler());
   std::printf("p2p exploration space: %llu -> %llu (semantic) -> %llu "
@@ -362,8 +554,7 @@ int cmd_p2p(const std::string& workload_name, const Args& args) {
   if (points.size() > cap) points.resize(cap);
   std::vector<core::P2pPointResult> results;
   for (const auto& point : points) {
-    results.push_back(
-        core::measure_p2p(campaign, point, options.trials_per_point));
+    results.push_back(core::measure_p2p(campaign, point, trials));
   }
   std::vector<std::pair<std::string,
                         std::array<double, inject::kNumOutcomes>>>
@@ -385,7 +576,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    if (command == "--help" || command == "-h" || command == "help") {
+      std::printf("%s", usage_text().c_str());
+      return 0;
+    }
     if (command == "list") return cmd_list();
+    if (command == "merge") return cmd_merge(argc, argv);
     if (command == "profile" || command == "study" || command == "p2p") {
       if (argc < 3) return usage();
       Args args;
