@@ -10,14 +10,20 @@
 // auto pool (hardware_concurrency / ranks) leaves headroom for several
 // concurrent Worlds.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <span>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
+
+#include "apps/lu.hpp"
 #include "apps/registry.hpp"
 #include "bench_common.hpp"
+#include "trace/rank_context.hpp"
 #include "core/export.hpp"
 #include "core/trial_executor.hpp"
 #include "inject/outcome.hpp"
@@ -31,6 +37,12 @@ using fastfit::core::PointResult;
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+long peak_rss_kb() {
+  struct rusage usage{};
+  ::getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
 }
 
 }  // namespace
@@ -55,6 +67,10 @@ int main() {
   options.nranks = ranks;
   options.trials_per_point = trials;
   options.seed = bench::bench_seed();
+  // The executor/journal/shard/hang sections measure *those* subsystems;
+  // prefix replay would fold its own speedup into every number, so it is
+  // pinned off here and gets its own on/off/auto section below.
+  options.snapshots = core::SnapshotMode::Off;
   const auto workload = apps::make_workload("EP");
   const auto driver = bench::profiled_driver(*workload, options);
   auto& campaign = driver->campaign();
@@ -342,7 +358,162 @@ int main() {
                 static_cast<unsigned long long>(deterministic_deadlocks));
   }
 
-  json << "\n  ],\n  \"telemetry\": {"
+  // Prefix-replay snapshots on a wide study (default: 32-rank LU at a
+  // size where the computation dominates thread spawn). From-scratch
+  // trials pay the whole pre-injection prefix in live rendezvous; with
+  // snapshots on, the recording is built once and every trial clones
+  // it, executing only the post-injection suffix. Two point subsets:
+  // "mix" strides across the whole enumeration (the study's blend of
+  // early and late cuts — early-cut trials still run their suffix live,
+  // so Amdahl bounds the blended speedup), and "suffix" takes the
+  // End-phase (verification) points whose prefix is the entire
+  // computation — the trials the fast path exists for.
+  const int snap_ranks =
+      static_cast<int>(bench::env_u64("FASTFIT_BENCH_SNAP_RANKS", 32));
+  const auto snap_max_points = static_cast<std::size_t>(
+      bench::env_u64("FASTFIT_BENCH_SNAP_POINTS", 6));
+  const auto snap_trials = static_cast<std::uint32_t>(
+      bench::env_u64("FASTFIT_BENCH_SNAP_TRIALS", 8));
+  apps::LuConfig snap_lu_config;
+  // Small per-rank grid, many iterations: prefix time is rendezvous-
+  // dominated (what replay eliminates), not compute-dominated (what it
+  // must re-run).
+  snap_lu_config.npoints = static_cast<int>(bench::env_u64(
+      "FASTFIT_BENCH_SNAP_NPOINTS",
+      static_cast<std::uint64_t>(4 * snap_ranks)));
+  snap_lu_config.iterations =
+      static_cast<int>(bench::env_u64("FASTFIT_BENCH_SNAP_ITERS", 64));
+  const apps::MiniLU snap_workload(snap_lu_config);
+
+  core::CampaignOptions snap_options;
+  snap_options.nranks = snap_ranks;
+  snap_options.trials_per_point = snap_trials;
+  snap_options.seed = bench::bench_seed();
+
+  struct SnapSubset {
+    const char* name;
+    std::vector<InjectionPoint> points{};
+    double sec[3] = {0.0, 0.0, 0.0};
+    double tps[3] = {0.0, 0.0, 0.0};
+    std::vector<core::PointResult> results[3] = {};
+  };
+  SnapSubset snap_subsets[2] = {{"mix"}, {"suffix"}};
+  struct SnapMode {
+    const char* mode;
+    core::SnapshotMode setting;
+    core::SnapshotCache::Stats stats{};
+    long rss_kb = 0;
+  };
+  SnapMode snap_modes[3] = {{"off", core::SnapshotMode::Off},
+                            {"on", core::SnapshotMode::On},
+                            {"auto", core::SnapshotMode::Auto}};
+  for (std::size_t m = 0; m < 3; ++m) {
+    snap_options.snapshots = snap_modes[m].setting;
+    const auto snap_driver =
+        bench::profiled_driver(snap_workload, snap_options);
+    auto& snap_campaign = snap_driver->campaign();
+    if (snap_subsets[0].points.empty()) {
+      const auto& all = snap_campaign.enumeration().points;
+      const std::size_t stride =
+          std::max<std::size_t>(1, all.size() / snap_max_points);
+      for (std::size_t i = 0;
+           i < all.size() && snap_subsets[0].points.size() < snap_max_points;
+           i += stride) {
+        snap_subsets[0].points.push_back(all[i]);
+      }
+      for (const auto& point : all) {
+        if (point.phase == trace::ExecPhase::End &&
+            snap_subsets[1].points.size() < snap_max_points) {
+          snap_subsets[1].points.push_back(point);
+        }
+      }
+    }
+    for (auto& subset : snap_subsets) {
+      const auto t5 = std::chrono::steady_clock::now();
+      subset.results[m] = snap_campaign.measure_many(
+          std::span<const InjectionPoint>(subset.points.data(),
+                                          subset.points.size()),
+          snap_trials);
+      subset.sec[m] = seconds_since(t5);
+      const double total =
+          static_cast<double>(subset.points.size()) * snap_trials;
+      subset.tps[m] = subset.sec[m] > 0.0 ? total / subset.sec[m] : 0.0;
+    }
+    snap_modes[m].stats = snap_campaign.snapshot_stats();
+    snap_modes[m].rss_kb = peak_rss_kb();
+    std::printf("%-28s mix %6.2fs %7.1f t/s | suffix %6.2fs %7.1f t/s  "
+                "(%llu clones, %llu fallbacks, rss %ld KiB)\n",
+                ("snapshots " + std::string(snap_modes[m].mode) + " (LU, " +
+                 std::to_string(snap_ranks) + "r)")
+                    .c_str(),
+                snap_subsets[0].sec[m], snap_subsets[0].tps[m],
+                snap_subsets[1].sec[m], snap_subsets[1].tps[m],
+                static_cast<unsigned long long>(snap_modes[m].stats.clones),
+                static_cast<unsigned long long>(
+                    snap_modes[m].stats.fallbacks),
+                snap_modes[m].rss_kb);
+  }
+  bool snap_identical = true;
+  for (auto& subset : snap_subsets) {
+    for (std::size_t m = 1; m < 3; ++m) {
+      for (std::size_t i = 0; i < subset.points.size(); ++i) {
+        if (subset.results[m][i].counts != subset.results[0][i].counts) {
+          snap_identical = false;
+          identical = false;
+          std::printf("  snapshot mismatch: %s point %zu (%s vs off)\n",
+                      subset.name, i, snap_modes[m].mode);
+        }
+      }
+    }
+  }
+  const double snap_speedup_mix =
+      snap_subsets[0].sec[1] > 0.0
+          ? snap_subsets[0].sec[0] / snap_subsets[0].sec[1]
+          : 0.0;
+  const double snap_speedup_suffix =
+      snap_subsets[1].sec[1] > 0.0
+          ? snap_subsets[1].sec[0] / snap_subsets[1].sec[1]
+          : 0.0;
+  std::printf("snapshot replay speedup: %.1fx study mix, %.1fx "
+              "suffix-dominated trials (target >= 10x), counts %s\n",
+              snap_speedup_mix, snap_speedup_suffix,
+              snap_identical ? "identical" : "DIVERGED");
+
+  json << "\n  ],\n  \"snapshots\": {"
+       << "\"workload\": \"LU\", \"ranks\": " << snap_ranks
+       << ", \"lu_npoints\": " << snap_lu_config.npoints
+       << ", \"lu_iterations\": " << snap_lu_config.iterations
+       << ", \"trials_per_point\": " << snap_trials
+       << ", \"replay_speedup_mix\": " << snap_speedup_mix
+       << ", \"replay_speedup_suffix\": " << snap_speedup_suffix
+       << ", \"identical\": " << (snap_identical ? "true" : "false")
+       << ",\n    \"modes\": [";
+  for (std::size_t m = 0; m < 3; ++m) {
+    const auto& run = snap_modes[m];
+    const auto& s = run.stats;
+    const double lookups =
+        static_cast<double>(s.hits) + static_cast<double>(s.snapshot_builds);
+    if (m) json << ",";
+    json << "\n      {\"mode\": \"" << run.mode << "\"";
+    for (const auto& subset : snap_subsets) {
+      json << ", \"" << subset.name << "_points\": " << subset.points.size()
+           << ", \"" << subset.name << "_seconds\": " << subset.sec[m]
+           << ", \"" << subset.name
+           << "_trials_per_sec\": " << subset.tps[m];
+    }
+    json << ", \"recording_builds\": " << s.recording_builds
+         << ", \"snapshot_builds\": " << s.snapshot_builds
+         << ", \"cache_hits\": " << s.hits
+         << ", \"cache_hit_rate\": "
+         << (lookups > 0.0 ? static_cast<double>(s.hits) / lookups : 0.0)
+         << ", \"clones\": " << s.clones
+         << ", \"evictions\": " << s.evictions
+         << ", \"fallbacks\": " << s.fallbacks
+         << ", \"recording_bytes\": " << s.recording_bytes
+         << ", \"cached_bytes\": " << s.cached_bytes
+         << ", \"peak_rss_kb\": " << run.rss_kb << "}";
+  }
+  json << "\n    ]},\n  \"telemetry\": {"
        << "\"off_trials_per_sec\": " << serial_tps
        << ", \"on_trials_per_sec\": " << telemetry_tps
        << ", \"overhead\": " << telemetry_overhead

@@ -44,6 +44,13 @@ class Workload {
   /// Throws AppError when the workload's own error handling detects an
   /// inconsistency.
   virtual std::uint64_t run_rank(AppContext& ctx) const = 0;
+
+  /// Stable serialization of this instance's problem parameters, used to
+  /// distinguish differently-configured instances of the same workload in
+  /// process-wide caches (the golden-run memo). Two instances with equal
+  /// (name, params_key) must produce identical runs for identical world
+  /// options. Default: empty (no parameters).
+  virtual std::string params_key() const { return {}; }
 };
 
 /// Order-sensitive combination of per-rank digests into a job digest.

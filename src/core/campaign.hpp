@@ -30,6 +30,7 @@
 #include "core/points.hpp"
 #include "core/scheduler.hpp"
 #include "core/shard.hpp"
+#include "core/snapshot_cache.hpp"
 #include "inject/fault_spec.hpp"
 #include "inject/outcome.hpp"
 #include "profile/profiler.hpp"
@@ -95,6 +96,17 @@ struct CampaignOptions {
   /// itself only pins the shard into the journal header; the study
   /// driver does the actual partitioning.
   ShardSpec shard;
+  /// Prefix-replay world snapshots (--snapshots, FASTFIT_SNAPSHOTS):
+  /// trials clone a recorded fault-free prefix and execute only the
+  /// post-injection suffix. Results are bit-identical at every setting;
+  /// `auto` additionally falls back campaign-wide on the first replay
+  /// divergence, `on` keeps replaying point by point, `off` is the
+  /// from-scratch path.
+  SnapshotMode snapshots = SnapshotMode::Auto;
+  /// LRU budget for the snapshot cache in MiB (--snapshot-cache-mb,
+  /// FASTFIT_SNAPSHOT_CACHE_MB): bounds the recording payload plus all
+  /// derived per-cut snapshots. Must be >= 1.
+  std::uint64_t snapshot_cache_mb = 256;
 };
 
 /// Aggregate campaign health: what the resilience machinery had to do.
@@ -205,6 +217,10 @@ class Campaign : private TrialRunner {
   /// Snapshot of the campaign's resilience counters.
   CampaignHealth health() const noexcept;
 
+  /// Statistics of the prefix-replay snapshot subsystem (all zeros when
+  /// snapshots are off or never engaged).
+  SnapshotCache::Stats snapshot_stats() const;
+
   std::uint64_t golden_digest() const;
   std::chrono::milliseconds watchdog() const override { return watchdog_; }
   const CampaignOptions& options() const noexcept { return options_; }
@@ -222,6 +238,8 @@ class Campaign : private TrialRunner {
   std::shared_ptr<profile::Profiler> profiler_;
   Enumeration enumeration_;
   std::unique_ptr<TrialJournal> journal_;
+  /// Present unless snapshots == Off; owns the recording + cut LRU.
+  std::unique_ptr<SnapshotCache> snapshot_cache_;
   std::atomic<std::uint64_t> trials_run_{0};
   std::atomic<std::uint64_t> total_retries_{0};
   std::atomic<std::uint64_t> quarantined_points_{0};
@@ -247,6 +265,24 @@ class Campaign : private TrialRunner {
   inject::TrialForensics run_trial(const InjectionPoint& point,
                                    std::uint64_t trial,
                                    std::chrono::milliseconds watchdog);
+
+  /// The world execution behind run_trial. With a snapshot, only the
+  /// post-injection suffix executes (prefix replayed from the recording);
+  /// may throw mpi::ReplayError, which run_trial converts into a
+  /// from-scratch fallback.
+  inject::TrialForensics execute_trial(
+      const InjectionPoint& point, std::uint64_t trial,
+      std::chrono::milliseconds watchdog,
+      std::shared_ptr<const mpi::WorldSnapshot> snapshot);
+
+  /// One fault-free recording run (digest-checked against golden).
+  /// Returns nullptr on any failure — the snapshot subsystem disables
+  /// itself instead of costing the trial.
+  std::shared_ptr<const mpi::WorldRecording> build_recording();
+
+  /// Key of this campaign's configuration in the process-wide golden
+  /// cache.
+  std::string golden_key() const;
 
   /// TrialRunner: supervised execution of one trial — retries internal
   /// (non-fault) failures with exponential backoff up to

@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <deque>
+#include <limits>
 #include <mutex>
 
 #include "core/trial_executor.hpp"
@@ -18,6 +19,10 @@ namespace {
 // Outcome-slot sentinels for the (point, trial) matrix.
 constexpr int kPending = -1;  ///< not yet executed
 constexpr int kSkipped = -2;  ///< abandoned after the point quarantined
+
+// "No trial of this point has failed" marker for the per-point CAS-min.
+constexpr std::uint32_t kNoFailure =
+    std::numeric_limits<std::uint32_t>::max();
 
 }  // namespace
 
@@ -115,14 +120,23 @@ BatchStats TrialScheduler::run(std::span<const InjectionPoint> points,
       points.size(), std::vector<std::string>(trials));
 
   // Per-point supervision state. deque: stable addresses, no moves — the
-  // elements hold atomics.
+  // elements hold atomics. `first_failed` is the *minimum* failed trial
+  // ordinal (CAS-min): under pool > 1 the first trial to fail in
+  // wall-clock time is not necessarily the first in trial order, and
+  // every per-point aggregate (which trials count, whose error message
+  // survives, how many retries) must be derived from the trial-order
+  // minimum — never from arrival order — to stay bit-identical to the
+  // serial run. Everything else is recorded per (point, trial) slot.
   struct PointState {
-    std::atomic<bool> quarantined{false};
-    std::atomic<std::uint32_t> retries{0};
-    std::mutex error_mutex;
-    std::string last_error;
+    std::atomic<std::uint32_t> first_failed{kNoFailure};
   };
   std::deque<PointState> state(points.size());
+  std::vector<std::vector<std::uint32_t>> trial_retries(
+      points.size(), std::vector<std::uint32_t>(trials, 0));
+  std::vector<std::vector<std::string>> errors(
+      points.size(), std::vector<std::string>(trials));
+  std::vector<std::vector<std::uint8_t>> failed(
+      points.size(), std::vector<std::uint8_t>(trials, 0));
 
   std::vector<std::string> keys(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -142,10 +156,56 @@ BatchStats TrialScheduler::run(std::span<const InjectionPoint> points,
     }
   }
 
+  // One fresh guarded trial, writing only into slot (i, t). Shared by
+  // the pool jobs and by the post-wait repair pass, so the two paths
+  // cannot drift.
+  const auto run_fresh = [this, &outcomes, &state, &points, &keys,
+                          &deterministic, &autopsies, &trial_retries,
+                          &errors, &failed](std::size_t i, std::uint32_t t,
+                                            std::int64_t submit_us) {
+    auto& rec = tel::Recorder::instance();
+    if (submit_us >= 0 && rec.enabled()) {
+      const auto info = tel::Recorder::thread_info();
+      tel::Event wait;
+      wait.name = "queue-wait";
+      wait.start_us = submit_us;
+      wait.dur_us = rec.now_us() - submit_us;
+      wait.track = info.track;
+      wait.index = info.index;
+      rec.record(std::move(wait));
+    }
+    tel::ScopedSpan trial_span("trial");
+    trial_span.arg("point", keys[i]);
+    trial_span.arg("trial", std::to_string(t));
+    const auto attempt =
+        runner_->run_guarded(points[i], t, runner_->watchdog());
+    trial_retries[i][t] = attempt.retries;
+    if (!attempt.ok) {
+      errors[i][t] = attempt.error;
+      failed[i][t] = 1;
+      // CAS-min: remember the lowest failed ordinal, not the first to
+      // arrive.
+      auto& first = state[i].first_failed;
+      std::uint32_t seen = first.load(std::memory_order_relaxed);
+      while (t < seen && !first.compare_exchange_weak(
+                             seen, t, std::memory_order_acq_rel)) {
+      }
+      outcomes[i][t] = kSkipped;
+      return;
+    }
+    trial_span.arg("outcome", inject::to_string(attempt.outcome));
+    if (attempt.outcome == inject::Outcome::InfLoop &&
+        attempt.deterministic_hang) {
+      // Proven structural deadlock: load-independent, so it neither
+      // feeds the storm heuristic nor needs an escalated
+      // re-confirmation.
+      deterministic[i][t] = 1;
+    }
+    autopsies[i][t] = attempt.autopsy;
+    outcomes[i][t] = static_cast<int>(attempt.outcome);
+  };
+
   // Phase 1: concurrent guarded execution of the missing trials.
-  std::atomic<std::uint64_t> fresh{0};
-  std::atomic<std::uint64_t> fresh_timeouts{0};
-  std::atomic<std::uint64_t> proven_deadlocks{0};
   {
     TrialExecutor executor(config_.pool);
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -155,72 +215,66 @@ BatchStats TrialScheduler::run(std::span<const InjectionPoint> points,
         // wait, rendered as its own span on the executing worker's lane.
         auto& rec = tel::Recorder::instance();
         const std::int64_t submit_us = rec.enabled() ? rec.now_us() : -1;
-        executor.submit([this, &outcomes, &state, &points, &keys, &fresh,
-                         &fresh_timeouts, &proven_deadlocks, &deterministic,
-                         &autopsies, submit_us, i, t] {
-          auto& st = state[i];
-          if (st.quarantined.load(std::memory_order_acquire)) {
+        executor.submit([&run_fresh, &state, &outcomes, submit_us, i, t] {
+          // Skip only trials *beyond* a known failure: those are the
+          // ones the serial run would never have executed. Trials below
+          // it must still run — the serial stream includes them.
+          if (state[i].first_failed.load(std::memory_order_acquire) < t) {
             outcomes[i][t] = kSkipped;
             return;
           }
-          auto& rec = tel::Recorder::instance();
-          if (submit_us >= 0 && rec.enabled()) {
-            const auto info = tel::Recorder::thread_info();
-            tel::Event wait;
-            wait.name = "queue-wait";
-            wait.start_us = submit_us;
-            wait.dur_us = rec.now_us() - submit_us;
-            wait.track = info.track;
-            wait.index = info.index;
-            rec.record(std::move(wait));
-          }
-          tel::ScopedSpan trial_span("trial");
-          trial_span.arg("point", keys[i]);
-          trial_span.arg("trial", std::to_string(t));
-          const auto attempt =
-              runner_->run_guarded(points[i], t, runner_->watchdog());
-          if (attempt.ok) {
-            trial_span.arg("outcome", inject::to_string(attempt.outcome));
-          }
-          st.retries.fetch_add(attempt.retries, std::memory_order_relaxed);
-          if (!attempt.ok) {
-            {
-              std::lock_guard lock(st.error_mutex);
-              st.last_error = attempt.error;
-            }
-            st.quarantined.store(true, std::memory_order_release);
-            outcomes[i][t] = kSkipped;
-            return;
-          }
-          fresh.fetch_add(1, std::memory_order_relaxed);
-          if (attempt.outcome == inject::Outcome::InfLoop) {
-            if (attempt.deterministic_hang) {
-              // Proven structural deadlock: load-independent, so it
-              // neither feeds the storm heuristic nor needs an escalated
-              // re-confirmation.
-              deterministic[i][t] = 1;
-              proven_deadlocks.fetch_add(1, std::memory_order_relaxed);
-            } else {
-              fresh_timeouts.fetch_add(1, std::memory_order_relaxed);
-            }
-          }
-          autopsies[i][t] = attempt.autopsy;
-          outcomes[i][t] = static_cast<int>(attempt.outcome);
+          run_fresh(i, t, submit_us);
         });
       }
     }
     executor.wait();
   }
-  stats.deterministic_deadlocks =
-      proven_deadlocks.load(std::memory_order_relaxed);
+
+  // Truncation/repair pass: rebuild the serial stream per point. Serial
+  // semantics are "trials execute in order until the first failure f;
+  // f's slot and everything after it are skipped". Under pool > 1, slots
+  // beyond f may have executed anyway (wasted work — discard them) and a
+  // slot at or below f may have been skipped against a failure ordinal
+  // that a later CAS-min then lowered — re-run those serially here.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::uint32_t f = state[i].first_failed.load(std::memory_order_acquire);
+    for (std::uint32_t t = 0; t < trials && t < f; ++t) {
+      if (outcomes[i][t] == kSkipped && !failed[i][t] && !replayed[i][t]) {
+        run_fresh(i, t, -1);
+        f = state[i].first_failed.load(std::memory_order_acquire);
+      }
+    }
+    for (std::uint32_t t = f; t < trials; ++t) {
+      // Journal-replayed outcomes survive the truncation — the serial
+      // run never re-executes (or un-records) them either.
+      if (!replayed[i][t]) outcomes[i][t] = kSkipped;
+    }
+  }
+
+  // Fresh-trial census for the storm heuristic and the health stats,
+  // taken *after* truncation so wasted beyond-failure executions do not
+  // feed either (the serial run never ran them).
+  std::uint64_t fresh_count = 0;
+  std::uint64_t timeout_count = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      if (outcomes[i][t] < 0 || replayed[i][t]) continue;
+      ++fresh_count;
+      if (outcomes[i][t] == static_cast<int>(inject::Outcome::InfLoop)) {
+        if (deterministic[i][t]) {
+          ++stats.deterministic_deadlocks;
+        } else {
+          ++timeout_count;
+        }
+      }
+    }
+  }
 
   // Phase 2: watchdog-storm response. When most of a batch times out the
   // likely cause is an overloaded machine (or a stale calibration), not a
   // sudden epidemic of genuine hangs: hand the engine its storm response
   // (golden recalibration + parallelism degradation). The escalated
   // re-confirmation below then reclassifies with the fresh budget.
-  const auto fresh_count = fresh.load(std::memory_order_relaxed);
-  const auto timeout_count = fresh_timeouts.load(std::memory_order_relaxed);
   if (config_.pool > 1 && fresh_count > 0 &&
       static_cast<double>(timeout_count) >
           config_.storm_fraction * static_cast<double>(fresh_count)) {
@@ -239,6 +293,7 @@ BatchStats TrialScheduler::run(std::span<const InjectionPoint> points,
   // Deterministic verdicts skip this entirely: the monitor *proved* the
   // deadlock structurally, so contention cannot have caused it.
   const auto escalated = runner_->watchdog() * config_.watchdog_escalation;
+  std::vector<std::uint32_t> confirm_retries(points.size(), 0);
   for (std::size_t i = 0; i < points.size(); ++i) {
     for (std::uint32_t t = 0; t < trials; ++t) {
       if (outcomes[i][t] != static_cast<int>(inject::Outcome::InfLoop) ||
@@ -256,7 +311,7 @@ BatchStats TrialScheduler::run(std::span<const InjectionPoint> points,
                         "Escalated uncontended INF_LOOP re-confirmations");
         confirms.add();
       }
-      state[i].retries.fetch_add(attempt.retries, std::memory_order_relaxed);
+      confirm_retries[i] += attempt.retries;
       // A confirmation that fails internally keeps the original outcome:
       // the trial did produce one, and quarantining here would discard it.
       if (attempt.ok) outcomes[i][t] = static_cast<int>(attempt.outcome);
@@ -267,8 +322,8 @@ BatchStats TrialScheduler::run(std::span<const InjectionPoint> points,
   // order above was free; observation order is pinned here, which is what
   // keeps reports, journals, and counters bit-identical at every pool
   // size.
+  const std::string no_error;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    auto& st = state[i];
     for (std::uint32_t t = 0; t < trials; ++t) {
       const int o = outcomes[i][t];
       if (o < 0) continue;  // skipped after quarantine
@@ -281,10 +336,19 @@ BatchStats TrialScheduler::run(std::span<const InjectionPoint> points,
                          autopsies[i][t]};
       for (auto* sink : sinks) sink->on_trial(record);
     }
-    const bool quarantined = st.quarantined.load(std::memory_order_acquire);
-    std::lock_guard lock(st.error_mutex);
-    PointStatus status{keys[i], i, st.retries.load(std::memory_order_relaxed),
-                       quarantined, st.last_error};
+    // Point aggregates from the truncated stream: retries come from the
+    // trials the serial run would have executed (ordinals <= the first
+    // failure) plus the escalated confirmations; the surviving error is
+    // the first failure's, never a later racer's.
+    const std::uint32_t f =
+        state[i].first_failed.load(std::memory_order_acquire);
+    const bool quarantined = f != kNoFailure;
+    std::uint32_t retry_total = confirm_retries[i];
+    for (std::uint32_t t = 0; t < trials && t <= f; ++t) {
+      retry_total += trial_retries[i][t];
+    }
+    PointStatus status{keys[i], i, retry_total, quarantined,
+                       quarantined ? errors[i][f] : no_error};
     if (quarantined) ++stats.quarantined_points;
     for (auto* sink : sinks) sink->on_point(status);
   }

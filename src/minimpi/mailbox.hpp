@@ -11,6 +11,7 @@
 // and when another rank has already failed, the world poison wakes every
 // waiter with WorldAborted so trials finish promptly.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -34,12 +35,16 @@ struct PoisonState {
   std::mutex mutex;
   std::condition_variable cv;
   bool poisoned = false;
+  /// Lock-free mirror of `poisoned` for hot paths (snapshot replay polls
+  /// it per op) that must not contend on the teardown mutex.
+  std::atomic<bool> flag{false};
 
   void poison() {
     {
       std::lock_guard lock(mutex);
       poisoned = true;
     }
+    flag.store(true, std::memory_order_release);
     cv.notify_all();
   }
 };

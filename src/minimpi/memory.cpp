@@ -1,5 +1,6 @@
 #include "minimpi/memory.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -60,6 +61,48 @@ void MemoryRegistry::check(const void* ptr, std::size_t bytes,
 std::size_t MemoryRegistry::region_count() const {
   std::lock_guard lock(mutex_);
   return regions_.size();
+}
+
+namespace {
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t bytes) noexcept {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+ChunkStore::Chunk ChunkStore::intern(const void* data, std::size_t bytes) {
+  const std::uint64_t hash = fnv1a_bytes(data, bytes);
+  std::lock_guard lock(mutex_);
+  auto& bucket = buckets_[hash];
+  const auto* p = static_cast<const std::byte*>(data);
+  for (const auto& chunk : bucket) {
+    if (chunk->size() == bytes &&
+        std::equal(chunk->begin(), chunk->end(), p)) {
+      return chunk;
+    }
+  }
+  auto chunk = std::make_shared<const std::vector<std::byte>>(p, p + bytes);
+  bucket.push_back(chunk);
+  bytes_ += bytes;
+  ++chunks_;
+  return chunk;
+}
+
+std::size_t ChunkStore::unique_bytes() const {
+  std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+std::size_t ChunkStore::unique_chunks() const {
+  std::lock_guard lock(mutex_);
+  return chunks_;
 }
 
 }  // namespace fastfit::mpi

@@ -48,6 +48,32 @@ class MemoryRegistry {
   std::map<std::uintptr_t, std::size_t> regions_;
 };
 
+/// Content-addressed store of immutable, ref-counted byte chunks — the
+/// memory substrate of world snapshots (minimpi/snapshot.hpp). Interning
+/// the same bytes twice returns the same chunk, so a recording whose
+/// collective outputs repeat across ranks or iterations is stored once;
+/// `unique_bytes` is what the snapshot cache charges against its budget.
+/// Chunks are shared_ptrs: a "clone" of a snapshot copies nothing, and
+/// dirty data never exists — replay copies a chunk into the trial's own
+/// application buffer and every later write lands there.
+class ChunkStore {
+ public:
+  using Chunk = std::shared_ptr<const std::vector<std::byte>>;
+
+  /// Returns a chunk holding exactly `bytes` (deduplicated by content).
+  Chunk intern(const void* data, std::size_t bytes);
+
+  std::size_t unique_bytes() const;
+  std::size_t unique_chunks() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // content hash -> chunks with that hash (collisions compared by value)
+  std::map<std::uint64_t, std::vector<Chunk>> buckets_;
+  std::size_t bytes_ = 0;
+  std::size_t chunks_ = 0;
+};
+
 /// RAII typed buffer registered with a rank's MemoryRegistry for its whole
 /// lifetime. This is how workloads allocate every buffer that can be named
 /// in a collective call.

@@ -1,5 +1,6 @@
 #include "minimpi/mpi.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
@@ -48,7 +49,141 @@ class WaitScope {
 }  // namespace
 
 Mpi::Mpi(std::shared_ptr<WorldState> state, int world_rank)
-    : world_(std::move(state)), world_rank_(world_rank) {}
+    : world_(std::move(state)), world_rank_(world_rank) {
+  const WorldOptions& options = world_->options();
+  recorder_ = options.recorder.get();
+  if (options.replay) {
+    replay_ops_ =
+        &options.replay->recording->ops[static_cast<std::size_t>(world_rank_)];
+    replay_cut_ = options.replay->cut[static_cast<std::size_t>(world_rank_)];
+  }
+}
+
+// --- snapshot replay --------------------------------------------------------
+
+void Mpi::replay_poison_check() const {
+  if (world_->poison().flag.load(std::memory_order_acquire)) {
+    throw WorldAborted("rank " + std::to_string(world_rank_) +
+                       ": prefix replay interrupted by world teardown");
+  }
+}
+
+const RecordedOp& Mpi::replay_expect(RecordedOp::Kind kind,
+                                     std::uint32_t site_id,
+                                     std::uint64_t invocation,
+                                     const char* what) {
+  const RecordedOp& op = (*replay_ops_)[replay_next_];
+  if (op.kind != kind || op.site_id != site_id ||
+      op.invocation != invocation) {
+    std::ostringstream msg;
+    msg << "rank " << world_rank_ << " op " << replay_next_ << ": live "
+        << what << " site=" << site_id << " inv=" << invocation
+        << " does not match recorded kind=" << static_cast<int>(op.kind)
+        << " site=" << op.site_id << " inv=" << op.invocation << " (line "
+        << op.site_line << ")";
+    throw ReplayError(msg.str());
+  }
+  return op;
+}
+
+void Mpi::replay_collective(CollectiveCall& call) {
+  replay_poison_check();
+  const RecordedOp& op = replay_expect(RecordedOp::Kind::Collective,
+                                       call.site_id, call.invocation,
+                                       to_string(call.kind));
+  if (op.coll != call.kind || op.comm != raw(call.comm) ||
+      op.self_comm != call.rank) {
+    throw ReplayError("rank " + std::to_string(world_rank_) +
+                      ": collective shape diverged from the recording at " +
+                      std::string(to_string(call.kind)));
+  }
+  // The sequence counter advances exactly as live execution would, so the
+  // op at the cut produces bit-identical transport tags.
+  coll_seq_[raw(call.comm)]++;
+  const int comm_size = static_cast<int>(world_->group_of(call.comm).size());
+  const auto spans = collect_write_spans(call, comm_size);
+  if (spans.size() != op.writes.size()) {
+    throw ReplayError("rank " + std::to_string(world_rank_) +
+                      ": write-span shape diverged from the recording");
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& chunk = op.writes[i];
+    if (!chunk || chunk->size() != spans[i].bytes) {
+      throw ReplayError("rank " + std::to_string(world_rank_) +
+                        ": write-span size diverged from the recording");
+    }
+    try {
+      store(spans[i].ptr, *chunk, "collective output (replay)");
+    } catch (const FaultEvent& event) {
+      // A bounds failure here means the replayed application allocated
+      // differently than the recording run — a divergence, not a trial
+      // outcome.
+      throw ReplayError(std::string("store failed during replay: ") +
+                        event.what());
+    }
+  }
+  ++replay_next_;
+}
+
+void Mpi::replay_send(const P2pCall& call) {
+  replay_poison_check();
+  const RecordedOp& op =
+      replay_expect(RecordedOp::Kind::Send, call.site_id, call.invocation,
+                    "send");
+  if (op.self_comm != call.rank || op.peer != call.peer ||
+      op.transport_tag != p2p_tag(call.comm, call.tag)) {
+    throw ReplayError("rank " + std::to_string(world_rank_) +
+                      ": send envelope diverged from the recording");
+  }
+  // The message itself is dropped: its receipt (prefix) was recorded, or
+  // it is pre-seeded into the destination mailbox (in flight across the
+  // cut). Verify the payload so silent divergence cannot propagate.
+  const std::size_t bytes =
+      static_cast<std::size_t>(call.count) * datatype_size(call.datatype);
+  const auto& chunk = op.writes.empty() ? nullptr : op.writes.front();
+  if (!chunk || chunk->size() != bytes) {
+    throw ReplayError("rank " + std::to_string(world_rank_) +
+                      ": send payload size diverged from the recording");
+  }
+  try {
+    registry().check(call.buffer, bytes, "send (replay)");
+  } catch (const FaultEvent& event) {
+    throw ReplayError(std::string("pack failed during replay: ") +
+                      event.what());
+  }
+  if (bytes > 0 &&
+      std::memcmp(call.buffer, chunk->data(), bytes) != 0) {
+    throw ReplayError("rank " + std::to_string(world_rank_) +
+                      ": send payload bytes diverged from the recording");
+  }
+  ++replay_next_;
+}
+
+void Mpi::replay_recv(const P2pCall& call) {
+  replay_poison_check();
+  const RecordedOp& op =
+      replay_expect(RecordedOp::Kind::Recv, call.site_id, call.invocation,
+                    "recv");
+  if (op.self_comm != call.rank || op.peer != call.peer ||
+      op.transport_tag != p2p_tag(call.comm, call.tag)) {
+    throw ReplayError("rank " + std::to_string(world_rank_) +
+                      ": recv envelope diverged from the recording");
+  }
+  const std::size_t bytes =
+      static_cast<std::size_t>(call.count) * datatype_size(call.datatype);
+  const auto& chunk = op.writes.empty() ? nullptr : op.writes.front();
+  if (!chunk || chunk->size() > bytes) {
+    throw ReplayError("rank " + std::to_string(world_rank_) +
+                      ": recv payload size diverged from the recording");
+  }
+  try {
+    store(call.buffer, *chunk, "recv (replay)");
+  } catch (const FaultEvent& event) {
+    throw ReplayError(std::string("store failed during replay: ") +
+                      event.what());
+  }
+  ++replay_next_;
+}
 
 int Mpi::rank(Comm comm) const {
   const int r = world_->comm_rank_of(comm, world_rank_);
@@ -166,10 +301,7 @@ void Mpi::store(void* ptr, std::span<const std::byte> data, const char* what) {
 
 // --- point-to-point ---------------------------------------------------------
 
-void Mpi::dispatch_p2p(P2pCall& call, std::source_location loc) {
-  if (world_->poisoned()) {
-    throw WorldAborted("point-to-point interrupted by world teardown");
-  }
+void Mpi::fill_p2p_site(P2pCall& call, const std::source_location& loc) {
   call.site_file = loc.file_name();
   call.site_line = static_cast<int>(loc.line());
   {
@@ -180,6 +312,13 @@ void Mpi::dispatch_p2p(P2pCall& call, std::source_location loc) {
   }
   call.invocation = invocations_[call.site_id]++;
   call.rank = world_->comm_rank_of(call.comm, world_rank_);
+}
+
+void Mpi::dispatch_p2p(P2pCall& call, std::source_location loc) {
+  if (world_->poisoned()) {
+    throw WorldAborted("point-to-point interrupted by world teardown");
+  }
+  fill_p2p_site(call, loc);
   publish_op(to_string(call.kind), call.comm,
              static_cast<std::uint32_t>(call.invocation), -1);
   if (ToolHooks* tools = world_->tools()) {
@@ -197,6 +336,11 @@ void Mpi::send(const void* buf, std::int32_t count, Datatype dtype, int dest,
   call.peer = dest;
   call.tag = tag;
   call.comm = comm;
+  if (replay_active()) {
+    fill_p2p_site(call, loc);
+    replay_send(call);
+    return;
+  }
   dispatch_p2p(call, loc);
 
   if (call.count < 0) {
@@ -211,8 +355,17 @@ void Mpi::send(const void* buf, std::int32_t count, Datatype dtype, int dest,
   }
   const std::size_t bytes =
       static_cast<std::size_t>(call.count) * datatype_size(call.datatype);
-  send_internal(call.comm, call.peer, p2p_tag(call.comm, call.tag),
-                pack(call.buffer, bytes, "send"));
+  const std::uint64_t transport_tag = p2p_tag(call.comm, call.tag);
+  std::vector<std::byte> payload = pack(call.buffer, bytes, "send");
+  if (recorder_ != nullptr) {
+    const auto& members = world_->group_of(call.comm);
+    if (call.peer >= 0 && call.peer < static_cast<int>(members.size())) {
+      recorder_->record_send(world_rank_, call,
+                             members[static_cast<std::size_t>(call.peer)],
+                             transport_tag, payload);
+    }
+  }
+  send_internal(call.comm, call.peer, transport_tag, std::move(payload));
 }
 
 void Mpi::recv(void* buf, std::int32_t count, Datatype dtype, int source,
@@ -225,6 +378,11 @@ void Mpi::recv(void* buf, std::int32_t count, Datatype dtype, int source,
   call.peer = source;
   call.tag = tag;
   call.comm = comm;
+  if (replay_active()) {
+    fill_p2p_site(call, loc);
+    replay_recv(call);
+    return;
+  }
   dispatch_p2p(call, loc);
 
   if (call.count < 0) {
@@ -239,8 +397,9 @@ void Mpi::recv(void* buf, std::int32_t count, Datatype dtype, int source,
   }
   const std::size_t bytes =
       static_cast<std::size_t>(call.count) * datatype_size(call.datatype);
+  const std::uint64_t transport_tag = p2p_tag(call.comm, call.tag);
   std::vector<std::byte> payload =
-      recv_internal(call.comm, call.peer, p2p_tag(call.comm, call.tag));
+      recv_internal(call.comm, call.peer, transport_tag);
   if (payload.size() > bytes) {
     throw MpiError(MpiErrc::Truncate,
                    "message of " + std::to_string(payload.size()) +
@@ -248,6 +407,9 @@ void Mpi::recv(void* buf, std::int32_t count, Datatype dtype, int source,
                        "-byte receive");
   }
   store(call.buffer, payload, "recv");
+  if (recorder_ != nullptr) {
+    recorder_->record_recv(world_rank_, call, transport_tag, payload);
+  }
 }
 
 Mpi::Request Mpi::isend(const void* buf, std::int32_t count, Datatype dtype,
@@ -261,6 +423,16 @@ Mpi::Request Mpi::isend(const void* buf, std::int32_t count, Datatype dtype,
 Mpi::Request Mpi::irecv(void* buf, std::int32_t count, Datatype dtype,
                         int source, std::int32_t tag, Comm comm,
                         std::source_location loc) {
+  // Nonblocking receives decouple posting from matching, which the
+  // prefix recording does not model; recording runs fall back, replay
+  // runs cannot legally get here (their recording would have fallen
+  // back first, so this is a divergence).
+  if (replay_active()) {
+    throw ReplayError("irecv posted during prefix replay");
+  }
+  if (recorder_ != nullptr) {
+    recorder_->mark_unsupported("nonblocking receive (irecv)");
+  }
   // Interpose and validate at post time (the parameters as passed);
   // matching happens at wait().
   P2pCall call;
@@ -315,6 +487,18 @@ void Mpi::waitall(std::span<Request> requests) {
 // --- dispatch ----------------------------------------------------------------
 
 void Mpi::dispatch(CollectiveCall& call, std::source_location loc) {
+  if (replay_active()) {
+    // Site identification through the normal counters (so the rank
+    // arrives at the cut with live-identical state), then the recorded
+    // outputs instead of the algorithm — zero rendezvous.
+    call.site_file = loc.file_name();
+    call.site_line = static_cast<int>(loc.line());
+    call.site_id = site_hash(loc, call.kind);
+    call.invocation = invocations_[call.site_id]++;
+    call.rank = world_->comm_rank_of(call.comm, world_rank_);
+    replay_collective(call);
+    return;
+  }
   if (world_->poisoned()) {
     throw WorldAborted("collective interrupted by world teardown");
   }
@@ -350,6 +534,12 @@ void Mpi::dispatch(CollectiveCall& call, std::source_location loc) {
              is_rooted(call.kind) ? static_cast<int>(call.root) : -1);
 
   run_algorithm(call, seq);
+
+  if (recorder_ != nullptr) {
+    const auto spans = collect_write_spans(
+        call, static_cast<int>(world_->group_of(call.comm).size()));
+    recorder_->record_collective(world_rank_, call, spans);
+  }
 
   if (ToolHooks* tools = world_->tools()) {
     tools->on_exit(call, *this);
@@ -619,6 +809,12 @@ void Mpi::scan(const void* sendbuf, void* recvbuf, std::int32_t count,
 // --- communicator management ---------------------------------------------------
 
 Comm Mpi::comm_split(Comm parent, int color, int key) {
+  if (replay_active()) {
+    throw ReplayError("comm_split during prefix replay");
+  }
+  if (recorder_ != nullptr) {
+    recorder_->mark_unsupported("communicator construction (comm_split)");
+  }
   const int n = size(parent);
   const int me = rank(parent);
   const std::uint32_t split_id = split_seq_[raw(parent)]++;

@@ -33,6 +33,7 @@
 #include "minimpi/hooks.hpp"
 #include "minimpi/memory.hpp"
 #include "minimpi/op.hpp"
+#include "minimpi/snapshot.hpp"
 #include "minimpi/types.hpp"
 #include "minimpi/world.hpp"
 
@@ -285,7 +286,24 @@ class Mpi {
  private:
   void dispatch(CollectiveCall& call, std::source_location loc);
   void dispatch_p2p(P2pCall& call, std::source_location loc);
+  /// Site identification shared by the live and the replay p2p paths:
+  /// fills site_id/invocation/rank, advancing the invocation counter.
+  void fill_p2p_site(P2pCall& call, const std::source_location& loc);
   void run_algorithm(const CollectiveCall& call, std::uint32_t seq);
+
+  // --- snapshot replay (minimpi/snapshot.hpp) ----------------------------
+  // While replay_active(), API calls are served from the recording with
+  // zero rendezvous; the op at the cut (and everything after) runs live.
+  bool replay_active() const noexcept { return replay_next_ < replay_cut_; }
+  void replay_collective(CollectiveCall& call);
+  void replay_send(const P2pCall& call);
+  void replay_recv(const P2pCall& call);
+  /// Lock-free poison poll so a mid-replay rank notices teardown promptly.
+  void replay_poison_check() const;
+  /// The next recorded op, verified to be of `kind` at this site; any
+  /// mismatch is a divergence (ReplayError).
+  const RecordedOp& replay_expect(RecordedOp::Kind kind, std::uint32_t site_id,
+                                  std::uint64_t invocation, const char* what);
 
   // one implementation per collective family (coll_*.cpp)
   void run_barrier(const CollectiveCall& call, std::uint32_t seq);
@@ -321,6 +339,14 @@ class Mpi {
   std::map<std::uint32_t, std::uint64_t> invocations_;
   /// Per-parent-communicator split counters (comm_split determinism).
   std::map<RawHandle, std::uint32_t> split_seq_;
+  /// Recording hook (nullptr outside recording runs). Raw pointer: the
+  /// shared_ptr in the state's WorldOptions copy owns it, and that state
+  /// outlives every rank thread, quarantined ones included.
+  PrefixRecorder* recorder_ = nullptr;
+  /// This rank's recorded op stream and cut (replay runs only).
+  const std::vector<RecordedOp>* replay_ops_ = nullptr;
+  std::size_t replay_cut_ = 0;
+  std::size_t replay_next_ = 0;
 };
 
 }  // namespace fastfit::mpi

@@ -322,6 +322,24 @@ WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
   const int nranks = state->options_.nranks;
   state->deadline_ = std::chrono::steady_clock::now() + state->options_.watchdog;
 
+  if (const auto& replay = state->options_.replay) {
+    if (static_cast<int>(replay->cut.size()) != nranks) {
+      throw ConfigError("World::run: snapshot rank count mismatch");
+    }
+    // Messages in flight across the snapshot cut (sent in the prefix,
+    // received in the suffix) are seeded before any rank thread launches,
+    // so the suffix finds them already queued, exactly as at the cut.
+    for (const auto& pre : replay->preseed) {
+      Message message;
+      message.source = pre.source_comm;
+      message.tag = pre.transport_tag;
+      if (pre.payload) {
+        message.payload.assign(pre.payload->begin(), pre.payload->end());
+      }
+      state->mailbox(pre.dest_world).deliver(std::move(message));
+    }
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {

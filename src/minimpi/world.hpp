@@ -42,6 +42,7 @@
 #include "minimpi/mailbox.hpp"
 #include "minimpi/memory.hpp"
 #include "minimpi/progress.hpp"
+#include "minimpi/snapshot.hpp"
 #include "minimpi/types.hpp"
 #include "support/error.hpp"
 
@@ -80,6 +81,13 @@ struct WorldOptions {
   /// a deadlock structurally (all live ranks provably stuck) instead of
   /// waiting for the watchdog. Livelock still uses the timeout path.
   bool hang_detection = true;
+  /// When set, every rank logs its MPI ops and transport payloads here —
+  /// the campaign's one fault-free recording run (minimpi/snapshot.hpp).
+  std::shared_ptr<PrefixRecorder> recorder;
+  /// When set, each rank replays its recorded prefix with zero rendezvous
+  /// up to the snapshot's cut, then switches to live execution. In-flight
+  /// messages across the cut are pre-seeded before the threads launch.
+  std::shared_ptr<const WorldSnapshot> replay;
 };
 
 /// How a rank failed, for outcome classification (maps onto Table I).

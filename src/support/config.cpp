@@ -55,6 +55,10 @@ constexpr ConfigKnob kKnobs[] = {
      "run deterministic shard i of N (merge with 'fastfit merge')"},
     {"FASTFIT_PASSES", "passes", "LIST",
      "pruning chain, comma-separated (semantic,context[,ml])"},
+    {"FASTFIT_SNAPSHOTS", "snapshots", "on|off|auto",
+     "prefix-replay world snapshots (default auto)"},
+    {"FASTFIT_SNAPSHOT_CACHE_MB", "snapshot-cache-mb", "MB",
+     "LRU budget for the snapshot recording and cuts"},
     {"FASTFIT_TRACE", "trace-out", "FILE",
      "Chrome trace-event JSON of the trial lifecycle"},
     {"FASTFIT_METRICS", "metrics-out", "FILE",
@@ -126,6 +130,19 @@ InjectionConfig InjectionConfig::from_map(
     } else if (key == "FASTFIT_PASSES") {
       if (value.empty()) throw ConfigError("FASTFIT_PASSES: empty value");
       cfg.passes = value;
+    } else if (key == "FASTFIT_SNAPSHOTS") {
+      if (value != "on" && value != "off" && value != "auto") {
+        throw ConfigError(
+            "FASTFIT_SNAPSHOTS: must be one of on|off|auto, got '" + value +
+            "'");
+      }
+      cfg.snapshots = value;
+    } else if (key == "FASTFIT_SNAPSHOT_CACHE_MB") {
+      // 1 TiB ceiling: anything larger is a typo, not a budget.
+      cfg.snapshot_cache_mb = parse_u64(key, value, 1'048'576);
+      if (cfg.snapshot_cache_mb == 0) {
+        throw ConfigError("FASTFIT_SNAPSHOT_CACHE_MB: must be >= 1");
+      }
     } else {
       throw ConfigError("unknown configuration key: " + key);
     }
@@ -171,6 +188,10 @@ std::map<std::string, std::string> InjectionConfig::to_map() const {
   }
   if (!shard.empty()) kv["FASTFIT_SHARD"] = shard;
   if (!passes.empty()) kv["FASTFIT_PASSES"] = passes;
+  if (snapshots != "auto") kv["FASTFIT_SNAPSHOTS"] = snapshots;
+  if (snapshot_cache_mb != 256) {
+    kv["FASTFIT_SNAPSHOT_CACHE_MB"] = std::to_string(snapshot_cache_mb);
+  }
   return kv;
 }
 

@@ -85,6 +85,13 @@ struct InjectionConfig {
   /// "semantic,context" or "context,semantic,ml"; empty = the default
   /// chain. Validated by the pipeline's pass factory downstream.
   std::string passes;
+  /// Prefix-replay world snapshots (FASTFIT_SNAPSHOTS): "on", "off", or
+  /// "auto" (default). Kept as validated text here; the mode enum lives
+  /// in core/snapshot_cache.hpp.
+  std::string snapshots = "auto";
+  /// LRU budget in MiB for the snapshot recording plus derived cuts
+  /// (FASTFIT_SNAPSHOT_CACHE_MB); must be >= 1.
+  std::uint64_t snapshot_cache_mb = 256;
 
   /// True when any telemetry sink is requested (trace, metrics, or the
   /// live progress line) and the recorder must therefore be enabled.

@@ -1,0 +1,182 @@
+// Snapshot parity: the prefix-replay fast path must be invisible in the
+// results. Every assertion here compares --snapshots on/auto against the
+// from-scratch off path — per-point outcome counts, journal resume, the
+// parallel executor — plus the golden-run memo and its invalidation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/campaign.hpp"
+#include "support/error.hpp"
+
+namespace fastfit::core {
+namespace {
+
+CampaignOptions base_options(SnapshotMode mode) {
+  CampaignOptions opts;
+  opts.nranks = 8;
+  opts.trials_per_point = 3;
+  opts.seed = 4242;
+  opts.max_parallel_trials = 1;
+  opts.snapshots = mode;
+  return opts;
+}
+
+// Measures the first `npoints` enumerated points and returns the
+// results; `stats_out` receives the campaign's snapshot statistics.
+std::vector<PointResult> run_study(const apps::Workload& workload,
+                                   const CampaignOptions& opts,
+                                   std::size_t npoints,
+                                   SnapshotCache::Stats* stats_out = nullptr) {
+  Campaign campaign(workload, opts);
+  campaign.profile();
+  const auto& points = campaign.enumeration().points;
+  const auto n = std::min(npoints, points.size());
+  const auto results = campaign.measure_many(
+      std::span<const InjectionPoint>(points.data(), n), opts.trials_per_point);
+  if (stats_out != nullptr) *stats_out = campaign.snapshot_stats();
+  EXPECT_TRUE(campaign.health().clean());
+  return results;
+}
+
+void expect_same_counts(const std::vector<PointResult>& a,
+                        const std::vector<PointResult>& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].counts, b[i].counts) << label << " point " << i;
+    EXPECT_EQ(a[i].trials, b[i].trials) << label << " point " << i;
+    EXPECT_EQ(a[i].exec.quarantined, b[i].exec.quarantined)
+        << label << " point " << i;
+  }
+}
+
+TEST(SnapshotParity, ReplayMatchesFromScratchForEveryWorkload) {
+  for (const auto& name : apps::workload_names()) {
+    const auto workload = apps::make_workload(name);
+    const auto off =
+        run_study(*workload, base_options(SnapshotMode::Off), 2);
+    SnapshotCache::Stats stats;
+    const auto on =
+        run_study(*workload, base_options(SnapshotMode::On), 2, &stats);
+    expect_same_counts(off, on, name);
+    // The fast path must actually have engaged: one recording, one
+    // snapshot per distinct cut, trials served as clones.
+    EXPECT_EQ(stats.recording_builds, 1u) << name;
+    EXPECT_GT(stats.clones, 0u) << name;
+    EXPECT_EQ(stats.fallbacks, 0u) << name;
+  }
+}
+
+TEST(SnapshotParity, AutoModeMatchesAndReusesTheRecording) {
+  const auto workload = apps::make_workload("LU");
+  const auto off = run_study(*workload, base_options(SnapshotMode::Off), 4);
+  SnapshotCache::Stats stats;
+  const auto replayed =
+      run_study(*workload, base_options(SnapshotMode::Auto), 4, &stats);
+  expect_same_counts(off, replayed, "LU auto");
+  EXPECT_EQ(stats.recording_builds, 1u);  // shared across all 4 points
+  // 3 trials per point share each point's derived cut (>= because guard
+  // retries or watchdog confirmations may re-clone).
+  EXPECT_GE(stats.hits, stats.snapshot_builds);
+  EXPECT_GE(stats.clones, 4u * 3u);
+}
+
+TEST(SnapshotParity, ParallelExecutorMatchesSerialFromScratch) {
+  const auto workload = apps::make_workload("CG");
+  const auto serial_off =
+      run_study(*workload, base_options(SnapshotMode::Off), 3);
+  auto parallel = base_options(SnapshotMode::Auto);
+  parallel.max_parallel_trials = 4;
+  SnapshotCache::Stats stats;
+  const auto pooled = run_study(*workload, parallel, 3, &stats);
+  expect_same_counts(serial_off, pooled, "CG pool-4");
+  EXPECT_EQ(stats.fallbacks, 0u);
+}
+
+TEST(SnapshotParity, ResumeFromJournalStaysBitIdentical) {
+  const auto workload = apps::make_workload("LU");
+  const auto opts = base_options(SnapshotMode::Auto);
+  const auto expected =
+      run_study(*workload, base_options(SnapshotMode::Off), 4);
+
+  const std::string path =
+      ::testing::TempDir() + "fastfit_snapshot_parity_resume";
+  std::remove(path.c_str());
+  {
+    Campaign partial(*workload, opts);
+    partial.profile();
+    partial.attach_journal(path, JournalMode::Create);
+    const auto& points = partial.enumeration().points;
+    ASSERT_GE(points.size(), 4u);
+    partial.measure_many(
+        std::span<const InjectionPoint>(points.data(), 2), 3);
+    partial.detach_journal();
+  }
+
+  Campaign resumed(*workload, opts);
+  resumed.profile();
+  resumed.attach_journal(path, JournalMode::Resume);
+  const auto& points = resumed.enumeration().points;
+  const auto results = resumed.measure_many(
+      std::span<const InjectionPoint>(points.data(), 4), 3);
+  EXPECT_GT(resumed.health().replayed_trials, 0u);
+  expect_same_counts(expected, results, "LU resume");
+}
+
+TEST(SnapshotParity, GoldenRunIsMemoizedAcrossCampaigns) {
+  GoldenCache::instance().clear();
+  const auto workload = apps::make_workload("EP");
+  const auto opts = base_options(SnapshotMode::Off);
+
+  Campaign first(*workload, opts);
+  first.profile();
+  EXPECT_EQ(GoldenCache::instance().size(), 1u);
+  const auto digest = first.golden_digest();
+
+  // Same configuration: the second campaign's profile() serves the
+  // golden run from the memo (still exactly one entry) and agrees on
+  // the digest the whole classification hangs off.
+  Campaign second(*workload, opts);
+  second.profile();
+  EXPECT_EQ(GoldenCache::instance().size(), 1u);
+  EXPECT_EQ(second.golden_digest(), digest);
+
+  // A different seed is a different key — no false sharing.
+  auto other = opts;
+  other.seed = opts.seed + 1;
+  Campaign third(*workload, other);
+  third.profile();
+  EXPECT_EQ(GoldenCache::instance().size(), 2u);
+}
+
+TEST(SnapshotParity, GoldenCacheInvalidationForcesRemeasure) {
+  GoldenCache& cache = GoldenCache::instance();
+  cache.clear();
+  cache.put("k", {0xabcd, std::chrono::milliseconds(120)});
+  const auto hit = cache.find("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->digest, 0xabcdu);
+  EXPECT_EQ(hit->wall.count(), 120);
+  // The watchdog-recalibration hook: invalidate, then the next
+  // run_golden misses and re-measures.
+  cache.invalidate("k");
+  EXPECT_FALSE(cache.find("k").has_value());
+  cache.invalidate("k");  // idempotent
+  cache.clear();
+}
+
+TEST(SnapshotParity, CacheBudgetMustBePositive) {
+  const auto workload = apps::make_workload("LU");
+  auto opts = base_options(SnapshotMode::Auto);
+  opts.snapshot_cache_mb = 0;
+  EXPECT_THROW(Campaign c(*workload, opts), ConfigError);
+}
+
+}  // namespace
+}  // namespace fastfit::core

@@ -1,0 +1,315 @@
+// Prefix-replay world snapshots (minimpi/snapshot.hpp): chunk dedup,
+// record -> build -> replay fidelity, in-flight pre-seeding across the
+// cut, invalid cuts, and divergence detection.
+
+#include "minimpi/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "minimpi/memory.hpp"
+#include "minimpi/mpi.hpp"
+
+namespace fastfit::mpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+WorldOptions opts(int n) {
+  WorldOptions o;
+  o.nranks = n;
+  o.watchdog = 5000ms;
+  return o;
+}
+
+TEST(Snapshot, ChunkStoreDeduplicatesByContent) {
+  ChunkStore store;
+  const std::vector<std::byte> a(64, std::byte{0x5A});
+  std::vector<std::byte> b(64, std::byte{0x5A});
+  const auto first = store.intern(a.data(), a.size());
+  const auto second = store.intern(b.data(), b.size());
+  EXPECT_EQ(first.get(), second.get());  // same chunk, not just same bytes
+  EXPECT_EQ(store.unique_chunks(), 1u);
+  EXPECT_EQ(store.unique_bytes(), 64u);
+
+  b[13] = std::byte{0x00};
+  const auto third = store.intern(b.data(), b.size());
+  EXPECT_NE(third.get(), first.get());
+  EXPECT_EQ(store.unique_chunks(), 2u);
+  EXPECT_EQ(store.unique_bytes(), 128u);
+
+  // A prefix of an existing chunk is different content.
+  const auto fourth = store.intern(a.data(), 32);
+  EXPECT_NE(fourth.get(), first.get());
+  EXPECT_EQ(fourth->size(), 32u);
+}
+
+// Three iterations of bcast + allreduce, with per-rank results collected
+// outside the world so a live run and a replayed run can be compared
+// byte for byte.
+void iterative_kernel(Mpi& mpi, std::vector<double>& out, std::mutex& mu) {
+  RegisteredBuffer<double> buf(mpi.registry(), 8);
+  RegisteredBuffer<double> val(mpi.registry(), 1);
+  RegisteredBuffer<double> sum(mpi.registry(), 1);
+  double acc = 0.0;
+  for (int iter = 0; iter < 3; ++iter) {
+    if (mpi.rank() == 0) {
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = iter * 100.0 + static_cast<double>(i);
+      }
+    }
+    mpi.bcast(buf.data(), 8, kDouble, 0);
+    val[0] = buf[static_cast<std::size_t>(iter)] + mpi.rank();
+    mpi.allreduce(val.data(), sum.data(), 1, kDouble, kSum);
+    acc += sum[0] * (iter + 1);
+  }
+  std::lock_guard lock(mu);
+  out[static_cast<std::size_t>(mpi.world_rank())] = acc;
+}
+
+// Runs the iterative kernel in a fresh world with the given snapshot
+// hooks and returns the per-rank results.
+std::vector<double> run_iterative(int n,
+                                  std::shared_ptr<PrefixRecorder> recorder,
+                                  std::shared_ptr<const WorldSnapshot> replay) {
+  auto o = opts(n);
+  o.recorder = recorder;
+  o.replay = std::move(replay);
+  World world(o);
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  std::mutex mu;
+  const auto result =
+      world.run([&](Mpi& mpi) { iterative_kernel(mpi, out, mu); });
+  EXPECT_TRUE(result.clean());
+  return out;
+}
+
+// Pulls the (site_id, invocation) of the k-th allreduce from rank 0's
+// recorded op stream — the test's stand-in for the campaign's
+// enumeration.
+std::pair<std::uint32_t, std::uint64_t> nth_allreduce(
+    const WorldRecording& recording, std::size_t k) {
+  std::size_t seen = 0;
+  for (const auto& op : recording.ops[0]) {
+    if (op.kind == RecordedOp::Kind::Collective &&
+        op.coll == CollectiveKind::Allreduce) {
+      if (seen++ == k) return {op.site_id, op.invocation};
+    }
+  }
+  ADD_FAILURE() << "allreduce #" << k << " not recorded";
+  return {0, 0};
+}
+
+TEST(Snapshot, ReplayedPrefixReproducesTheLiveRun) {
+  const int n = 6;
+  const auto live = run_iterative(n, nullptr, nullptr);
+
+  auto recorder = std::make_shared<PrefixRecorder>(n);
+  const auto recorded = run_iterative(n, recorder, nullptr);
+  EXPECT_EQ(recorded, live);  // recording hooks must not perturb the run
+  const auto recording = recorder->finish();
+  ASSERT_TRUE(recording->replayable);
+  EXPECT_EQ(recording->nranks, n);
+  EXPECT_GT(recording->payload_bytes, 0u);
+  // 6 collectives per rank (3 bcast + 3 allreduce), no p2p.
+  EXPECT_EQ(recording->total_ops, static_cast<std::size_t>(n) * 6u);
+
+  // Cut at the *second* allreduce: a non-trivial prefix (bcast x2 +
+  // allreduce + bcast) on every rank, and a live suffix.
+  const auto [site, inv] = nth_allreduce(*recording, 1);
+  const auto snapshot = WorldSnapshot::build(recording, site, inv);
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_EQ(snapshot->cut.size(), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(snapshot->cut[static_cast<std::size_t>(r)], 3u) << "rank " << r;
+  }
+  EXPECT_TRUE(snapshot->preseed.empty());
+
+  const auto replayed = run_iterative(n, nullptr, snapshot);
+  EXPECT_EQ(replayed, live);
+
+  // The first collective is also a valid (empty-prefix) cut.
+  const auto [site0, inv0] = nth_allreduce(*recording, 0);
+  const auto first = WorldSnapshot::build(recording, site0, inv0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(run_iterative(n, nullptr, first), live);
+}
+
+TEST(Snapshot, MissingSiteOrInvocationIsNotACut) {
+  const int n = 4;
+  auto recorder = std::make_shared<PrefixRecorder>(n);
+  run_iterative(n, recorder, nullptr);
+  const auto recording = recorder->finish();
+  const auto [site, inv] = nth_allreduce(*recording, 0);
+  EXPECT_EQ(WorldSnapshot::build(recording, site ^ 0xdead, inv), nullptr);
+  EXPECT_EQ(WorldSnapshot::build(recording, site, inv + 100), nullptr);
+}
+
+TEST(Snapshot, InFlightMessageIsPreseededAcrossTheCut) {
+  // Rank 0 sends before the cut; rank 1 receives after it. The message
+  // is in flight across the cut, so the snapshot must pre-seed it and
+  // the replayed world's live suffix must receive it intact.
+  const int n = 2;
+  const int kTag = 7;
+  auto kernel = [&](Mpi& mpi, std::vector<double>& got, std::mutex& mu) {
+    RegisteredBuffer<double> msg(mpi.registry(), 4);
+    if (mpi.rank() == 0) {
+      for (std::size_t i = 0; i < msg.size(); ++i) {
+        msg[i] = 2.5 * static_cast<double>(i + 1);
+      }
+      mpi.send(msg.data(), 4, kDouble, 1, kTag);
+    }
+    mpi.barrier();
+    mpi.barrier();  // <- the cut collective
+    if (mpi.rank() == 1) {
+      mpi.recv(msg.data(), 4, kDouble, 0, kTag);
+      std::lock_guard lock(mu);
+      got.assign(msg.begin(), msg.end());
+    }
+  };
+
+  auto record_opts = opts(n);
+  auto recorder = std::make_shared<PrefixRecorder>(n);
+  record_opts.recorder = recorder;
+  World record_world(record_opts);
+  std::vector<double> live;
+  std::mutex mu;
+  ASSERT_TRUE(
+      record_world.run([&](Mpi& mpi) { kernel(mpi, live, mu); }).clean());
+  const auto recording = recorder->finish();
+  ASSERT_TRUE(recording->replayable);
+
+  // The second barrier on rank 0's stream: ops are send, barrier, barrier.
+  const auto& rank0 = recording->ops[0];
+  ASSERT_EQ(rank0.size(), 3u);
+  ASSERT_EQ(rank0[2].kind, RecordedOp::Kind::Collective);
+  const auto snapshot =
+      WorldSnapshot::build(recording, rank0[2].site_id, rank0[2].invocation);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->cut[0], 2u);  // prefix: send + barrier
+  EXPECT_EQ(snapshot->cut[1], 1u);  // prefix: barrier
+  ASSERT_EQ(snapshot->preseed.size(), 1u);
+  EXPECT_EQ(snapshot->preseed[0].dest_world, 1);
+  ASSERT_NE(snapshot->preseed[0].payload, nullptr);
+  EXPECT_EQ(snapshot->preseed[0].payload->size(), 4 * sizeof(double));
+
+  auto replay_opts = opts(n);
+  replay_opts.replay = snapshot;
+  World replay_world(replay_opts);
+  std::vector<double> replayed;
+  ASSERT_TRUE(
+      replay_world.run([&](Mpi& mpi) { kernel(mpi, replayed, mu); }).clean());
+  EXPECT_EQ(replayed, live);
+}
+
+TEST(Snapshot, PrefixReceiveOfASuffixSendInvalidatesTheCut) {
+  // Built synthetically: the live transport cannot execute this shape
+  // (it deadlocks), but a recording scanner must still reject it — a
+  // prefix receive whose matching send happens after the sender's cut
+  // would need a message that does not exist yet at the cut.
+  auto recording = std::make_shared<WorldRecording>();
+  recording->nranks = 2;
+  recording->ops.resize(2);
+  ChunkStore chunks;
+  const double payload = 41.5;
+  const auto chunk = chunks.intern(&payload, sizeof payload);
+
+  RecordedOp cut0;  // rank 0: the cut collective first, then the send
+  cut0.kind = RecordedOp::Kind::Collective;
+  cut0.coll = CollectiveKind::Barrier;
+  cut0.site_id = 11;
+  cut0.invocation = 1;
+  RecordedOp send;
+  send.kind = RecordedOp::Kind::Send;
+  send.self_comm = 0;
+  send.peer = 1;
+  send.peer_world = 1;
+  send.transport_tag = 42;
+  send.writes.push_back(chunk);
+  recording->ops[0] = {cut0, send};
+
+  RecordedOp recv;  // rank 1: the receive precedes its cut
+  recv.kind = RecordedOp::Kind::Recv;
+  recv.self_comm = 1;
+  recv.peer = 0;
+  recv.transport_tag = 42;
+  recv.writes.push_back(chunk);
+  RecordedOp cut1 = cut0;
+  recording->ops[1] = {recv, cut1};
+  recording->total_ops = 4;
+
+  EXPECT_EQ(WorldSnapshot::build(recording, 11, 1), nullptr);
+
+  // Control: send in the sender's prefix, receive in the receiver's
+  // suffix — the message is genuinely in flight at the cut, so the same
+  // log becomes replayable with the send pre-seeded.
+  recording->ops[0] = {send, cut0};
+  recording->ops[1] = {cut1, recv};
+  const auto valid = WorldSnapshot::build(recording, 11, 1);
+  ASSERT_NE(valid, nullptr);
+  EXPECT_EQ(valid->preseed.size(), 1u);
+}
+
+TEST(Snapshot, DivergenceRaisesReplayErrorNotAnOutcome) {
+  // Record with count 8, replay an application that calls bcast with
+  // count 4: the replayer must refuse (ReplayError escapes world.run),
+  // never silently serve the recorded bytes.
+  const int n = 3;
+  std::atomic<std::int32_t> count{8};
+  auto kernel = [&](Mpi& mpi) {
+    RegisteredBuffer<double> buf(mpi.registry(), 8);
+    if (mpi.rank() == 0) buf[0] = 6.25;
+    mpi.bcast(buf.data(), count.load(), kDouble, 0);
+    mpi.barrier();  // the cut
+    mpi.barrier();
+  };
+
+  auto record_opts = opts(n);
+  auto recorder = std::make_shared<PrefixRecorder>(n);
+  record_opts.recorder = recorder;
+  World record_world(record_opts);
+  ASSERT_TRUE(record_world.run(kernel).clean());
+  const auto recording = recorder->finish();
+  const auto& rank0 = recording->ops[0];
+  ASSERT_EQ(rank0.size(), 3u);
+  const auto snapshot =
+      WorldSnapshot::build(recording, rank0[1].site_id, rank0[1].invocation);
+  ASSERT_NE(snapshot, nullptr);
+
+  count.store(4);
+  auto replay_opts = opts(n);
+  replay_opts.replay = snapshot;
+  World replay_world(replay_opts);
+  EXPECT_THROW(replay_world.run(kernel), ReplayError);
+}
+
+TEST(Snapshot, NonblockingReceiveMarksRecordingUnsupported) {
+  const int n = 2;
+  auto o = opts(n);
+  auto recorder = std::make_shared<PrefixRecorder>(n);
+  o.recorder = recorder;
+  World world(o);
+  const auto result = world.run([](Mpi& mpi) {
+    RegisteredBuffer<double> buf(mpi.registry(), 2);
+    if (mpi.rank() == 0) {
+      buf[0] = 1.0;
+      mpi.send(buf.data(), 2, kDouble, 1, 3);
+    } else {
+      auto req = mpi.irecv(buf.data(), 2, kDouble, 0, 3);
+      mpi.wait(req);
+    }
+  });
+  ASSERT_TRUE(result.clean());
+  const auto recording = recorder->finish();
+  EXPECT_FALSE(recording->replayable);
+  EXPECT_NE(recording->unsupported_reason.find("irecv"), std::string::npos);
+  EXPECT_EQ(WorldSnapshot::build(recording, 1, 1), nullptr);
+}
+
+}  // namespace
+}  // namespace fastfit::mpi

@@ -323,6 +323,8 @@ TEST(Config, KnobTableIsCompleteAndConsistent) {
       {"FASTFIT_METRICS", "m.prom"},
       {"FASTFIT_PROGRESS", "1"},
       {"FASTFIT_METRICS_INTERVAL_MS", "100"},
+      {"FASTFIT_SNAPSHOTS", "auto"},
+      {"FASTFIT_SNAPSHOT_CACHE_MB", "64"},
   };
   std::set<std::string> envs;
   std::set<std::string> flags;
@@ -344,6 +346,24 @@ TEST(Config, KnobTableIsCompleteAndConsistent) {
   for (const auto& [env, value] : sample_values) {
     EXPECT_TRUE(envs.count(env)) << env << " accepted but not in the table";
   }
+}
+
+TEST(Config, SnapshotKnobsValidate) {
+  const auto cfg = InjectionConfig::from_map(
+      {{"FASTFIT_SNAPSHOTS", "off"}, {"FASTFIT_SNAPSHOT_CACHE_MB", "64"}});
+  EXPECT_EQ(cfg.snapshots, "off");
+  EXPECT_EQ(cfg.snapshot_cache_mb, 64u);
+  EXPECT_EQ(InjectionConfig{}.snapshots, "auto");
+  EXPECT_EQ(InjectionConfig{}.snapshot_cache_mb, 256u);
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_SNAPSHOTS", "maybe"}}),
+               ConfigError);
+  EXPECT_THROW(
+      InjectionConfig::from_map({{"FASTFIT_SNAPSHOT_CACHE_MB", "0"}}),
+      ConfigError);
+  // Non-default values round-trip through to_map; defaults are omitted.
+  EXPECT_TRUE(cfg.to_map().count("FASTFIT_SNAPSHOTS"));
+  EXPECT_TRUE(cfg.to_map().count("FASTFIT_SNAPSHOT_CACHE_MB"));
+  EXPECT_FALSE(InjectionConfig{}.to_map().count("FASTFIT_SNAPSHOTS"));
 }
 
 TEST(Config, ShardAndPassesAreStoredRaw) {

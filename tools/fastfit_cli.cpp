@@ -285,6 +285,18 @@ int cmd_study(const std::string& workload_name, const Args& args) {
     throw ConfigError("--resume requires --journal (or FASTFIT_JOURNAL)");
   }
 
+  // Prefix-replay snapshots: the mode knob and the LRU budget.
+  std::string snapshots = env.snapshots;
+  if (args.has("snapshots")) snapshots = args.get("snapshots", "auto");
+  options.campaign.snapshots = core::parse_snapshot_mode(snapshots);
+  options.campaign.snapshot_cache_mb = env.snapshot_cache_mb;
+  if (args.has("snapshot-cache-mb")) {
+    options.campaign.snapshot_cache_mb =
+        InjectionConfig::from_map({{"FASTFIT_SNAPSHOT_CACHE_MB",
+                                    args.get("snapshot-cache-mb", "256")}})
+            .snapshot_cache_mb;
+  }
+
   // Pipeline selection: the pruning chain and the deterministic shard.
   options.passes = resolve_passes(args, env);
   std::string shard = env.shard;
