@@ -1,11 +1,13 @@
 // Ablation: sensitivity of the conclusions to the fault model.
 //
 // The paper's model is a single random bit flip per trial. This bench
-// re-runs the Fig-10-style campaign on the LAMMPS stand-in under four
-// fault models (single bit, double bit, stuck-at-zero, random byte) and
-// compares the response distributions: the taxonomy shares should shift
-// in the expected directions (heavier corruption -> less SUCCESS) without
-// changing who-wins orderings.
+// re-runs the Fig-10-style campaign on the LAMMPS stand-in under the five
+// parameter-mutation models (single bit, double bit, stuck-at-zero,
+// random byte, stuck-at-one) and compares the response distributions: the
+// taxonomy shares should shift in the expected directions (heavier
+// corruption -> less SUCCESS) without changing who-wins orderings. The
+// message-level and fail-stop manifestations are not parameter mutators
+// and are exercised by the fail-stop campaign tests instead.
 
 #include <cstdio>
 
@@ -20,16 +22,17 @@ int main() {
       "Ablation — fault-model comparison",
       "Sec II fixes the fault model to one bit flip; how robust are the "
       "response distributions to that choice?",
-      "miniMD, buffer faults, all four fault models");
+      "miniMD, buffer faults, all five parameter-mutation models");
 
   std::vector<std::pair<std::string,
                         std::array<double, inject::kNumOutcomes>>>
       rows;
   for (std::size_t m = 0; m < inject::kNumFaultModels; ++m) {
     const auto model = static_cast<inject::FaultModel>(m);
+    if (!inject::is_parameter_model(model)) continue;
     const auto workload = apps::make_workload("miniMD");
     auto options = bench::bench_campaign_options();
-    options.fault_model = model;
+    options.fault_models = {inject::FaultModelSpec{model}};
     const auto driver = bench::profiled_driver(*workload, options);
     auto& campaign = driver->campaign();
     std::vector<core::PointResult> results;
@@ -43,9 +46,9 @@ int main() {
   std::printf("%s\n", core::render_outcome_table(rows).c_str());
   std::printf(
       "expected shape: single and double bit flips behave alike (double "
-      "slightly harsher); stuck-at-zero is mildest (half its faults are "
-      "no-ops on clear bits); random-byte is harshest. SUCCESS stays the "
-      "most common response under every model — the paper's conclusions do "
-      "not hinge on the single-bit choice\n");
+      "slightly harsher); the stuck-at pair is mildest (half their faults "
+      "are no-ops on bits already at the stuck value); random-byte is "
+      "harshest. SUCCESS stays the most common response under every model "
+      "— the paper's conclusions do not hinge on the single-bit choice\n");
   return 0;
 }

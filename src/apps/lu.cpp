@@ -176,4 +176,27 @@ std::uint64_t MiniLU::run_rank(AppContext& ctx) const {
   return digest;
 }
 
+std::uint64_t MiniLU::repair_rank(AppContext& ctx,
+                                  mpi::Comm survivors) const {
+  auto& mpi = ctx.mpi;
+  ctx.trace.set_phase(trace::ExecPhase::End);
+  trace::FunctionScope scope(ctx.trace, "ulfm_repair");
+  // Deterministic recovery protocol over the shrunk communicator: each
+  // survivor contributes a state checksum derived from (problem seed,
+  // world rank) and the group agrees on the reduced values. The digest is
+  // a pure function of (seed, survivor set) — what the REPAIRED outcome
+  // requires — and deliberately not a re-solve: the dimension under study
+  // is whether the survivors reach agreement after the shrink, not solver
+  // accuracy without the dead rank's subdomain.
+  RngStream rng(ctx.input_seed, "lu-repair",
+                static_cast<std::uint64_t>(mpi.world_rank()));
+  const double local = rng.uniform();
+  const double sum = mpi.allreduce_value(local, mpi::kSum, survivors);
+  const double peak = mpi.allreduce_value(local, mpi::kMax, survivors);
+  const double members = mpi.bcast_value(
+      static_cast<double>(mpi.size(survivors)), 0, survivors);
+  const double observables[] = {sum, peak, members, local};
+  return digest_doubles(observables, 8);
+}
+
 }  // namespace fastfit::apps

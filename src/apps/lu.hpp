@@ -35,6 +35,13 @@ class MiniLU final : public Workload {
   }
   std::uint64_t run_rank(AppContext& ctx) const override;
 
+  /// LU opts into ULFM-style shrink-and-continue: after a peer's
+  /// fail-stop death the survivors run a deterministic recovery protocol
+  /// over the shrunk communicator (see repair_rank).
+  bool can_repair() const override { return true; }
+  std::uint64_t repair_rank(AppContext& ctx,
+                            mpi::Comm survivors) const override;
+
  private:
   LuConfig config_;
 };

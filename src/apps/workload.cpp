@@ -78,8 +78,19 @@ JobResult run_job(const Workload& workload, const mpi::WorldOptions& options,
       return {trace.stack().id(), std::string(trace.stack().innermost())};
     });
     AppContext ctx{mpi, trace, seed};
-    (*digests)[static_cast<std::size_t>(mpi.world_rank())] =
-        workload.run_rank(ctx);
+    try {
+      (*digests)[static_cast<std::size_t>(mpi.world_rank())] =
+          workload.run_rank(ctx);
+    } catch (const RankRevoked&) {
+      // A peer fail-stopped under repair mode. Workloads that opt in
+      // shrink the communicator and resume; the rest let the revocation
+      // unwind (subordinate to the captured RankDead event).
+      if (!workload.can_repair()) throw;
+      const mpi::Comm survivors = mpi.shrink_and_continue();
+      (*digests)[static_cast<std::size_t>(mpi.world_rank())] =
+          workload.repair_rank(ctx, survivors);
+      mpi.mark_repaired();
+    }
   });
   result.digest = result.world.clean() ? combine_digests(*digests) : 0;
   return result;

@@ -51,6 +51,22 @@ class Workload {
   /// (name, params_key) must produce identical runs for identical world
   /// options. Default: empty (no parameters).
   virtual std::string params_key() const { return {}; }
+
+  /// Whether this workload can survive a fail-stop peer death when the
+  /// world runs in repair mode. Default no: a death then classifies as
+  /// RANK_DEAD even with --repair on.
+  virtual bool can_repair() const { return false; }
+
+  /// ULFM-style repair hook: runs on each survivor after a peer's death,
+  /// with `survivors` the shrunken communicator from shrink_and_continue.
+  /// Must be deterministic for a given (seed, survivor set). Returns the
+  /// rank's post-repair digest. Only called when can_repair() is true.
+  virtual std::uint64_t repair_rank(AppContext& ctx,
+                                    mpi::Comm survivors) const {
+    (void)ctx;
+    (void)survivors;
+    throw InternalError("repair_rank: workload declared no repair support");
+  }
 };
 
 /// Order-sensitive combination of per-rank digests into a job digest.

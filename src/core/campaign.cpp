@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
 #include <thread>
+#include <tuple>
 
 #include "core/pipeline.hpp"
 #include "core/trial_executor.hpp"
@@ -36,6 +38,38 @@ std::string execution_site() {
                      : "main thread";
 }
 
+/// Crosses the structurally-pruned point set with the campaign's fault
+/// models (spec-major, so shard partitions stay contiguous per model).
+/// The default single-spec configuration returns the input untouched —
+/// the pre-v2 point set, byte for byte. Manifestations that ignore the
+/// parameter axis (message faults, rank death) keep one point per
+/// (site, rank, invocation) instead of one per parameter: the parameter
+/// only says *which argument* to mutate, which those models never do.
+std::vector<InjectionPoint> cross_with_fault_models(
+    std::vector<InjectionPoint> points,
+    const std::vector<inject::FaultModelSpec>& specs) {
+  if (specs.size() == 1 && specs.front().is_default()) return points;
+  std::vector<InjectionPoint> crossed;
+  for (const auto& spec : specs) {
+    if (inject::is_parameter_model(spec.model)) {
+      for (const auto& point : points) {
+        crossed.push_back(point);
+        crossed.back().fault = spec;
+      }
+      continue;
+    }
+    std::set<std::tuple<std::uint32_t, int, std::uint64_t>> seen;
+    for (const auto& point : points) {
+      if (!seen.insert({point.site_id, point.rank, point.invocation}).second) {
+        continue;
+      }
+      crossed.push_back(point);
+      crossed.back().fault = spec;
+    }
+  }
+  return crossed;
+}
+
 }  // namespace
 
 Campaign::Campaign(const apps::Workload& workload, CampaignOptions options)
@@ -46,6 +80,17 @@ Campaign::Campaign(const apps::Workload& workload, CampaignOptions options)
   }
   if (options_.watchdog_escalation < 1) {
     throw ConfigError("Campaign: watchdog_escalation must be >= 1");
+  }
+  if (options_.fault_models.empty()) {
+    throw ConfigError("Campaign: fault_models must be non-empty");
+  }
+  for (std::size_t i = 0; i < options_.fault_models.size(); ++i) {
+    for (std::size_t j = i + 1; j < options_.fault_models.size(); ++j) {
+      if (options_.fault_models[i] == options_.fault_models[j]) {
+        throw ConfigError("Campaign: duplicate fault model '" +
+                          options_.fault_models[i].canonical() + "'");
+      }
+    }
   }
   if (options_.watchdog_storm_fraction <= 0.0 ||
       options_.watchdog_storm_fraction > 1.0) {
@@ -174,6 +219,17 @@ void Campaign::profile() {
   {
     tel::ScopedSpan span("enumerate-points");
     enumeration_ = enumerate_with_passes(*profiler_, options_.pruning_passes);
+    enumeration_.points = cross_with_fault_models(
+        std::move(enumeration_.points), options_.fault_models);
+    // A non-identity cross changes the measured point set: after_context
+    // is what sharding partitions and merge validates coverage against,
+    // so it must track the crossed size (monotonicity of the earlier
+    // stages is preserved by maxing them up). The default single-spec
+    // cross is the identity and leaves every stat byte-identical.
+    auto& stats = enumeration_.stats;
+    stats.after_context = enumeration_.points.size();
+    stats.after_semantic = std::max(stats.after_semantic, stats.after_context);
+    stats.total_points = std::max(stats.total_points, stats.after_semantic);
   }
   profiled_ = true;
 }
@@ -205,7 +261,7 @@ void Campaign::attach_journal(const std::string& path, JournalMode mode) {
   header.seed = options_.seed;
   header.nranks = options_.nranks;
   header.trials_per_point = options_.trials_per_point;
-  header.fault_model = to_string(options_.fault_model);
+  header.fault_model = inject::canonical_fault_models(options_.fault_models);
   header.algorithms = algorithms_id(options_.algorithms);
   header.golden_digest = golden_digest_;
   header.shard_index = options_.shard.index;
@@ -293,7 +349,12 @@ std::shared_ptr<const mpi::WorldRecording> Campaign::build_recording() {
 inject::TrialForensics Campaign::run_trial(
     const InjectionPoint& point, std::uint64_t trial,
     std::chrono::milliseconds watchdog) {
-  if (snapshot_cache_ && !snapshot_cache_->disabled()) {
+  // Snapshot fast path only for replayable specs: a fault that perturbs
+  // prefix-visible state (message delay/drop, probabilistic or windowed
+  // triggers that may fire inside the prefix) must execute from scratch —
+  // the recorded fault-free prefix would silently mask the perturbation.
+  if (inject::is_replayable(point.fault) && snapshot_cache_ &&
+      !snapshot_cache_->disabled()) {
     std::shared_ptr<const mpi::WorldSnapshot> snapshot;
     {
       tel::ScopedSpan clone_span("snapshot-clone");
@@ -327,7 +388,7 @@ inject::TrialForensics Campaign::execute_trial(
   spec.invocation = point.invocation;
   spec.param = point.param;
   spec.trial = trial;
-  spec.model = options_.fault_model;
+  spec.fault = point.fault;
 
   // Heap-owned tool and contexts, handed to the world as keepalives: a
   // rank thread that has to be quarantined must never dangle into this
@@ -339,6 +400,7 @@ inject::TrialForensics Campaign::execute_trial(
   opts.watchdog = watchdog;
   opts.algorithms = options_.algorithms;
   opts.hang_detection = options_.deterministic_hang_detection;
+  opts.repair = options_.repair;
   opts.replay = snapshot;
   auto contexts = std::make_shared<trace::ContextRegistry>(options_.nranks);
   auto& rec = tel::Recorder::instance();
@@ -487,11 +549,11 @@ std::vector<PointResult> Campaign::measure_impl(
   TrialScheduler scheduler(*this, scheduler_config);
 
   ResultAccumulator accumulator(points);
-  TelemetrySink telemetry_sink;
+  TelemetrySink telemetry_sink(options_.extended_outcomes());
   std::optional<JournalSink> journal_sink;
   std::vector<OutcomeSink*> sinks{&accumulator, &telemetry_sink};
   if (journal_) {
-    journal_sink.emplace(*journal_);
+    journal_sink.emplace(*journal_, points);
     sinks.push_back(&*journal_sink);
   }
   const auto batch = scheduler.run(points, trials, journal_.get(), sinks);

@@ -47,9 +47,29 @@ struct CampaignOptions {
   /// Watchdog for injected runs; if unset, calibrated from the golden run
   /// (a multiple of the fault-free wall time).
   std::optional<std::chrono::milliseconds> watchdog;
-  /// Fault manifestation; the paper's model is the single bit flip, the
-  /// alternatives exist for the fault-model ablation.
-  inject::FaultModel fault_model = inject::FaultModel::SingleBitFlip;
+  /// Fault models (manifestation x trigger) the campaign injects
+  /// (--fault-models, FASTFIT_FAULT_MODELS). profile() crosses the
+  /// enumerated points with every spec; the default single entry — the
+  /// paper's exact-point single bit flip — reproduces the pre-v2 point
+  /// set and outcomes byte for byte. Must be non-empty and
+  /// duplicate-free (parse_fault_models enforces both).
+  std::vector<inject::FaultModelSpec> fault_models = {
+      inject::FaultModelSpec{}};
+  /// ULFM-style shrink-and-continue repair (--repair, FASTFIT_REPAIR):
+  /// injected worlds run with WorldOptions::repair set, so a fail-stop
+  /// rank death revokes the communicator instead of poisoning the world
+  /// and repair-capable workloads resume on the survivors (outcome
+  /// REPAIRED instead of RANK_DEAD).
+  bool repair = false;
+  /// True when this configuration opted into the extended fault-model
+  /// library (any non-default spec, or repair mode) and serialized
+  /// surfaces must carry the RANK_DEAD / REPAIRED outcome columns. The
+  /// default configuration keeps the paper's six-way taxonomy so its
+  /// output is byte-identical to pre-v2 builds.
+  bool extended_outcomes() const noexcept {
+    return repair || fault_models.size() != 1 ||
+           !fault_models.front().is_default();
+  }
   /// Collective algorithm selection for every run of this campaign.
   mpi::CollectiveAlgorithms algorithms;
   /// Upper bound on concurrently executing trials in measure_many. 0 means

@@ -54,11 +54,15 @@ void json_point(std::ostringstream& out, const InjectionPoint& p) {
 
 }  // namespace
 
-std::string to_csv(const std::vector<PointResult>& results) {
+std::string to_csv(const std::vector<PointResult>& results,
+                   bool extended_outcomes) {
+  const std::size_t n_outcomes = inject::active_outcomes(extended_outcomes);
   std::ostringstream out;
   out << "site,kind,param,rank,invocation,phase,errhal,n_inv,stack_depth,"
          "n_diff_stack,trials";
-  for (const auto& name : inject::outcome_names()) out << ',' << name;
+  for (std::size_t o = 0; o < n_outcomes; ++o) {
+    out << ',' << inject::outcome_names()[o];
+  }
   out << ",error_rate,retries,quarantined\n";
   for (const auto& r : results) {
     const auto& p = r.point;
@@ -67,7 +71,7 @@ std::string to_csv(const std::vector<PointResult>& results) {
         << trace::to_string(p.phase) << ',' << (p.errhal ? 1 : 0) << ','
         << p.n_inv << ',' << p.stack_depth << ',' << p.n_diff_stack << ','
         << r.trials;
-    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+    for (std::size_t o = 0; o < n_outcomes; ++o) {
       out << ',' << r.counts[o];
     }
     out << ',' << r.error_rate() << ',' << r.exec.retries << ','
@@ -94,7 +98,8 @@ std::string to_json(const FastFitResult& result) {
     out << "    {\"point\": ";
     json_point(out, r.point);
     out << ", \"trials\": " << r.trials << ", \"counts\": {";
-    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+    for (std::size_t o = 0; o < inject::active_outcomes(result.extended_outcomes);
+         ++o) {
       if (o) out << ", ";
       out << '"' << inject::outcome_names()[o] << "\": " << r.counts[o];
     }
@@ -255,6 +260,9 @@ struct ParsedFragment {
   PruningStats stats;
   std::uint64_t golden_digest = 0;
   CampaignHealth health;
+  /// Outcome columns per point line: the six-way base set unless the
+  /// fragment declares the extended set with an "outcomes" line.
+  std::size_t n_outcomes = inject::kNumBaseOutcomes;
   std::vector<std::pair<std::size_t, PointResult>> points;  // by ordinal
 };
 
@@ -284,6 +292,14 @@ ParsedFragment parse_fragment(const std::string& text) {
       out.shard.index = index;
       out.shard.count = count;
       saw_shard = true;
+    } else if (tag == "outcomes") {
+      std::size_t n = 0;
+      fields >> n;
+      if (!fields || n <= inject::kNumBaseOutcomes ||
+          n > inject::kNumOutcomes) {
+        throw ConfigError("fragment: bad outcomes line: " + line);
+      }
+      out.n_outcomes = n;
     } else if (tag == "stats") {
       fields >> out.stats.total_points >> out.stats.after_semantic >>
           out.stats.after_context >> out.stats.equivalence_classes >>
@@ -310,7 +326,7 @@ ParsedFragment parse_fragment(const std::string& text) {
       fields >> ordinal >> p.site_id >> kind >> p.rank >> p.invocation >>
           param >> p.stack >> phase >> errhal >> p.n_inv >> p.stack_depth >>
           p.n_diff_stack >> r.trials;
-      for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+      for (std::size_t o = 0; o < out.n_outcomes; ++o) {
         fields >> r.counts[o];
       }
       fields >> r.exec.retries >> quarantined >> p.site_location;
@@ -366,6 +382,12 @@ std::string to_shard_fragment(const StudyResult& result) {
   std::ostringstream out;
   out << kFragmentHeader << '\n';
   out << "shard " << result.shard.index << ' ' << result.shard.count << '\n';
+  // Emitted only for extended-outcome studies so default-configuration
+  // fragments stay byte-identical to pre-v2 ones (which the parser reads
+  // as the six-outcome base set).
+  if (result.extended_outcomes) {
+    out << "outcomes " << inject::kNumOutcomes << '\n';
+  }
   const auto& s = result.stats;
   out << "stats " << s.total_points << ' ' << s.after_semantic << ' '
       << s.after_context << ' ' << s.equivalence_classes << ' ' << s.nranks
@@ -387,7 +409,8 @@ std::string to_shard_fragment(const StudyResult& result) {
         << static_cast<int>(p.phase) << ' ' << (p.errhal ? 1 : 0) << ' '
         << p.n_inv << ' ' << exact_double(p.stack_depth) << ' '
         << p.n_diff_stack << ' ' << r.trials;
-    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+    for (std::size_t o = 0;
+         o < inject::active_outcomes(result.extended_outcomes); ++o) {
       out << ' ' << r.counts[o];
     }
     out << ' ' << r.exec.retries << ' ' << (r.exec.quarantined ? 1 : 0) << ' '
@@ -417,6 +440,8 @@ StudyResult merge_fragments(const std::vector<std::string>& fragments) {
     if (first) {
       merged.stats = fragment.stats;
       merged.golden_digest = fragment.golden_digest;
+      merged.extended_outcomes =
+          fragment.n_outcomes > inject::kNumBaseOutcomes;
       shard_seen.assign(fragment.shard.count, 0);
       first = false;
     } else {
@@ -434,6 +459,12 @@ StudyResult merge_fragments(const std::vector<std::string>& fragments) {
         throw ConfigError(
             "merge: fragments disagree on the golden digest — different "
             "campaign (seed, workload, or problem size)");
+      }
+      if ((fragment.n_outcomes > inject::kNumBaseOutcomes) !=
+          merged.extended_outcomes) {
+        throw ConfigError(
+            "merge: fragments disagree on the outcome set — mixed "
+            "default and extended fault-model configurations");
       }
     }
     if (fragments.size() != shard_seen.size()) {

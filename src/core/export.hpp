@@ -14,7 +14,10 @@ namespace fastfit::core {
 
 /// One row per measured injection point: identification, features, trial
 /// counts per outcome, and the error rate. RFC-4180-style quoting.
-std::string to_csv(const std::vector<PointResult>& results);
+/// `extended_outcomes` selects whether the RANK_DEAD / REPAIRED columns
+/// appear (StudyResult::extended_outcomes).
+std::string to_csv(const std::vector<PointResult>& results,
+                   bool extended_outcomes = false);
 
 /// The full study as a JSON document: options-independent content only
 /// (stats, measured points, predicted labels, accuracy).

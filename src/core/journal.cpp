@@ -195,9 +195,15 @@ int open_for_append(const std::string& path) {
 }  // namespace
 
 std::string point_key(const InjectionPoint& point) {
-  return std::to_string(point.site_id) + ':' + std::to_string(point.rank) +
-         ':' + std::to_string(point.invocation) + ':' +
-         std::to_string(static_cast<int>(point.param));
+  std::string key = std::to_string(point.site_id) + ':' +
+                    std::to_string(point.rank) + ':' +
+                    std::to_string(point.invocation) + ':' +
+                    std::to_string(static_cast<int>(point.param));
+  // The fault-model axis joins the key only for non-default specs, so
+  // pre-v2 journals (implicitly exact-point single-bit-flip throughout)
+  // keep resuming byte for byte.
+  if (!point.fault.is_default()) key += ':' + point.fault.canonical();
+  return key;
 }
 
 TrialJournal::TrialJournal(std::string path, int fd)
@@ -343,7 +349,8 @@ std::optional<inject::Outcome> TrialJournal::lookup(
 
 void TrialJournal::record_trial(const std::string& key, std::uint64_t trial,
                                 inject::Outcome outcome, bool deterministic,
-                                const std::string& autopsy) {
+                                const std::string& autopsy,
+                                const std::string& model) {
   std::lock_guard lock(mutex_);
   auto& slots = trials_[key];
   if (trial >= slots.size()) slots.resize(trial + 1, -1);
@@ -352,11 +359,13 @@ void TrialJournal::record_trial(const std::string& key, std::uint64_t trial,
   std::ostringstream line;
   line << "{\"t\":\"trial\",\"p\":\"" << json_escape(key) << "\",\"i\":"
        << trial << ",\"o\":" << static_cast<int>(outcome);
-  // Forensic fields ("d", "a"): audit-trail only. Replay reads just
+  // Forensic fields ("d", "a", "m"): audit-trail only. Replay reads just
   // (p, i, o), and parse_flat_object tolerates unknown keys, so older
-  // and newer journals interleave freely.
+  // and newer journals interleave freely. "m" names the fault model the
+  // trial ran under (canonical spec string).
   if (deterministic) line << ",\"d\":1";
   if (!autopsy.empty()) line << ",\"a\":\"" << json_escape(autopsy) << '"';
+  if (!model.empty()) line << ",\"m\":\"" << json_escape(model) << '"';
   line << '}';
   append_line(line.str());
 }

@@ -91,12 +91,14 @@ class TrialJournal {
   /// Appends one completed trial. Idempotent: re-recording a journaled
   /// (key, trial) is a no-op (outcomes are deterministic). Non-SUCCESS
   /// trials may carry forensics: `deterministic` marks a monitor-proven
-  /// deadlock ("d":1) and `autopsy` the one-line world autopsy ("a").
-  /// Both are extra record fields older readers ignore; replay keys only
-  /// on (point, trial, outcome), so reports stay bit-identical.
+  /// deadlock ("d":1) and `autopsy` the one-line world autopsy ("a");
+  /// `model` (the canonical fault-model spec, "m") names what was
+  /// injected. All are extra record fields older readers ignore; replay
+  /// keys only on (point, trial, outcome), so reports stay bit-identical.
   void record_trial(const std::string& key, std::uint64_t trial,
                     inject::Outcome outcome, bool deterministic = false,
-                    const std::string& autopsy = {});
+                    const std::string& autopsy = {},
+                    const std::string& model = {});
 
   /// Appends a quarantine record for an abandoned point.
   void record_quarantine(const std::string& key, std::uint32_t retries,

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "profile/queries.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace fastfit::core {
@@ -99,7 +100,14 @@ P2pPointResult measure_p2p(Campaign& campaign, const P2pInjectionPoint& point,
     spec.rank = point.rank;
     spec.invocation = point.invocation;
     spec.param = point.param;
-    spec.model = campaign.options().fault_model;
+    // P2P studies take the manifestation of the campaign's *first* fault
+    // model; the p2p injector has no trigger/message/death machinery.
+    const auto& fault = campaign.options().fault_models.front();
+    if (!inject::is_parameter_model(fault.model)) {
+      throw ConfigError("measure_p2p: fault model '" + fault.canonical() +
+                        "' has no p2p parameter manifestation");
+    }
+    spec.model = fault.model;
     spec.trial = t;  // P2pFaultSpec::stream_index mixes in the coordinates
 
     inject::P2pInjector injector(spec, campaign.options().seed);

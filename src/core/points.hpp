@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "inject/fault_model.hpp"
 #include "inject/outcome.hpp"
 #include "minimpi/hooks.hpp"
 #include "minimpi/types.hpp"
@@ -32,6 +33,9 @@ struct InjectionPoint {
   int rank = 0;                  ///< representative world rank
   std::uint64_t invocation = 0;  ///< representative invocation ordinal
   mpi::Param param{};
+  /// Fault model x trigger this point runs under (campaign fault-model
+  /// axis; the default is the paper's exact-point single bit flip).
+  inject::FaultModelSpec fault{};
 
   // Application features (paper Sec III-C).
   trace::StackId stack = 0;

@@ -118,14 +118,20 @@ std::vector<std::pair<std::string, double>> feature_correlations(
 std::string render_outcome_table(
     const std::vector<std::pair<std::string,
                                 std::array<double, inject::kNumOutcomes>>>&
-        rows) {
+        rows,
+    bool extended_outcomes) {
+  const std::size_t n_outcomes = inject::active_outcomes(extended_outcomes);
   std::ostringstream out;
   out << pad("", 24);
-  for (const auto& name : inject::outcome_names()) out << pad(name, 14);
+  for (std::size_t o = 0; o < n_outcomes; ++o) {
+    out << pad(inject::outcome_names()[o], 14);
+  }
   out << '\n';
   for (const auto& [label, dist] : rows) {
     out << pad(label, 24);
-    for (double v : dist) out << pad(percent(v, 1), 14);
+    for (std::size_t o = 0; o < n_outcomes; ++o) {
+      out << pad(percent(dist[o], 1), 14);
+    }
     out << '\n';
   }
   return out.str();

@@ -46,11 +46,13 @@ std::vector<std::pair<std::string, double>> feature_correlations(
     const std::vector<double>& thresholds);
 
 /// Plain-text stacked-bar rendering of outcome distributions: one row per
-/// label (benchmark, collective, or parameter).
+/// label (benchmark, collective, or parameter). `extended_outcomes` adds
+/// the RANK_DEAD / REPAIRED columns (StudyResult::extended_outcomes).
 std::string render_outcome_table(
     const std::vector<std::pair<std::string,
                                 std::array<double, inject::kNumOutcomes>>>&
-        rows);
+        rows,
+    bool extended_outcomes = false);
 
 /// Plain-text rendering of level distributions.
 std::string render_level_table(

@@ -52,8 +52,11 @@ void JournalSink::on_trial(const TrialRecord& record) {
   // Replayed trials are already durable; re-recording is a no-op anyway
   // (the journal is idempotent), so skip the append entirely.
   if (record.replayed) return;
+  const auto& fault = points_[record.point_index].fault;
   journal_->record_trial(record.key, record.trial, record.outcome,
-                         record.deterministic, record.autopsy);
+                         record.deterministic, record.autopsy,
+                         fault.is_default() ? std::string{}
+                                            : fault.canonical());
 }
 
 void JournalSink::on_point(const PointStatus& status) {
@@ -67,20 +70,24 @@ void TelemetrySink::on_trial(const TrialRecord& record) {
   auto& rec = tel::Recorder::instance();
   if (!rec.enabled()) return;
   // Outcome counters increment for replayed *and* fresh trials, so a
-  // journal-resumed campaign reports identical totals.
+  // journal-resumed campaign reports identical totals. Registration is
+  // per-slot idempotent rather than once-for-all: a default campaign
+  // registers only the six base outcomes (pre-v2 metrics snapshot,
+  // byte-identical) and a later extended campaign in the same process
+  // fills in the remaining slots. on_trial runs on the scheduler's
+  // aggregation thread only, so the unguarded slot check is safe.
   static std::array<tel::Counter*, inject::kNumOutcomes> counters{};
-  static std::once_flag once;
-  std::call_once(once, [&rec] {
-    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
-      const std::string labels =
-          "outcome=\"" +
-          std::string(inject::to_string(static_cast<inject::Outcome>(o))) +
-          '"';
-      counters[o] = &rec.counter(
-          "fastfit_trials_total",
-          "Trial outcomes recorded (incl. journal replays)", labels);
-    }
-  });
+  const std::size_t active = inject::active_outcomes(extended_outcomes_);
+  for (std::size_t o = 0; o < active; ++o) {
+    if (counters[o]) continue;
+    const std::string labels =
+        "outcome=\"" +
+        std::string(inject::to_string(static_cast<inject::Outcome>(o))) +
+        '"';
+    counters[o] = &rec.counter(
+        "fastfit_trials_total",
+        "Trial outcomes recorded (incl. journal replays)", labels);
+  }
   counters[static_cast<std::size_t>(record.outcome)]->add();
   if (record.replayed) {
     static auto& replays = rec.counter("fastfit_trials_replayed_total",

@@ -116,13 +116,19 @@ class ResultAccumulator final : public OutcomeSink {
 /// durable.
 class JournalSink final : public OutcomeSink {
  public:
-  explicit JournalSink(TrialJournal& journal) : journal_(&journal) {}
+  /// `points` is the batch's point span (outlives the sink): the sink
+  /// resolves record.point_index to the point's fault-model spec so
+  /// every appended trial names what was injected ("m" field; omitted
+  /// for the default spec to keep pre-v2 journals byte-identical).
+  JournalSink(TrialJournal& journal, std::span<const InjectionPoint> points)
+      : journal_(&journal), points_(points) {}
   void on_trial(const TrialRecord& record) override;
   void on_point(const PointStatus& status) override;
   void on_batch_end() override;
 
  private:
   TrialJournal* journal_;
+  std::span<const InjectionPoint> points_;
 };
 
 /// Campaign metrics: per-outcome trial counters (replays included, so a
@@ -130,8 +136,17 @@ class JournalSink final : public OutcomeSink {
 /// counters. No-op while the telemetry recorder is disabled.
 class TelemetrySink final : public OutcomeSink {
  public:
+  /// `extended_outcomes` widens the registered counter set with
+  /// RANK_DEAD / REPAIRED (CampaignOptions::extended_outcomes); default
+  /// campaigns register only the paper's six, so their metrics snapshot
+  /// stays byte-identical to pre-v2 output.
+  explicit TelemetrySink(bool extended_outcomes = false)
+      : extended_outcomes_(extended_outcomes) {}
   void on_trial(const TrialRecord& record) override;
   void on_point(const PointStatus& status) override;
+
+ private:
+  bool extended_outcomes_;
 };
 
 /// What the scheduler's resilience machinery did during one batch; the

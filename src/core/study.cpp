@@ -89,6 +89,7 @@ StudyResult StudyDriver::run() {
   StudyResult result;
   result.stats = campaign_.stats();
   result.shard = options_.campaign.shard;
+  result.extended_outcomes = options_.campaign.extended_outcomes();
   result.golden_digest = campaign_.golden_digest();
   const auto& points = campaign_.enumeration().points;
 

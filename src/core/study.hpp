@@ -66,6 +66,10 @@ struct StudyResult {
   /// What the resilience machinery had to do (see CampaignHealth); the
   /// CLI maps health.clean() to its exit code.
   CampaignHealth health;
+  /// Whether serialized surfaces (report JSON/CSV, fragments, merged
+  /// metrics) carry the extended RANK_DEAD / REPAIRED outcome columns;
+  /// see CampaignOptions::extended_outcomes.
+  bool extended_outcomes = false;
   /// Which shard of the study this result covers (1/1 = all of it).
   ShardSpec shard;
   /// Golden digest of the campaign that produced this result. Pins

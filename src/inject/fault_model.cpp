@@ -1,5 +1,8 @@
 #include "inject/fault_model.hpp"
 
+#include <charconv>
+#include <sstream>
+
 #include "support/bitops.hpp"
 #include "support/error.hpp"
 
@@ -11,8 +14,138 @@ const char* to_string(FaultModel model) noexcept {
     case FaultModel::DoubleBitFlip: return "double-bit-flip";
     case FaultModel::StuckAtZero: return "stuck-at-zero";
     case FaultModel::RandomByte: return "random-byte";
+    case FaultModel::StuckAtOne: return "stuck-at-one";
+    case FaultModel::MessageCorrupt: return "message-corrupt";
+    case FaultModel::MessageDelay: return "message-delay";
+    case FaultModel::MessageDrop: return "message-drop";
+    case FaultModel::RankDeath: return "rank-death";
   }
   return "unknown";
+}
+
+const char* to_string(FaultTrigger trigger) noexcept {
+  switch (trigger) {
+    case FaultTrigger::ExactPoint: return "exact";
+    case FaultTrigger::Probabilistic: return "prob";
+    case FaultTrigger::NthCall: return "nth";
+    case FaultTrigger::UniformOverRun: return "uniform";
+  }
+  return "unknown";
+}
+
+std::string FaultModelSpec::canonical() const {
+  std::ostringstream out;
+  out << to_string(model);
+  switch (trigger) {
+    case FaultTrigger::ExactPoint:
+      break;
+    case FaultTrigger::Probabilistic:
+      out << "@prob=" << probability;
+      break;
+    case FaultTrigger::NthCall:
+      out << "@nth=" << window;
+      break;
+    case FaultTrigger::UniformOverRun:
+      out << "@uniform=" << window;
+      break;
+  }
+  return out.str();
+}
+
+namespace {
+
+FaultModel parse_model_name(const std::string& name) {
+  for (std::size_t m = 0; m < kNumFaultModels; ++m) {
+    const auto model = static_cast<FaultModel>(m);
+    if (name == to_string(model)) return model;
+  }
+  throw ConfigError("unknown fault model '" + name + "'");
+}
+
+std::uint64_t parse_trigger_u64(const std::string& text,
+                                const std::string& spec) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || value == 0) {
+    throw ConfigError("fault model '" + spec +
+                      "': trigger parameter must be a positive integer");
+  }
+  return value;
+}
+
+}  // namespace
+
+FaultModelSpec FaultModelSpec::parse(const std::string& text) {
+  FaultModelSpec spec;
+  const auto at = text.find('@');
+  spec.model = parse_model_name(text.substr(0, at));
+  if (at == std::string::npos) return spec;
+
+  const std::string trig = text.substr(at + 1);
+  const auto eq = trig.find('=');
+  const std::string name = trig.substr(0, eq);
+  const std::string param =
+      eq == std::string::npos ? std::string{} : trig.substr(eq + 1);
+
+  if (name == "exact") {
+    if (!param.empty())
+      throw ConfigError("fault model '" + text + "': exact takes no parameter");
+    spec.trigger = FaultTrigger::ExactPoint;
+  } else if (name == "prob") {
+    spec.trigger = FaultTrigger::Probabilistic;
+    try {
+      std::size_t used = 0;
+      spec.probability = std::stod(param, &used);
+      if (used != param.size()) throw std::invalid_argument(param);
+    } catch (const std::exception&) {
+      throw ConfigError("fault model '" + text +
+                        "': prob needs a numeric probability");
+    }
+    if (!(spec.probability > 0.0) || spec.probability > 1.0) {
+      throw ConfigError("fault model '" + text +
+                        "': probability must be in (0, 1]");
+    }
+  } else if (name == "nth") {
+    spec.trigger = FaultTrigger::NthCall;
+    spec.window = parse_trigger_u64(param, text);
+  } else if (name == "uniform") {
+    spec.trigger = FaultTrigger::UniformOverRun;
+    spec.window = parse_trigger_u64(param, text);
+  } else {
+    throw ConfigError("fault model '" + text + "': unknown trigger '" + name +
+                      "' (expected exact, prob, nth, or uniform)");
+  }
+  return spec;
+}
+
+std::vector<FaultModelSpec> parse_fault_models(const std::string& list) {
+  std::vector<FaultModelSpec> specs;
+  std::string entry;
+  std::istringstream in(list);
+  while (std::getline(in, entry, ',')) {
+    const auto first = entry.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto last = entry.find_last_not_of(" \t");
+    const auto spec = FaultModelSpec::parse(entry.substr(first, last - first + 1));
+    for (const auto& seen : specs) {
+      if (seen == spec) {
+        throw ConfigError("duplicate fault model '" + spec.canonical() + "'");
+      }
+    }
+    specs.push_back(spec);
+  }
+  if (specs.empty()) specs.push_back(FaultModelSpec{});
+  return specs;
+}
+
+std::string canonical_fault_models(const std::vector<FaultModelSpec>& specs) {
+  std::string joined;
+  for (const auto& spec : specs) {
+    if (!joined.empty()) joined += ',';
+    joined += spec.canonical();
+  }
+  return joined;
 }
 
 bool mutate_bytes(std::span<std::byte> bytes, FaultModel model,
@@ -50,6 +183,21 @@ bool mutate_bytes(std::span<std::byte> bytes, FaultModel model,
       bytes[index] = fresh;
       return changed;
     }
+    case FaultModel::StuckAtOne: {
+      const std::size_t bit = rng.index(nbits);
+      auto& target = bytes[bit / 8];
+      const auto mask = static_cast<std::byte>(1u << (bit % 8));
+      const bool was_clear = (target & mask) == std::byte{0};
+      target |= mask;
+      return was_clear;
+    }
+    case FaultModel::MessageCorrupt:
+    case FaultModel::MessageDelay:
+    case FaultModel::MessageDrop:
+    case FaultModel::RankDeath:
+      throw InternalError(
+          std::string("mutate_bytes: ") + to_string(model) +
+          " has no byte-range manifestation");
   }
   throw InternalError("mutate_bytes: unknown fault model");
 }

@@ -7,31 +7,122 @@
 // corruption (bus/latch errors); these ship as ablation variants so the
 // sensitivity of the paper's conclusions to the fault model itself can be
 // measured (bench/ablation_fault_models).
+//
+// v2 makes the model two-axis (docs/fault_models.md): a *manifestation*
+// (what the fault does — parameter mutation, in-flight message corruption,
+// delay, drop, or fail-stop rank death) crossed with a *trigger* (when it
+// fires — the paper's exact (site,rank,invocation) point, probabilistic
+// per-call, crash-on-Nth-call, or uniform-over-run). A FaultModelSpec names
+// one (manifestation, trigger) pair with a canonical string form
+// "model[@trigger[=param]]" used by --fault-models, describe(), and the
+// trial journal.
 
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <string>
 #include <type_traits>
+#include <vector>
 
 #include "support/rng.hpp"
 
 namespace fastfit::inject {
 
 enum class FaultModel : std::uint8_t {
-  SingleBitFlip = 0,  ///< the paper's model
-  DoubleBitFlip = 1,  ///< two distinct random bits
-  StuckAtZero = 2,    ///< a random bit forced to 0 (no-op on a clear bit)
-  RandomByte = 3,     ///< one byte replaced with a random value
+  SingleBitFlip = 0,   ///< the paper's model
+  DoubleBitFlip = 1,   ///< two distinct random bits
+  StuckAtZero = 2,     ///< a random bit forced to 0 (no-op on a clear bit)
+  RandomByte = 3,      ///< one byte replaced with a random value
+  StuckAtOne = 4,      ///< a random bit forced to 1 (no-op on a set bit)
+  MessageCorrupt = 5,  ///< one bit flipped in an in-flight message payload
+  MessageDelay = 6,    ///< one outgoing message held back, delivered late
+  MessageDrop = 7,     ///< one outgoing message silently discarded
+  RankDeath = 8,       ///< fail-stop: the rank dies at the trigger point
 };
 
-inline constexpr std::size_t kNumFaultModels = 4;
+inline constexpr std::size_t kNumFaultModels = 9;
+
+/// Manifestations that mutate a call parameter in place (the bit/byte
+/// mutators). Only these flow through corrupt_parameter/mutate_bytes.
+constexpr bool is_parameter_model(FaultModel model) noexcept {
+  return model == FaultModel::SingleBitFlip ||
+         model == FaultModel::DoubleBitFlip ||
+         model == FaultModel::StuckAtZero ||
+         model == FaultModel::RandomByte || model == FaultModel::StuckAtOne;
+}
+
+/// Manifestations that act on the transport layer (in-flight messages).
+constexpr bool is_message_model(FaultModel model) noexcept {
+  return model == FaultModel::MessageCorrupt ||
+         model == FaultModel::MessageDelay || model == FaultModel::MessageDrop;
+}
 
 const char* to_string(FaultModel model) noexcept;
+
+// ---------------------------------------------------------------------------
+// Trigger axis
+// ---------------------------------------------------------------------------
+
+enum class FaultTrigger : std::uint8_t {
+  ExactPoint = 0,      ///< the paper's (site, rank, invocation) point
+  Probabilistic = 1,   ///< independent Bernoulli(p) draw per matching call
+  NthCall = 2,         ///< fires on the rank's Nth matching call (1-based)
+  UniformOverRun = 3,  ///< one call chosen uniformly from a window of W calls
+};
+
+inline constexpr std::size_t kNumFaultTriggers = 4;
+
+const char* to_string(FaultTrigger trigger) noexcept;
+
+/// One point in the manifestation × trigger plane. The default-constructed
+/// spec is exactly the paper's model (single bit flip at the enumerated
+/// point), so pre-v2 behaviour is the zero configuration.
+struct FaultModelSpec {
+  FaultModel model = FaultModel::SingleBitFlip;
+  FaultTrigger trigger = FaultTrigger::ExactPoint;
+  double probability = 0.0;   ///< Probabilistic: per-call fire probability
+  std::uint64_t window = 0;   ///< NthCall: N (1-based); UniformOverRun: W
+
+  bool operator==(const FaultModelSpec&) const = default;
+
+  bool is_default() const noexcept {
+    return *this == FaultModelSpec{};
+  }
+
+  /// Canonical text form: "single-bit-flip", "rank-death@nth=3",
+  /// "message-drop@prob=0.001", "random-byte@uniform=16". The default
+  /// trigger (exact point) is omitted so the default spec round-trips to
+  /// the pre-v2 model name.
+  std::string canonical() const;
+
+  /// Parses the canonical form; throws ConfigError on unknown names,
+  /// malformed parameters, or out-of-range values.
+  static FaultModelSpec parse(const std::string& text);
+};
+
+/// Parses a comma-separated list of canonical specs ("single-bit-flip,
+/// rank-death"). An empty string yields the default single-spec list.
+/// Throws ConfigError on any malformed entry or duplicate spec.
+std::vector<FaultModelSpec> parse_fault_models(const std::string& list);
+
+/// Comma-joined canonical forms, the inverse of parse_fault_models.
+std::string canonical_fault_models(const std::vector<FaultModelSpec>& specs);
+
+/// True when a trial under this spec may take the snapshot fast path.
+/// Message-level and fail-stop manifestations perturb transport state the
+/// prefix recording does not capture, and non-exact triggers can fire
+/// inside the replayed prefix — both classes must execute from scratch.
+constexpr bool is_replayable(const FaultModelSpec& spec) noexcept {
+  return spec.trigger == FaultTrigger::ExactPoint &&
+         is_parameter_model(spec.model);
+}
 
 /// Applies `model` to the byte range. Returns false when the mutation is
 /// provably a no-op (e.g. stuck-at-zero on an already-clear bit) — the
 /// fault landed but changed nothing, which callers may count as a
-/// non-manifested fault. Empty ranges return false.
+/// non-manifested fault. Empty ranges return false. Only parameter models
+/// are valid here; message/fail-stop manifestations have no byte-range
+/// semantics and throw InternalError.
 bool mutate_bytes(std::span<std::byte> bytes, FaultModel model,
                   RngStream& rng);
 

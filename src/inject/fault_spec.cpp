@@ -34,7 +34,8 @@ std::string FaultSpec::describe() const {
   std::ostringstream out;
   out << "fault{site=0x" << std::hex << site_id << std::dec
       << " rank=" << rank << " inv=" << invocation
-      << " param=" << mpi::to_string(param) << " trial=" << trial << '}';
+      << " param=" << mpi::to_string(param) << " trial=" << trial
+      << " model=" << fault.canonical() << '}';
   return out.str();
 }
 

@@ -1,13 +1,14 @@
 #pragma once
 
-// Fault specification: one planned bit flip.
+// Fault specification: one planned fault.
 //
 // A FaultSpec pins the paper's Table II coordinates — which rank
 // (RANK_ID), which collective call site (CALL_ID), which invocation
 // (INV_ID), which parameter (PARAM_ID) — plus the trial index that seeds
-// the random bit choice. The fault model is exactly the paper's: a single
-// random bit flip in one input parameter (or one random bit of the data
-// buffer) of one collective invocation.
+// the random choices, plus the two-axis fault model (manifestation ×
+// trigger, inject/fault_model.hpp). The default model is exactly the
+// paper's: a single random bit flip in one input parameter (or one random
+// bit of the data buffer) of one collective invocation.
 
 #include <cstdint>
 #include <string>
@@ -23,7 +24,7 @@ struct FaultSpec {
   std::uint64_t invocation = 0;   ///< injected invocation ordinal (INV_ID)
   mpi::Param param{};             ///< injected parameter (PARAM_ID)
   std::uint64_t trial = 0;        ///< per-point trial ordinal
-  FaultModel model = FaultModel::SingleBitFlip;  ///< fault manifestation
+  FaultModelSpec fault{};         ///< manifestation × trigger
 
   bool operator==(const FaultSpec&) const = default;
 

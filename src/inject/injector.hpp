@@ -1,43 +1,73 @@
 #pragma once
 
 // The fault-injection tool: a ToolHooks implementation armed with one
-// FaultSpec per trial. It waits for the targeted (rank, site, invocation)
-// to come through the interposition layer and applies the bit flip there;
-// every other call passes through untouched — the PMPI-shim deployment the
-// paper describes (Fig 5's Fault Injection module).
+// FaultSpec per trial. The spec's *trigger* decides when the fault fires —
+// the paper's exact (rank, site, invocation) point, a Bernoulli draw per
+// call, the Nth call, or a uniformly chosen call from a window — and its
+// *manifestation* decides what happens: a parameter mutation at the call
+// record (the PMPI-shim deployment of the paper's Fig 5), an in-flight
+// message corruption / delay / drop at the transport layer, or fail-stop
+// rank death. Every untargeted call passes through untouched.
 
 #include <atomic>
+#include <cstdint>
 
 #include "inject/fault_spec.hpp"
 #include "minimpi/hooks.hpp"
+#include "support/rng.hpp"
 
 namespace fastfit::inject {
 
 class Injector final : public mpi::ToolHooks {
  public:
-  /// `seed` is the campaign master seed; the flipped bit is drawn from the
-  /// ("bitflip", spec.stream_index()) stream, so trial t of a point is
-  /// reproducible in isolation and independent of campaign execution order.
+  /// `seed` is the campaign master seed. Manifestation randomness (which
+  /// bit, which byte) is drawn from the ("bitflip", spec.stream_index())
+  /// stream and trigger randomness (Bernoulli draws, the uniform call
+  /// choice) from the disjoint ("trigger", spec.stream_index()) stream, so
+  /// trial t of a point is reproducible in isolation, independent of
+  /// campaign execution order, and byte-identical to pre-v2 behaviour for
+  /// the default exact-point trigger.
   Injector(FaultSpec spec, std::uint64_t seed);
 
   void on_enter(mpi::CollectiveCall& call, mpi::Mpi& mpi) override;
   void on_exit(const mpi::CollectiveCall& call, mpi::Mpi& mpi) override;
 
-  /// True once the targeted invocation was reached and the flip applied.
+  /// Transport interception for the message-fault manifestations: once the
+  /// trigger has armed the fault, the injected rank's next outgoing
+  /// message is corrupted, held, or dropped.
+  mpi::SendAction on_transport_send(int source_world, int dest_world,
+                                    std::uint64_t tag,
+                                    std::vector<std::byte>& payload) override;
+
+  /// True once the trigger fired and the manifestation was applied.
   bool fired() const noexcept { return fired_.load(); }
 
-  /// True if the target was reached but the parameter had no corruptible
-  /// substance (e.g. zero-length buffer): the trial ran effectively
-  /// fault-free.
+  /// True if the fault fired but had no corruptible substance (e.g.
+  /// zero-length buffer, stuck-at bit already at its stuck value): the
+  /// trial ran effectively fault-free.
   bool fizzled() const noexcept { return fizzled_.load(); }
 
   const FaultSpec& spec() const noexcept { return spec_; }
 
  private:
+  /// Trigger axis: does this call (on the injected rank) fire the fault?
+  /// Only called on the injected rank's own thread; the per-call counters
+  /// and trigger RNG are therefore single-threaded.
+  bool trigger_fires(const mpi::CollectiveCall& call);
+
+  /// Manifestation axis, applied to the firing call.
+  void manifest(mpi::CollectiveCall& call, mpi::Mpi& mpi);
+
   FaultSpec spec_;
   std::uint64_t seed_;
   std::atomic<bool> fired_{false};
   std::atomic<bool> fizzled_{false};
+  /// A message-fault manifestation armed by the trigger; consumed by the
+  /// first subsequent on_transport_send from the injected rank.
+  std::atomic<bool> transport_armed_{false};
+  RngStream trigger_rng_;
+  std::uint64_t calls_seen_ = 0;  ///< injected rank's collective calls
+  std::uint64_t fire_at_ = 0;     ///< UniformOverRun: chosen call ordinal
 };
 
 }  // namespace fastfit::inject

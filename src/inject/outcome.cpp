@@ -12,6 +12,8 @@ const char* to_string(Outcome outcome) noexcept {
     case Outcome::SegFault: return "SEG_FAULT";
     case Outcome::WrongAns: return "WRONG_ANS";
     case Outcome::InfLoop: return "INF_LOOP";
+    case Outcome::RankDead: return "RANK_DEAD";
+    case Outcome::Repaired: return "REPAIRED";
   }
   return "UNKNOWN";
 }
@@ -19,7 +21,7 @@ const char* to_string(Outcome outcome) noexcept {
 const std::vector<std::string>& outcome_names() {
   static const std::vector<std::string> names{
       "SUCCESS", "APP_DETECTED", "MPI_ERR", "SEG_FAULT", "WRONG_ANS",
-      "INF_LOOP"};
+      "INF_LOOP", "RANK_DEAD", "REPAIRED"};
   return names;
 }
 
@@ -31,6 +33,8 @@ Outcome classify(const mpi::WorldResult& result, std::uint64_t trial_digest,
       case mpi::EventType::MpiErr: return Outcome::MpiErr;
       case mpi::EventType::SegFault: return Outcome::SegFault;
       case mpi::EventType::Timeout: return Outcome::InfLoop;
+      case mpi::EventType::RankDead:
+        return result.repaired ? Outcome::Repaired : Outcome::RankDead;
     }
   }
   return trial_digest == golden_digest ? Outcome::Success : Outcome::WrongAns;

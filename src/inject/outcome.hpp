@@ -21,16 +21,31 @@ enum class Outcome : std::uint8_t {
   SegFault = 3,     ///< (simulated) segmentation fault
   WrongAns = 4,     ///< clean exit, answer differs from the fault-free run
   InfLoop = 5,      ///< the job hung and was killed by the watchdog
+  RankDead = 6,     ///< fail-stop rank death tore the job down
+  Repaired = 7,     ///< fail-stop death, but survivors shrank and continued
 };
 
-inline constexpr std::size_t kNumOutcomes = 6;
+inline constexpr std::size_t kNumOutcomes = 8;
+
+/// The paper's original six-way taxonomy. Serialized surfaces (report
+/// JSON/CSV, shard fragments, trial-counter metrics) emit only these
+/// unless the campaign opted into the extended fault-model library —
+/// a default-configuration study stays byte-identical to pre-v2 output.
+inline constexpr std::size_t kNumBaseOutcomes = 6;
+
+/// How many outcome columns a serialized surface carries.
+constexpr std::size_t active_outcomes(bool extended) noexcept {
+  return extended ? kNumOutcomes : kNumBaseOutcomes;
+}
 
 const char* to_string(Outcome outcome) noexcept;
 
-/// All six outcome names in enum order (for tables and confusion axes).
+/// All outcome names in enum order (for tables and confusion axes).
 const std::vector<std::string>& outcome_names();
 
-/// True for the five outcomes the paper counts in the error rate.
+/// True for every outcome the paper counts in the error rate. A Repaired
+/// trial still experienced a fault-induced deviation from the fault-free
+/// run, so it stays on the error side of the ledger.
 constexpr bool is_error(Outcome outcome) noexcept {
   return outcome != Outcome::Success;
 }

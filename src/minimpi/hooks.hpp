@@ -8,6 +8,7 @@
 // the data buffer) — without the application or the collective
 // implementation knowing a tool exists, exactly like a PMPI shim.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -106,6 +107,13 @@ struct P2pCall {
   int site_line = 0;
 };
 
+/// What a transport-layer tool decides about one outgoing message.
+enum class SendAction : std::uint8_t {
+  Deliver = 0,  ///< hand the message to the destination mailbox (default)
+  Drop = 1,     ///< silently discard it (the receiver hangs or adapts)
+  Hold = 2,     ///< park it; the transport re-offers it for late delivery
+};
+
 /// A tool attached to the interposition layer. Hooks run on the calling
 /// rank's thread; implementations must be thread-safe across ranks.
 class ToolHooks {
@@ -123,6 +131,20 @@ class ToolHooks {
   virtual void on_p2p(P2pCall& call, Mpi& mpi) {
     (void)call;
     (void)mpi;
+  }
+
+  /// Runs on the sender's thread for every transport-level message —
+  /// collective phase traffic and p2p alike — just before mailbox
+  /// delivery. Message-fault models corrupt `payload` in place, drop the
+  /// message, or hold it for delayed delivery. Default passes through.
+  virtual SendAction on_transport_send(int source_world, int dest_world,
+                                       std::uint64_t tag,
+                                       std::vector<std::byte>& payload) {
+    (void)source_world;
+    (void)dest_world;
+    (void)tag;
+    (void)payload;
+    return SendAction::Deliver;
   }
 };
 

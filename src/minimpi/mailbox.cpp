@@ -15,7 +15,8 @@ void Mailbox::deliver(Message message) {
 }
 
 Message Mailbox::receive(int source, std::uint64_t tag,
-                         std::chrono::steady_clock::time_point deadline) {
+                         std::chrono::steady_clock::time_point deadline,
+                         bool revocable) {
   std::unique_lock lock(mutex_);
   for (;;) {
     auto it = std::find_if(queue_.begin(), queue_.end(),
@@ -27,18 +28,38 @@ Message Mailbox::receive(int source, std::uint64_t tag,
       queue_.erase(it);
       return out;
     }
-    // Check poison before and after the wait so a rank that arrives late
-    // never sleeps through the teardown.
+    // Check poison/doom before and after the wait so a rank that arrives
+    // late never sleeps through the teardown (or its own death).
+    if (doom_ != nullptr && doom_->load(std::memory_order_acquire)) {
+      throw RankKilled(doom_rank_, "rank " + std::to_string(doom_rank_) +
+                                       " killed while waiting for rank " +
+                                       std::to_string(source));
+    }
     {
       std::lock_guard plock(poison_->mutex);
       if (poison_->poisoned) {
         throw WorldAborted("mailbox wait interrupted by world teardown");
       }
+      if (revocable && poison_->revoked) {
+        throw RankRevoked("communicator revoked while waiting for rank " +
+                          std::to_string(source));
+      }
     }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      std::lock_guard plock(poison_->mutex);
-      if (poison_->poisoned) {
-        throw WorldAborted("mailbox wait interrupted by world teardown");
+      if (doom_ != nullptr && doom_->load(std::memory_order_acquire)) {
+        throw RankKilled(doom_rank_, "rank " + std::to_string(doom_rank_) +
+                                         " killed while waiting for rank " +
+                                         std::to_string(source));
+      }
+      {
+        std::lock_guard plock(poison_->mutex);
+        if (poison_->poisoned) {
+          throw WorldAborted("mailbox wait interrupted by world teardown");
+        }
+        if (revocable && poison_->revoked) {
+          throw RankRevoked("communicator revoked while waiting for rank " +
+                            std::to_string(source));
+        }
       }
       throw SimTimeout("receive from rank " + std::to_string(source) +
                        " tag " + std::to_string(tag) +

@@ -38,6 +38,11 @@ struct PoisonState {
   /// Lock-free mirror of `poisoned` for hot paths (snapshot replay polls
   /// it per op) that must not contend on the teardown mutex.
   std::atomic<bool> flag{false};
+  /// ULFM-style revocation: set (instead of poison) when a rank fail-stops
+  /// with repair enabled. Waiters on pre-death communicators observe it
+  /// and raise RankRevoked; post-repair communicators are exempt.
+  bool revoked = false;
+  std::atomic<bool> revoked_flag{false};
 
   void poison() {
     {
@@ -45,6 +50,15 @@ struct PoisonState {
       poisoned = true;
     }
     flag.store(true, std::memory_order_release);
+    cv.notify_all();
+  }
+
+  void revoke() {
+    {
+      std::lock_guard lock(mutex);
+      revoked = true;
+    }
+    revoked_flag.store(true, std::memory_order_release);
     cv.notify_all();
   }
 };
@@ -60,9 +74,20 @@ class Mailbox {
   /// Blocks until a message matching (source, tag) is available, the
   /// deadline passes (throws SimTimeout), or the world is poisoned (throws
   /// WorldAborted). Matching is exact; out-of-order arrivals with other
-  /// tags stay queued.
+  /// tags stay queued. When `revocable` is set, a world revocation wakes
+  /// the wait with RankRevoked (receives on post-repair communicators pass
+  /// revocable=false and keep waiting). A doomed owner (World::kill_rank
+  /// or a fail-stop fault on this rank) raises RankKilled instead.
   Message receive(int source, std::uint64_t tag,
-                  std::chrono::steady_clock::time_point deadline);
+                  std::chrono::steady_clock::time_point deadline,
+                  bool revocable = true);
+
+  /// Arms the fail-stop kill signal for this mailbox's owning rank:
+  /// receive() polls `doomed` and raises RankKilled once it latches.
+  void set_doom(int owner_rank, const std::atomic<bool>* doomed) {
+    doom_rank_ = owner_rank;
+    doom_ = doomed;
+  }
 
   /// Number of queued (unmatched) messages; used by tests and the
   /// post-trial transport audit.
@@ -85,6 +110,8 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Message> queue_;
   PoisonState* poison_;
+  int doom_rank_ = -1;
+  const std::atomic<bool>* doom_ = nullptr;
 };
 
 }  // namespace fastfit::mpi

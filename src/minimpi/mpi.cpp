@@ -59,6 +59,45 @@ Mpi::Mpi(std::shared_ptr<WorldState> state, int world_rank)
   }
 }
 
+Mpi::~Mpi() { flush_held(); }
+
+void Mpi::check_doom() const {
+  if (world_->rank_doomed(world_rank_)) {
+    throw RankKilled(world_rank_, "rank " + std::to_string(world_rank_) +
+                                      ": fail-stop fault (rank death)");
+  }
+}
+
+void Mpi::flush_held() {
+  if (held_.empty()) return;
+  auto held = std::move(held_);
+  held_.clear();
+  for (auto& [dest_world, message] : held) {
+    // Same bump-before-deliver discipline as a live send: the late
+    // delivery must invalidate any deadlock snapshot it races with.
+    world_->progress().bump(world_rank_);
+    world_->mailbox(dest_world).deliver(std::move(message));
+  }
+}
+
+Comm Mpi::shrink_and_continue() {
+  if (!world_->options().repair) {
+    throw InternalError("shrink_and_continue: repair mode is off");
+  }
+  check_doom();
+  const auto alive = world_->alive_members();
+  if (std::find(alive.begin(), alive.end(), world_rank_) == alive.end()) {
+    throw RankKilled(world_rank_, "rank " + std::to_string(world_rank_) +
+                                      ": dead rank cannot repair");
+  }
+  // Keyed by how many ranks died so far: every survivor of the same
+  // failure derives the same key and member list, with no rendezvous.
+  const auto ndead = world_->size() - static_cast<int>(alive.size());
+  return world_->register_comm("shrink:" + std::to_string(ndead), alive);
+}
+
+void Mpi::mark_repaired() { world_->mark_repaired(); }
+
 // --- snapshot replay --------------------------------------------------------
 
 void Mpi::replay_poison_check() const {
@@ -202,6 +241,7 @@ void Mpi::check_deadline() {
   // loop: genuine livelock therefore never triggers a deterministic
   // verdict and falls through to the watchdog below.
   world_->progress().bump(world_rank_);
+  check_doom();
   if (world_->poisoned()) {
     throw WorldAborted("rank " + std::to_string(world_rank_) +
                        ": compute loop interrupted by world teardown");
@@ -238,6 +278,11 @@ void Mpi::send_internal(Comm comm, int dest, std::uint64_t tag,
   if (world_->poisoned()) {
     throw WorldAborted("send interrupted by world teardown");
   }
+  check_doom();
+  if (world_->comm_revoked(comm)) {
+    throw RankRevoked("rank " + std::to_string(world_rank_) +
+                      ": send on revoked communicator");
+  }
   const auto& members = world_->group_of(comm);
   if (dest < 0 || dest >= static_cast<int>(members.size())) {
     throw MpiError(MpiErrc::InvalidRank,
@@ -245,20 +290,47 @@ void Mpi::send_internal(Comm comm, int dest, std::uint64_t tag,
                        " outside communicator of size " +
                        std::to_string(members.size()));
   }
+  const int dest_world = members[static_cast<std::size_t>(dest)];
   Message message;
   message.source = world_->comm_rank_of(comm, world_rank_);
   message.tag = tag;
   message.payload = std::move(payload);
+  // Transport interposition: message-fault models corrupt the payload in
+  // place, drop the message, or hold it back for late delivery.
+  if (ToolHooks* tools = world_->tools()) {
+    switch (tools->on_transport_send(world_rank_, dest_world, tag,
+                                     message.payload)) {
+      case SendAction::Deliver:
+        break;
+      case SendAction::Drop:
+        // The send "happened" from this rank's point of view; the bump
+        // keeps the heartbeat discipline even though nothing lands.
+        world_->progress().bump(world_rank_);
+        flush_held();
+        return;
+      case SendAction::Hold:
+        world_->progress().bump(world_rank_);
+        held_.emplace_back(dest_world, std::move(message));
+        return;
+    }
+  }
   // Heartbeat strictly before the deliver: the hang monitor may only
   // declare a deadlock on two identical snapshots, so a send that is
   // about to land always invalidates the snapshot it raced with.
   world_->progress().bump(world_rank_);
-  world_->mailbox(members[static_cast<std::size_t>(dest)])
-      .deliver(std::move(message));
+  world_->mailbox(dest_world).deliver(std::move(message));
+  // A message held by an earlier MessageDelay fault is released one send
+  // later in this rank's program order — deterministic by construction.
+  flush_held();
 }
 
 std::vector<std::byte> Mpi::recv_internal(Comm comm, int source,
                                           std::uint64_t tag) {
+  check_doom();
+  if (world_->comm_revoked(comm)) {
+    throw RankRevoked("rank " + std::to_string(world_rank_) +
+                      ": receive on revoked communicator");
+  }
   const auto& members = world_->group_of(comm);
   if (source < 0 || source >= static_cast<int>(members.size())) {
     throw MpiError(MpiErrc::InvalidRank,
@@ -266,14 +338,20 @@ std::vector<std::byte> Mpi::recv_internal(Comm comm, int source,
                        " outside communicator of size " +
                        std::to_string(members.size()));
   }
+  // A wait on a pre-revocation communicator must wake with RankRevoked
+  // when a fail-stop revokes the world; waits on the post-repair
+  // (shrunken) communicator are exempt and keep waiting.
+  const bool revocable =
+      !world_->poison().revoked_flag.load(std::memory_order_acquire) ||
+      world_->comm_revoked(comm);
   // Publish the wait so the monitor can check whether the awaited
   // (source, tag) can still arrive; restore Computing however we leave.
   world_->progress().publish_wait(
       world_rank_, source, members[static_cast<std::size_t>(source)], tag);
   WaitScope scope(world_->progress(), world_rank_);
   try {
-    Message message = world_->mailbox(world_rank_).receive(source, tag,
-                                                           world_->deadline());
+    Message message = world_->mailbox(world_rank_).receive(
+        source, tag, world_->deadline(), revocable);
     return std::move(message.payload);
   } catch (const SimTimeout& timeout) {
     throw SimTimeout("rank " + std::to_string(world_rank_) + " blocked in " +
@@ -501,6 +579,12 @@ void Mpi::dispatch(CollectiveCall& call, std::source_location loc) {
   }
   if (world_->poisoned()) {
     throw WorldAborted("collective interrupted by world teardown");
+  }
+  check_doom();
+  if (world_->comm_revoked(call.comm)) {
+    throw RankRevoked("rank " + std::to_string(world_rank_) + ": " +
+                      std::string(to_string(call.kind)) +
+                      " on revoked communicator");
   }
   call.site_file = loc.file_name();
   call.site_line = static_cast<int>(loc.line());

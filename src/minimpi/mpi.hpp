@@ -69,6 +69,13 @@ class Mpi {
   /// World::run returned.
   Mpi(std::shared_ptr<WorldState> state, int world_rank);
 
+  /// Flushes any messages a transport fault held for delayed delivery (the
+  /// rank's end is the last point "later" can mean).
+  ~Mpi();
+
+  Mpi(const Mpi&) = delete;
+  Mpi& operator=(const Mpi&) = delete;
+
   int world_rank() const noexcept { return world_rank_; }
 
   /// Rank of this process in `comm` (-1 never escapes: non-membership
@@ -231,6 +238,20 @@ class Mpi {
   /// Collective over `parent`: duplicate with identical membership.
   Comm comm_dup(Comm parent);
 
+  // --- ULFM-style repair ----------------------------------------------------
+
+  /// After catching RankRevoked (a peer fail-stopped under repair mode):
+  /// builds the communicator of surviving ranks. No rendezvous — every
+  /// survivor derives the same member list from the world's stable dead
+  /// set, so each obtains the same handle independently (the registration
+  /// is idempotent on its key). The new communicator postdates the
+  /// revocation and is exempt from it.
+  Comm shrink_and_continue();
+
+  /// Reports this survivor's repair hook as complete; when every survivor
+  /// has called it the trial classifies as REPAIRED instead of RANK_DEAD.
+  void mark_repaired();
+
   // --- typed conveniences ---------------------------------------------------
 
   /// Allreduce of a single value; registers the temporaries for the call.
@@ -329,6 +350,15 @@ class Mpi {
   /// table.
   void publish_op(const char* op, Comm comm, std::uint32_t seq, int root);
 
+  /// Fail-stop / revocation checks shared by every cancellation point:
+  /// raises RankKilled when this rank is doomed.
+  void check_doom() const;
+
+  /// Delivers messages held back by a MessageDelay fault, in the order
+  /// they were held. Runs after each subsequent send and at rank end, so
+  /// the delay is bounded by the rank's own program order (deterministic).
+  void flush_held();
+
   std::shared_ptr<WorldState> world_;
   int world_rank_;
   std::function<StackProbe()> stack_probe_;
@@ -347,6 +377,9 @@ class Mpi {
   const std::vector<RecordedOp>* replay_ops_ = nullptr;
   std::size_t replay_cut_ = 0;
   std::size_t replay_next_ = 0;
+  /// Messages a transport fault held for delayed delivery: (destination
+  /// world rank, message). Rank-local; flushed by flush_held().
+  std::vector<std::pair<int, Message>> held_;
 };
 
 }  // namespace fastfit::mpi

@@ -12,6 +12,7 @@ const char* to_string(RankPhase phase) noexcept {
     case RankPhase::Computing: return "computing";
     case RankPhase::Blocked: return "blocked";
     case RankPhase::Exited: return "exited";
+    case RankPhase::Dead: return "dead";
   }
   return "unknown";
 }
@@ -74,7 +75,14 @@ void ProgressTable::publish_exited(int rank) {
   auto& slot = *slots_.at(static_cast<std::size_t>(rank));
   std::lock_guard lock(slot.mutex);
   ++slot.heartbeat;
-  slot.phase = RankPhase::Exited;
+  if (slot.phase != RankPhase::Dead) slot.phase = RankPhase::Exited;
+}
+
+void ProgressTable::publish_dead(int rank) {
+  auto& slot = *slots_.at(static_cast<std::size_t>(rank));
+  std::lock_guard lock(slot.mutex);
+  ++slot.heartbeat;
+  slot.phase = RankPhase::Dead;
 }
 
 RankSnapshot ProgressTable::snapshot(int rank) const {
@@ -120,13 +128,16 @@ std::string WorldAutopsy::summary() const {
       << verdict;
   int blocked = 0;
   int exited = 0;
+  int dead = 0;
   for (const auto& r : ranks) {
     if (r.phase == RankPhase::Blocked) ++blocked;
     if (r.phase == RankPhase::Exited) ++exited;
+    if (r.phase == RankPhase::Dead) ++dead;
   }
-  out << " [" << blocked << " blocked, " << exited << " exited, "
-      << (ranks.size() - static_cast<std::size_t>(blocked) -
-          static_cast<std::size_t>(exited))
+  out << " [" << blocked << " blocked, " << exited << " exited, ";
+  if (dead > 0) out << dead << " dead, ";
+  out << (ranks.size() - static_cast<std::size_t>(blocked) -
+          static_cast<std::size_t>(exited) - static_cast<std::size_t>(dead))
       << " computing of " << ranks.size() << " ranks]";
   return out.str();
 }
@@ -160,6 +171,7 @@ std::string analyze_deadlock(const std::vector<RankSnapshot>& snaps) {
   std::set<std::uint32_t> seqs;
   std::set<int> roots;
   std::vector<int> awaiting_exited;
+  std::vector<int> awaiting_dead;
   for (int r : blocked) {
     const auto& s = snaps[static_cast<std::size_t>(r)];
     if (!s.has_op) continue;
@@ -168,13 +180,24 @@ std::string analyze_deadlock(const std::vector<RankSnapshot>& snaps) {
     seqs.insert(s.sig.seq);
     if (s.sig.root >= 0) roots.insert(s.sig.root);
     const int peer = s.sig.wait_source_world;
-    if (peer >= 0 && peer < static_cast<int>(snaps.size()) &&
-        snaps[static_cast<std::size_t>(peer)].phase == RankPhase::Exited) {
-      awaiting_exited.push_back(r);
+    if (peer >= 0 && peer < static_cast<int>(snaps.size())) {
+      const auto peer_phase = snaps[static_cast<std::size_t>(peer)].phase;
+      if (peer_phase == RankPhase::Exited) awaiting_exited.push_back(r);
+      if (peer_phase == RankPhase::Dead) awaiting_dead.push_back(r);
     }
   }
 
   std::ostringstream out;
+  if (!awaiting_dead.empty()) {
+    out << "rank";
+    if (awaiting_dead.size() > 1) out << 's';
+    for (std::size_t i = 0; i < awaiting_dead.size(); ++i) {
+      out << (i ? "," : "") << ' ' << awaiting_dead[i];
+    }
+    out << " blocked on dead peer";
+    if (awaiting_dead.size() > 1) out << 's';
+    return out.str();
+  }
   if (!awaiting_exited.empty()) {
     out << "rank";
     if (awaiting_exited.size() > 1) out << 's';

@@ -32,6 +32,9 @@ enum class RankPhase : std::uint8_t {
   Computing,  ///< running application or algorithm code
   Blocked,    ///< parked in a mailbox wait for a specific (source, tag)
   Exited,     ///< rank main returned or unwound
+  Dead,       ///< fail-stop fault killed the rank (it will never publish
+              ///< again); peers and the monitor treat it like Exited but
+              ///< the autopsy distinguishes death from clean exit
 };
 
 const char* to_string(RankPhase phase) noexcept;
@@ -83,8 +86,13 @@ class ProgressTable {
   /// The wait ended (matched, timed out, or aborted): back to Computing.
   void publish_resume(int rank);
 
-  /// Rank main returned or unwound.
+  /// Rank main returned or unwound. Never downgrades a Dead slot: the
+  /// thread of a killed rank still unwinds through the normal exit path,
+  /// and the death verdict must survive it.
   void publish_exited(int rank);
+
+  /// Fail-stop death: terminal, peer-visible via snapshot().
+  void publish_dead(int rank);
 
   RankSnapshot snapshot(int rank) const;
   std::vector<RankSnapshot> snapshot_all() const;

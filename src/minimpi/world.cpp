@@ -32,6 +32,7 @@ const char* to_string(EventType type) noexcept {
     case EventType::MpiErr: return "MPI_ERR";
     case EventType::SegFault: return "SEG_FAULT";
     case EventType::Timeout: return "INF_LOOP";
+    case EventType::RankDead: return "RANK_DEAD";
   }
   return "UNKNOWN";
 }
@@ -50,8 +51,17 @@ WorldState::WorldState(const WorldOptions& options)
   }
   done_ = std::make_unique<std::atomic<bool>[]>(
       static_cast<std::size_t>(options_.nranks));
+  doomed_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(options_.nranks));
+  dead_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(options_.nranks));
   for (int r = 0; r < options_.nranks; ++r) {
     done_[static_cast<std::size_t>(r)].store(false, std::memory_order_relaxed);
+    doomed_[static_cast<std::size_t>(r)].store(false,
+                                               std::memory_order_relaxed);
+    dead_[static_cast<std::size_t>(r)].store(false, std::memory_order_relaxed);
+    mailboxes_[static_cast<std::size_t>(r)]->set_doom(
+        r, &doomed_[static_cast<std::size_t>(r)]);
   }
   std::vector<int> everyone(static_cast<std::size_t>(options_.nranks));
   for (int r = 0; r < options_.nranks; ++r) {
@@ -83,8 +93,58 @@ void WorldState::report_event(int rank, const FaultEvent& event) {
   capture_event(rank, event, std::nullopt);
 }
 
+void WorldState::kill_rank(int world_rank) {
+  doomed_[static_cast<std::size_t>(world_rank)].store(
+      true, std::memory_order_release);
+  // Wake the victim if it is parked in a mailbox wait; receive() rechecks
+  // the doom flag on wake and raises RankKilled on the victim's thread.
+  mailbox(world_rank).wake();
+}
+
+std::vector<int> WorldState::alive_members() const {
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(options_.nranks));
+  for (int r = 0; r < options_.nranks; ++r) {
+    if (!rank_dead(r)) alive.push_back(r);
+  }
+  return alive;
+}
+
+bool WorldState::comm_revoked(Comm comm) const noexcept {
+  if (!poison_.revoked_flag.load(std::memory_order_acquire)) return false;
+  return handle_index(raw(comm)) <
+         revoked_comm_limit_.load(std::memory_order_acquire);
+}
+
+void WorldState::report_rank_death(int rank, const RankKilled& event) {
+  // Publish the death before capturing so the autopsy and any peer
+  // analysis ("blocked on dead peer") see the Dead phase.
+  progress_.publish_dead(rank);
+  const bool first =
+      !dead_[static_cast<std::size_t>(rank)].exchange(
+          true, std::memory_order_acq_rel);
+  if (first) dead_count_.fetch_add(1, std::memory_order_acq_rel);
+
+  if (!options_.repair) {
+    capture_event(rank, event, std::nullopt);
+    return;
+  }
+  // Repair mode: record the initiating death without poisoning, then
+  // revoke every communicator that existed before this instant. The
+  // shrunken communicator survivors build afterwards gets a larger table
+  // index and is exempt.
+  capture_event(rank, event, std::nullopt, /*poison=*/false);
+  {
+    std::lock_guard lock(comm_mutex_);
+    revoked_comm_limit_.store(comms_.size(), std::memory_order_release);
+  }
+  poison_.revoke();
+  for (auto& mailbox : mailboxes_) mailbox->wake();
+}
+
 void WorldState::capture_event(int rank, const FaultEvent& event,
-                               std::optional<WorldAutopsy> autopsy) {
+                               std::optional<WorldAutopsy> autopsy,
+                               bool poison) {
   {
     std::lock_guard lock(event_mutex_);
     if (!event_) {
@@ -100,6 +160,8 @@ void WorldState::capture_event(int rank, const FaultEvent& event,
         captured.type = EventType::AppDetected;
       } else if (dynamic_cast<const SimTimeout*>(&event) != nullptr) {
         captured.type = EventType::Timeout;
+      } else if (dynamic_cast<const RankKilled*>(&event) != nullptr) {
+        captured.type = EventType::RankDead;
       } else {
         // WorldAborted never initiates; anything else is a library bug.
         throw InternalError(std::string("report_event: unexpected event: ") +
@@ -131,7 +193,7 @@ void WorldState::capture_event(int rank, const FaultEvent& event,
                          : build_autopsy(progress_, false, event.what());
     }
   }
-  poison_and_wake();
+  if (poison) poison_and_wake();
 }
 
 Comm WorldState::register_comm(const std::string& key,
@@ -216,6 +278,14 @@ void WorldState::monitor_loop() {
 
 bool WorldState::scan_for_deadlock(std::vector<RankSnapshot>& prev,
                                    bool& have_prev) {
+  // Under an in-progress revocation (fail-stop + repair) every blocked
+  // survivor is about to wake with RankRevoked; declaring a deadlock here
+  // would race the repair and poison it spuriously. A repair that truly
+  // wedges still hits the watchdog deadline on its own.
+  if (poison_.revoked_flag.load(std::memory_order_acquire)) {
+    have_prev = false;
+    return false;
+  }
   auto snaps = progress_.snapshot_all();
 
   // Any rank still computing can deliver a message or reach the watchdog
@@ -361,6 +431,15 @@ WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
           fn(mpi);
         } catch (const WorldAborted&) {
           // Subordinate teardown; the initiating rank already reported.
+        } catch (const RankKilled& event) {
+          // Fail-stop: this rank dies here. Repair-off poisons the world;
+          // repair-on revokes the old communicators and lets survivors
+          // shrink and continue.
+          state->report_rank_death(r, event);
+        } catch (const RankRevoked&) {
+          // A survivor that could not (or chose not to) repair after a
+          // peer's death: subordinate to the already-captured RankDead
+          // event, exactly like WorldAborted.
         } catch (const FaultEvent& event) {
           state->report_event(r, event);
         } catch (const std::bad_alloc&) {
@@ -474,6 +553,15 @@ WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
       result.undelivered_messages += mailbox->pending();
     }
   }
+
+  const int dead = state->dead_count_.load(std::memory_order_acquire);
+  result.rank_died = dead > 0;
+  // Repaired means every survivor ran its repair hook to completion; a
+  // survivor that aborted mid-repair leaves the count short and the trial
+  // classifies as RANK_DEAD.
+  result.repaired =
+      state->options_.repair && dead > 0 &&
+      state->repaired_count_.load(std::memory_order_acquire) == nranks - dead;
 
   {
     std::lock_guard lock(state->event_mutex_);

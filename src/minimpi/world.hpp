@@ -88,6 +88,11 @@ struct WorldOptions {
   /// up to the snapshot's cut, then switches to live execution. In-flight
   /// messages across the cut are pre-seeded before the threads launch.
   std::shared_ptr<const WorldSnapshot> replay;
+  /// ULFM-style shrink-and-continue: when a rank fail-stops, survivors see
+  /// RankRevoked (instead of a world poison) and may rebuild a shrunken
+  /// communicator via Mpi::shrink_and_continue(). Off = a rank death tears
+  /// the world down (outcome RANK_DEAD).
+  bool repair = false;
 };
 
 /// How a rank failed, for outcome classification (maps onto Table I).
@@ -96,6 +101,7 @@ enum class EventType : std::uint8_t {
   MpiErr,       ///< MiniMPI validation rejected a parameter
   SegFault,     ///< memory-registry bounds violation
   Timeout,      ///< watchdog fired or deadlock proven: the job hung
+  RankDead,     ///< fail-stop fault killed a rank mid-run
 };
 
 const char* to_string(EventType type) noexcept;
@@ -127,6 +133,12 @@ struct WorldResult {
   /// normal for faulted runs (poison aborts in-flight exchanges) but a
   /// transport leak on a clean run.
   std::size_t undelivered_messages = 0;
+  /// At least one rank fail-stopped (the event, if initiating, is
+  /// EventType::RankDead).
+  bool rank_died = false;
+  /// Repair mode was on, a rank died, and *every* survivor completed its
+  /// repair hook on the shrunken communicator (outcome REPAIRED).
+  bool repaired = false;
 
   bool clean() const noexcept { return !event.has_value(); }
 };
@@ -156,6 +168,45 @@ class WorldState {
   /// poisons the world.
   void report_event(int rank, const FaultEvent& event);
 
+  /// Fail-stop path: records the death (EventType::RankDead, first-wins),
+  /// marks the rank Dead in the progress table, and either poisons the
+  /// world (repair off) or revokes every pre-death communicator and wakes
+  /// all waiters so survivors observe RankRevoked (repair on).
+  void report_rank_death(int rank, const RankKilled& event);
+
+  /// Marks `world_rank` doomed: its next transport wait, deadline check,
+  /// or collective dispatch raises RankKilled on its own thread. The
+  /// injector's rank-death manifestation and tests use this primitive.
+  void kill_rank(int world_rank);
+
+  /// Whether kill_rank / a fail-stop fault has doomed this rank (polled on
+  /// the rank's own thread at cancellation points).
+  bool rank_doomed(int world_rank) const noexcept {
+    return doomed_[static_cast<std::size_t>(world_rank)].load(
+        std::memory_order_acquire);
+  }
+
+  /// Whether this rank's death has been reported.
+  bool rank_dead(int world_rank) const noexcept {
+    return dead_[static_cast<std::size_t>(world_rank)].load(
+        std::memory_order_acquire);
+  }
+
+  /// World ranks whose death has not been reported, in rank order: the
+  /// membership of a shrink_and_continue communicator.
+  std::vector<int> alive_members() const;
+
+  /// Whether `comm` was revoked by a fail-stop under repair mode.
+  /// Communicators registered after the revocation (the shrunken one) are
+  /// exempt; everything older raises RankRevoked at its next operation.
+  bool comm_revoked(Comm comm) const noexcept;
+
+  /// A survivor completed its repair hook; when every survivor has, the
+  /// world result reports repaired=true (outcome REPAIRED).
+  void mark_repaired() noexcept {
+    repaired_count_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   /// Communicator registry. A communicator is a list of world ranks.
   /// `register_comm` is idempotent on `key`: all members of a new
   /// communicator derive the same creation key (parent handle, per-parent
@@ -175,8 +226,10 @@ class WorldState {
 
   /// First-wins event capture with an explicit autopsy (the monitor's
   /// deterministic verdict); nullopt snapshots the live table instead.
+  /// `poison` = false records the event without tearing the world down
+  /// (the repair path: survivors must keep running).
   void capture_event(int rank, const FaultEvent& event,
-                     std::optional<WorldAutopsy> autopsy);
+                     std::optional<WorldAutopsy> autopsy, bool poison = true);
 
   /// Poison + mailbox wake storm (idempotent).
   void poison_and_wake();
@@ -211,6 +264,16 @@ class WorldState {
   std::map<std::string, RawHandle> comm_keys_;
 
   ToolHooks* tools_ = nullptr;
+
+  // Fail-stop bookkeeping: doomed_ is the kill signal a rank polls on its
+  // own thread; dead_ records reported deaths; revoked_comm_limit_ is the
+  // size of the communicator table at revocation time (older handles are
+  // revoked, newer — the shrunken comm — are exempt).
+  std::unique_ptr<std::atomic<bool>[]> doomed_;
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::atomic<int> dead_count_{0};
+  std::atomic<int> repaired_count_{0};
+  std::atomic<std::size_t> revoked_comm_limit_{0};
 
   // Internal (non-fault) exception escaping a rank thread.
   std::mutex internal_mutex_;
@@ -278,6 +341,9 @@ class World {
   void report_event(int rank, const FaultEvent& event) {
     state_->report_event(rank, event);
   }
+  /// Fail-stop test primitive: dooms one rank; it dies at its next
+  /// cancellation point (transport wait, deadline check, dispatch).
+  void kill_rank(int world_rank) { state_->kill_rank(world_rank); }
   Comm register_comm(const std::string& key, std::vector<int> members) {
     return state_->register_comm(key, std::move(members));
   }

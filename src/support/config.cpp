@@ -55,6 +55,10 @@ constexpr ConfigKnob kKnobs[] = {
      "run deterministic shard i of N (merge with 'fastfit merge')"},
     {"FASTFIT_PASSES", "passes", "LIST",
      "pruning chain, comma-separated (semantic,context[,ml])"},
+    {"FASTFIT_FAULT_MODELS", "fault-models", "LIST",
+     "fault models, comma-separated model[@trigger[=param]] specs"},
+    {"FASTFIT_REPAIR", "repair", "0|1",
+     "ULFM-style shrink-and-continue after rank death (default off)"},
     {"FASTFIT_SNAPSHOTS", "snapshots", "on|off|auto",
      "prefix-replay world snapshots (default auto)"},
     {"FASTFIT_SNAPSHOT_CACHE_MB", "snapshot-cache-mb", "MB",
@@ -130,6 +134,11 @@ InjectionConfig InjectionConfig::from_map(
     } else if (key == "FASTFIT_PASSES") {
       if (value.empty()) throw ConfigError("FASTFIT_PASSES: empty value");
       cfg.passes = value;
+    } else if (key == "FASTFIT_FAULT_MODELS") {
+      if (value.empty()) throw ConfigError("FASTFIT_FAULT_MODELS: empty value");
+      cfg.fault_models = value;
+    } else if (key == "FASTFIT_REPAIR") {
+      cfg.repair = parse_u64(key, value, 1) != 0;
     } else if (key == "FASTFIT_SNAPSHOTS") {
       if (value != "on" && value != "off" && value != "auto") {
         throw ConfigError(
@@ -188,6 +197,8 @@ std::map<std::string, std::string> InjectionConfig::to_map() const {
   }
   if (!shard.empty()) kv["FASTFIT_SHARD"] = shard;
   if (!passes.empty()) kv["FASTFIT_PASSES"] = passes;
+  if (!fault_models.empty()) kv["FASTFIT_FAULT_MODELS"] = fault_models;
+  if (repair) kv["FASTFIT_REPAIR"] = "1";
   if (snapshots != "auto") kv["FASTFIT_SNAPSHOTS"] = snapshots;
   if (snapshot_cache_mb != 256) {
     kv["FASTFIT_SNAPSHOT_CACHE_MB"] = std::to_string(snapshot_cache_mb);

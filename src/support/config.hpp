@@ -85,6 +85,16 @@ struct InjectionConfig {
   /// "semantic,context" or "context,semantic,ml"; empty = the default
   /// chain. Validated by the pipeline's pass factory downstream.
   std::string passes;
+  /// Comma-separated fault-model specs (FASTFIT_FAULT_MODELS), each
+  /// "model[@trigger[=param]]", e.g.
+  /// "single-bit-flip,rank-death,message-drop@prob=0.01". Empty = the
+  /// default exact-point single bit flip. Validated by
+  /// inject::parse_fault_models downstream.
+  std::string fault_models;
+  /// ULFM-style shrink-and-continue repair for fail-stop rank death
+  /// (FASTFIT_REPAIR); 0 = off (default): a death poisons the world and
+  /// classifies RANK_DEAD.
+  bool repair = false;
   /// Prefix-replay world snapshots (FASTFIT_SNAPSHOTS): "on", "off", or
   /// "auto" (default). Kept as validated text here; the mode enum lives
   /// in core/snapshot_cache.hpp.

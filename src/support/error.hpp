@@ -112,4 +112,28 @@ class WorldAborted : public FaultEvent {
   explicit WorldAborted(const std::string& what) : FaultEvent(what) {}
 };
 
+/// A fail-stop fault killed this rank mid-run: the rank stops executing
+/// immediately, as if its process died. Peers observe the death through
+/// the progress table; with repair disabled the world aborts (outcome
+/// RANK_DEAD), with repair enabled survivors get RankRevoked instead.
+class RankKilled : public FaultEvent {
+ public:
+  RankKilled(int rank, const std::string& what)
+      : FaultEvent(what), rank_(rank) {}
+
+  int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// ULFM-style revocation notice delivered to *surviving* ranks after a
+/// fail-stop when repair mode is on: any operation on a pre-death
+/// communicator raises this, and a workload's repair hook may catch it,
+/// call Mpi::shrink_and_continue(), and resume on the shrunken world.
+class RankRevoked : public FaultEvent {
+ public:
+  explicit RankRevoked(const std::string& what) : FaultEvent(what) {}
+};
+
 }  // namespace fastfit

@@ -87,6 +87,68 @@ TEST(Export, JsonEscapesStrings) {
   EXPECT_NE(json.find("path\\\"with\\\\quotes"), std::string::npos);
 }
 
+TEST(Export, ExtendedOutcomeColumnsAreOptIn) {
+  // The default configuration keeps the paper's six-way taxonomy on
+  // every serialized surface so its output stays byte-identical to
+  // pre-v2 builds; extended fault-model studies add the two columns.
+  FastFitResult result;
+  auto r = sample_result("lu.cpp:10", mpi::Param::SendBuf);
+  r.record(inject::Outcome::RankDead);
+  result.measured.push_back(r);
+  EXPECT_EQ(to_json(result).find("RANK_DEAD"), std::string::npos);
+  EXPECT_EQ(to_csv(result.measured).find("RANK_DEAD"), std::string::npos);
+  EXPECT_EQ(to_shard_fragment(result).find("outcomes"), std::string::npos);
+
+  result.extended_outcomes = true;
+  const auto json = to_json(result);
+  EXPECT_NE(json.find("\"RANK_DEAD\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"REPAIRED\": 0"), std::string::npos);
+  const auto csv = to_csv(result.measured, true);
+  EXPECT_NE(csv.find("RANK_DEAD,REPAIRED"), std::string::npos);
+}
+
+TEST(Export, FragmentRoundTripsExtendedOutcomeCounts) {
+  StudyResult result;
+  auto r = sample_result("lu.cpp:10", mpi::Param::SendBuf);
+  r.record(inject::Outcome::RankDead);
+  r.record(inject::Outcome::Repaired);
+  result.measured.push_back(r);
+  result.stats.total_points = 1;
+  result.stats.after_semantic = 1;
+  result.stats.after_context = 1;
+  result.stats.nranks = 8;
+  result.extended_outcomes = true;
+  const auto fragment = to_shard_fragment(result);
+  EXPECT_NE(fragment.find("outcomes 8"), std::string::npos);
+  const auto merged = merge_fragments({fragment});
+  ASSERT_TRUE(merged.extended_outcomes);
+  ASSERT_EQ(merged.measured.size(), 1u);
+  EXPECT_EQ(merged.measured[0].counts[static_cast<std::size_t>(
+                inject::Outcome::RankDead)],
+            1u);
+  EXPECT_EQ(merged.measured[0].counts[static_cast<std::size_t>(
+                inject::Outcome::Repaired)],
+            1u);
+  EXPECT_EQ(to_json(merged), to_json(result));
+}
+
+TEST(Export, MergeRejectsMixedOutcomeSets) {
+  StudyResult result;
+  result.measured.push_back(sample_result("lu.cpp:10", mpi::Param::SendBuf));
+  result.stats.total_points = 2;
+  result.stats.after_semantic = 2;
+  result.stats.after_context = 2;
+  result.stats.nranks = 8;
+  result.shard = ShardSpec{1, 2};
+  result.shard_ordinals = {0};
+  const auto base = to_shard_fragment(result);
+  result.shard = ShardSpec{2, 2};
+  result.shard_ordinals = {1};
+  result.extended_outcomes = true;
+  const auto extended = to_shard_fragment(result);
+  EXPECT_THROW(merge_fragments({base, extended}), ConfigError);
+}
+
 TEST(Export, WriteFileRoundTrips) {
   const std::string path = "/tmp/fastfit_export_test.csv";
   write_file(path, "hello,world\n");

@@ -23,8 +23,8 @@ TEST_P(StudyMatrix, InvariantsHold) {
   options.campaign.nranks = 8;
   options.campaign.trials_per_point = 2;
   options.campaign.seed = 777 + model_index;
-  options.campaign.fault_model =
-      static_cast<inject::FaultModel>(model_index);
+  options.campaign.fault_models = {
+      inject::FaultModelSpec{static_cast<inject::FaultModel>(model_index)}};
   options.use_ml = false;  // measure everything: strongest invariants
 
   FastFit study(*workload, options);
@@ -62,8 +62,10 @@ TEST_P(StudyMatrix, InvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(
     WorkloadsByFaultModel, StudyMatrix,
+    // The parameter-mutation models (0-4); message/fail-stop models have
+    // dedicated campaign suites (test_failstop_campaign).
     ::testing::Combine(::testing::Values("FT", "LU", "CG", "EP"),
-                       ::testing::Values(0u, 1u, 2u, 3u)),
+                       ::testing::Values(0u, 1u, 2u, 3u, 4u)),
     [](const auto& info) {
       return std::get<0>(info.param) + "_model" +
              std::to_string(std::get<1>(info.param));

@@ -5,6 +5,7 @@
 #include <array>
 
 #include "support/bitops.hpp"
+#include "support/error.hpp"
 
 namespace fastfit::inject {
 namespace {
@@ -110,6 +111,7 @@ TEST(FaultModel, MutateValueReportsChange) {
 
 TEST(FaultModel, DeterministicPerStream) {
   for (std::size_t m = 0; m < kNumFaultModels; ++m) {
+    if (!is_parameter_model(static_cast<FaultModel>(m))) continue;
     RngStream r1(9, "fm", m);
     RngStream r2(9, "fm", m);
     std::array<std::byte, 8> a;
@@ -120,6 +122,133 @@ TEST(FaultModel, DeterministicPerStream) {
     mutate_bytes(as_span(b), static_cast<FaultModel>(m), r2);
     EXPECT_EQ(a, b) << to_string(static_cast<FaultModel>(m));
   }
+}
+
+TEST(FaultModel, StuckAtOneOnlySetsBits) {
+  RngStream rng(10, "fm");
+  std::array<std::byte, 8> zeros{};
+  const auto before = zeros;
+  EXPECT_TRUE(mutate_bytes(as_span(zeros), FaultModel::StuckAtOne, rng));
+  EXPECT_EQ(hamming_distance(as_cspan(before), as_cspan(zeros)), 1u);
+  EXPECT_EQ(popcount(as_cspan(zeros)), 1u);
+}
+
+TEST(FaultModel, StuckAtOneOnAllOnesIsNoOp) {
+  RngStream rng(11, "fm");
+  std::array<std::byte, 8> ones;
+  ones.fill(std::byte{0xFF});
+  EXPECT_FALSE(mutate_bytes(as_span(ones), FaultModel::StuckAtOne, rng));
+  EXPECT_EQ(popcount(as_cspan(ones)), 64u);
+}
+
+TEST(FaultModel, NonParameterModelsHaveNoByteManifestation) {
+  RngStream rng(12, "fm");
+  std::array<std::byte, 8> buf{};
+  for (const auto model :
+       {FaultModel::MessageCorrupt, FaultModel::MessageDelay,
+        FaultModel::MessageDrop, FaultModel::RankDeath}) {
+    EXPECT_FALSE(is_parameter_model(model));
+    EXPECT_THROW(mutate_bytes(as_span(buf), model, rng), InternalError);
+  }
+}
+
+TEST(FaultModel, SingleByteSpanStaysInRange) {
+  // A one-byte span exercises the smallest non-empty range of every
+  // parameter mutator: the mutation must land inside the byte and report
+  // manifestation truthfully.
+  for (std::size_t m = 0; m < kNumFaultModels; ++m) {
+    const auto model = static_cast<FaultModel>(m);
+    if (!is_parameter_model(model)) continue;
+    RngStream rng(13, "fm", m);
+    std::array<std::byte, 1> one{std::byte{0x55}};
+    const auto before = one[0];
+    const bool changed = mutate_bytes(std::span<std::byte>(one.data(), 1),
+                                      model, rng);
+    EXPECT_EQ(one[0] != before, changed) << to_string(model);
+  }
+}
+
+TEST(FaultModel, DoubleBitFlipAlwaysPicksDistinctBits) {
+  RngStream rng(14, "fm");
+  for (int i = 0; i < 200; ++i) {
+    std::array<std::byte, 2> buf{};
+    EXPECT_TRUE(mutate_bytes(std::span<std::byte>(buf.data(), buf.size()),
+                             FaultModel::DoubleBitFlip, rng));
+    // Two distinct target bits on an all-zero buffer leave exactly two
+    // set bits; a repeated bit would leave zero.
+    EXPECT_EQ(popcount(std::span<const std::byte>(buf.data(), buf.size())),
+              2u);
+  }
+}
+
+TEST(FaultModel, MutateValueChangedFalseOnNoOp) {
+  // StuckAtOne on an all-ones value is a provable no-op and the changed
+  // out-param must say so.
+  RngStream rng(15, "fm");
+  bool changed = true;
+  const std::uint32_t v = mutate_value<std::uint32_t>(
+      0xFFFFFFFFu, FaultModel::StuckAtOne, rng, &changed);
+  EXPECT_EQ(v, 0xFFFFFFFFu);
+  EXPECT_FALSE(changed);
+}
+
+TEST(FaultModelSpec, CanonicalRoundTrips) {
+  const char* specs[] = {"single-bit-flip",      "stuck-at-one",
+                         "rank-death",           "rank-death@nth=3",
+                         "message-drop@prob=0.25", "message-delay",
+                         "random-byte@uniform=16"};
+  for (const char* text : specs) {
+    const auto spec = FaultModelSpec::parse(text);
+    EXPECT_EQ(spec.canonical(), text);
+    EXPECT_EQ(FaultModelSpec::parse(spec.canonical()), spec);
+  }
+}
+
+TEST(FaultModelSpec, DefaultIsExactPointSingleBitFlip) {
+  const FaultModelSpec spec;
+  EXPECT_TRUE(spec.is_default());
+  EXPECT_EQ(spec.canonical(), "single-bit-flip");
+  EXPECT_EQ(FaultModelSpec::parse("single-bit-flip"), spec);
+  EXPECT_EQ(FaultModelSpec::parse("single-bit-flip@exact"), spec);
+}
+
+TEST(FaultModelSpec, ParseRejectsMalformed) {
+  EXPECT_THROW(FaultModelSpec::parse("nuke"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("rank-death@sometimes"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("rank-death@nth=0"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("rank-death@nth=x"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("message-drop@prob=0"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("message-drop@prob=1.5"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("message-drop@prob=abc"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("single-bit-flip@exact=1"), ConfigError);
+}
+
+TEST(FaultModelSpec, ParseListSplitsAndDeduplicates) {
+  const auto specs =
+      parse_fault_models(" single-bit-flip , rank-death@nth=2 ,message-drop");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].canonical(), "single-bit-flip");
+  EXPECT_EQ(specs[1].canonical(), "rank-death@nth=2");
+  EXPECT_EQ(specs[2].canonical(), "message-drop");
+  EXPECT_EQ(canonical_fault_models(specs),
+            "single-bit-flip,rank-death@nth=2,message-drop");
+  EXPECT_THROW(parse_fault_models("rank-death,rank-death"), ConfigError);
+}
+
+TEST(FaultModelSpec, EmptyListYieldsDefault) {
+  const auto specs = parse_fault_models("");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_TRUE(specs[0].is_default());
+}
+
+TEST(FaultModelSpec, ReplayabilityGate) {
+  EXPECT_TRUE(is_replayable(FaultModelSpec{}));
+  EXPECT_TRUE(is_replayable(FaultModelSpec{FaultModel::StuckAtOne}));
+  EXPECT_FALSE(is_replayable(FaultModelSpec{FaultModel::MessageDrop}));
+  EXPECT_FALSE(is_replayable(FaultModelSpec{FaultModel::RankDeath}));
+  EXPECT_FALSE(is_replayable(
+      FaultModelSpec::parse("single-bit-flip@prob=0.5")));
+  EXPECT_FALSE(is_replayable(FaultModelSpec::parse("stuck-at-one@nth=2")));
 }
 
 }  // namespace

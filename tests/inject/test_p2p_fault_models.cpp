@@ -73,8 +73,11 @@ TEST_P(P2pModelSweep, ScalarParamsMutateOrReportNoOp) {
   });
 }
 
+// Parameter-mutation models only (indices 0-4): the p2p injector mutates
+// call parameters in place, which the message/fail-stop manifestations
+// never do.
 INSTANTIATE_TEST_SUITE_P(AllModels, P2pModelSweep,
-                         ::testing::Range<std::size_t>(0, kNumFaultModels),
+                         ::testing::Range<std::size_t>(0, 5),
                          [](const auto& info) {
                            std::string name =
                                to_string(static_cast<FaultModel>(info.param));

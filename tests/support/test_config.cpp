@@ -325,6 +325,8 @@ TEST(Config, KnobTableIsCompleteAndConsistent) {
       {"FASTFIT_METRICS_INTERVAL_MS", "100"},
       {"FASTFIT_SNAPSHOTS", "auto"},
       {"FASTFIT_SNAPSHOT_CACHE_MB", "64"},
+      {"FASTFIT_FAULT_MODELS", "single-bit-flip,rank-death"},
+      {"FASTFIT_REPAIR", "1"},
   };
   std::set<std::string> envs;
   std::set<std::string> flags;
@@ -364,6 +366,24 @@ TEST(Config, SnapshotKnobsValidate) {
   EXPECT_TRUE(cfg.to_map().count("FASTFIT_SNAPSHOTS"));
   EXPECT_TRUE(cfg.to_map().count("FASTFIT_SNAPSHOT_CACHE_MB"));
   EXPECT_FALSE(InjectionConfig{}.to_map().count("FASTFIT_SNAPSHOTS"));
+}
+
+TEST(Config, FaultModelKnobsValidate) {
+  const auto cfg = InjectionConfig::from_map({
+      {"FASTFIT_FAULT_MODELS", "rank-death@nth=2,message-drop"},
+      {"FASTFIT_REPAIR", "1"},
+  });
+  // Raw text: inject::parse_fault_models owns the grammar.
+  EXPECT_EQ(cfg.fault_models, "rank-death@nth=2,message-drop");
+  EXPECT_TRUE(cfg.repair);
+  EXPECT_EQ(InjectionConfig{}.fault_models, "");
+  EXPECT_FALSE(InjectionConfig{}.repair);
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_FAULT_MODELS", ""}}),
+               ConfigError);
+  EXPECT_TRUE(cfg.to_map().count("FASTFIT_FAULT_MODELS"));
+  EXPECT_TRUE(cfg.to_map().count("FASTFIT_REPAIR"));
+  EXPECT_FALSE(InjectionConfig{}.to_map().count("FASTFIT_FAULT_MODELS"));
+  EXPECT_FALSE(InjectionConfig{}.to_map().count("FASTFIT_REPAIR"));
 }
 
 TEST(Config, ShardAndPassesAreStoredRaw) {

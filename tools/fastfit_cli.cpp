@@ -9,9 +9,12 @@
 //       the enumeration (profiling is a one-time cost; Sec IV-B).
 //
 //   fastfit study <workload> [--ranks N] [--trials T] [--threshold X]
-//                 [--fault-model NAME] [--no-ml] [--csv FILE]
-//                 [--json FILE] [--resume] [--fragment FILE]
+//                 [--fault-models LIST] [--repair on|off] [--no-ml]
+//                 [--csv FILE] [--json FILE] [--resume] [--fragment FILE]
 //                 [+ the study knobs listed by --help]
+//       --fault-models takes comma-separated model[@trigger[=param]]
+//       specs (see `fastfit list` and docs/fault_models.md); --repair
+//       enables ULFM-style shrink-and-continue after fail-stop death.
 //       The full three-phase sensitivity study, with optional CSV/JSON
 //       export of the results. Every study knob exists twice — as a
 //       --flag and as a FASTFIT_* environment variable — generated from
@@ -57,6 +60,7 @@
 
 #include "apps/registry.hpp"
 #include "core/export.hpp"
+#include "inject/fault_model.hpp"
 #include "core/fastfit.hpp"
 #include "core/p2p_study.hpp"
 #include "core/pipeline.hpp"
@@ -85,7 +89,8 @@ std::string usage_text() {
       "  fastfit profile <workload> [--ranks N] [--save FILE]\n"
       "                  [--passes LIST]\n"
       "  fastfit study <workload> [--ranks N] [--trials T]\n"
-      "                [--threshold X] [--fault-model NAME] [--no-ml]\n"
+      "                [--threshold X] [--fault-models LIST]\n"
+      "                [--repair on|off] [--no-ml]\n"
       "                [--csv FILE] [--json FILE] [--resume]\n"
       "                [--fragment FILE] [study knobs below]\n"
       "  fastfit merge [--json FILE] [--csv FILE] [--metrics-out FILE]\n"
@@ -165,12 +170,11 @@ std::size_t parse_parallel_trials(const std::string& value) {
   return static_cast<std::size_t>(cfg.parallel_trials);
 }
 
-inject::FaultModel parse_fault_model(const std::string& name) {
-  for (std::size_t m = 0; m < inject::kNumFaultModels; ++m) {
-    const auto model = static_cast<inject::FaultModel>(m);
-    if (name == to_string(model)) return model;
-  }
-  throw ConfigError("unknown fault model: " + name);
+/// --repair on|off (also accepts the knob table's 0|1).
+bool parse_repair(const std::string& value) {
+  if (value == "on" || value == "1") return true;
+  if (value == "off" || value == "0") return false;
+  throw ConfigError("--repair: expected on|off, got '" + value + "'");
 }
 
 int cmd_list() {
@@ -184,6 +188,13 @@ int cmd_list() {
     fault_models += to_string(static_cast<inject::FaultModel>(m));
   }
   std::printf("fault models:   %s\n", fault_models.c_str());
+  std::string triggers;
+  for (std::size_t t = 0; t < inject::kNumFaultTriggers; ++t) {
+    if (t) triggers += ", ";
+    triggers += to_string(static_cast<inject::FaultTrigger>(t));
+  }
+  std::printf("fault triggers: %s  (spec: model[@trigger[=param]])\n",
+              triggers.c_str());
   return 0;
 }
 
@@ -234,8 +245,6 @@ int cmd_study(const std::string& workload_name, const Args& args) {
       static_cast<std::uint32_t>(std::atoi(args.get("trials", "12").c_str()));
   options.campaign.seed =
       std::strtoull(args.get("seed", "258398418711").c_str(), nullptr, 10);
-  options.campaign.fault_model =
-      parse_fault_model(args.get("fault-model", "single-bit-flip"));
   options.use_ml = !args.has("no-ml");
   options.ml.accuracy_threshold =
       std::atof(args.get("threshold", "0.65").c_str());
@@ -247,6 +256,22 @@ int cmd_study(const std::string& workload_name, const Args& args) {
   // Resilience knobs: flags override the FASTFIT_* environment (both are
   // validated by the InjectionConfig parser, so limits match).
   const auto env = InjectionConfig::from_environment();
+
+  // Fault-model axis: --fault-models takes a comma-separated spec list;
+  // --fault-model remains as the single-model spelling. Empty = the
+  // default exact-point single bit flip (pre-v2 behaviour, byte for
+  // byte).
+  std::string fault_models = env.fault_models;
+  if (args.has("fault-model")) fault_models = args.get("fault-model", "");
+  if (args.has("fault-models")) fault_models = args.get("fault-models", "");
+  if (!fault_models.empty()) {
+    options.campaign.fault_models = inject::parse_fault_models(fault_models);
+  }
+  options.campaign.repair = env.repair;
+  if (args.has("repair")) {
+    options.campaign.repair = parse_repair(args.get("repair", "off"));
+  }
+
   options.journal = env.journal;
   options.campaign.max_trial_retries =
       static_cast<std::uint32_t>(env.max_trial_retries);
@@ -370,7 +395,9 @@ int cmd_study(const std::string& workload_name, const Args& args) {
                       core::outcome_distribution(result.measured, kind));
   }
   rows.emplace_back("ALL", core::outcome_distribution(result.measured));
-  std::printf("%s\n", core::render_outcome_table(rows).c_str());
+  std::printf("%s\n",
+              core::render_outcome_table(rows, result.extended_outcomes)
+                  .c_str());
   std::printf("%s", core::render_health(result.health).c_str());
 
   // Always-on stderr report: outcome totals + health, telemetry or not —
@@ -406,7 +433,8 @@ int cmd_study(const std::string& workload_name, const Args& args) {
   }
 
   if (args.has("csv")) {
-    core::write_file(args.get("csv", ""), core::to_csv(result.measured));
+    core::write_file(args.get("csv", ""),
+                     core::to_csv(result.measured, result.extended_outcomes));
     std::printf("wrote %s\n", args.get("csv", "").c_str());
   }
   if (args.has("json")) {
@@ -476,7 +504,9 @@ int cmd_merge(int argc, char** argv) {
                       core::outcome_distribution(result.measured, kind));
   }
   rows.emplace_back("ALL", core::outcome_distribution(result.measured));
-  std::printf("%s\n", core::render_outcome_table(rows).c_str());
+  std::printf("%s\n",
+              core::render_outcome_table(rows, result.extended_outcomes)
+                  .c_str());
   std::printf("%s", core::render_health(result.health).c_str());
 
   if (args.has("json")) {
@@ -484,7 +514,8 @@ int cmd_merge(int argc, char** argv) {
     std::printf("wrote %s\n", args.get("json", "").c_str());
   }
   if (args.has("csv")) {
-    core::write_file(args.get("csv", ""), core::to_csv(result.measured));
+    core::write_file(args.get("csv", ""),
+                     core::to_csv(result.measured, result.extended_outcomes));
     std::printf("wrote %s\n", args.get("csv", "").c_str());
   }
   if (args.has("metrics-out")) {
@@ -500,7 +531,8 @@ int cmd_merge(int argc, char** argv) {
         totals[o] += point.counts[o];
       }
     }
-    for (std::size_t o = 0; o < inject::kNumOutcomes; ++o) {
+    for (std::size_t o = 0;
+         o < inject::active_outcomes(result.extended_outcomes); ++o) {
       const std::string labels =
           "outcome=\"" +
           std::string(inject::to_string(static_cast<inject::Outcome>(o))) +
