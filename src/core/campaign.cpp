@@ -92,6 +92,16 @@ Campaign::Campaign(const apps::Workload& workload, CampaignOptions options)
       }
     }
   }
+  // Real-signal manifestations kill the entire trial process; without
+  // the fork-server backend that process is the campaign itself.
+  for (const auto& spec : options_.fault_models) {
+    if (inject::is_signal_model(spec.model) &&
+        options_.isolation != IsolationMode::Process) {
+      throw ConfigError("Campaign: fault model '" + spec.canonical() +
+                        "' raises a genuine signal and requires "
+                        "--isolation process");
+    }
+  }
   if (options_.watchdog_storm_fraction <= 0.0 ||
       options_.watchdog_storm_fraction > 1.0) {
     throw ConfigError("Campaign: watchdog_storm_fraction must be in (0, 1]");
@@ -301,6 +311,11 @@ CampaignHealth Campaign::health() const noexcept {
       leaked_threads_total_.load(std::memory_order_relaxed);
   h.leaked_rank_threads =
       leaked_threads_outstanding_.load(std::memory_order_relaxed);
+  h.worker_deaths = worker_deaths_.load(std::memory_order_relaxed);
+  h.worker_lease_kills =
+      worker_lease_kills_.load(std::memory_order_relaxed);
+  h.isolation_fallbacks =
+      isolation_fallbacks_.load(std::memory_order_relaxed);
   return h;
 }
 
@@ -455,6 +470,93 @@ inject::TrialForensics Campaign::execute_trial(
                                          golden_digest_);
 }
 
+void Campaign::warm_snapshots(std::span<const InjectionPoint> points) {
+  if (!snapshot_cache_ || snapshot_cache_->disabled()) return;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> warmed;
+  for (const auto& point : points) {
+    if (!inject::is_replayable(point.fault)) continue;
+    if (!warmed.insert({point.site_id, point.invocation}).second) continue;
+    (void)snapshot_cache_->warm(point.site_id, point.invocation,
+                                [this] { return build_recording(); });
+    if (snapshot_cache_->disabled()) return;
+  }
+}
+
+inject::TrialForensics Campaign::dispatch_trial(
+    const InjectionPoint& point, std::uint64_t trial,
+    std::chrono::milliseconds watchdog) {
+  ProcPool* pool = active_pool_.load(std::memory_order_acquire);
+  if (pool != nullptr && !pool->degraded()) {
+    procpool::WorkItem item;
+    item.site_id = point.site_id;
+    item.rank = point.rank;
+    item.invocation = point.invocation;
+    item.param = static_cast<std::uint8_t>(point.param);
+    item.fault = point.fault;
+    item.trial = trial;
+    item.watchdog_ms = static_cast<std::uint64_t>(watchdog.count());
+    // The in-world watchdog is the real trial timeout; the lease is a
+    // generous backstop that only catches a wedged worker *process*
+    // (e.g. one that inherited a locked mutex across fork).
+    const auto lease = options_.worker_lease.value_or(
+        std::max<std::chrono::milliseconds>(
+            60'000ms, watchdog * 4 + std::chrono::milliseconds(10'000)));
+    const auto result = pool->run(item, lease);
+    switch (result.kind) {
+      case ProcPool::Result::Kind::Completed: {
+        if (!result.reply.ok) {
+          // A contained worker-side failure re-enters the guard exactly
+          // like an in-process internal error would.
+          throw InternalError("worker: " + result.reply.error);
+        }
+        trials_run_.fetch_add(1, std::memory_order_relaxed);
+        if (result.reply.leaked_threads > 0) {
+          // The child's quarantined threads died with the child; they are
+          // accounted (for health parity with the thread backend) but can
+          // never still be running in this process.
+          leaked_threads_total_.fetch_add(result.reply.leaked_threads,
+                                          std::memory_order_relaxed);
+        }
+        inject::TrialForensics forensics;
+        forensics.outcome = result.reply.outcome;
+        forensics.deterministic_hang = result.reply.deterministic_hang;
+        forensics.autopsy = result.reply.autopsy;
+        return forensics;
+      }
+      case ProcPool::Result::Kind::SignalDeath: {
+        trials_run_.fetch_add(1, std::memory_order_relaxed);
+        worker_deaths_.fetch_add(1, std::memory_order_relaxed);
+        inject::TrialForensics forensics;
+        forensics.outcome = inject::Outcome::SegFault;
+        forensics.autopsy =
+            describe_worker_death(result.signal, result.user_us,
+                                  result.sys_us, result.maxrss_kb);
+        return forensics;
+      }
+      case ProcPool::Result::Kind::LeaseExpired:
+        worker_lease_kills_.fetch_add(1, std::memory_order_relaxed);
+        throw InternalError(result.error);
+      case ProcPool::Result::Kind::LaneFailure:
+        throw InternalError(result.error);
+    }
+    throw InternalError("dispatch_trial: unknown worker result");
+  }
+  if (inject::is_signal_model(point.fault.model)) {
+    // Never raise a real signal inside the campaign process: with the
+    // pool gone this trial cannot run, so it takes the retry → quarantine
+    // ladder instead of the in-process fallback.
+    throw InternalError(
+        "fault model '" + point.fault.canonical() +
+        "' needs a live worker pool (process isolation degraded)");
+  }
+  if (pool != nullptr) {
+    // Degraded pool, non-signal model: graceful in-process fallback,
+    // recorded in CampaignHealth (results are identical either way).
+    isolation_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return run_trial(point, trial, watchdog);
+}
+
 TrialRunner::Attempt Campaign::run_guarded(
     const InjectionPoint& point, std::uint64_t trial,
     std::chrono::milliseconds watchdog) {
@@ -465,7 +567,7 @@ TrialRunner::Attempt Campaign::run_guarded(
     const std::string site = "attempt " + std::to_string(tries + 1) + " on " +
                              execution_site() + ": ";
     try {
-      const auto forensics = run_trial(point, trial, watchdog);
+      const auto forensics = dispatch_trial(point, trial, watchdog);
       attempt.outcome = forensics.outcome;
       attempt.deterministic_hang = forensics.deterministic_hang;
       attempt.autopsy = forensics.autopsy;
@@ -536,6 +638,64 @@ std::vector<PointResult> Campaign::measure_impl(
   batch_span.arg("points", std::to_string(points.size()));
   batch_span.arg("trials", std::to_string(trials));
   batch_span.arg("pool", std::to_string(pool));
+  batch_span.arg("isolation", to_string(options_.isolation));
+
+  // Process isolation: fork the lane servers now, from the quietest
+  // moment this measure has — before the trial pool spawns threads, and
+  // after pre-paying the snapshot recording so every worker inherits it
+  // instead of rebuilding it per child.
+  std::unique_ptr<ProcPool> proc_pool;
+  if (options_.isolation == IsolationMode::Process) {
+    warm_snapshots(points);
+    ProcPool::Options pool_options;
+    pool_options.lanes = std::max<std::size_t>(1, pool);
+    pool_options.respawn_budget = pool_options.lanes * 2 + 2;
+    // Forked servers may have inherited a recorder mutex mid-lock from
+    // some other supervisor thread; worker-side telemetry is lost either
+    // way (parent-side sinks carry the counters that matter), so turn
+    // the recorder off outright in the worker tree.
+    pool_options.child_init = [] { tel::Recorder::instance().disable(); };
+    proc_pool = std::make_unique<ProcPool>(
+        pool_options, [this](const procpool::WorkItem& item) {
+          // Runs inside the single-use trial child. Never throws: a
+          // contained failure travels back as TrialReply::error and
+          // re-enters the supervisor-side retry guard.
+          procpool::TrialReply reply;
+          try {
+            InjectionPoint point;
+            point.site_id = item.site_id;
+            point.rank = item.rank;
+            point.invocation = item.invocation;
+            point.param = static_cast<mpi::Param>(item.param);
+            point.fault = item.fault;
+            const auto leaks_before =
+                leaked_threads_total_.load(std::memory_order_relaxed);
+            const auto forensics = run_trial(
+                point, item.trial,
+                std::chrono::milliseconds(
+                    static_cast<std::int64_t>(item.watchdog_ms)));
+            reply.ok = true;
+            reply.outcome = forensics.outcome;
+            reply.deterministic_hang = forensics.deterministic_hang;
+            reply.autopsy = forensics.autopsy;
+            reply.leaked_threads = static_cast<std::uint32_t>(
+                leaked_threads_total_.load(std::memory_order_relaxed) -
+                leaks_before);
+          } catch (const std::exception& e) {
+            reply.ok = false;
+            reply.error = e.what();
+          } catch (...) {
+            reply.ok = false;
+            reply.error = "unknown worker error";
+          }
+          return reply;
+        });
+    active_pool_.store(proc_pool.get(), std::memory_order_release);
+  }
+  struct PoolGuard {
+    std::atomic<ProcPool*>& slot;
+    ~PoolGuard() { slot.store(nullptr, std::memory_order_release); }
+  } pool_guard{active_pool_};
 
   // The scheduler owns the (point, trial) job matrix — replay, concurrent
   // execution, storm response, escalated re-confirmation, deterministic

@@ -28,6 +28,7 @@
 #include "core/enumerate.hpp"
 #include "core/journal.hpp"
 #include "core/points.hpp"
+#include "core/procpool.hpp"
 #include "core/scheduler.hpp"
 #include "core/shard.hpp"
 #include "core/snapshot_cache.hpp"
@@ -127,6 +128,20 @@ struct CampaignOptions {
   /// FASTFIT_SNAPSHOT_CACHE_MB): bounds the recording payload plus all
   /// derived per-cut snapshots. Must be >= 1.
   std::uint64_t snapshot_cache_mb = 256;
+  /// Trial execution backend (--isolation, FASTFIT_ISOLATION). `Thread`
+  /// (default) runs trials in-process on rank threads — pre-existing
+  /// behaviour bit for bit. `Process` dispatches each trial to a fresh
+  /// child of a per-lane fork-server (core/procpool.hpp): worker death
+  /// by a real signal classifies SEG_FAULT instead of killing the
+  /// campaign; results for non-signal fault models stay byte-identical
+  /// to the thread backend.
+  IsolationMode isolation = IsolationMode::Thread;
+  /// Per-trial lease for process-isolated workers: past this deadline
+  /// the whole lane process group is SIGKILLed and the trial re-enters
+  /// the retry-with-quarantine guard. Unset = a generous backstop
+  /// derived from the watchdog (the in-world watchdog is the real
+  /// timeout; the lease only catches a wedged worker process).
+  std::optional<std::chrono::milliseconds> worker_lease;
 };
 
 /// Aggregate campaign health: what the resilience machinery had to do.
@@ -140,10 +155,18 @@ struct CampaignHealth {
   std::uint64_t deterministic_deadlocks = 0; ///< monitor-proven INF_LOOPs
   std::uint64_t quarantined_rank_threads = 0; ///< threads ever quarantined
   std::uint64_t leaked_rank_threads = 0;     ///< quarantined threads still running
+  std::uint64_t worker_deaths = 0;           ///< workers killed by a real signal
+  std::uint64_t worker_lease_kills = 0;      ///< workers SIGKILLed past the lease
+  std::uint64_t isolation_fallbacks = 0;     ///< trials run in-process post-degradation
 
   /// True when no point was quarantined and no rank thread is still
   /// leaked (retries, confirmations, and deterministic verdicts are
   /// routine; quarantine and leaks mean lost coverage or held resources).
+  /// Worker deaths are *data* (the classified SEG_FAULT outcomes), lease
+  /// kills feed the retry ladder whose terminal state is quarantine, and
+  /// degradation fallbacks still produce correct results — none of the
+  /// worker counters flips a run unclean on its own, so exit codes stay
+  /// 0/2/1-consistent with quarantine and leaks alone.
   bool clean() const noexcept {
     return quarantined_points == 0 && leaked_rank_threads == 0;
   }
@@ -269,7 +292,13 @@ class Campaign : private TrialRunner {
   std::atomic<std::uint64_t> deterministic_deadlocks_{0};
   std::atomic<std::uint64_t> leaked_threads_total_{0};
   std::atomic<std::uint64_t> leaked_threads_outstanding_{0};
+  std::atomic<std::uint64_t> worker_deaths_{0};
+  std::atomic<std::uint64_t> worker_lease_kills_{0};
+  std::atomic<std::uint64_t> isolation_fallbacks_{0};
   std::atomic<int> measuring_{0};
+  /// Live only while a process-isolated measure is in flight; run_guarded
+  /// dispatches through it instead of running the trial in-process.
+  std::atomic<ProcPool*> active_pool_{nullptr};
 
   /// One injected execution: fresh Injector + World + ContextRegistry.
   /// Thread-safe after profile(): touches only immutable campaign state.
@@ -303,6 +332,21 @@ class Campaign : private TrialRunner {
   /// Key of this campaign's configuration in the process-wide golden
   /// cache.
   std::string golden_key() const;
+
+  /// Routes one trial to the right backend: the live worker pool under
+  /// process isolation (worker death → SEG_FAULT forensics, lease
+  /// expiry/lane loss → InternalError for the retry guard), or the
+  /// in-process run_trial otherwise — including the degraded-pool
+  /// fallback, which is refused for signal models (a real signal must
+  /// never fire inside the campaign process).
+  inject::TrialForensics dispatch_trial(const InjectionPoint& point,
+                                        std::uint64_t trial,
+                                        std::chrono::milliseconds watchdog);
+
+  /// Pre-derives the snapshot recording + cuts for every replayable point
+  /// of the batch, so forked workers inherit them instead of each child
+  /// re-paying the recording cost.
+  void warm_snapshots(std::span<const InjectionPoint> points);
 
   /// TrialRunner: supervised execution of one trial — retries internal
   /// (non-fault) failures with exponential backoff up to

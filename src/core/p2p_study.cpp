@@ -104,8 +104,12 @@ P2pPointResult measure_p2p(Campaign& campaign, const P2pInjectionPoint& point,
     // model; the p2p injector has no trigger/message/death machinery.
     const auto& fault = campaign.options().fault_models.front();
     if (!inject::is_parameter_model(fault.model)) {
+      // Defense in depth: the CLI rejects this at parse time; direct API
+      // callers get the same actionable message here.
       throw ConfigError("measure_p2p: fault model '" + fault.canonical() +
-                        "' has no p2p parameter manifestation");
+                        "' has no p2p parameter manifestation; supported "
+                        "families: " +
+                        inject::parameter_fault_model_names());
     }
     spec.model = fault.model;
     spec.trial = t;  // P2pFaultSpec::stream_index mixes in the coordinates

@@ -211,6 +211,18 @@ std::string render_health(const CampaignHealth& health) {
         << health.quarantined_rank_threads << " ("
         << health.leaked_rank_threads << " still running)\n";
   }
+  if (health.worker_deaths > 0) {
+    out << "  worker signal deaths:         " << health.worker_deaths
+        << " (classified SEG_FAULT)\n";
+  }
+  if (health.worker_lease_kills > 0) {
+    out << "  worker lease kills:           " << health.worker_lease_kills
+        << '\n';
+  }
+  if (health.isolation_fallbacks > 0) {
+    out << "  isolation fallbacks:          " << health.isolation_fallbacks
+        << " (pool degraded, ran in-process)\n";
+  }
   return out.str();
 }
 

@@ -7,7 +7,10 @@
 // watchdog-storm response, escalated uncontended INF_LOOP
 // re-confirmation, and the final deterministic aggregation in
 // (point, trial) order. It is engine-agnostic — trials execute through
-// the narrow TrialRunner interface (implemented by Campaign) — and
+// the narrow TrialRunner interface (implemented by Campaign, which
+// routes each run_guarded call either to in-process rank threads or to
+// the fork-server worker pool, per the --isolation knob; the scheduler
+// never knows which backend ran a trial) — and
 // result-agnostic: every recorded outcome fans out to OutcomeSink
 // observers (report accumulator, telemetry counters, journal
 // write-through), so the scheduler itself never knows what a report is.

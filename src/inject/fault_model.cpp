@@ -1,6 +1,7 @@
 #include "inject/fault_model.hpp"
 
 #include <charconv>
+#include <csignal>
 #include <sstream>
 
 #include "support/bitops.hpp"
@@ -19,8 +20,35 @@ const char* to_string(FaultModel model) noexcept {
     case FaultModel::MessageDelay: return "message-delay";
     case FaultModel::MessageDrop: return "message-drop";
     case FaultModel::RankDeath: return "rank-death";
+    case FaultModel::SigSegv: return "sigsegv";
+    case FaultModel::SigBus: return "sigbus";
+    case FaultModel::SigFpe: return "sigfpe";
+    case FaultModel::SigAbrt: return "sigabrt";
   }
   return "unknown";
+}
+
+int signal_number(FaultModel model) {
+  switch (model) {
+    case FaultModel::SigSegv: return SIGSEGV;
+    case FaultModel::SigBus: return SIGBUS;
+    case FaultModel::SigFpe: return SIGFPE;
+    case FaultModel::SigAbrt: return SIGABRT;
+    default:
+      throw InternalError(std::string("signal_number: ") + to_string(model) +
+                          " is not a signal manifestation");
+  }
+}
+
+std::string parameter_fault_model_names() {
+  std::string joined;
+  for (std::size_t m = 0; m < kNumFaultModels; ++m) {
+    const auto model = static_cast<FaultModel>(m);
+    if (!is_parameter_model(model)) continue;
+    if (!joined.empty()) joined += ", ";
+    joined += to_string(model);
+  }
+  return joined;
 }
 
 const char* to_string(FaultTrigger trigger) noexcept {
@@ -195,6 +223,10 @@ bool mutate_bytes(std::span<std::byte> bytes, FaultModel model,
     case FaultModel::MessageDelay:
     case FaultModel::MessageDrop:
     case FaultModel::RankDeath:
+    case FaultModel::SigSegv:
+    case FaultModel::SigBus:
+    case FaultModel::SigFpe:
+    case FaultModel::SigAbrt:
       throw InternalError(
           std::string("mutate_bytes: ") + to_string(model) +
           " has no byte-range manifestation");

@@ -38,9 +38,18 @@ enum class FaultModel : std::uint8_t {
   MessageDelay = 6,    ///< one outgoing message held back, delivered late
   MessageDrop = 7,     ///< one outgoing message silently discarded
   RankDeath = 8,       ///< fail-stop: the rank dies at the trigger point
+  // Real-signal manifestations: the injected rank raises a genuine POSIX
+  // signal at the trigger point, killing the whole trial process. Only
+  // valid under --isolation process (Campaign rejects them otherwise);
+  // the fork-server supervisor classifies the worker's death SEG_FAULT
+  // with the signal number and rusage as forensics.
+  SigSegv = 9,   ///< raise(SIGSEGV)
+  SigBus = 10,   ///< raise(SIGBUS)
+  SigFpe = 11,   ///< raise(SIGFPE)
+  SigAbrt = 12,  ///< raise(SIGABRT)
 };
 
-inline constexpr std::size_t kNumFaultModels = 9;
+inline constexpr std::size_t kNumFaultModels = 13;
 
 /// Manifestations that mutate a call parameter in place (the bit/byte
 /// mutators). Only these flow through corrupt_parameter/mutate_bytes.
@@ -56,6 +65,18 @@ constexpr bool is_message_model(FaultModel model) noexcept {
   return model == FaultModel::MessageCorrupt ||
          model == FaultModel::MessageDelay || model == FaultModel::MessageDrop;
 }
+
+/// Manifestations that raise a genuine POSIX signal, killing the trial
+/// process. Require process isolation; the campaign refuses them under
+/// the in-process thread backend.
+constexpr bool is_signal_model(FaultModel model) noexcept {
+  return model == FaultModel::SigSegv || model == FaultModel::SigBus ||
+         model == FaultModel::SigFpe || model == FaultModel::SigAbrt;
+}
+
+/// The POSIX signal number a signal manifestation raises. Throws
+/// InternalError for non-signal models.
+int signal_number(FaultModel model);
 
 const char* to_string(FaultModel model) noexcept;
 
@@ -107,6 +128,11 @@ std::vector<FaultModelSpec> parse_fault_models(const std::string& list);
 
 /// Comma-joined canonical forms, the inverse of parse_fault_models.
 std::string canonical_fault_models(const std::vector<FaultModelSpec>& specs);
+
+/// Comma-joined names of the parameter-mutation family ("single-bit-flip,
+/// double-bit-flip, ..."), for error messages that must list what a
+/// parameter-only surface (e.g. the p2p study) supports.
+std::string parameter_fault_model_names();
 
 /// True when a trial under this spec may take the snapshot fast path.
 /// Message-level and fail-stop manifestations perturb transport state the

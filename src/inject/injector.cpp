@@ -1,5 +1,7 @@
 #include "inject/injector.hpp"
 
+#include <csignal>
+
 #include "inject/corrupt.hpp"
 #include "minimpi/mpi.hpp"
 #include "support/error.hpp"
@@ -53,6 +55,18 @@ void Injector::manifest(mpi::CollectiveCall& call, mpi::Mpi& mpi) {
     // the fault.
     transport_armed_.store(true, std::memory_order_release);
     return;
+  }
+  if (is_signal_model(model)) {
+    // Genuine signal on the injected rank's thread: the default
+    // disposition kills the entire trial process, which is the point —
+    // the fork-server supervisor classifies the death SEG_FAULT. Only
+    // reachable under process isolation (Campaign rejects signal models
+    // for the in-process backend at construction).
+    std::raise(signal_number(model));
+    // raise() returning means something intercepted the signal; that is
+    // a harness condition, not a trial outcome.
+    throw InternalError(std::string("Injector: ") + to_string(model) +
+                        " survived raise(); signal intercepted?");
   }
   // Fail-stop: this rank dies here, mid-collective, on its own thread.
   throw RankKilled(spec_.rank, "rank " + std::to_string(spec_.rank) +

@@ -18,7 +18,9 @@ enum class Outcome : std::uint8_t {
   Success = 0,      ///< clean exit, answer matches the fault-free run
   AppDetected = 1,  ///< the program's own error handling reported the fault
   MpiErr = 2,       ///< the MPI environment reported an error
-  SegFault = 3,     ///< (simulated) segmentation fault
+  SegFault = 3,     ///< segmentation fault: simulated via the bounds
+                    ///< registry, or — under --isolation process — a
+                    ///< genuine signal death of the trial worker
   WrongAns = 4,     ///< clean exit, answer differs from the fault-free run
   InfLoop = 5,      ///< the job hung and was killed by the watchdog
   RankDead = 6,     ///< fail-stop rank death tore the job down

@@ -59,6 +59,8 @@ constexpr ConfigKnob kKnobs[] = {
      "fault models, comma-separated model[@trigger[=param]] specs"},
     {"FASTFIT_REPAIR", "repair", "0|1",
      "ULFM-style shrink-and-continue after rank death (default off)"},
+    {"FASTFIT_ISOLATION", "isolation", "thread|process",
+     "trial backend: in-process threads or fork-server workers"},
     {"FASTFIT_SNAPSHOTS", "snapshots", "on|off|auto",
      "prefix-replay world snapshots (default auto)"},
     {"FASTFIT_SNAPSHOT_CACHE_MB", "snapshot-cache-mb", "MB",
@@ -139,6 +141,13 @@ InjectionConfig InjectionConfig::from_map(
       cfg.fault_models = value;
     } else if (key == "FASTFIT_REPAIR") {
       cfg.repair = parse_u64(key, value, 1) != 0;
+    } else if (key == "FASTFIT_ISOLATION") {
+      if (value != "thread" && value != "process") {
+        throw ConfigError(
+            "FASTFIT_ISOLATION: must be one of thread|process, got '" +
+            value + "'");
+      }
+      cfg.isolation = value;
     } else if (key == "FASTFIT_SNAPSHOTS") {
       if (value != "on" && value != "off" && value != "auto") {
         throw ConfigError(
@@ -199,6 +208,7 @@ std::map<std::string, std::string> InjectionConfig::to_map() const {
   if (!passes.empty()) kv["FASTFIT_PASSES"] = passes;
   if (!fault_models.empty()) kv["FASTFIT_FAULT_MODELS"] = fault_models;
   if (repair) kv["FASTFIT_REPAIR"] = "1";
+  if (isolation != "thread") kv["FASTFIT_ISOLATION"] = isolation;
   if (snapshots != "auto") kv["FASTFIT_SNAPSHOTS"] = snapshots;
   if (snapshot_cache_mb != 256) {
     kv["FASTFIT_SNAPSHOT_CACHE_MB"] = std::to_string(snapshot_cache_mb);

@@ -95,6 +95,11 @@ struct InjectionConfig {
   /// (FASTFIT_REPAIR); 0 = off (default): a death poisons the world and
   /// classifies RANK_DEAD.
   bool repair = false;
+  /// Trial execution backend (FASTFIT_ISOLATION): "thread" (default,
+  /// in-process rank threads) or "process" (fork-server workers; real
+  /// signals become classifiable as SEG_FAULT). Kept as validated text
+  /// here; the mode enum lives in core/procpool.hpp.
+  std::string isolation = "thread";
   /// Prefix-replay world snapshots (FASTFIT_SNAPSHOTS): "on", "off", or
   /// "auto" (default). Kept as validated text here; the mode enum lives
   /// in core/snapshot_cache.hpp.

@@ -5,6 +5,7 @@
 
 #include "apps/registry.hpp"
 #include "core/p2p_study.hpp"
+#include "support/error.hpp"
 
 namespace fastfit::core {
 namespace {
@@ -125,6 +126,28 @@ TEST(P2pStudy, MeasurementIsDeterministic) {
   const auto r1 = measure_p2p(c1, e.points.front(), 6);
   const auto r2 = measure_p2p(c2, e.points.front(), 6);
   EXPECT_EQ(r1.counts, r2.counts);
+}
+
+TEST(P2pStudy, NonParameterFaultModelIsRejectedWithFamilies) {
+  // The CLI fails fast at parse time; the library-level guard must give
+  // direct API callers the same actionable message, naming the supported
+  // parameter families.
+  const auto workload = apps::make_workload("LU");
+  auto opts = small_options();
+  opts.fault_models = {inject::FaultModelSpec::parse("rank-death")};
+  Campaign campaign(*workload, opts);
+  campaign.profile();
+  const auto e = enumerate_p2p_points(campaign.profiler());
+  ASSERT_FALSE(e.points.empty());
+  try {
+    measure_p2p(campaign, e.points.front(), 1);
+    FAIL() << "rank-death must have no p2p manifestation";
+  } catch (const ConfigError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("rank-death"), std::string::npos);
+    EXPECT_NE(what.find("supported families"), std::string::npos);
+    EXPECT_NE(what.find("single-bit-flip"), std::string::npos);
+  }
 }
 
 TEST(P2pStudy, SpecDescribe) {

@@ -327,6 +327,7 @@ TEST(Config, KnobTableIsCompleteAndConsistent) {
       {"FASTFIT_SNAPSHOT_CACHE_MB", "64"},
       {"FASTFIT_FAULT_MODELS", "single-bit-flip,rank-death"},
       {"FASTFIT_REPAIR", "1"},
+      {"FASTFIT_ISOLATION", "process"},
   };
   std::set<std::string> envs;
   std::set<std::string> flags;
@@ -348,6 +349,19 @@ TEST(Config, KnobTableIsCompleteAndConsistent) {
   for (const auto& [env, value] : sample_values) {
     EXPECT_TRUE(envs.count(env)) << env << " accepted but not in the table";
   }
+}
+
+TEST(Config, IsolationKnobValidates) {
+  const auto cfg =
+      InjectionConfig::from_map({{"FASTFIT_ISOLATION", "process"}});
+  EXPECT_EQ(cfg.isolation, "process");
+  EXPECT_EQ(InjectionConfig{}.isolation, "thread");
+  EXPECT_THROW(InjectionConfig::from_map({{"FASTFIT_ISOLATION", "fork"}}),
+               ConfigError);
+  // Non-default round-trips through to_map; the default is omitted so
+  // pre-existing serialized configs stay byte-identical.
+  EXPECT_TRUE(cfg.to_map().count("FASTFIT_ISOLATION"));
+  EXPECT_FALSE(InjectionConfig{}.to_map().count("FASTFIT_ISOLATION"));
 }
 
 TEST(Config, SnapshotKnobsValidate) {

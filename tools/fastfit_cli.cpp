@@ -37,9 +37,12 @@
 //       fragments belong to one campaign and tile it exactly.
 //
 //   fastfit p2p <workload> [--ranks N] [--trials T] [--points K]
+//                [--fault-models LIST]
 //       The point-to-point extension study (Sec VIII future work):
 //       pruning statistics and per-parameter response distributions for
-//       the workload's send/recv calls.
+//       the workload's send/recv calls. Only parameter-mutation fault
+//       models apply; anything else is rejected at parse time with the
+//       supported families listed.
 //
 // Exit codes: 0 clean success, 2 study completed but unhealthy —
 // quarantined points (results are partial for those points) or rank
@@ -96,6 +99,7 @@ std::string usage_text() {
       "  fastfit merge [--json FILE] [--csv FILE] [--metrics-out FILE]\n"
       "                FRAGMENT...\n"
       "  fastfit p2p <workload> [--ranks N] [--trials T] [--points K]\n"
+      "              [--fault-models LIST]  (parameter models only)\n"
       "\n"
       "study knobs (each --flag has an environment-variable alias;\n"
       "flags win):\n";
@@ -271,6 +275,17 @@ int cmd_study(const std::string& workload_name, const Args& args) {
   if (args.has("repair")) {
     options.campaign.repair = parse_repair(args.get("repair", "off"));
   }
+
+  // Trial isolation backend: thread (default, in-process) or process
+  // (fork-server workers — required for the real-signal fault models,
+  // which Campaign enforces at construction).
+  std::string isolation = env.isolation;
+  if (args.has("isolation")) {
+    isolation = InjectionConfig::from_map(
+                    {{"FASTFIT_ISOLATION", args.get("isolation", "thread")}})
+                    .isolation;
+  }
+  options.campaign.isolation = core::parse_isolation_mode(isolation);
 
   options.journal = env.journal;
   options.campaign.max_trial_retries =
@@ -577,6 +592,29 @@ int cmd_p2p(const std::string& workload_name, const Args& args) {
       static_cast<std::uint32_t>(std::atoi(args.get("trials", "8").c_str()));
   options.campaign.trials_per_point = trials;
   options.use_ml = false;
+
+  // Fail fast on the fault-model axis: the p2p injector only has
+  // parameter manifestations, so reject anything else here at parse
+  // time — with the supported families spelled out — instead of letting
+  // measure_p2p throw mid-study after the profiling run.
+  const auto env = InjectionConfig::from_environment();
+  std::string fault_models = env.fault_models;
+  if (args.has("fault-model")) fault_models = args.get("fault-model", "");
+  if (args.has("fault-models")) fault_models = args.get("fault-models", "");
+  if (!fault_models.empty()) {
+    const auto specs = inject::parse_fault_models(fault_models);
+    for (const auto& spec : specs) {
+      if (!inject::is_parameter_model(spec.model)) {
+        throw ConfigError(
+            "p2p: fault model '" + spec.canonical() +
+            "' has no point-to-point parameter manifestation; supported "
+            "families: " +
+            inject::parameter_fault_model_names());
+      }
+    }
+    options.campaign.fault_models = specs;
+  }
+
   core::StudyDriver driver(*workload, std::move(options));
   driver.profile();
   auto& campaign = driver.campaign();
