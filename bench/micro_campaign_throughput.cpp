@@ -186,6 +186,109 @@ int main() {
          << ", \"speedup\": " << tps / serial_tps
          << ", \"timeout_confirmations\": " << confirmations << "}";
   }
+  // Engine matrix: thread-per-rank (the pre-fiber substrate, "before")
+  // vs resumable fibers ("after") at 1/2/4/8 lanes, at study scale
+  // (128-rank rendezvous-dominated LU — the regime the substrate swap
+  // targets). Per trial, the thread engine pays nranks thread
+  // spawn/joins and a condition-variable wakeup per mailbox rendezvous,
+  // and oversubscribes the host by lanes*nranks threads — on small hosts
+  // that made lane scaling *negative*. Fiber trials are one OS thread
+  // each: lanes add exactly lanes threads, rendezvous is a direct
+  // context switch, and the per-trial spawn cost disappears. Speedups
+  // are against the thread-engine serial baseline.
+  json << "\n  ],\n  \"engine_matrix\": [";
+  {
+    // 128 ranks x 4 points x 6 trials: enough jobs per lane (24 over 8
+    // lanes) that per-lane warmup (stack pools, allocator arenas)
+    // amortizes, while one cell still finishes in seconds on one core.
+    const int matrix_ranks =
+        static_cast<int>(bench::env_u64("FASTFIT_BENCH_MATRIX_RANKS", 128));
+    const auto matrix_max_points = static_cast<std::size_t>(
+        bench::env_u64("FASTFIT_BENCH_MATRIX_POINTS", 4));
+    const auto matrix_trials = static_cast<std::uint32_t>(
+        bench::env_u64("FASTFIT_BENCH_MATRIX_TRIALS", 6));
+    apps::LuConfig matrix_lu;
+    matrix_lu.npoints = static_cast<int>(bench::env_u64(
+        "FASTFIT_BENCH_MATRIX_NPOINTS",
+        static_cast<std::uint64_t>(2 * matrix_ranks)));
+    matrix_lu.iterations = static_cast<int>(
+        bench::env_u64("FASTFIT_BENCH_MATRIX_ITERS", 64));
+    const apps::MiniLU matrix_workload(matrix_lu);
+    core::CampaignOptions moptions;
+    moptions.nranks = matrix_ranks;
+    moptions.trials_per_point = matrix_trials;
+    moptions.seed = bench::bench_seed();
+    moptions.snapshots = core::SnapshotMode::Off;  // substrate, not replay
+
+    double thread_serial_tps = 0.0;
+    std::vector<PointResult> matrix_baseline;
+    bool first_row = true;
+    const mpi::WorldEngine engines[2] = {mpi::WorldEngine::Threads,
+                                         mpi::WorldEngine::Fibers};
+    for (const auto engine : engines) {
+      core::CampaignOptions eoptions = moptions;
+      eoptions.engine = engine;
+      const auto edriver = bench::profiled_driver(matrix_workload, eoptions);
+      auto& ecampaign = edriver->campaign();
+      auto mpoints = ecampaign.enumeration().points;
+      if (mpoints.size() > matrix_max_points) {
+        mpoints.resize(matrix_max_points);
+      }
+      const double matrix_total = static_cast<double>(mpoints.size()) *
+                                  static_cast<double>(matrix_trials);
+      for (const std::size_t lanes : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
+        ecampaign.set_max_parallel_trials(lanes);
+        const auto t_e = std::chrono::steady_clock::now();
+        const auto results = ecampaign.measure_many(
+            std::span<const InjectionPoint>(mpoints.data(), mpoints.size()),
+            matrix_trials);
+        const double sec = seconds_since(t_e);
+        const double tps = sec > 0.0 ? matrix_total / sec : 0.0;
+        if (engine == mpi::WorldEngine::Threads && lanes == 1) {
+          thread_serial_tps = tps;
+          matrix_baseline = results;
+        }
+        const double speedup =
+            thread_serial_tps > 0.0 ? tps / thread_serial_tps : 0.0;
+        // Bit-identity under parallelism is the *fiber* engine's
+        // contract. Oversubscribed thread pools (lanes * nranks threads
+        // on this host) can flip a borderline trial across the watchdog
+        // — the exact pathology the substrate swap removes — so thread
+        // rows beyond serial are reported, not enforced.
+        const bool enforced = engine == mpi::WorldEngine::Fibers ||
+                              lanes == 1;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          if (results[i].counts != matrix_baseline[i].counts) {
+            if (enforced) identical = false;
+            std::printf("  engine-matrix %s at point %zu (%s, pool=%zu)\n",
+                        enforced ? "mismatch"
+                                 : "divergence (oversubscribed threads, "
+                                   "not enforced)",
+                        i, mpi::to_string(engine), lanes);
+          }
+        }
+        std::printf("%-28s %8.1f trials/sec  (%.2fs, speedup %.2fx vs "
+                    "thread serial)\n",
+                    (std::string(mpi::to_string(engine)) + " pool=" +
+                     std::to_string(lanes))
+                        .c_str(),
+                    tps, sec, speedup);
+        if (!first_row) json << ",";
+        first_row = false;
+        json << "\n    {\"engine\": \"" << mpi::to_string(engine)
+             << "\", \"lanes\": " << lanes
+             << ", \"trials_per_sec\": " << tps
+             << ", \"speedup\": " << speedup << "}";
+        if (engine == mpi::WorldEngine::Fibers && lanes == 8) {
+          std::printf("engine speedup: %.2fx fiber pool-8 vs thread serial "
+                      "(target >= 3x)\n",
+                      speedup);
+        }
+      }
+    }
+  }
+
   // Journal write-through overhead: the same serial batch with a durable
   // trial journal attached (every outcome fsync-batched to disk), then a
   // pure replay pass where every trial is served from the journal instead

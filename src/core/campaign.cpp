@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "core/pipeline.hpp"
+#include "core/recording_io.hpp"
 #include "core/trial_executor.hpp"
 #include "inject/injector.hpp"
 #include "minimpi/quarantine.hpp"
@@ -127,9 +128,13 @@ Campaign::Campaign(const apps::Workload& workload, CampaignOptions options)
     snapshot_cache_ = std::make_unique<SnapshotCache>(
         static_cast<std::size_t>(options_.snapshot_cache_mb) * 1024 * 1024);
   }
+  recording_file_ = options_.recording_path;
 }
 
 std::string Campaign::golden_key() const {
+  // Deliberately engine-free: both substrates produce identical digests
+  // and wall times of the same order, so a fiber golden run is valid for
+  // a thread campaign and vice versa.
   return workload_->name() + '|' + workload_->params_key() + '|' +
          std::to_string(options_.nranks) + '|' +
          std::to_string(options_.seed) + '|' +
@@ -150,6 +155,7 @@ std::pair<std::uint64_t, std::chrono::milliseconds> Campaign::run_golden(
   }
   mpi::WorldOptions opts;
   opts.nranks = options_.nranks;
+  opts.engine = options_.engine;
   opts.seed = options_.seed;
   opts.algorithms = options_.algorithms;
   opts.watchdog = watchdog_budget;
@@ -199,6 +205,7 @@ void Campaign::profile() {
   profiler_ = std::make_shared<profile::Profiler>(*contexts_);
   mpi::WorldOptions profile_opts;
   profile_opts.nranks = options_.nranks;
+  profile_opts.engine = options_.engine;
   profile_opts.seed = options_.seed;
   profile_opts.algorithms = options_.algorithms;
   profile_opts.watchdog = options_.watchdog.value_or(30'000ms);
@@ -278,6 +285,11 @@ void Campaign::attach_journal(const std::string& path, JournalMode mode) {
   header.shard_count = options_.shard.count;
   journal_ = mode == JournalMode::Resume ? TrialJournal::resume(path, header)
                                          : TrialJournal::create(path, header);
+  // The recording is as durable as the journal: default it to live next
+  // door, so a resumed campaign replays the prefix without re-recording.
+  if (recording_file_.empty()) {
+    recording_file_ = path + ".recording";
+  }
 }
 
 void Campaign::detach_journal() {
@@ -321,10 +333,27 @@ CampaignHealth Campaign::health() const noexcept {
 
 std::shared_ptr<const mpi::WorldRecording> Campaign::build_recording() {
   tel::ScopedSpan span("snapshot-build");
+  // Durable fast path: a recording persisted by an earlier run (or a
+  // sibling shard worker) with our exact identity and golden digest IS
+  // the golden execution — loading it is as sound as re-recording.
+  if (!recording_file_.empty()) {
+    if (auto loaded =
+            load_recording(recording_file_, golden_key(), golden_digest_)) {
+      span.arg("loaded", "1");
+      if (auto& rec = tel::Recorder::instance(); rec.enabled()) {
+        static auto& loads = rec.counter(
+            "fastfit_snapshot_recording_loads_total",
+            "Prefix-replay recordings reloaded from disk instead of re-run");
+        loads.add();
+      }
+      return loaded;
+    }
+  }
   try {
     auto recorder = std::make_shared<mpi::PrefixRecorder>(options_.nranks);
     mpi::WorldOptions opts;
     opts.nranks = options_.nranks;
+    opts.engine = options_.engine;
     opts.seed = options_.seed;
     opts.algorithms = options_.algorithms;
     // The recording run is fault-free; give it the relaxed golden-style
@@ -349,6 +378,11 @@ std::shared_ptr<const mpi::WorldRecording> Campaign::build_recording() {
     auto recording = recorder->finish();
     span.arg("ops", std::to_string(recording->total_ops));
     span.arg("payload_bytes", std::to_string(recording->payload_bytes));
+    if (!recording_file_.empty()) {
+      // Best-effort: a failed write costs nothing but the reuse.
+      (void)save_recording(recording_file_, *recording, golden_key(),
+                           golden_digest_);
+    }
     if (auto& rec = tel::Recorder::instance(); rec.enabled()) {
       static auto& builds = rec.counter(
           "fastfit_snapshot_recordings_total",
@@ -411,6 +445,7 @@ inject::TrialForensics Campaign::execute_trial(
   auto injector = std::make_shared<inject::Injector>(spec, options_.seed);
   mpi::WorldOptions opts;
   opts.nranks = options_.nranks;
+  opts.engine = options_.engine;
   opts.seed = options_.seed;
   opts.watchdog = watchdog;
   opts.algorithms = options_.algorithms;
@@ -598,8 +633,9 @@ TrialRunner::Attempt Campaign::run_guarded(
 }
 
 std::size_t Campaign::parallel_trials() const noexcept {
-  return resolve_parallel_trials(options_.max_parallel_trials,
-                                 options_.nranks);
+  return resolve_parallel_trials(
+      options_.max_parallel_trials, options_.nranks,
+      options_.engine == mpi::WorldEngine::Threads);
 }
 
 void Campaign::recalibrate_after_storm(std::size_t pool) {

@@ -73,6 +73,14 @@ struct CampaignOptions {
   }
   /// Collective algorithm selection for every run of this campaign.
   mpi::CollectiveAlgorithms algorithms;
+  /// MiniMPI world engine (--world-engine, FASTFIT_WORLD_ENGINE) for
+  /// every world this campaign runs — golden, profiling, recording, and
+  /// injected trials alike. `Fibers` (default) multiplexes resumable
+  /// rank fibers on the trial's own thread; `Threads` is the pre-fiber
+  /// thread-per-rank substrate. Reports, journals, and counters are
+  /// byte-identical across engines (the parity suite enforces it); only
+  /// wall-clock cost and OS thread counts change.
+  mpi::WorldEngine engine = mpi::WorldEngine::Fibers;
   /// Upper bound on concurrently executing trials in measure_many. 0 means
   /// "auto": hardware_concurrency() / nranks (min 1), since every trial
   /// already runs nranks rank threads and the outer pool must not
@@ -128,6 +136,14 @@ struct CampaignOptions {
   /// FASTFIT_SNAPSHOT_CACHE_MB): bounds the recording payload plus all
   /// derived per-cut snapshots. Must be >= 1.
   std::uint64_t snapshot_cache_mb = 256;
+  /// Durable home for the prefix-replay recording (--snapshot-recording,
+  /// FASTFIT_SNAPSHOT_RECORDING). When set, build_recording() reloads a
+  /// matching recording from this file instead of re-running the
+  /// fault-free world, and persists a freshly built one for the next
+  /// process — the resume path and every `--shard i/N` worker of one
+  /// study can share a single file. Empty = derive `<journal>.recording`
+  /// once a journal is attached; no journal and no path = in-memory only.
+  std::string recording_path;
   /// Trial execution backend (--isolation, FASTFIT_ISOLATION). `Thread`
   /// (default) runs trials in-process on rank threads — pre-existing
   /// behaviour bit for bit. `Process` dispatches each trial to a fresh
@@ -283,6 +299,9 @@ class Campaign : private TrialRunner {
   std::unique_ptr<TrialJournal> journal_;
   /// Present unless snapshots == Off; owns the recording + cut LRU.
   std::unique_ptr<SnapshotCache> snapshot_cache_;
+  /// Effective recording file: options_.recording_path, or derived from
+  /// the journal path by attach_journal. Empty = no persistence.
+  std::string recording_file_;
   std::atomic<std::uint64_t> trials_run_{0};
   std::atomic<std::uint64_t> total_retries_{0};
   std::atomic<std::uint64_t> quarantined_points_{0};

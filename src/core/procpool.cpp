@@ -229,6 +229,7 @@ std::string encode_work(const procpool::WorkItem& item, std::uint64_t seq) {
   w.u8(static_cast<std::uint8_t>(item.fault.trigger));
   w.f64(item.fault.probability);
   w.u64(item.fault.window);
+  w.u64(item.fault.duty_k);
   w.u64(item.trial);
   w.u64(item.watchdog_ms);
   return w.bytes();
@@ -243,7 +244,8 @@ bool decode_work(const std::string& payload, procpool::WorkItem& item,
   if (!r.u64(seq) || !r.u32(item.site_id) || !r.u64(rank) ||
       !r.u64(item.invocation) || !r.u8(item.param) || !r.u8(model) ||
       !r.u8(trigger) || !r.f64(item.fault.probability) ||
-      !r.u64(item.fault.window) || !r.u64(item.trial) ||
+      !r.u64(item.fault.window) || !r.u64(item.fault.duty_k) ||
+      !r.u64(item.trial) ||
       !r.u64(item.watchdog_ms) || !r.done()) {
     return false;
   }

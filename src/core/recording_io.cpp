@@ -1,0 +1,258 @@
+#include "core/recording_io.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "minimpi/memory.hpp"
+
+namespace fastfit::core {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'F', 'I', 'T', 'R', 'E', 'C', '1'};
+
+// Caps that no legitimate recording approaches; a corrupt length field
+// must fail the load, not drive a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxString = 1u << 20;
+constexpr std::uint64_t kMaxRanks = 1u << 20;
+constexpr std::uint64_t kMaxOpsPerRank = 1u << 28;
+constexpr std::uint64_t kMaxWritesPerOp = 1u << 24;
+constexpr std::uint64_t kMaxChunkBytes = 1u << 30;
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return out_.good(); }
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u64(std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    raw(b, 8);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  void raw(const void* data, std::size_t bytes) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(bytes));
+  }
+  bool flush() {
+    out_.flush();
+    return out_.good();
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : in_(path, std::ios::binary) {}
+
+  bool open() const { return in_.is_open(); }
+
+  bool u8(std::uint8_t& v) { return raw(&v, 1); }
+  bool u64(std::uint64_t& v) {
+    std::uint8_t b[8];
+    if (!raw(b, 8)) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+    return true;
+  }
+  bool i64(std::int64_t& v) {
+    std::uint64_t u = 0;
+    if (!u64(u)) return false;
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+  bool str(std::string& s, std::uint64_t max_len) {
+    std::uint64_t len = 0;
+    if (!u64(len) || len > max_len) return false;
+    s.resize(static_cast<std::size_t>(len));
+    return raw(s.data(), s.size());
+  }
+  bool raw(void* data, std::size_t bytes) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    return in_.good() || (bytes == 0 && !in_.bad());
+  }
+  bool at_eof() {
+    return in_.peek() == std::ifstream::traits_type::eof();
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+bool fail(std::string* why, const std::string& reason) {
+  if (why != nullptr) *why = reason;
+  return false;
+}
+
+}  // namespace
+
+bool save_recording(const std::string& path,
+                    const mpi::WorldRecording& recording,
+                    const std::string& identity,
+                    std::uint64_t golden_digest) {
+  const std::string tmp = path + ".tmp";
+  {
+    Writer w(tmp);
+    if (!w.ok()) return false;
+    w.raw(kMagic, sizeof(kMagic));
+    w.str(identity);
+    w.u64(golden_digest);
+    w.u8(recording.replayable ? 1 : 0);
+    w.str(recording.unsupported_reason);
+    w.u64(static_cast<std::uint64_t>(recording.nranks));
+    for (const auto& stream : recording.ops) {
+      w.u64(stream.size());
+      for (const auto& op : stream) {
+        w.u8(static_cast<std::uint8_t>(op.kind));
+        w.u8(static_cast<std::uint8_t>(op.coll));
+        w.u64(op.site_id);
+        w.i64(op.site_line);
+        w.u64(op.invocation);
+        w.u64(op.comm);
+        w.i64(op.self_comm);
+        w.i64(op.peer);
+        w.i64(op.peer_world);
+        w.u64(op.transport_tag);
+        w.u64(op.writes.size());
+        for (const auto& chunk : op.writes) {
+          if (chunk == nullptr) {
+            w.u64(0);
+            continue;
+          }
+          w.u64(chunk->size());
+          w.raw(chunk->data(), chunk->size());
+        }
+      }
+    }
+    if (!w.flush()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const mpi::WorldRecording> load_recording(
+    const std::string& path, const std::string& identity,
+    std::uint64_t golden_digest, std::string* why) {
+  Reader r(path);
+  std::string reason;
+  if (!r.open()) {
+    fail(why, "no recording file at " + path);
+    return nullptr;
+  }
+  char magic[sizeof(kMagic)];
+  if (!r.raw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail(why, "bad magic (not a recording file, or a newer format)");
+    return nullptr;
+  }
+  std::string file_identity;
+  std::uint64_t file_digest = 0;
+  if (!r.str(file_identity, kMaxString) || !r.u64(file_digest)) {
+    fail(why, "truncated header");
+    return nullptr;
+  }
+  if (file_identity != identity) {
+    fail(why, "campaign identity mismatch (recorded under '" + file_identity +
+                  "')");
+    return nullptr;
+  }
+  if (file_digest != golden_digest) {
+    fail(why, "golden digest mismatch");
+    return nullptr;
+  }
+
+  auto rec = std::make_shared<mpi::WorldRecording>();
+  std::uint8_t replayable = 0;
+  std::uint64_t nranks = 0;
+  if (!r.u8(replayable) ||
+      !r.str(rec->unsupported_reason, kMaxString) || !r.u64(nranks) ||
+      nranks > kMaxRanks) {
+    fail(why, "truncated recording body");
+    return nullptr;
+  }
+  rec->replayable = replayable != 0;
+  rec->nranks = static_cast<int>(nranks);
+  rec->ops.resize(static_cast<std::size_t>(nranks));
+
+  mpi::ChunkStore chunks;
+  std::vector<std::byte> scratch;
+  for (auto& stream : rec->ops) {
+    std::uint64_t nops = 0;
+    if (!r.u64(nops) || nops > kMaxOpsPerRank) {
+      fail(why, "truncated op stream");
+      return nullptr;
+    }
+    stream.resize(static_cast<std::size_t>(nops));
+    for (auto& op : stream) {
+      std::uint8_t kind = 0;
+      std::uint8_t coll = 0;
+      std::uint64_t site_id = 0;
+      std::int64_t site_line = 0;
+      std::int64_t self_comm = 0;
+      std::int64_t peer = 0;
+      std::int64_t peer_world = 0;
+      std::uint64_t comm = 0;
+      std::uint64_t nwrites = 0;
+      if (!r.u8(kind) || !r.u8(coll) || !r.u64(site_id) ||
+          !r.i64(site_line) || !r.u64(op.invocation) || !r.u64(comm) ||
+          !r.i64(self_comm) || !r.i64(peer) || !r.i64(peer_world) ||
+          !r.u64(op.transport_tag) || !r.u64(nwrites) ||
+          nwrites > kMaxWritesPerOp) {
+        fail(why, "truncated op record");
+        return nullptr;
+      }
+      op.kind = static_cast<mpi::RecordedOp::Kind>(kind);
+      op.coll = static_cast<mpi::CollectiveKind>(coll);
+      op.site_id = static_cast<std::uint32_t>(site_id);
+      op.comm = static_cast<mpi::RawHandle>(comm);
+      op.site_line = static_cast<int>(site_line);
+      op.self_comm = static_cast<int>(self_comm);
+      op.peer = static_cast<int>(peer);
+      op.peer_world = static_cast<int>(peer_world);
+      op.writes.reserve(static_cast<std::size_t>(nwrites));
+      for (std::uint64_t i = 0; i < nwrites; ++i) {
+        std::uint64_t len = 0;
+        if (!r.u64(len) || len > kMaxChunkBytes) {
+          fail(why, "truncated chunk");
+          return nullptr;
+        }
+        scratch.resize(static_cast<std::size_t>(len));
+        if (!r.raw(scratch.data(), scratch.size())) {
+          fail(why, "truncated chunk payload");
+          return nullptr;
+        }
+        // Re-intern: restores content dedup across ops and ranks, so the
+        // loaded recording has the same memory shape as a live one.
+        op.writes.push_back(chunks.intern(scratch.data(), scratch.size()));
+      }
+      rec->total_ops += 1;
+    }
+  }
+  if (!r.at_eof()) {
+    fail(why, "trailing bytes after recording");
+    return nullptr;
+  }
+  rec->payload_bytes = chunks.unique_bytes();
+  return rec;
+}
+
+}  // namespace fastfit::core

@@ -1,0 +1,44 @@
+#pragma once
+
+// Durable prefix-replay recordings (satellite of the fiber-engine PR).
+//
+// The fault-free recording behind the snapshot fast path is a pure
+// function of the campaign identity (workload, params, nranks, seed,
+// algorithms) — the golden digest proves it. That makes it safely
+// shareable across processes: a resumed campaign can reload it instead
+// of re-running the fault-free world, and the shard workers of one study
+// can point at a single file and pay the recording cost once between
+// them.
+//
+// The on-disk format is a little-endian binary log: a magic+version
+// header, the identity string and golden digest it was recorded under,
+// then the per-rank op streams with their payload chunks inline. Loads
+// re-intern every chunk through a fresh ChunkStore, so the in-memory
+// dedup (and payload_bytes) is identical to a freshly recorded run.
+// Writers go through a temp file + rename, so concurrent shard workers
+// racing on the same path see either nothing or a complete file.
+
+#include <memory>
+#include <string>
+
+#include "minimpi/snapshot.hpp"
+
+namespace fastfit::core {
+
+/// Serializes `recording` to `path` (atomically, via temp + rename),
+/// stamping it with the campaign identity and golden digest. Returns
+/// false (without throwing) when the file cannot be written — recording
+/// persistence is an optimization, never a reason to fail a campaign.
+bool save_recording(const std::string& path,
+                    const mpi::WorldRecording& recording,
+                    const std::string& identity, std::uint64_t golden_digest);
+
+/// Loads a recording previously saved at `path`, validating the identity
+/// string and golden digest. Returns nullptr (with the reason in `why`,
+/// if non-null) when the file is missing, truncated, corrupt, or was
+/// recorded under a different campaign — the caller re-records.
+std::shared_ptr<const mpi::WorldRecording> load_recording(
+    const std::string& path, const std::string& identity,
+    std::uint64_t golden_digest, std::string* why = nullptr);
+
+}  // namespace fastfit::core

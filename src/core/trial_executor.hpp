@@ -25,8 +25,12 @@ namespace fastfit::core {
 /// Resolves CampaignOptions::max_parallel_trials: an explicit value
 /// passes through; 0 ("auto") becomes hardware_concurrency() / nranks,
 /// clamped to at least 1, so outer trial workers times inner rank threads
-/// roughly matches the machine.
-std::size_t resolve_parallel_trials(std::size_t configured, int nranks);
+/// roughly matches the machine. With `rank_threads` false (the fiber
+/// world engine: every trial runs all its ranks on the submitting
+/// thread), "auto" is simply hardware_concurrency() — one lane per core,
+/// since trials no longer multiply the thread count by nranks.
+std::size_t resolve_parallel_trials(std::size_t configured, int nranks,
+                                    bool rank_threads = true);
 
 class TrialExecutor {
  public:

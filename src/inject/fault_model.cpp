@@ -57,6 +57,7 @@ const char* to_string(FaultTrigger trigger) noexcept {
     case FaultTrigger::Probabilistic: return "prob";
     case FaultTrigger::NthCall: return "nth";
     case FaultTrigger::UniformOverRun: return "uniform";
+    case FaultTrigger::DutyCycle: return "duty";
   }
   return "unknown";
 }
@@ -75,6 +76,9 @@ std::string FaultModelSpec::canonical() const {
       break;
     case FaultTrigger::UniformOverRun:
       out << "@uniform=" << window;
+      break;
+    case FaultTrigger::DutyCycle:
+      out << "@duty=" << duty_k << '/' << window;
       break;
   }
   return out.str();
@@ -140,9 +144,31 @@ FaultModelSpec FaultModelSpec::parse(const std::string& text) {
   } else if (name == "uniform") {
     spec.trigger = FaultTrigger::UniformOverRun;
     spec.window = parse_trigger_u64(param, text);
+  } else if (name == "duty") {
+    spec.trigger = FaultTrigger::DutyCycle;
+    const auto slash = param.find('/');
+    if (slash == std::string::npos) {
+      throw ConfigError("fault model '" + text +
+                        "': duty needs a k/n duty cycle (e.g. @duty=1/4)");
+    }
+    spec.duty_k = parse_trigger_u64(param.substr(0, slash), text);
+    spec.window = parse_trigger_u64(param.substr(slash + 1), text);
+    if (spec.duty_k >= spec.window) {
+      throw ConfigError("fault model '" + text +
+                        "': duty cycle must satisfy 1 <= k < n");
+    }
+    // An intermittent fault that fires over and over only has repeatable
+    // semantics for the in-place parameter mutators (the same stream
+    // re-sticks the same bit). Message and fail-stop manifestations are
+    // one-shot by nature; reject the combination instead of guessing.
+    if (!is_parameter_model(spec.model)) {
+      throw ConfigError("fault model '" + text +
+                        "': duty requires a parameter manifestation (" +
+                        parameter_fault_model_names() + ")");
+    }
   } else {
     throw ConfigError("fault model '" + text + "': unknown trigger '" + name +
-                      "' (expected exact, prob, nth, or uniform)");
+                      "' (expected exact, prob, nth, uniform, or duty)");
   }
   return spec;
 }

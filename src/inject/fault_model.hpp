@@ -89,9 +89,17 @@ enum class FaultTrigger : std::uint8_t {
   Probabilistic = 1,   ///< independent Bernoulli(p) draw per matching call
   NthCall = 2,         ///< fires on the rank's Nth matching call (1-based)
   UniformOverRun = 3,  ///< one call chosen uniformly from a window of W calls
+  /// Intermittent duty cycle: fires on the first k of every n collective
+  /// calls the injected rank makes ("@duty=k/n"), modelling a marginal
+  /// cell that manifests periodically — e.g. "stuck-at-one@duty=1/4" is a
+  /// bit stuck high a quarter of the time. Unlike the one-shot triggers
+  /// the fault fires on *every* matching call, with the same
+  /// manifestation stream each time (the same bit sticks). Parameter
+  /// manifestations only.
+  DutyCycle = 4,
 };
 
-inline constexpr std::size_t kNumFaultTriggers = 4;
+inline constexpr std::size_t kNumFaultTriggers = 5;
 
 const char* to_string(FaultTrigger trigger) noexcept;
 
@@ -102,7 +110,8 @@ struct FaultModelSpec {
   FaultModel model = FaultModel::SingleBitFlip;
   FaultTrigger trigger = FaultTrigger::ExactPoint;
   double probability = 0.0;   ///< Probabilistic: per-call fire probability
-  std::uint64_t window = 0;   ///< NthCall: N (1-based); UniformOverRun: W
+  std::uint64_t window = 0;   ///< NthCall: N; UniformOverRun: W; DutyCycle: n
+  std::uint64_t duty_k = 0;   ///< DutyCycle: fires on the first k of n calls
 
   bool operator==(const FaultModelSpec&) const = default;
 
@@ -111,9 +120,9 @@ struct FaultModelSpec {
   }
 
   /// Canonical text form: "single-bit-flip", "rank-death@nth=3",
-  /// "message-drop@prob=0.001", "random-byte@uniform=16". The default
-  /// trigger (exact point) is omitted so the default spec round-trips to
-  /// the pre-v2 model name.
+  /// "message-drop@prob=0.001", "random-byte@uniform=16",
+  /// "stuck-at-one@duty=1/4". The default trigger (exact point) is
+  /// omitted so the default spec round-trips to the pre-v2 model name.
   std::string canonical() const;
 
   /// Parses the canonical form; throws ConfigError on unknown names,

@@ -36,6 +36,9 @@ bool Injector::trigger_fires(const mpi::CollectiveCall& call) {
       return ++calls_seen_ == spec_.fault.window;
     case FaultTrigger::UniformOverRun:
       return calls_seen_++ == fire_at_;
+    case FaultTrigger::DutyCycle:
+      // First k of every n calls: an intermittent fault with period n.
+      return (calls_seen_++ % spec_.fault.window) < spec_.fault.duty_k;
   }
   throw InternalError("Injector: unknown fault trigger");
 }
@@ -43,8 +46,16 @@ bool Injector::trigger_fires(const mpi::CollectiveCall& call) {
 void Injector::manifest(mpi::CollectiveCall& call, mpi::Mpi& mpi) {
   const FaultModel model = spec_.fault.model;
   if (is_parameter_model(model)) {
+    // The stream is re-derived per fire, so a repeating trigger (duty
+    // cycle) corrupts the *same* bit every time — a genuine intermittent
+    // stuck-at, not a fresh random upset per call.
     RngStream rng(seed_, "bitflip", spec_.stream_index());
-    if (!corrupt_parameter(call, spec_.param, model, rng, mpi)) {
+    if (corrupt_parameter(call, spec_.param, model, rng, mpi)) {
+      manifested_ = true;
+      fizzled_.store(false);
+    } else if (!manifested_) {
+      // Fizzled only counts while *no* fire has ever bitten: a repeating
+      // fault is effective as soon as any one of its fires changes state.
       fizzled_.store(true);
     }
     return;
@@ -74,7 +85,10 @@ void Injector::manifest(mpi::CollectiveCall& call, mpi::Mpi& mpi) {
 }
 
 void Injector::on_enter(mpi::CollectiveCall& call, mpi::Mpi& mpi) {
-  if (fired_.load(std::memory_order_relaxed)) return;
+  // One-shot triggers latch on the first fire; a duty cycle keeps firing
+  // for the life of the run (that is what makes it intermittent).
+  const bool repeating = spec_.fault.trigger == FaultTrigger::DutyCycle;
+  if (!repeating && fired_.load(std::memory_order_relaxed)) return;
   if (mpi.world_rank() != spec_.rank) return;
   if (!trigger_fires(call)) return;
 

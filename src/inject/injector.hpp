@@ -68,6 +68,10 @@ class Injector final : public mpi::ToolHooks {
   RngStream trigger_rng_;
   std::uint64_t calls_seen_ = 0;  ///< injected rank's collective calls
   std::uint64_t fire_at_ = 0;     ///< UniformOverRun: chosen call ordinal
+  /// A repeating (duty-cycle) fault is fizzled only while *every* fire so
+  /// far was a no-op; the first effective mutation latches this true.
+  /// Rank-thread-only, like the counters above.
+  bool manifested_ = false;
 };
 
 }  // namespace fastfit::inject

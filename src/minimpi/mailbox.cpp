@@ -2,21 +2,42 @@
 
 #include <algorithm>
 
+#include "minimpi/fiber.hpp"
 #include "support/error.hpp"
 
 namespace fastfit::mpi {
 
 void Mailbox::deliver(Message message) {
+  bool fiber_owner;
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(message));
+    // Fiber engine: a delivery is the wake — mark the owning fiber ready
+    // while holding the mailbox mutex (same discipline as wake(): the
+    // scheduler pointer is cleared under this mutex at teardown, so the
+    // call can never dangle).
+    fiber_owner = fiber_sched_ != nullptr;
+    if (fiber_owner) fiber_sched_->make_ready(fiber_rank_);
   }
-  cv_.notify_all();
+  // A fiber owner never sleeps on the mailbox cv (it parks in the
+  // scheduler), so the notify — a futex syscall on the per-message hot
+  // path — is pure waste there.
+  if (!fiber_owner) cv_.notify_all();
+}
+
+void Mailbox::set_fiber_waker(FiberScheduler* sched, int owner_rank) {
+  std::lock_guard lock(mutex_);
+  fiber_sched_ = sched;
+  fiber_rank_ = owner_rank;
 }
 
 Message Mailbox::receive(int source, std::uint64_t tag,
                          std::chrono::steady_clock::time_point deadline,
                          bool revocable) {
+  if (FiberScheduler* sched = FiberScheduler::active();
+      sched != nullptr && sched->in_fiber()) {
+    return receive_fiber(source, tag, deadline, revocable, *sched);
+  }
   std::unique_lock lock(mutex_);
   for (;;) {
     auto it = std::find_if(queue_.begin(), queue_.end(),
@@ -68,13 +89,79 @@ Message Mailbox::receive(int source, std::uint64_t tag,
   }
 }
 
+Message Mailbox::receive_fiber(int source, std::uint64_t tag,
+                               std::chrono::steady_clock::time_point deadline,
+                               bool revocable, FiberScheduler& sched) {
+  for (;;) {
+    {
+      std::lock_guard lock(mutex_);
+      auto it = std::find_if(queue_.begin(), queue_.end(),
+                             [&](const Message& m) {
+                               return m.source == source && m.tag == tag;
+                             });
+      if (it != queue_.end()) {
+        Message out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    // Same check order as the thread path: doom, poison, revocation.
+    if (doom_ != nullptr && doom_->load(std::memory_order_acquire)) {
+      throw RankKilled(doom_rank_, "rank " + std::to_string(doom_rank_) +
+                                       " killed while waiting for rank " +
+                                       std::to_string(source));
+    }
+    {
+      std::lock_guard plock(poison_->mutex);
+      if (poison_->poisoned) {
+        throw WorldAborted("mailbox wait interrupted by world teardown");
+      }
+      if (revocable && poison_->revoked) {
+        throw RankRevoked("communicator revoked while waiting for rank " +
+                          std::to_string(source));
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // The thread path's timed-out branch: one last doom/poison/revoke
+      // look before the hang verdict, with identical message text.
+      if (doom_ != nullptr && doom_->load(std::memory_order_acquire)) {
+        throw RankKilled(doom_rank_, "rank " + std::to_string(doom_rank_) +
+                                         " killed while waiting for rank " +
+                                         std::to_string(source));
+      }
+      {
+        std::lock_guard plock(poison_->mutex);
+        if (poison_->poisoned) {
+          throw WorldAborted("mailbox wait interrupted by world teardown");
+        }
+        if (revocable && poison_->revoked) {
+          throw RankRevoked("communicator revoked while waiting for rank " +
+                            std::to_string(source));
+        }
+      }
+      throw SimTimeout("receive from rank " + std::to_string(source) +
+                       " tag " + std::to_string(tag) +
+                       " never matched (job hang)");
+    }
+    // The rendezvous is the yield point: park this fiber until a
+    // delivery, wake, or the idle handler's deadline sweep resumes it.
+    sched.block_current();
+  }
+}
+
 void Mailbox::wake() {
   // Serialize with receive(): holding mutex_ here means a waiter is either
   // before its poison check (it will see the flag) or already parked in
   // wait_until (it will get this notification). A bare notify could fire
-  // in the gap between the two and be lost.
-  std::lock_guard lock(mutex_);
-  cv_.notify_all();
+  // in the gap between the two and be lost. (A fiber waiter is covered by
+  // make_ready's pending-wake latch instead, and never sleeps on cv_.)
+  bool fiber_owner;
+  {
+    std::lock_guard lock(mutex_);
+    fiber_owner = fiber_sched_ != nullptr;
+    if (fiber_owner) fiber_sched_->make_ready(fiber_rank_);
+  }
+  if (!fiber_owner) cv_.notify_all();
 }
 
 std::size_t Mailbox::pending() const {

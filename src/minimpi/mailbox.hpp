@@ -22,6 +22,8 @@
 
 namespace fastfit::mpi {
 
+class FiberScheduler;
+
 /// A delivered message. `tag` encodes (communicator, collective sequence,
 /// phase) for collective traffic; plain p2p uses user tags.
 struct Message {
@@ -78,6 +80,11 @@ class Mailbox {
   /// the wait with RankRevoked (receives on post-repair communicators pass
   /// revocable=false and keep waiting). A doomed owner (World::kill_rank
   /// or a fail-stop fault on this rank) raises RankKilled instead.
+  ///
+  /// On a thread driven by a FiberScheduler the wait is a cooperative
+  /// yield instead of a condition-variable park: the rendezvous is the
+  /// fiber engine's yield point. Exception ordering and messages are
+  /// identical on both paths — the engine parity suite depends on it.
   Message receive(int source, std::uint64_t tag,
                   std::chrono::steady_clock::time_point deadline,
                   bool revocable = true);
@@ -103,15 +110,33 @@ class Mailbox {
   /// the wake cannot slip between a waiter's poison check and its entry
   /// into the timed wait (that window would otherwise swallow the only
   /// notification and leave the waiter parked for the full watchdog).
+  /// Under the fiber engine the same call marks the owning fiber ready.
   void wake();
 
+  /// Fiber-engine wake routing: deliveries and wakes mark `owner_rank`'s
+  /// fiber ready on `sched` instead of (only) notifying the condition
+  /// variable. Installed by the world before the scheduler starts and
+  /// cleared after it drains; guarded by the mailbox mutex so a late
+  /// cross-thread wake (a test's kill_rank racing world teardown) can
+  /// never observe a dangling scheduler.
+  void set_fiber_waker(FiberScheduler* sched, int owner_rank);
+
  private:
+  /// The cooperative twin of the condition-variable wait loop in
+  /// receive(): identical match/doom/poison/revoke/deadline ordering and
+  /// exception text, but parks by yielding the calling fiber.
+  Message receive_fiber(int source, std::uint64_t tag,
+                        std::chrono::steady_clock::time_point deadline,
+                        bool revocable, FiberScheduler& sched);
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   PoisonState* poison_;
   int doom_rank_ = -1;
   const std::atomic<bool>* doom_ = nullptr;
+  FiberScheduler* fiber_sched_ = nullptr;  // guarded by mutex_
+  int fiber_rank_ = -1;
 };
 
 }  // namespace fastfit::mpi

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "minimpi/fiber.hpp"
 #include "minimpi/mpi.hpp"
 #include "minimpi/quarantine.hpp"
 #include "telemetry/recorder.hpp"
@@ -25,6 +26,21 @@ constexpr std::chrono::milliseconds kMonitorPoll{1};
 constexpr std::chrono::milliseconds kJoinGrace{1000};
 
 }  // namespace
+
+const char* to_string(WorldEngine engine) noexcept {
+  switch (engine) {
+    case WorldEngine::Fibers: return "fibers";
+    case WorldEngine::Threads: return "threads";
+  }
+  return "unknown";
+}
+
+WorldEngine parse_world_engine(const std::string& text) {
+  if (text == "fibers") return WorldEngine::Fibers;
+  if (text == "threads") return WorldEngine::Threads;
+  throw ConfigError("world engine must be one of fibers|threads, got '" +
+                    text + "'");
+}
 
 const char* to_string(EventType type) noexcept {
   switch (type) {
@@ -397,8 +413,8 @@ WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
       throw ConfigError("World::run: snapshot rank count mismatch");
     }
     // Messages in flight across the snapshot cut (sent in the prefix,
-    // received in the suffix) are seeded before any rank thread launches,
-    // so the suffix finds them already queued, exactly as at the cut.
+    // received in the suffix) are seeded before any rank launches, so the
+    // suffix finds them already queued, exactly as at the cut.
     for (const auto& pre : replay->preseed) {
       Message message;
       message.source = pre.source_comm;
@@ -409,6 +425,15 @@ WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
       state->mailbox(pre.dest_world).deliver(std::move(message));
     }
   }
+
+  return state->options_.engine == WorldEngine::Threads
+             ? run_threads(rank_main)
+             : run_fibers(rank_main);
+}
+
+WorldResult World::run_threads(const std::function<void(Mpi&)>& rank_main) {
+  const auto state = state_;
+  const int nranks = state->options_.nranks;
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -559,6 +584,133 @@ WorldResult World::run(const std::function<void(Mpi&)>& rank_main) {
   // Repaired means every survivor ran its repair hook to completion; a
   // survivor that aborted mid-repair leaves the count short and the trial
   // classifies as RANK_DEAD.
+  result.repaired =
+      state->options_.repair && dead > 0 &&
+      state->repaired_count_.load(std::memory_order_acquire) == nranks - dead;
+
+  {
+    std::lock_guard lock(state->event_mutex_);
+    result.event = state->event_;
+    result.autopsy = state->autopsy_;
+  }
+  return result;
+}
+
+void WorldState::fiber_idle(FiberScheduler& sched) {
+  // Pass 1: wake anything that can still make progress. A doomed or
+  // poisoned rank must observe its fate at the next cancellation point,
+  // and a blocked rank whose awaited (source, tag) is already queued is
+  // about to match (deliveries wake the owner eagerly; this scan is the
+  // idle-time backstop).
+  bool woke = false;
+  const auto blocked = sched.blocked();
+  for (int r : blocked) {
+    bool wake =
+        rank_doomed(r) || poison_.flag.load(std::memory_order_acquire);
+    if (!wake) {
+      const auto snap = progress_.snapshot(r);
+      wake = snap.has_op && snap.sig.wait_source >= 0 &&
+             mailbox(r).has_match(snap.sig.wait_source, snap.sig.wait_tag);
+    }
+    if (wake) {
+      sched.make_ready(r);
+      woke = true;
+    }
+  }
+  if (woke || blocked.empty()) return;
+
+  // Quiescence: no runnable fiber and no queued message any blocked
+  // fiber awaits — and, unlike the thread engine's monitor, provably no
+  // send in flight (sends are synchronous on this very thread), so no
+  // two-snapshot stability dance is needed. This IS the structural
+  // deadlock; route it through the same verdict/autopsy path as the
+  // monitor so both engines report byte-identical events.
+  if (options_.hang_detection && options_.nranks > 1 &&
+      !poison_.revoked_flag.load(std::memory_order_acquire)) {
+    declare_deadlock(progress_.snapshot_all());
+    return;  // capture_event poisoned; its wake storm marked fibers ready
+  }
+
+  // Watchdog fallback (detection off, a single-rank world, or an
+  // in-progress revocation, mirroring the monitor's skip): wait for an
+  // external wake — kill_rank or a poison from another thread — or the
+  // deadline, then resume every blocked fiber in rank order so the first
+  // raises SimTimeout exactly like a parked thread whose timed wait
+  // expired.
+  if (sched.wait_for_ready(deadline_)) return;
+  for (int r : sched.blocked()) sched.make_ready(r);
+}
+
+WorldResult World::run_fibers(const std::function<void(Mpi&)>& rank_main) {
+  const auto state = state_;
+  const int nranks = state->options_.nranks;
+
+  // The scheduler lives on this stack frame: unlike a rank thread, a
+  // fiber can never outlive run() — every MiniMPI wait is a cancellation
+  // point, so a resumed fiber always unwinds, and the scheduler does not
+  // return until all of them have. No monitor thread, no bounded join,
+  // no quarantine: this world adds ZERO OS threads.
+  FiberScheduler sched(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    state->mailbox(r).set_fiber_waker(&sched, r);
+  }
+
+  const auto body = [&state, &rank_main](int r) {
+    // One span per rank lifetime on the rank's trace lane. No per-rank
+    // bind_thread here: all fibers share the scheduler's thread, and the
+    // track/id pair on the span already attributes it.
+    telemetry::ScopedSpan rank_span("rank-main", telemetry::Track::Rank, r);
+    Mpi mpi(state, r);
+    try {
+      rank_main(mpi);
+    } catch (const WorldAborted&) {
+      // Subordinate teardown; the initiating rank already reported.
+    } catch (const RankKilled& event) {
+      state->report_rank_death(r, event);
+    } catch (const RankRevoked&) {
+      // A survivor that could not (or chose not to) repair: subordinate
+      // to the already-captured RankDead event, like WorldAborted.
+    } catch (const FaultEvent& event) {
+      state->report_event(r, event);
+    } catch (const std::bad_alloc&) {
+      state->report_event(
+          r, SimSegFault(0, 0, "allocation failure (OOM kill)"));
+    } catch (const std::length_error&) {
+      state->report_event(r, SimSegFault(0, 0, "absurd allocation request"));
+    } catch (...) {
+      {
+        std::lock_guard lock(state->internal_mutex_);
+        if (!state->internal_error_) {
+          state->internal_error_ = std::current_exception();
+        }
+      }
+      state->poison_and_wake();
+    }
+    state->progress_.publish_exited(r);
+    state->mark_done(r);
+  };
+
+  sched.run(body, [&state, &sched] { state->fiber_idle(sched); });
+
+  // Detach the wake routing under each mailbox's mutex before the
+  // scheduler leaves this frame: a late cross-thread kill_rank can then
+  // only ever see a null hook, never a dangling one.
+  for (int r = 0; r < nranks; ++r) {
+    state->mailbox(r).set_fiber_waker(nullptr, -1);
+  }
+
+  WorldResult result;  // leaked_threads stays 0: fibers always unwind
+
+  if (state->internal_error_) std::rethrow_exception(state->internal_error_);
+  for (const auto& registry : state->registries_) {
+    result.leaked_regions += registry->region_count();
+  }
+  for (const auto& mailbox : state->mailboxes_) {
+    result.undelivered_messages += mailbox->pending();
+  }
+
+  const int dead = state->dead_count_.load(std::memory_order_acquire);
+  result.rank_died = dead > 0;
   result.repaired =
       state->options_.repair && dead > 0 &&
       state->repaired_count_.load(std::memory_order_acquire) == nranks - dead;

@@ -49,6 +49,34 @@
 namespace fastfit::mpi {
 
 class Mpi;
+class FiberScheduler;
+
+/// How a world executes its ranks (FASTFIT_WORLD_ENGINE /
+/// --world-engine).
+///
+///  * Fibers (default): every rank is a resumable ucontext fiber
+///    multiplexed on the ONE thread that calls World::run — a world
+///    never creates an OS thread, rendezvous are cooperative yield
+///    points, and "no runnable fiber and no queued message" IS the
+///    deadlock verdict (no monitor thread, no poll interval).
+///  * Threads: the original thread-per-rank substrate (one OS thread
+///    per rank plus a monitor), kept byte-identical for workloads whose
+///    rank functions are non-cooperative (spin without check_deadline)
+///    and as the parity baseline for the fiber engine.
+///
+/// Both engines produce byte-identical results for every cooperative
+/// workload: message matching is exact on (source, tag), so the
+/// schedule cannot change what any rank observes.
+enum class WorldEngine : std::uint8_t {
+  Fibers,
+  Threads,
+};
+
+const char* to_string(WorldEngine engine) noexcept;
+
+/// Parses "fibers" | "threads" (the FASTFIT_WORLD_ENGINE values);
+/// throws ConfigError on anything else.
+WorldEngine parse_world_engine(const std::string& text);
 
 /// Algorithm selection per collective family, mirroring how production
 /// MPIs pick among several implementations. Fault *behaviour* differs by
@@ -69,6 +97,9 @@ struct CollectiveAlgorithms {
 
 struct WorldOptions {
   int nranks = 32;
+  /// Rank execution engine: resumable fibers on the calling thread
+  /// (default) or the legacy thread-per-rank substrate.
+  WorldEngine engine = WorldEngine::Fibers;
   /// Rendezvous watchdog: a collective that has not completed after this
   /// long is declared hung (paper Table I: INF_LOOP). Must comfortably
   /// exceed the fault-free runtime of the workload. With hang_detection
@@ -245,6 +276,15 @@ class WorldState {
   bool scan_for_deadlock(std::vector<RankSnapshot>& prev, bool& have_prev);
   void declare_deadlock(const std::vector<RankSnapshot>& snaps);
 
+  /// Fiber engine's idle handler: invoked by the scheduler when no fiber
+  /// is runnable. Wakes satisfiable or doomed waits; with nothing to
+  /// wake, quiescence ("no runnable fiber, no queued message") IS the
+  /// structural deadlock, declared through the same verdict path as the
+  /// thread engine's monitor. The watchdog fallback (detection off,
+  /// single rank, or an in-progress revocation) waits out the deadline
+  /// and then wakes every blocked fiber in rank order.
+  void fiber_idle(FiberScheduler& sched);
+
   WorldOptions options_;
   PoisonState poison_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -355,6 +395,15 @@ class World {
   }
 
  private:
+  /// The legacy thread-per-rank engine: one OS thread per rank, a monitor
+  /// thread, bounded join with quarantine escalation.
+  WorldResult run_threads(const std::function<void(Mpi&)>& rank_main);
+
+  /// The event-driven engine: rank fibers multiplexed on the calling
+  /// thread; zero threads created, structural deadlock at quiescence,
+  /// teardown by resuming every blocked fiber to its cancellation point.
+  WorldResult run_fibers(const std::function<void(Mpi&)>& rank_main);
+
   std::shared_ptr<WorldState> state_;
   bool ran_ = false;
 };

@@ -61,10 +61,14 @@ constexpr ConfigKnob kKnobs[] = {
      "ULFM-style shrink-and-continue after rank death (default off)"},
     {"FASTFIT_ISOLATION", "isolation", "thread|process",
      "trial backend: in-process threads or fork-server workers"},
+    {"FASTFIT_WORLD_ENGINE", "world-engine", "fibers|threads",
+     "rank substrate: resumable fibers (default) or thread-per-rank"},
     {"FASTFIT_SNAPSHOTS", "snapshots", "on|off|auto",
      "prefix-replay world snapshots (default auto)"},
     {"FASTFIT_SNAPSHOT_CACHE_MB", "snapshot-cache-mb", "MB",
      "LRU budget for the snapshot recording and cuts"},
+    {"FASTFIT_SNAPSHOT_RECORDING", "snapshot-recording", "FILE",
+     "durable prefix-replay recording shared across resume and shards"},
     {"FASTFIT_TRACE", "trace-out", "FILE",
      "Chrome trace-event JSON of the trial lifecycle"},
     {"FASTFIT_METRICS", "metrics-out", "FILE",
@@ -148,6 +152,13 @@ InjectionConfig InjectionConfig::from_map(
             value + "'");
       }
       cfg.isolation = value;
+    } else if (key == "FASTFIT_WORLD_ENGINE") {
+      if (value != "fibers" && value != "threads") {
+        throw ConfigError(
+            "FASTFIT_WORLD_ENGINE: must be one of fibers|threads, got '" +
+            value + "'");
+      }
+      cfg.world_engine = value;
     } else if (key == "FASTFIT_SNAPSHOTS") {
       if (value != "on" && value != "off" && value != "auto") {
         throw ConfigError(
@@ -161,6 +172,11 @@ InjectionConfig InjectionConfig::from_map(
       if (cfg.snapshot_cache_mb == 0) {
         throw ConfigError("FASTFIT_SNAPSHOT_CACHE_MB: must be >= 1");
       }
+    } else if (key == "FASTFIT_SNAPSHOT_RECORDING") {
+      if (value.empty()) {
+        throw ConfigError("FASTFIT_SNAPSHOT_RECORDING: path must not be empty");
+      }
+      cfg.snapshot_recording = value;
     } else {
       throw ConfigError("unknown configuration key: " + key);
     }
@@ -209,7 +225,11 @@ std::map<std::string, std::string> InjectionConfig::to_map() const {
   if (!fault_models.empty()) kv["FASTFIT_FAULT_MODELS"] = fault_models;
   if (repair) kv["FASTFIT_REPAIR"] = "1";
   if (isolation != "thread") kv["FASTFIT_ISOLATION"] = isolation;
+  if (world_engine != "fibers") kv["FASTFIT_WORLD_ENGINE"] = world_engine;
   if (snapshots != "auto") kv["FASTFIT_SNAPSHOTS"] = snapshots;
+  if (!snapshot_recording.empty()) {
+    kv["FASTFIT_SNAPSHOT_RECORDING"] = snapshot_recording;
+  }
   if (snapshot_cache_mb != 256) {
     kv["FASTFIT_SNAPSHOT_CACHE_MB"] = std::to_string(snapshot_cache_mb);
   }

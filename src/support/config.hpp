@@ -100,6 +100,13 @@ struct InjectionConfig {
   /// signals become classifiable as SEG_FAULT). Kept as validated text
   /// here; the mode enum lives in core/procpool.hpp.
   std::string isolation = "thread";
+  /// MiniMPI world engine (FASTFIT_WORLD_ENGINE): "fibers" (default,
+  /// resumable rank fibers multiplexed on the trial's thread) or
+  /// "threads" (one OS thread per rank, the pre-fiber substrate).
+  /// Reports, journals, and counters are byte-identical across engines;
+  /// only the scheduling substrate changes. Kept as validated text here;
+  /// the engine enum lives in minimpi/world.hpp.
+  std::string world_engine = "fibers";
   /// Prefix-replay world snapshots (FASTFIT_SNAPSHOTS): "on", "off", or
   /// "auto" (default). Kept as validated text here; the mode enum lives
   /// in core/snapshot_cache.hpp.
@@ -107,6 +114,12 @@ struct InjectionConfig {
   /// LRU budget in MiB for the snapshot recording plus derived cuts
   /// (FASTFIT_SNAPSHOT_CACHE_MB); must be >= 1.
   std::uint64_t snapshot_cache_mb = 256;
+  /// Durable file for the prefix-replay recording
+  /// (FASTFIT_SNAPSHOT_RECORDING). Resumed campaigns and sharded
+  /// workers pointed at the same file pay the fault-free recording run
+  /// once between them. Empty (default) = derive from the journal path,
+  /// or keep the recording in memory only when there is no journal.
+  std::string snapshot_recording;
 
   /// True when any telemetry sink is requested (trace, metrics, or the
   /// live progress line) and the recorder must therefore be enabled.

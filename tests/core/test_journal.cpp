@@ -83,6 +83,30 @@ TEST(TrialJournal, ResumeReplaysTrialsLabelsAndQuarantines) {
   EXPECT_EQ(quarantine->error, "synthetic flake");
 }
 
+TEST(TrialJournal, DutyCycleSpecRoundTripsThroughPointKey) {
+  // Non-default fault specs join the point key as their canonical string;
+  // the intermittent duty-cycle form must survive the journal round trip
+  // like every other trigger.
+  InjectionPoint p;
+  p.site_id = 3;
+  p.rank = 1;
+  p.invocation = 7;
+  p.param = mpi::Param::Count;
+  p.fault = inject::FaultModelSpec::parse("stuck-at-one@duty=1/4");
+  const auto key = point_key(p);
+  EXPECT_NE(key.find("stuck-at-one@duty=1/4"), std::string::npos);
+  EXPECT_EQ(inject::FaultModelSpec::parse("stuck-at-one@duty=1/4"), p.fault);
+
+  const auto path = temp_path("duty_roundtrip");
+  {
+    auto journal = TrialJournal::create(path, header());
+    journal->record_trial(key, 0, inject::Outcome::WrongAns, false, "",
+                          p.fault.canonical());
+  }
+  auto journal = TrialJournal::resume(path, header());
+  EXPECT_EQ(journal->lookup(key, 0), inject::Outcome::WrongAns);
+}
+
 TEST(TrialJournal, RecordTrialIsIdempotent) {
   const auto path = temp_path("idempotent");
   {

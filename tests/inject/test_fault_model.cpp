@@ -196,7 +196,8 @@ TEST(FaultModelSpec, CanonicalRoundTrips) {
   const char* specs[] = {"single-bit-flip",      "stuck-at-one",
                          "rank-death",           "rank-death@nth=3",
                          "message-drop@prob=0.25", "message-delay",
-                         "random-byte@uniform=16"};
+                         "random-byte@uniform=16", "stuck-at-one@duty=1/4",
+                         "stuck-at-zero@duty=3/8"};
   for (const char* text : specs) {
     const auto spec = FaultModelSpec::parse(text);
     EXPECT_EQ(spec.canonical(), text);
@@ -221,6 +222,24 @@ TEST(FaultModelSpec, ParseRejectsMalformed) {
   EXPECT_THROW(FaultModelSpec::parse("message-drop@prob=1.5"), ConfigError);
   EXPECT_THROW(FaultModelSpec::parse("message-drop@prob=abc"), ConfigError);
   EXPECT_THROW(FaultModelSpec::parse("single-bit-flip@exact=1"), ConfigError);
+  // Duty cycles: need k/n form, 1 <= k < n, and a parameter manifestation.
+  EXPECT_THROW(FaultModelSpec::parse("stuck-at-one@duty"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("stuck-at-one@duty=4"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("stuck-at-one@duty=0/4"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("stuck-at-one@duty=4/4"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("stuck-at-one@duty=5/4"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("stuck-at-one@duty=x/4"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("rank-death@duty=1/4"), ConfigError);
+  EXPECT_THROW(FaultModelSpec::parse("message-drop@duty=1/4"), ConfigError);
+}
+
+TEST(FaultModelSpec, DutyCycleParsesKAndWindow) {
+  const auto spec = FaultModelSpec::parse("stuck-at-one@duty=2/5");
+  EXPECT_EQ(spec.model, FaultModel::StuckAtOne);
+  EXPECT_EQ(spec.trigger, FaultTrigger::DutyCycle);
+  EXPECT_EQ(spec.duty_k, 2u);
+  EXPECT_EQ(spec.window, 5u);
+  EXPECT_EQ(spec.canonical(), "stuck-at-one@duty=2/5");
 }
 
 TEST(FaultModelSpec, ParseListSplitsAndDeduplicates) {
@@ -249,6 +268,9 @@ TEST(FaultModelSpec, ReplayabilityGate) {
   EXPECT_FALSE(is_replayable(
       FaultModelSpec::parse("single-bit-flip@prob=0.5")));
   EXPECT_FALSE(is_replayable(FaultModelSpec::parse("stuck-at-one@nth=2")));
+  // An intermittent fault fires inside the replayed prefix too, so it can
+  // never take the snapshot fast path.
+  EXPECT_FALSE(is_replayable(FaultModelSpec::parse("stuck-at-one@duty=1/4")));
 }
 
 }  // namespace

@@ -247,6 +247,12 @@ TEST(HangDetection, StragglerThreadIsQuarantinedAndReaped) {
   WorldOptions opts;
   opts.nranks = 2;
   opts.watchdog = 100ms;
+  // Quarantine is a thread-engine mechanism: a rank that ignores every
+  // cancellation point can wedge an OS thread, which the world abandons.
+  // Under the fiber engine the same code would wedge the shared scheduler
+  // thread — there is nothing to abandon, so this worst case is
+  // thread-engine-only by construction.
+  opts.engine = WorldEngine::Threads;
   World world(opts);
   world.add_keepalive(release);
   const auto adopted_before = ThreadQuarantine::instance().adopted_total();

@@ -325,9 +325,11 @@ TEST(Config, KnobTableIsCompleteAndConsistent) {
       {"FASTFIT_METRICS_INTERVAL_MS", "100"},
       {"FASTFIT_SNAPSHOTS", "auto"},
       {"FASTFIT_SNAPSHOT_CACHE_MB", "64"},
+      {"FASTFIT_SNAPSHOT_RECORDING", "lu.recording"},
       {"FASTFIT_FAULT_MODELS", "single-bit-flip,rank-death"},
       {"FASTFIT_REPAIR", "1"},
       {"FASTFIT_ISOLATION", "process"},
+      {"FASTFIT_WORLD_ENGINE", "threads"},
   };
   std::set<std::string> envs;
   std::set<std::string> flags;

@@ -287,6 +287,18 @@ int cmd_study(const std::string& workload_name, const Args& args) {
   }
   options.campaign.isolation = core::parse_isolation_mode(isolation);
 
+  // World engine: resumable rank fibers (default) or thread-per-rank.
+  // Same validation path as the other text knobs; results are identical
+  // on both, so this is purely a substrate/wall-clock choice.
+  std::string world_engine = env.world_engine;
+  if (args.has("world-engine")) {
+    world_engine =
+        InjectionConfig::from_map(
+            {{"FASTFIT_WORLD_ENGINE", args.get("world-engine", "fibers")}})
+            .world_engine;
+  }
+  options.campaign.engine = mpi::parse_world_engine(world_engine);
+
   options.journal = env.journal;
   options.campaign.max_trial_retries =
       static_cast<std::uint32_t>(env.max_trial_retries);
@@ -335,6 +347,13 @@ int cmd_study(const std::string& workload_name, const Args& args) {
         InjectionConfig::from_map({{"FASTFIT_SNAPSHOT_CACHE_MB",
                                     args.get("snapshot-cache-mb", "256")}})
             .snapshot_cache_mb;
+  }
+  options.campaign.recording_path = env.snapshot_recording;
+  if (args.has("snapshot-recording")) {
+    options.campaign.recording_path =
+        InjectionConfig::from_map({{"FASTFIT_SNAPSHOT_RECORDING",
+                                    args.get("snapshot-recording", "")}})
+            .snapshot_recording;
   }
 
   // Pipeline selection: the pruning chain and the deterministic shard.
